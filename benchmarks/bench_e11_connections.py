@@ -1,0 +1,32 @@
+"""E11 — Section 3 connections: contract algorithms and hybrid algorithms.
+
+Two identities tie the paper's Theorem 6 (f = 0) to older scheduling
+problems:
+
+* ``A(m, k, 0) = 1 + 2 * acc*(m - k, k)`` — contract-scheduling acceleration
+  ratio (Bernstein, Finkelstein & Zilberstein);
+* ``H(m, k) = 1 + (A(m, k, 0) - 1) / 2`` — hybrid on-line algorithms
+  (Kao, Ma, Sipser & Yin), i.e. ray search without the return trips.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import e11_connections
+
+
+def test_e11_connections(benchmark, experiment_runner):
+    table = experiment_runner(benchmark, e11_connections, horizon=2e4)
+    for row in table.rows:
+        search, via_contract, acc_measured, hybrid_formula, hybrid_measured = (
+            row[2],
+            row[3],
+            row[4],
+            row[5],
+            row[6],
+        )
+        # The contract identity is exact.
+        assert abs(search - via_contract) < 1e-9
+        # Measured schedules attain their formulas from below.
+        assert acc_measured <= (search - 1.0) / 2.0 + 1e-6
+        assert hybrid_measured <= hybrid_formula + 1e-6
+        assert abs(hybrid_measured - hybrid_formula) / hybrid_formula < 0.02

@@ -1,0 +1,21 @@
+"""E1 — Theorem 1: A(k, f) on the line.
+
+Regenerates the table "closed form vs measured optimal strategy" for every
+``(k, f)`` in the interesting regime with up to three faults, and checks the
+shape of the result: the measured ratio approaches the paper's bound from
+below for every row.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import e1_theorem1_line
+
+
+def test_e1_theorem1_line(benchmark, experiment_runner):
+    table = experiment_runner(
+        benchmark, e1_theorem1_line, horizon=5e3, max_faulty=3
+    )
+    for row in table.rows:
+        paper, measured, gap = row[3], row[4], row[5]
+        assert measured <= paper + 1e-6
+        assert 0.0 <= gap < 0.02

@@ -1,0 +1,21 @@
+"""E2 — Trivial and impossible regimes.
+
+``k >= m (f + 1)`` admits ratio exactly 1 (straight-line strategy);
+``k == f`` admits no finite ratio at all.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import e2_trivial_regimes
+
+
+def test_e2_trivial_regimes(benchmark, experiment_runner):
+    table = experiment_runner(benchmark, e2_trivial_regimes, horizon=1e3)
+    for row in table.rows:
+        regime, measured = row[3], row[5]
+        if regime == "trivial":
+            assert abs(measured - 1.0) < 1e-9
+        else:
+            assert measured == math.inf

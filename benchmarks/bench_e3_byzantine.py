@@ -1,0 +1,19 @@
+"""E3 — Byzantine lower bounds via the crash transfer.
+
+The paper's headline: B(3, 1) >= 5.23, improving the previous 3.93 from
+Czyzowitz et al. (ISAAC 2016).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import e3_byzantine_bounds
+
+
+def test_e3_byzantine_bounds(benchmark, experiment_runner):
+    table = experiment_runner(benchmark, e3_byzantine_bounds)
+    headline = [row for row in table.rows if row[0] == 3 and row[1] == 1]
+    assert len(headline) == 1
+    new_bound, previous, improvement = headline[0][2], headline[0][3], headline[0][4]
+    assert abs(new_bound - 5.2331) < 1e-3
+    assert previous == 3.93
+    assert improvement > 1.29

@@ -1,0 +1,20 @@
+"""E4 — Theorem 6: A(m, k, f) on m rays.
+
+Sweeps the interesting regime up to 4 rays / 6 robots / 2 faults and checks
+that the measured optimal strategy tracks the closed form on every row.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import e4_theorem6_rays
+
+
+def test_e4_theorem6_rays(benchmark, experiment_runner):
+    table = experiment_runner(
+        benchmark, e4_theorem6_rays, horizon=5e3, max_rays=4, max_robots=6, max_faulty=2
+    )
+    assert len(table.rows) >= 10
+    for row in table.rows:
+        paper, measured, gap = row[3], row[4], row[5]
+        assert measured <= paper + 1e-6
+        assert 0.0 <= gap < 0.02

@@ -1,0 +1,22 @@
+"""E7 — Fractional one-ray retrieval (Eq. 11).
+
+C(eta) versus the rational-approximation construction; the approximation
+tightens as the number of equal-weight robots grows.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import e7_fractional
+from repro.core.bounds import fractional_retrieval_ratio
+
+
+def test_e7_fractional(benchmark, experiment_runner):
+    table = experiment_runner(benchmark, e7_fractional, horizon=5e3)
+    for row in table.rows:
+        eta, robots, effective_eta, paper, measured = row
+        # The measured ratio matches the integer bound of the effective eta,
+        # and converges to C(eta) as the robot count grows.
+        assert measured <= fractional_retrieval_ratio(effective_eta) + 1e-6
+    finest = [row for row in table.rows if row[1] == 8]
+    for row in finest:
+        assert abs(row[4] - row[3]) / row[3] < 0.06

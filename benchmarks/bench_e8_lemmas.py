@@ -1,0 +1,19 @@
+"""E8 — Lemmas 4 and 5, verified numerically on a grid of (k, s).
+
+The two elementary inequalities that power the potential-function argument:
+the polynomial maximiser of Lemma 4 and the growth factor delta > 1 of
+Lemma 5 whenever mu is below the critical value.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import e8_lemmas
+
+
+def test_e8_lemmas(benchmark, experiment_runner):
+    table = experiment_runner(benchmark, e8_lemmas)
+    for row in table.rows:
+        delta, lemma4_holds, lemma5_holds = row[3], row[4], row[5]
+        assert delta > 1.0
+        assert lemma4_holds is True
+        assert lemma5_holds is True

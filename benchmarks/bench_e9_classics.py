@@ -1,0 +1,21 @@
+"""E9 — Classic special cases.
+
+The cow path (ratio 9) and the single-robot m-ray search
+(``1 + 2 m^m/(m-1)^(m-1)``), both of which Theorem 6 specialises to.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import e9_classics
+
+
+def test_e9_classics(benchmark, experiment_runner):
+    table = experiment_runner(benchmark, e9_classics, horizon=1e4, max_rays=6)
+    cow = table.rows[0]
+    assert cow[2] == 9.0
+    assert cow[3] <= 9.0 + 1e-9
+    assert abs(cow[3] - 9.0) < 0.01
+    for row in table.rows[1:]:
+        paper, measured = row[2], row[3]
+        assert measured <= paper + 1e-9
+        assert abs(measured - paper) / paper < 0.01

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module regenerates one experiment table of EXPERIMENTS.md (the
+experiment ids E1–E11 are indexed in DESIGN.md).  The pytest-benchmark
+fixture times the table generation; the rendered table itself is attached to
+the benchmark's ``extra_info`` and printed, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces every number reported in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting import render_experiment
+
+
+def run_experiment(benchmark, builder, **kwargs):
+    """Benchmark ``builder(**kwargs)`` and print the resulting table."""
+    table = benchmark.pedantic(lambda: builder(**kwargs), rounds=1, iterations=1)
+    text = render_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    benchmark.extra_info["rows"] = len(table.rows)
+    print()
+    print(text)
+    return table
+
+
+@pytest.fixture
+def experiment_runner():
+    """Fixture returning the :func:`run_experiment` helper."""
+    return run_experiment

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Contract algorithms and hybrid on-line algorithms (Section 3 connections).
+
+The m-ray search problem is secretly a scheduling problem.  This example
+exercises both correspondences the paper discusses:
+
+* **Contract algorithms** — a planner must keep improving solutions to
+  several problems on a few processors, not knowing when it will be
+  interrupted; the *acceleration ratio* of the optimal schedule is exactly
+  ``(A(m, k, 0) - 1) / 2`` for a related parameterisation.
+* **Hybrid algorithms** — a solver hedges across m candidate algorithms
+  with k memory areas; the optimal time-competitive ratio is
+  ``1 + (A(m, k, 0) - 1)/2`` (ray search without the return trips).
+
+Run with:  ``python examples/contract_scheduling.py``
+"""
+
+from __future__ import annotations
+
+from repro.core.bounds import crash_ray_ratio
+from repro.related.contract import (
+    geometric_contract_schedule,
+    optimal_acceleration_ratio,
+    search_ratio_from_acceleration,
+)
+from repro.related.hybrid import (
+    geometric_hybrid_schedule,
+    hybrid_optimal_ratio,
+    measure_hybrid_ratio,
+)
+from repro.reporting import render_table
+
+HORIZON = 50_000.0
+
+
+def contract_section() -> None:
+    print("Contract scheduling: acceleration ratios of geometric schedules")
+    rows = []
+    for problems, processors in [(1, 1), (2, 1), (3, 1), (1, 2), (3, 2), (2, 3)]:
+        schedule = geometric_contract_schedule(problems, processors, HORIZON)
+        measured = schedule.acceleration_ratio()
+        optimal = optimal_acceleration_ratio(problems, processors)
+        rows.append(
+            [problems, processors, f"{optimal:.4f}", f"{measured:.4f}"]
+        )
+    print(render_table(["problems", "processors", "acc* formula", "measured"], rows))
+    print()
+
+    print("The ray-search correspondence: A(m, k, 0) = 1 + 2 acc*(m - k, k)")
+    rows = []
+    for m, k in [(2, 1), (3, 1), (3, 2), (4, 2), (5, 3)]:
+        rows.append(
+            [
+                m,
+                k,
+                f"{crash_ray_ratio(m, k, 0):.4f}",
+                f"{search_ratio_from_acceleration(m, k):.4f}",
+            ]
+        )
+    print(render_table(["rays m", "robots k", "Theorem 6", "via contracts"], rows))
+    print()
+
+
+def hybrid_section() -> None:
+    print("Hybrid on-line algorithms: m candidate algorithms, k memory areas")
+    rows = []
+    for m, k in [(2, 1), (3, 1), (3, 2), (4, 2), (5, 3)]:
+        schedule = geometric_hybrid_schedule(m, k, HORIZON)
+        measured = measure_hybrid_ratio(schedule, hi=HORIZON)
+        formula = hybrid_optimal_ratio(m, k)
+        search = crash_ray_ratio(m, k, 0)
+        rows.append(
+            [m, k, f"{formula:.4f}", f"{measured:.4f}", f"{search:.4f}"]
+        )
+    print(
+        render_table(
+            ["algorithms m", "areas k", "H(m,k) formula", "measured", "A(m,k,0)"], rows
+        )
+    )
+    print(
+        "\nHybrid execution pays no return trips, so its overhead is exactly half\n"
+        "of the search overhead: H = 1 + (A - 1)/2."
+    )
+
+
+def main() -> None:
+    contract_section()
+    hybrid_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Searching m rays with a faulty team (Theorem 6).
+
+A search-and-rescue style scenario: several corridors (rays) meet at a
+junction, a team of unreliable robots must locate a casualty on one of
+them.  This example
+
+* prints the Theorem 6 bound ``A(m, k, f)`` over a grid of team sizes and
+  corridor counts;
+* shows the optimal excursion schedule of one robot, so the geometric
+  structure (base ``alpha*``, round-robin over rays, per-robot offsets) is
+  visible;
+* verifies the f = 0 specialisation against the historical single-robot and
+  cyclic-strategy results the paper's Section 3 discusses.
+
+Run with:  ``python examples/m_ray_search.py``
+"""
+
+from __future__ import annotations
+
+from repro import crash_ray_ratio, evaluate_strategy, ray_problem
+from repro.core.bounds import optimal_geometric_base, single_robot_ray_ratio
+from repro.reporting import render_table
+from repro.strategies import CyclicStrategy, RoundRobinGeometricStrategy, optimal_strategy
+
+HORIZON = 5_000.0
+
+
+def bound_grid(num_rays: int = 4, max_robots: int = 8, max_faults: int = 2) -> None:
+    """Theorem 6 over a grid: how many robots buy how much speed?"""
+    rows = []
+    for f in range(0, max_faults + 1):
+        for k in range(max(1, f), max_robots + 1):
+            bound = crash_ray_ratio(num_rays, k, f)
+            regime = ray_problem(num_rays, k, f).regime.value if k > f else "impossible"
+            rows.append([k, f, regime, "inf" if bound == float("inf") else f"{bound:.4f}"])
+    print(f"A({num_rays}, k, f) for a junction of {num_rays} corridors")
+    print(render_table(["robots k", "faults f", "regime", "A(m,k,f)"], rows))
+    print()
+
+
+def show_schedule(num_rays: int = 3, num_robots: int = 4, num_faulty: int = 1) -> None:
+    """The excursion schedule that attains the bound."""
+    problem = ray_problem(num_rays, num_robots, num_faulty)
+    strategy = RoundRobinGeometricStrategy(problem)
+    alpha = optimal_geometric_base(num_rays, num_robots, num_faulty)
+    print(
+        f"Optimal strategy for m={num_rays}, k={num_robots}, f={num_faulty}: "
+        f"alpha* = {alpha:.5f}, guarantee {strategy.theoretical_ratio():.4f}"
+    )
+    schedule = strategy.excursion_schedule(robot=0, horizon=40.0)
+    rows = [
+        [index, ray, f"{radius:.4f}"]
+        for index, (ray, radius) in enumerate(schedule)
+        if radius >= 0.05
+    ][:12]
+    print("First excursions of robot 0 (ray visited, turning radius):")
+    print(render_table(["#", "ray", "radius"], rows))
+    result = evaluate_strategy(strategy, HORIZON)
+    print(
+        f"measured ratio over [1, {HORIZON:.0f}]: {result.ratio:.4f}  "
+        f"(bound {crash_ray_ratio(num_rays, num_robots, num_faulty):.4f})\n"
+    )
+
+
+def fault_free_specialisation(max_rays: int = 5) -> None:
+    """The f = 0 case: the open question the paper resolves."""
+    rows = []
+    for m in range(2, max_rays + 1):
+        for k in range(1, m):
+            problem = ray_problem(m, k, 0)
+            bound = crash_ray_ratio(m, k, 0)
+            geometric = evaluate_strategy(optimal_strategy(problem), HORIZON).ratio
+            cyclic = evaluate_strategy(CyclicStrategy(problem), HORIZON).ratio
+            single = single_robot_ray_ratio(m) if k == 1 else None
+            rows.append(
+                [
+                    m,
+                    k,
+                    f"{bound:.4f}",
+                    f"{geometric:.4f}",
+                    f"{cyclic:.4f}",
+                    f"{single:.4f}" if single is not None else "-",
+                ]
+            )
+    print("Fault-free parallel ray search (time measure), f = 0")
+    print(
+        render_table(
+            ["m", "k", "A(m,k,0)", "round-robin", "cyclic", "classic k=1"], rows
+        )
+    )
+    print(
+        "\nThe cyclic strategies of Bernstein et al. and the round-robin geometric\n"
+        "construction both attain the bound — Theorem 6 shows nothing can do better."
+    )
+
+
+def main() -> None:
+    bound_grid()
+    show_schedule()
+    fault_free_specialisation()
+
+
+if __name__ == "__main__":
+    main()

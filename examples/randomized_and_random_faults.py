@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Beyond the worst case: randomized search and random (non-adversarial) faults.
+
+The paper's bounds are worst-case statements about deterministic strategies
+facing an adversary that controls both the target and the fault set.  This
+example quantifies how much of that pessimism goes away when either source
+of adversality is relaxed:
+
+1. **Randomized search** — a single robot that randomises its geometric
+   offset (Kao–Reif–Tate on the line, Schuierer on m rays) achieves an
+   *expected* ratio of ~4.59 instead of 9; the example prints the closed
+   form, the optimal base and a Monte-Carlo confirmation.
+2. **Random faults** — when the `f` crash faults strike uniformly at random
+   instead of adversarially, the paper's optimal strategy detects targets
+   roughly twice as fast on average as its worst-case guarantee.
+
+Run with:  ``python examples/randomized_and_random_faults.py``
+"""
+
+from __future__ import annotations
+
+from repro.core.bounds import crash_ray_ratio, single_robot_ray_ratio
+from repro.core.problem import line_problem, ray_problem
+from repro.faults.injection import simulate_random_faults
+from repro.reporting import render_table
+from repro.strategies import RoundRobinGeometricStrategy
+from repro.strategies.randomized import (
+    RandomizedSingleRobotRayStrategy,
+    monte_carlo_expected_ratio,
+    optimal_randomized_base,
+    randomized_ray_ratio,
+)
+
+
+def randomized_section() -> None:
+    print("Randomized single-robot ray search (oblivious adversary)")
+    rows = []
+    for m in range(2, 7):
+        rows.append(
+            [
+                m,
+                f"{single_robot_ray_ratio(m):.4f}",
+                f"{optimal_randomized_base(m):.4f}",
+                f"{randomized_ray_ratio(m):.4f}",
+                f"{(randomized_ray_ratio(m) - 1) / (single_robot_ray_ratio(m) - 1):.3f}",
+            ]
+        )
+    print(
+        render_table(
+            ["rays m", "deterministic", "optimal base", "randomized E[ratio]", "overhead kept"],
+            rows,
+        )
+    )
+    strategy = RandomizedSingleRobotRayStrategy(2)
+    estimate = monte_carlo_expected_ratio(
+        strategy, targets=[(0, 11.0), (1, 47.0)], num_samples=400, seed=7
+    )
+    print(
+        f"\nMonte-Carlo check on the line: estimate {estimate:.4f} vs closed form "
+        f"{strategy.expected_ratio():.4f} (deterministic optimum 9)\n"
+    )
+
+
+def random_fault_section() -> None:
+    print("Random (non-adversarial) crash faults vs the adversarial guarantee")
+    rows = []
+    for m, k, f in [(2, 3, 1), (2, 5, 2), (3, 4, 1), (3, 5, 2)]:
+        problem = ray_problem(m, k, f) if m > 2 else line_problem(k, f)
+        strategy = RoundRobinGeometricStrategy(problem)
+        report = simulate_random_faults(strategy, horizon=500.0, num_trials=300, seed=1)
+        rows.append(
+            [
+                f"m={m}, k={k}, f={f}",
+                f"{crash_ray_ratio(m, k, f):.4f}",
+                f"{report.mean_ratio:.4f}",
+                f"{report.quantile(0.9):.4f}",
+                f"{report.max_ratio:.4f}",
+            ]
+        )
+    print(
+        render_table(
+            ["instance", "adversarial bound", "mean", "p90", "worst sampled"], rows
+        )
+    )
+    print(
+        "\nEven the worst sampled random-fault ratio stays below the adversarial\n"
+        "bound, and the average is roughly half of it — the price of tolerating\n"
+        "an adversary rather than chance."
+    )
+
+
+def main() -> None:
+    randomized_section()
+    random_fault_section()
+
+
+if __name__ == "__main__":
+    main()

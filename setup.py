@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that the package can be installed in editable mode on machines without
+network access or the ``wheel`` package (legacy ``pip install -e .
+--no-use-pep517 --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""repro: faulty-robot search on the line and on m rays.
+
+A production-quality reproduction of
+
+    Andrey Kupavskii, Emo Welzl,
+    *Lower Bounds for Searching Robots, some Faulty*, PODC 2018.
+
+The package provides:
+
+* closed-form competitive-ratio bounds for crash- and Byzantine-faulty
+  parallel search (:mod:`repro.core.bounds`);
+* the optimal strategies that match those bounds, classic single-robot
+  strategies and several baselines (:mod:`repro.strategies`);
+* an exact simulator measuring competitive ratios against the adversary
+  (:mod:`repro.simulation`, :mod:`repro.faults`);
+* an executable version of the paper's lower-bound machinery — covering
+  settings, the potential function, Lemmas 4/5 and machine-checkable
+  certificates (:mod:`repro.core`);
+* the related problems of Section 3: ORC covering, fractional retrieval,
+  contract algorithms and hybrid on-line algorithms (:mod:`repro.related`);
+* sweep/convergence analysis and the experiment tables behind
+  EXPERIMENTS.md (:mod:`repro.analysis`).
+
+Quickstart
+----------
+>>> from repro import line_problem, optimal_strategy, evaluate_strategy
+>>> from repro.core.bounds import crash_line_ratio
+>>> problem = line_problem(num_robots=3, num_faulty=1)
+>>> round(crash_line_ratio(3, 1), 3)            # the paper's tight bound
+5.231
+>>> strategy = optimal_strategy(problem)
+>>> evaluate_strategy(strategy, horizon=1e4).ratio <= crash_line_ratio(3, 1) + 1e-6
+True
+"""
+
+from __future__ import annotations
+
+from .core.bounds import (
+    byzantine_lower_bound,
+    cow_path_ratio,
+    crash_line_ratio,
+    crash_ray_ratio,
+    fractional_retrieval_ratio,
+    orc_covering_ratio,
+    single_robot_ray_ratio,
+)
+from .core.problem import FaultType, Regime, SearchProblem, line_problem, ray_problem
+from .geometry.rays import LineDomain, RayPoint, StarDomain
+from .simulation.competitive import (
+    CompetitiveRatioResult,
+    evaluate_strategy,
+    evaluate_trajectories,
+)
+from .simulation.detection import detect
+from .simulation.timeline import build_timeline
+from .strategies.base import Strategy
+from .strategies.optimal import optimal_strategy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # bounds
+    "byzantine_lower_bound",
+    "cow_path_ratio",
+    "crash_line_ratio",
+    "crash_ray_ratio",
+    "fractional_retrieval_ratio",
+    "orc_covering_ratio",
+    "single_robot_ray_ratio",
+    # problems
+    "FaultType",
+    "Regime",
+    "SearchProblem",
+    "line_problem",
+    "ray_problem",
+    # geometry
+    "LineDomain",
+    "RayPoint",
+    "StarDomain",
+    # simulation
+    "CompetitiveRatioResult",
+    "evaluate_strategy",
+    "evaluate_trajectories",
+    "detect",
+    "build_timeline",
+    # strategies
+    "Strategy",
+    "optimal_strategy",
+]

@@ -1,0 +1,49 @@
+"""Analysis helpers: sweeps, convergence studies and experiment tables."""
+
+from .convergence import ConvergencePoint, ConvergenceStudy, horizon_convergence
+from .sweep import (
+    SweepRow,
+    interesting_grid,
+    sweep_optimal_strategies,
+    sweep_strategy_family,
+)
+from .tables import (
+    ExperimentTable,
+    all_experiments,
+    e1_theorem1_line,
+    e2_trivial_regimes,
+    e3_byzantine_bounds,
+    e4_theorem6_rays,
+    e5_parallel_rays,
+    e6_orc_covering,
+    e7_fractional,
+    e8_lemmas,
+    e9_classics,
+    e10_alpha_ablation,
+    e11_connections,
+    e12_randomized_and_average_case,
+)
+
+__all__ = [
+    "ConvergencePoint",
+    "ConvergenceStudy",
+    "horizon_convergence",
+    "SweepRow",
+    "interesting_grid",
+    "sweep_optimal_strategies",
+    "sweep_strategy_family",
+    "ExperimentTable",
+    "all_experiments",
+    "e1_theorem1_line",
+    "e2_trivial_regimes",
+    "e3_byzantine_bounds",
+    "e4_theorem6_rays",
+    "e5_parallel_rays",
+    "e6_orc_covering",
+    "e7_fractional",
+    "e8_lemmas",
+    "e9_classics",
+    "e10_alpha_ablation",
+    "e11_connections",
+    "e12_randomized_and_average_case",
+]

@@ -1,0 +1,78 @@
+"""Convergence studies: measured ratio versus horizon.
+
+All of the paper's bounds are asymptotic statements over the unbounded
+domain ``[1, inf)``; a finite-horizon measurement necessarily sits below the
+bound.  These helpers quantify how quickly the measured supremum approaches
+the closed form as the horizon grows — the library's substitute for the
+paper's "for any epsilon there exists N" statements (its Eq. 12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..simulation.competitive import evaluate_strategy
+from ..strategies.base import Strategy
+
+__all__ = ["ConvergencePoint", "ConvergenceStudy", "horizon_convergence"]
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """Measured ratio at one horizon."""
+
+    horizon: float
+    measured: float
+    theoretical: Optional[float]
+
+    @property
+    def gap(self) -> float:
+        """Absolute gap to the theoretical value (``nan`` when unknown)."""
+        if self.theoretical is None:
+            return math.nan
+        return self.theoretical - self.measured
+
+
+@dataclass
+class ConvergenceStudy:
+    """A sequence of horizon measurements for one strategy."""
+
+    strategy_name: str
+    points: List[ConvergencePoint]
+
+    @property
+    def is_monotone_nondecreasing(self) -> bool:
+        """Measured supremum should never shrink as the horizon grows."""
+        measured = [point.measured for point in self.points]
+        return all(b >= a - 1e-9 for a, b in zip(measured, measured[1:]))
+
+    @property
+    def final_gap(self) -> float:
+        """Gap at the largest horizon."""
+        if not self.points:
+            return math.nan
+        return self.points[-1].gap
+
+    def gaps(self) -> List[float]:
+        """Gaps in horizon order."""
+        return [point.gap for point in self.points]
+
+
+def horizon_convergence(
+    strategy: Strategy,
+    horizons: Sequence[float],
+) -> ConvergenceStudy:
+    """Measure a strategy at several horizons (sorted ascending)."""
+    points: List[ConvergencePoint] = []
+    for horizon in sorted(horizons):
+        result = evaluate_strategy(strategy, horizon)
+        points.append(
+            ConvergencePoint(
+                horizon=float(horizon),
+                measured=result.ratio,
+                theoretical=strategy.theoretical_ratio(),
+            )
+        )
+    return ConvergenceStudy(strategy_name=strategy.name, points=points)

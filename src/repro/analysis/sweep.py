@@ -1,0 +1,112 @@
+"""Parameter sweeps: measured versus theoretical ratios over grids of (m, k, f).
+
+The benches and EXPERIMENTS.md all boil down to tables of the shape
+"for these parameters, the paper predicts X, the simulator measures Y".
+This module produces those rows once, so benches, tests and the CLI share a
+single implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.bounds import crash_ray_ratio
+from ..core.problem import Regime, SearchProblem, ray_problem
+from ..simulation.competitive import evaluate_strategy
+from ..strategies.base import Strategy
+from ..strategies.optimal import optimal_strategy
+
+__all__ = ["SweepRow", "sweep_optimal_strategies", "sweep_strategy_family", "interesting_grid"]
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One row of a measured-versus-theoretical sweep.
+
+    ``relative_gap`` is ``(theoretical - measured) / theoretical`` — positive
+    when the finite-horizon measurement has not yet reached the asymptotic
+    worst case, which is the expected direction.
+    """
+
+    num_rays: int
+    num_robots: int
+    num_faulty: int
+    strategy_name: str
+    theoretical: float
+    measured: float
+    horizon: float
+
+    @property
+    def relative_gap(self) -> float:
+        """Relative difference between the theoretical and measured ratios."""
+        if not math.isfinite(self.theoretical) or self.theoretical == 0:
+            return math.nan
+        return (self.theoretical - self.measured) / self.theoretical
+
+
+def interesting_grid(
+    max_rays: int = 4, max_robots: int = 6, max_faulty: int = 2
+) -> List[Tuple[int, int, int]]:
+    """All ``(m, k, f)`` triples in the interesting regime within the given caps."""
+    grid: List[Tuple[int, int, int]] = []
+    for m in range(2, max_rays + 1):
+        for f in range(0, max_faulty + 1):
+            for k in range(f + 1, min(max_robots, m * (f + 1) - 1) + 1):
+                if f < k < m * (f + 1):
+                    grid.append((m, k, f))
+    return grid
+
+
+def sweep_optimal_strategies(
+    parameters: Iterable[Tuple[int, int, int]],
+    horizon: float = 1e4,
+) -> List[SweepRow]:
+    """Measure the optimal strategy for every ``(m, k, f)`` triple.
+
+    The theoretical column is the tight bound ``A(m, k, f)``; the measured
+    column is the exact finite-horizon supremum of the optimal strategy's
+    ratio, which approaches the bound from below as the horizon grows.
+    """
+    rows: List[SweepRow] = []
+    for m, k, f in parameters:
+        problem = ray_problem(m, k, f)
+        strategy = optimal_strategy(problem)
+        result = evaluate_strategy(strategy, horizon)
+        rows.append(
+            SweepRow(
+                num_rays=m,
+                num_robots=k,
+                num_faulty=f,
+                strategy_name=strategy.name,
+                theoretical=crash_ray_ratio(m, k, f),
+                measured=result.ratio,
+                horizon=horizon,
+            )
+        )
+    return rows
+
+
+def sweep_strategy_family(
+    strategies: Sequence[Strategy],
+    horizon: float = 1e4,
+) -> List[SweepRow]:
+    """Measure an arbitrary family of strategies (baselines, ablations, ...)."""
+    rows: List[SweepRow] = []
+    for strategy in strategies:
+        problem = strategy.problem
+        result = evaluate_strategy(strategy, horizon)
+        theoretical = strategy.theoretical_ratio()
+        rows.append(
+            SweepRow(
+                num_rays=problem.num_rays,
+                num_robots=problem.num_robots,
+                num_faulty=problem.num_faulty,
+                strategy_name=strategy.name,
+                theoretical=theoretical if theoretical is not None else math.nan,
+                measured=result.ratio,
+                horizon=horizon,
+            )
+        )
+    return rows

@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+``repro-search`` (or ``python -m repro``) exposes the most common queries
+without writing any Python:
+
+* ``bounds`` — print the tight competitive ratio for given ``(m, k, f)``;
+* ``simulate`` — measure the optimal strategy for ``(m, k, f)`` on a horizon
+  and compare against the closed form;
+* ``experiments`` — regenerate one or all experiment tables of
+  EXPERIMENTS.md;
+* ``timeline`` — print the event timeline of a search execution against a
+  chosen target.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import tables as experiment_tables
+from .core.bounds import crash_ray_ratio, optimal_geometric_base
+from .core.problem import ray_problem
+from .geometry.rays import RayPoint
+from .reporting import format_value, render_experiment, render_table
+from .simulation.competitive import evaluate_strategy
+from .simulation.timeline import build_timeline
+from .strategies.optimal import optimal_strategy
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "E1": experiment_tables.e1_theorem1_line,
+    "E2": experiment_tables.e2_trivial_regimes,
+    "E3": experiment_tables.e3_byzantine_bounds,
+    "E4": experiment_tables.e4_theorem6_rays,
+    "E5": experiment_tables.e5_parallel_rays,
+    "E6": experiment_tables.e6_orc_covering,
+    "E7": experiment_tables.e7_fractional,
+    "E8": experiment_tables.e8_lemmas,
+    "E9": experiment_tables.e9_classics,
+    "E10": experiment_tables.e10_alpha_ablation,
+    "E11": experiment_tables.e11_connections,
+    "E12": experiment_tables.e12_randomized_and_average_case,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-search",
+        description=(
+            "Faulty-robot search on the line and on m rays — reproduction of "
+            "Kupavskii & Welzl, PODC 2018."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    bounds_parser = subparsers.add_parser(
+        "bounds", help="print the tight competitive-ratio bound A(m, k, f)"
+    )
+    bounds_parser.add_argument("--rays", "-m", type=int, default=2)
+    bounds_parser.add_argument("--robots", "-k", type=int, required=True)
+    bounds_parser.add_argument("--faulty", "-f", type=int, default=0)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="measure the optimal strategy against the closed form"
+    )
+    simulate_parser.add_argument("--rays", "-m", type=int, default=2)
+    simulate_parser.add_argument("--robots", "-k", type=int, required=True)
+    simulate_parser.add_argument("--faulty", "-f", type=int, default=0)
+    simulate_parser.add_argument("--horizon", type=float, default=1e4)
+
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="regenerate experiment tables (EXPERIMENTS.md)"
+    )
+    experiments_parser.add_argument(
+        "--only",
+        choices=sorted(_EXPERIMENTS, key=lambda name: int(name[1:])),
+        default=None,
+        help="run a single experiment instead of all of them",
+    )
+    experiments_parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the larger horizons reported in EXPERIMENTS.md",
+    )
+
+    timeline_parser = subparsers.add_parser(
+        "timeline", help="print the event timeline of one search execution"
+    )
+    timeline_parser.add_argument("--rays", "-m", type=int, default=2)
+    timeline_parser.add_argument("--robots", "-k", type=int, required=True)
+    timeline_parser.add_argument("--faulty", "-f", type=int, default=0)
+    timeline_parser.add_argument("--target-ray", type=int, default=0)
+    timeline_parser.add_argument("--target-distance", type=float, default=10.0)
+    timeline_parser.add_argument("--limit", type=int, default=40)
+    return parser
+
+
+def _command_bounds(args: argparse.Namespace) -> int:
+    problem = ray_problem(args.rays, args.robots, args.faulty)
+    ratio = crash_ray_ratio(args.rays, args.robots, args.faulty)
+    print(problem.describe())
+    print(f"tight competitive ratio: {format_value(ratio)}")
+    if problem.regime.value == "interesting":
+        alpha = optimal_geometric_base(args.rays, args.robots, args.faulty)
+        print(f"optimal geometric base alpha*: {format_value(alpha, 6)}")
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    problem = ray_problem(args.rays, args.robots, args.faulty)
+    strategy = optimal_strategy(problem)
+    result = evaluate_strategy(strategy, args.horizon)
+    rows = [
+        ["strategy", strategy.name],
+        ["horizon", format_value(args.horizon)],
+        ["theoretical ratio", format_value(result.theoretical_ratio)],
+        ["measured ratio", format_value(result.ratio)],
+        ["worst target ray", result.worst_case.target.ray],
+        ["worst target distance", format_value(result.worst_case.target.distance)],
+        ["targets evaluated", result.num_targets_evaluated],
+    ]
+    print(problem.describe())
+    print(render_table(["quantity", "value"], rows))
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    if args.only is not None:
+        tables = [_EXPERIMENTS[args.only]()]
+    else:
+        tables = experiment_tables.all_experiments(fast=not args.full)
+    for table in tables:
+        print(render_experiment(table))
+        print()
+    return 0
+
+
+def _command_timeline(args: argparse.Namespace) -> int:
+    problem = ray_problem(args.rays, args.robots, args.faulty)
+    strategy = optimal_strategy(problem)
+    horizon = max(args.target_distance * 4.0, 10.0)
+    trajectories = strategy.trajectories(horizon)
+    target = RayPoint(ray=args.target_ray, distance=args.target_distance)
+    timeline = build_timeline(trajectories, target, problem)
+    print(problem.describe())
+    print(f"target: ray {target.ray}, distance {format_value(target.distance)}")
+    print(timeline.render(limit=args.limit))
+    print(f"detection time: {format_value(timeline.detection_time)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "bounds": _command_bounds,
+        "simulate": _command_simulate,
+        "experiments": _command_experiments,
+        "timeline": _command_timeline,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,336 @@
+"""Closed-form competitive-ratio bounds from the paper.
+
+Every formula stated in the paper is exposed here as a documented function:
+
+* :func:`crash_line_ratio` — Theorem 1, Eq. (1):
+  ``A(k, f) = 2 rho^rho / (rho - 1)^(rho - 1) + 1`` with ``rho = 2(f+1)/k``.
+* :func:`crash_ray_ratio` — Theorem 6, Eq. (9):
+  ``A(m, k, f) = 2 (q^q / ((q-k)^(q-k) k^k))^(1/k) + 1`` with ``q = m(f+1)``.
+* :func:`orc_covering_ratio` — Eq. (10), the ORC-setting covering bound
+  ``C(k, q)``.
+* :func:`fractional_retrieval_ratio` — Eq. (11), ``C(eta)``.
+* :func:`byzantine_lower_bound` — the transfer of the crash lower bound to
+  Byzantine faults, improving e.g. ``B(3, 1) >= 5.23``.
+* :func:`cow_path_ratio` and :func:`single_robot_ray_ratio` — the classic
+  special cases (ratio 9 on the line; ``1 + 2 m^m/(m-1)^(m-1)`` on m rays).
+* :func:`mu` / :func:`mu_from_ratio` — the half-ratio ``mu = (lambda - 1)/2``
+  used throughout the proofs.
+* :func:`optimal_geometric_base` — the base ``alpha* = (q/(q-k))^(1/k)`` of
+  the geometric strategy that attains the upper bound (appendix).
+
+All functions operate in ``float`` arithmetic; the formulas involve only
+powers and roots so double precision is ample for every table in
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..exceptions import InvalidProblemError
+from .problem import SearchProblem
+
+__all__ = [
+    "rho_exponent",
+    "power_term",
+    "crash_line_ratio",
+    "crash_ray_ratio",
+    "orc_covering_ratio",
+    "fractional_retrieval_ratio",
+    "byzantine_lower_bound",
+    "known_byzantine_bounds_isaac2016",
+    "cow_path_ratio",
+    "single_robot_ray_ratio",
+    "mu",
+    "mu_from_ratio",
+    "ratio_from_mu",
+    "optimal_geometric_base",
+    "geometric_strategy_ratio",
+    "delta_growth_factor",
+    "bound_for_problem",
+]
+
+
+# ----------------------------------------------------------------------
+# Elementary building blocks
+# ----------------------------------------------------------------------
+def power_term(rho: float) -> float:
+    """Return ``rho^rho / (rho - 1)^(rho - 1)`` for ``rho > 1``.
+
+    This is the expression that appears (with different parameterisations)
+    in every bound of the paper.  At ``rho -> 1`` the denominator tends to
+    ``0^0 = 1`` and the whole expression tends to 1; we handle that limit
+    explicitly so callers can evaluate the boundary of the trivial regime.
+    """
+    if rho < 1.0:
+        raise InvalidProblemError(f"power_term requires rho >= 1, got {rho}")
+    if rho == 1.0:
+        return 1.0
+    return math.exp(rho * math.log(rho) - (rho - 1.0) * math.log(rho - 1.0))
+
+
+def rho_exponent(m: int, k: int, f: int) -> float:
+    """Return ``rho = m (f + 1) / k`` (Theorem 6 notation)."""
+    _validate_mkf(m, k, f)
+    return m * (f + 1) / k
+
+
+def mu(ratio: float) -> float:
+    """Return ``mu = (lambda - 1) / 2`` for a competitive ratio ``lambda``.
+
+    ``mu`` is the quantity the proofs work with: a robot lambda-covers the
+    pair ``(x, -x)`` iff the sum of its turning points so far is at most
+    ``mu * x`` (Eq. 2).
+    """
+    return (ratio - 1.0) / 2.0
+
+
+# Backwards-compatible aliases with more explicit names.
+mu_from_ratio = mu
+
+
+def ratio_from_mu(mu_value: float) -> float:
+    """Inverse of :func:`mu`: return ``lambda = 2 mu + 1``."""
+    return 2.0 * mu_value + 1.0
+
+
+def _validate_mkf(m: int, k: int, f: int) -> None:
+    if m < 1:
+        raise InvalidProblemError(f"need at least one ray, got m={m}")
+    if k < 1:
+        raise InvalidProblemError(f"need at least one robot, got k={k}")
+    if f < 0:
+        raise InvalidProblemError(f"number of faulty robots must be >= 0, got f={f}")
+    if f > k:
+        raise InvalidProblemError(f"cannot have more faulty robots than robots (f={f}, k={k})")
+
+
+# ----------------------------------------------------------------------
+# Main theorems
+# ----------------------------------------------------------------------
+def crash_ray_ratio(m: int, k: int, f: int = 0) -> float:
+    """Optimal competitive ratio ``A(m, k, f)`` for crash faults on m rays.
+
+    Theorem 6 of the paper: with ``q = m (f + 1)`` and ``f < k < q``,
+
+    .. math:: A(m, k, f) = 2 \\sqrt[k]{\\frac{q^q}{(q-k)^{q-k} k^k}} + 1 .
+
+    Outside the interesting regime the function returns the paper's
+    boundary values: ``1.0`` when ``k >= q`` (send ``f + 1`` robots down
+    each ray) and ``math.inf`` when ``k == f`` (all robots faulty, the
+    target can never be confirmed).
+
+    Parameters
+    ----------
+    m:
+        Number of rays (``m >= 1``; ``m = 2`` is the real line).
+    k:
+        Number of robots.
+    f:
+        Number of crash-faulty robots.
+
+    Examples
+    --------
+    >>> round(crash_ray_ratio(2, 1, 0), 10)   # classic cow path
+    9.0
+    >>> round(crash_ray_ratio(2, 3, 1), 4)    # A(3, 1) on the line
+    5.2308
+    """
+    _validate_mkf(m, k, f)
+    q = m * (f + 1)
+    if k == f:
+        return math.inf
+    if k >= q:
+        return 1.0
+    # Interesting regime: f < k < q.
+    # A = 2 * (q^q / ((q-k)^(q-k) * k^k))^(1/k) + 1, computed in log space
+    # to stay accurate for large parameters.
+    log_term = q * math.log(q) - (q - k) * math.log(q - k) - k * math.log(k)
+    return 2.0 * math.exp(log_term / k) + 1.0
+
+
+def crash_line_ratio(k: int, f: int) -> float:
+    """Optimal competitive ratio ``A(k, f)`` for crash faults on the line.
+
+    Theorem 1, Eq. (1): with ``rho = 2 (f + 1) / k`` and ``1 < rho <= 2``,
+
+    .. math:: A(k, f) = 2 \\frac{\\rho^\\rho}{(\\rho-1)^{\\rho-1}} + 1 .
+
+    Equivalent to ``crash_ray_ratio(2, k, f)``; both forms are provided and
+    tested against each other.
+    """
+    _validate_mkf(2, k, f)
+    if k == f:
+        return math.inf
+    if k >= 2 * (f + 1):
+        return 1.0
+    rho = 2 * (f + 1) / k
+    return 2.0 * power_term(rho) + 1.0
+
+
+def orc_covering_ratio(k: int, q: int) -> float:
+    """Lower bound ``C(k, q)`` for q-fold covering in the ORC setting.
+
+    Eq. (10): a ``q``-fold ``lambda``-covering of ``[1, inf)`` by ``k``
+    robots in the one-ray-cover-with-returns setting requires
+
+    .. math:: \\lambda \\ge 2 \\sqrt[k]{\\frac{q^q}{(q-k)^{q-k} k^k}} + 1 .
+
+    The bound is tight (it is matched by the strategy that proves the upper
+    bound of Theorem 6).  For ``k >= q`` covering with ratio 1 is possible,
+    so the function returns 1.
+    """
+    if k < 1 or q < 1:
+        raise InvalidProblemError(f"k and q must be positive, got k={k}, q={q}")
+    if k >= q:
+        return 1.0
+    log_term = q * math.log(q) - (q - k) * math.log(q - k) - k * math.log(k)
+    return 2.0 * math.exp(log_term / k) + 1.0
+
+
+def fractional_retrieval_ratio(eta: float) -> float:
+    """Competitive ratio ``C(eta)`` of fractional one-ray retrieval.
+
+    Eq. (11): robots of total weight 1 must cover the target with total
+    weight ``eta >= 1``; for ``eta > 1`` the optimal worst-case ratio is
+
+    .. math:: C(\\eta) = 2 \\frac{\\eta^\\eta}{(\\eta-1)^{\\eta-1}} + 1 .
+
+    The degenerate case ``eta = 1`` is trivial — every robot walks straight
+    out and the target is covered with the full weight at time ``x`` — so
+    the function returns 1 there (the formula itself has a removable limit
+    of 3 at ``eta -> 1+``, mirroring the ``k >= q`` discontinuity of
+    Theorem 6).
+    """
+    if eta < 1.0:
+        raise InvalidProblemError(f"eta must be at least 1, got {eta}")
+    if eta == 1.0:
+        return 1.0
+    return 2.0 * power_term(eta) + 1.0
+
+
+def byzantine_lower_bound(k: int, f: int) -> float:
+    """Lower bound for Byzantine-faulty robots on the line, ``B(k, f)``.
+
+    A crash-type lower bound is automatically a Byzantine-type lower bound
+    (a Byzantine adversary can always choose to behave like a crash
+    adversary), so Theorem 1 yields ``B(k, f) >= A(k, f)``.  The paper
+    highlights ``B(3, 1) >= (8/3) * 4^(1/3) + 1 ~= 5.23``, improving the
+    previous bound of 3.93 from Czyzowitz et al. (ISAAC 2016).
+    """
+    return crash_line_ratio(k, f)
+
+
+def known_byzantine_bounds_isaac2016() -> dict:
+    """Previously known Byzantine lower bounds quoted by the paper.
+
+    The paper cites ``B(3, 1) >= 3.93`` from Czyzowitz et al., ISAAC 2016,
+    as the state of the art before this work.  The dictionary maps
+    ``(k, f)`` to the prior bound; only the pair explicitly quoted in the
+    paper is included, benchmarks report the improvement factor against it.
+    """
+    return {(3, 1): 3.93}
+
+
+# ----------------------------------------------------------------------
+# Classic special cases
+# ----------------------------------------------------------------------
+def cow_path_ratio() -> float:
+    """The classic cow-path (linear search) competitive ratio: exactly 9.
+
+    This is ``A(2 rays, 1 robot, 0 faults)`` and also the value proved by
+    Beck & Newman (1970) and Baeza-Yates, Culberson & Rawlins (1988).
+    """
+    return 9.0
+
+
+def single_robot_ray_ratio(m: int) -> float:
+    """Optimal ratio for one fault-free robot searching m rays.
+
+    Baeza-Yates, Culberson & Rawlins:  ``1 + 2 m^m / (m-1)^(m-1)``.
+    For ``m = 2`` this is the cow-path value 9.  For ``m = 1`` the robot
+    walks straight to the target, ratio 1.
+    """
+    if m < 1:
+        raise InvalidProblemError(f"need at least one ray, got m={m}")
+    if m == 1:
+        return 1.0
+    return 1.0 + 2.0 * math.exp(m * math.log(m) - (m - 1) * math.log(m - 1))
+
+
+# ----------------------------------------------------------------------
+# Strategy-side quantities (upper-bound construction, appendix)
+# ----------------------------------------------------------------------
+def optimal_geometric_base(m: int, k: int, f: int = 0) -> float:
+    """Optimal base ``alpha*`` of the round-robin geometric strategy.
+
+    The upper-bound strategy (appendix of the paper; Czyzowitz et al. for
+    the line) lets the robots process a doubly-infinite sequence of
+    excursions with radii ``alpha^n`` in round-robin order.  Its ratio is
+    ``1 + 2 alpha^q / (alpha^k - 1)`` (see
+    :func:`geometric_strategy_ratio`), minimised at
+
+    .. math:: \\alpha^* = \\left(\\frac{q}{q - k}\\right)^{1/k},
+              \\qquad q = m (f + 1),
+
+    at which point the ratio equals the Theorem 6 value exactly.
+    """
+    _validate_mkf(m, k, f)
+    q = m * (f + 1)
+    if k >= q:
+        raise InvalidProblemError(
+            f"geometric strategy is only defined for k < m(f+1); got k={k}, q={q}"
+        )
+    return (q / (q - k)) ** (1.0 / k)
+
+
+def geometric_strategy_ratio(alpha: float, m: int, k: int, f: int = 0) -> float:
+    """Worst-case ratio of the round-robin geometric strategy with base ``alpha``.
+
+    For any ``alpha > 1`` the strategy guarantees competitive ratio
+
+    .. math:: 1 + \\frac{2\\,\\alpha^{q}}{\\alpha^{k} - 1}, \\qquad q = m(f+1).
+
+    The minimum over ``alpha`` is attained at
+    :func:`optimal_geometric_base` and equals :func:`crash_ray_ratio`.
+    This analytic form is used by the ablation benches (E10) to sweep the
+    base around the optimum.
+    """
+    _validate_mkf(m, k, f)
+    if alpha <= 1.0:
+        raise InvalidProblemError(f"geometric base must exceed 1, got alpha={alpha}")
+    q = m * (f + 1)
+    return 1.0 + 2.0 * alpha**q / (alpha**k - 1.0)
+
+
+def delta_growth_factor(mu_value: float, k: int, s: int) -> float:
+    """The growth factor ``delta`` of Lemma 5.
+
+    .. math:: \\delta = \\frac{(k+s)^{k+s}}{s^s k^k \\mu^k}
+
+    When ``mu < ((k+s)^(k+s) / (s^s k^k))^(1/k)`` this exceeds 1, which is
+    what forces the potential function of the lower-bound proof to grow
+    without bound.
+    """
+    if k < 1 or s < 1:
+        raise InvalidProblemError(f"k and s must be positive, got k={k}, s={s}")
+    if mu_value <= 0:
+        raise InvalidProblemError(f"mu must be positive, got {mu_value}")
+    log_delta = (
+        (k + s) * math.log(k + s)
+        - s * math.log(s)
+        - k * math.log(k)
+        - k * math.log(mu_value)
+    )
+    return math.exp(log_delta)
+
+
+def bound_for_problem(problem: SearchProblem) -> float:
+    """Return the tight competitive-ratio bound for a :class:`SearchProblem`.
+
+    Dispatches on the number of rays and the regime; Byzantine instances
+    return the crash bound, which is the best lower bound established by
+    the paper (upper bounds for Byzantine faults are outside its scope).
+    """
+    return crash_ray_ratio(problem.num_rays, problem.num_robots, problem.num_faulty)

@@ -1,0 +1,293 @@
+"""Machine-checkable lower-bound certificates.
+
+The paper's theorems say: *no* strategy achieves a competitive ratio below
+the bound.  A numerical library cannot quantify over all strategies, but it
+can do the next best things, and this module packages both:
+
+1. **Per-strategy refutation** (:func:`certify_line_strategy`,
+   :func:`certify_orc_strategy`) — given a concrete strategy (turning-point
+   or round-radius sequences) and a claimed ratio ``lambda`` *below* the
+   bound, produce a :class:`Certificate` showing that the strategy fails:
+   either a *coverage hole* (an explicit target the strategy does not cover
+   ``s``-fold within the deadline — the adversary places the target there),
+   or, if the finite-horizon cover happens to be valid, the *potential
+   budget*: the Eq.-7/Eq.-15 potential grows by at least ``delta > 1`` per
+   assigned interval while staying below its cap, so only finitely many
+   intervals — and hence only a bounded covered range — are possible.
+
+2. **Proof-mechanics validation** (:func:`validate_potential_argument`) —
+   for a *valid* cover (ratio at or above the bound) check the two pillars
+   the proof relies on: the potential respects its cap, and every observed
+   step ratio respects the Lemma-5 floor.
+
+The E1/E6 benches and several integration tests run these certificates over
+the optimal strategies with ratios slightly below / above the tight bound.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..exceptions import CertificateError, CoverageHoleError
+from .bounds import crash_line_ratio, mu_from_ratio, orc_covering_ratio
+from .covering import (
+    AssignedInterval,
+    CoverInterval,
+    assign_exact_cover,
+    find_hole,
+    line_cover_intervals,
+    orc_cover_intervals,
+)
+from .lemmas import delta as lemma5_delta
+from .potential import PotentialTrace, trace_line_potential, trace_orc_potential
+
+__all__ = [
+    "CertificateKind",
+    "Certificate",
+    "certify_line_strategy",
+    "certify_orc_strategy",
+    "validate_potential_argument",
+    "PotentialValidation",
+]
+
+
+class CertificateKind(str, enum.Enum):
+    """How a claimed below-bound ratio was refuted for a concrete strategy."""
+
+    #: An explicit target distance that is not covered ``fold`` times in time.
+    COVERAGE_HOLE = "coverage-hole"
+    #: The cover is locally valid but the potential budget bounds how far it
+    #: can ever extend (the Lemma-5 growth factor exceeds 1).
+    POTENTIAL_BUDGET = "potential-budget"
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Evidence that a concrete strategy cannot achieve the claimed ratio.
+
+    Attributes
+    ----------
+    kind:
+        Which refutation applies (see :class:`CertificateKind`).
+    claimed_ratio:
+        The ratio ``lambda`` the strategy was claimed to achieve.
+    tight_bound:
+        The paper's tight bound for the parameters; the claim is below it.
+    fold:
+        Covering multiplicity the strategy had to deliver (``s`` on the
+        line, ``q`` in the ORC setting).
+    hole:
+        Witness distance for a :attr:`CertificateKind.COVERAGE_HOLE`
+        certificate (``None`` otherwise).
+    delta:
+        Lemma-5 growth factor (``> 1`` because the claim is below the
+        bound).
+    max_intervals:
+        For a :attr:`CertificateKind.POTENTIAL_BUDGET` certificate, the
+        maximum number of assigned intervals any valid cover could contain
+        given the observed starting potential (``None`` for hole
+        certificates).
+    trace:
+        The potential trace backing a budget certificate.
+    """
+
+    kind: CertificateKind
+    claimed_ratio: float
+    tight_bound: float
+    fold: int
+    hole: Optional[float] = None
+    delta: Optional[float] = None
+    max_intervals: Optional[float] = None
+    trace: Optional[PotentialTrace] = None
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the certificate."""
+        if self.kind is CertificateKind.COVERAGE_HOLE:
+            return (
+                f"claimed ratio {self.claimed_ratio:.4f} < bound "
+                f"{self.tight_bound:.4f}: target at distance {self.hole:.4f} "
+                f"is not {self.fold}-fold covered in time"
+            )
+        return (
+            f"claimed ratio {self.claimed_ratio:.4f} < bound "
+            f"{self.tight_bound:.4f}: potential grows by >= {self.delta:.4f} "
+            f"per interval, so at most {self.max_intervals:.1f} assigned "
+            "intervals are possible"
+        )
+
+
+def _certify(
+    intervals: List[CoverInterval],
+    fold: int,
+    num_robots: int,
+    mu: float,
+    claimed_ratio: float,
+    tight_bound: float,
+    horizon: float,
+    lo: float,
+    setting: str,
+) -> Certificate:
+    delta_value = lemma5_delta(
+        mu, num_robots, fold if setting == "line" else fold - num_robots
+    )
+    hole = find_hole(intervals, fold, lo, horizon)
+    if hole is not None:
+        return Certificate(
+            kind=CertificateKind.COVERAGE_HOLE,
+            claimed_ratio=claimed_ratio,
+            tight_bound=tight_bound,
+            fold=fold,
+            hole=hole,
+            delta=delta_value,
+        )
+    # The finite-horizon cover is valid; fall back to the potential budget.
+    assigned = assign_exact_cover(intervals, fold, lo, horizon)
+    tracer = trace_line_potential if setting == "line" else trace_orc_potential
+    trace = tracer(assigned, mu=mu, num_robots=num_robots, fold=fold, lo=lo)
+    return Certificate(
+        kind=CertificateKind.POTENTIAL_BUDGET,
+        claimed_ratio=claimed_ratio,
+        tight_bound=tight_bound,
+        fold=fold,
+        delta=delta_value,
+        max_intervals=trace.max_steps_allowed(),
+        trace=trace,
+    )
+
+
+def certify_line_strategy(
+    turning_sequences: Sequence[Sequence[float]],
+    claimed_ratio: float,
+    num_faulty: int,
+    horizon: float,
+    lo: float = 1.0,
+) -> Certificate:
+    """Refute a below-bound claim for a concrete line strategy (Theorem 1 side).
+
+    ``turning_sequences[r]`` is robot ``r``'s alternating turning-point
+    sequence.  ``claimed_ratio`` must be strictly below the tight bound
+    ``A(k, f)``; otherwise no refutation exists and
+    :class:`~repro.exceptions.CertificateError` is raised.
+    """
+    num_robots = len(turning_sequences)
+    fold = 2 * (num_faulty + 1) - num_robots
+    if fold < 1:
+        raise CertificateError(
+            "with k >= 2(f+1) the ratio 1 is achievable; nothing to refute"
+        )
+    tight = crash_line_ratio(num_robots, num_faulty)
+    if claimed_ratio >= tight:
+        raise CertificateError(
+            f"claimed ratio {claimed_ratio} is not below the tight bound {tight}; "
+            "no lower-bound certificate exists"
+        )
+    mu = mu_from_ratio(claimed_ratio)
+    intervals = line_cover_intervals(turning_sequences, mu)
+    return _certify(
+        intervals,
+        fold=fold,
+        num_robots=num_robots,
+        mu=mu,
+        claimed_ratio=claimed_ratio,
+        tight_bound=tight,
+        horizon=horizon,
+        lo=lo,
+        setting="line",
+    )
+
+
+def certify_orc_strategy(
+    radii_sequences: Sequence[Sequence[float]],
+    claimed_ratio: float,
+    fold: int,
+    horizon: float,
+    lo: float = 1.0,
+) -> Certificate:
+    """Refute a below-bound claim for a concrete ORC covering strategy (Eq. 10 side).
+
+    ``radii_sequences[r]`` lists robot ``r``'s round radii; ``fold`` is the
+    required covering multiplicity ``q``.
+    """
+    num_robots = len(radii_sequences)
+    if fold <= num_robots:
+        raise CertificateError(
+            "with q <= k the covering ratio 1 is achievable; nothing to refute"
+        )
+    tight = orc_covering_ratio(num_robots, fold)
+    if claimed_ratio >= tight:
+        raise CertificateError(
+            f"claimed ratio {claimed_ratio} is not below the tight bound {tight}; "
+            "no lower-bound certificate exists"
+        )
+    mu = mu_from_ratio(claimed_ratio)
+    intervals = orc_cover_intervals(radii_sequences, mu)
+    return _certify(
+        intervals,
+        fold=fold,
+        num_robots=num_robots,
+        mu=mu,
+        claimed_ratio=claimed_ratio,
+        tight_bound=tight,
+        horizon=horizon,
+        lo=lo,
+        setting="orc",
+    )
+
+
+@dataclass(frozen=True)
+class PotentialValidation:
+    """Result of checking the proof mechanics on a *valid* cover.
+
+    ``cap_respected`` and ``steps_above_floor`` are the two pillars of the
+    potential argument; ``num_steps`` is how many prefix extensions were
+    examined.
+    """
+
+    cap_respected: bool
+    steps_above_floor: bool
+    num_steps: int
+    min_step_ratio: float
+    trace: PotentialTrace
+
+    @property
+    def holds(self) -> bool:
+        """True when both pillars of the argument were observed to hold."""
+        return self.cap_respected and self.steps_above_floor
+
+
+def validate_potential_argument(
+    turning_sequences: Sequence[Sequence[float]],
+    ratio: float,
+    num_faulty: int,
+    horizon: float,
+    lo: float = 1.0,
+) -> PotentialValidation:
+    """Check Eq. 8 and Lemma 5 on a concrete *valid* line cover.
+
+    Intended for ratios at or above the tight bound, where the strategy
+    really does cover ``[lo, horizon]`` ``s``-fold; raises
+    :class:`~repro.exceptions.CoverageHoleError` if it does not.
+    """
+    num_robots = len(turning_sequences)
+    fold = 2 * (num_faulty + 1) - num_robots
+    if fold < 1:
+        raise CertificateError("with k >= 2(f+1) the covering requirement is vacuous")
+    mu = mu_from_ratio(ratio)
+    intervals = line_cover_intervals(turning_sequences, mu)
+    hole = find_hole(intervals, fold, lo, horizon)
+    if hole is not None:
+        raise CoverageHoleError(
+            f"strategy does not {fold}-fold cover [{lo}, {horizon}]: hole at {hole}"
+        )
+    assigned = assign_exact_cover(intervals, fold, lo, horizon)
+    trace = trace_line_potential(assigned, mu=mu, num_robots=num_robots, fold=fold, lo=lo)
+    return PotentialValidation(
+        cap_respected=trace.cap_respected,
+        steps_above_floor=trace.all_steps_above_floor,
+        num_steps=len(trace.steps),
+        min_step_ratio=trace.min_step_ratio,
+        trace=trace,
+    )

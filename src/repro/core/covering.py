@@ -1,0 +1,294 @@
+"""Covering settings used by the lower-bound proofs.
+
+Section 2 and Section 3.1 of the paper replace the search problem by two
+covering relaxations and reason exclusively about them:
+
+* **Symmetric line-cover (±-cover) setting** — a robot on the line covers
+  the symmetric pair ``(x, -x)`` at the moment it has visited *both*; the
+  pair is *lambda-covered* when this happens by time ``lambda x``.  Any
+  strategy with competitive ratio ``lambda`` against ``f`` crash faults
+  induces an ``s``-fold lambda-cover of ``[1, inf)`` with
+  ``s = 2(f+1) - k``.
+* **One-ray cover with returns (ORC) setting** — robots move on a single
+  ray, returning to the origin between rounds; each round covers an
+  interval, and multiple rounds of the same robot count separately.  An
+  ``m``-ray strategy with ratio ``lambda`` induces a ``q``-fold
+  lambda-cover with ``q = m (f + 1)``.
+
+This module turns both settings into data: per-robot *cover intervals*
+(Eq. 3 and its ORC analogue), coverage-multiplicity queries, hole finding,
+and the *assigned interval* construction (trimming a valid cover so that
+every point is covered exactly ``s`` times) that the potential function of
+:mod:`repro.core.potential` consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import CoverageHoleError, InvalidStrategyError
+from ..strategies.validation import covered_intervals
+
+__all__ = [
+    "CoverInterval",
+    "line_cover_intervals",
+    "orc_cover_intervals",
+    "multiplicity_at",
+    "minimum_multiplicity",
+    "find_hole",
+    "is_fold_cover",
+    "AssignedInterval",
+    "assign_exact_cover",
+]
+
+
+@dataclass(frozen=True)
+class CoverInterval:
+    """An interval of distances covered by one robot within the deadline.
+
+    ``left`` and ``right`` delimit the covered distances (interpreted as a
+    closed interval ``[left, right]`` of the original cover; assignments
+    later truncate it to a half-open ``(left', right]``).  ``robot`` is the
+    owning robot and ``turn_index`` the index of the turning point / round
+    that produced it.
+    """
+
+    left: float
+    right: float
+    robot: int
+    turn_index: int
+
+    def __post_init__(self) -> None:
+        if self.right < self.left:
+            raise InvalidStrategyError(
+                f"cover interval has right < left: ({self.left}, {self.right})"
+            )
+
+    @property
+    def width(self) -> float:
+        """Length of the interval."""
+        return self.right - self.left
+
+
+def line_cover_intervals(
+    turning_sequences: Sequence[Sequence[float]], mu: float
+) -> List[CoverInterval]:
+    """Cover intervals of the ±-cover setting for ``k`` line robots.
+
+    ``turning_sequences[r]`` is robot ``r``'s alternating turning-point
+    sequence ``(t1, t2, ...)`` as in Section 2; the robot lambda-covers
+    ``[t''_i, t_i]`` at every fruitful turn (Eq. 3), with
+    ``lambda = 2 mu + 1``.
+    """
+    intervals: List[CoverInterval] = []
+    for robot, sequence in enumerate(turning_sequences):
+        for turn_index, (left, right) in enumerate(covered_intervals(sequence, mu)):
+            intervals.append(
+                CoverInterval(left=left, right=right, robot=robot, turn_index=turn_index)
+            )
+    return intervals
+
+
+def orc_cover_intervals(
+    radii_sequences: Sequence[Sequence[float]], mu: float
+) -> List[CoverInterval]:
+    """Cover intervals of the ORC setting for ``k`` single-ray robots.
+
+    ``radii_sequences[r]`` lists the turning radii of robot ``r``'s rounds
+    (the robot returns to the origin after each round).  Round ``i`` covers
+    ``x`` iff ``x <= t_i`` and ``2 (t_1 + ... + t_{i-1}) + x <= lambda x``,
+    i.e. the covered interval is ``[ (t_1 + ... + t_{i-1}) / mu , t_i ]``
+    when non-empty (the round is then *fruitful*).
+    """
+    if mu <= 0:
+        raise InvalidStrategyError(f"mu must be positive, got {mu}")
+    intervals: List[CoverInterval] = []
+    for robot, radii in enumerate(radii_sequences):
+        prefix = 0.0
+        for turn_index, radius in enumerate(radii):
+            if radius <= 0:
+                raise InvalidStrategyError(
+                    f"round radii must be positive, got {radius}"
+                )
+            left = prefix / mu
+            if left <= radius:
+                intervals.append(
+                    CoverInterval(
+                        left=left, right=float(radius), robot=robot, turn_index=turn_index
+                    )
+                )
+            prefix += radius
+    return intervals
+
+
+# ----------------------------------------------------------------------
+# Multiplicity queries
+# ----------------------------------------------------------------------
+def multiplicity_at(intervals: Sequence[CoverInterval], x: float) -> int:
+    """Number of cover intervals containing the point ``x``."""
+    return sum(1 for interval in intervals if interval.left <= x <= interval.right)
+
+
+def _elementary_segments(
+    intervals: Sequence[CoverInterval], lo: float, hi: float
+) -> List[Tuple[float, float]]:
+    """Split ``[lo, hi]`` at every interval endpoint that falls inside it."""
+    if hi < lo:
+        raise InvalidStrategyError(f"empty range [{lo}, {hi}]")
+    cuts = {lo, hi}
+    for interval in intervals:
+        for value in (interval.left, interval.right):
+            if lo < value < hi:
+                cuts.add(value)
+    ordered = sorted(cuts)
+    return list(zip(ordered[:-1], ordered[1:]))
+
+
+def minimum_multiplicity(
+    intervals: Sequence[CoverInterval], lo: float, hi: float
+) -> int:
+    """Minimum coverage multiplicity over the range ``[lo, hi]``.
+
+    Multiplicity is evaluated at the midpoint of every elementary segment
+    (between consecutive interval endpoints), which is exact because the
+    multiplicity is constant on the interior of each segment.
+    """
+    segments = _elementary_segments(intervals, lo, hi)
+    if not segments:
+        return multiplicity_at(intervals, lo)
+    return min(
+        multiplicity_at(intervals, (a + b) / 2.0) for a, b in segments
+    )
+
+
+def find_hole(
+    intervals: Sequence[CoverInterval], fold: int, lo: float, hi: float
+) -> Optional[float]:
+    """A witness point of ``[lo, hi]`` covered fewer than ``fold`` times, if any.
+
+    Returns the midpoint of the first elementary segment whose multiplicity
+    is below ``fold``, or ``None`` when the range is properly ``fold``-fold
+    covered.
+    """
+    for a, b in _elementary_segments(intervals, lo, hi):
+        midpoint = (a + b) / 2.0
+        if multiplicity_at(intervals, midpoint) < fold:
+            return midpoint
+    return None
+
+
+def is_fold_cover(
+    intervals: Sequence[CoverInterval], fold: int, lo: float, hi: float
+) -> bool:
+    """True when every point of ``[lo, hi]`` is covered at least ``fold`` times."""
+    return find_hole(intervals, fold, lo, hi) is None
+
+
+# ----------------------------------------------------------------------
+# Assigned intervals (exact-fold trimming)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AssignedInterval:
+    """A trimmed cover interval ``(left, right]`` used by the potential function.
+
+    ``right`` is always the original turning point (the paper keeps the
+    right ends); ``left`` has been moved right so that the collection covers
+    every point of the target range exactly ``fold`` times.  ``original_left``
+    retains the untrimmed Eq.-3 left end so constraint (4) can be checked.
+    """
+
+    left: float
+    right: float
+    robot: int
+    turn_index: int
+    original_left: float
+
+    def __post_init__(self) -> None:
+        if self.right < self.left:
+            raise InvalidStrategyError(
+                f"assigned interval has right < left: ({self.left}, {self.right})"
+            )
+        if self.left < self.original_left - 1e-9:
+            raise InvalidStrategyError(
+                "assigned interval extends left of its cover interval"
+            )
+
+
+def assign_exact_cover(
+    intervals: Sequence[CoverInterval],
+    fold: int,
+    lo: float,
+    hi: float,
+) -> List[AssignedInterval]:
+    """Trim a valid ``fold``-fold cover of ``[lo, hi]`` into an exact cover.
+
+    Implements the construction of Section 2: every point of ``(lo, hi]``
+    ends up covered by exactly ``fold`` assigned intervals, each assigned
+    interval is a right-suffix ``(left', right]`` of its cover interval, and
+    unneeded cover intervals are dropped.  The greedy sweep keeps an
+    interval "in use" until its right end once started (a suffix must be
+    contiguous) and tops the in-use count back up to ``fold`` at every
+    elementary segment, preferring intervals with the earliest right end.
+
+    Raises
+    ------
+    CoverageHoleError
+        If the input is not actually a ``fold``-fold cover of ``[lo, hi]``.
+    """
+    if fold < 1:
+        raise InvalidStrategyError(f"fold must be at least 1, got {fold}")
+    segments = _elementary_segments(intervals, lo, hi)
+    if not segments:
+        return []
+
+    # State per cover interval: None (never started), "active", or "done".
+    state: Dict[int, Optional[str]] = {index: None for index in range(len(intervals))}
+    assigned_left: Dict[int, float] = {}
+
+    active: List[int] = []
+    for a, b in segments:
+        # Retire intervals whose right end does not reach past ``a``.
+        still_active = []
+        for index in active:
+            if intervals[index].right >= b - 1e-15:
+                still_active.append(index)
+            else:
+                state[index] = "done"
+        active = still_active
+
+        deficit = fold - len(active)
+        if deficit < 0:  # pragma: no cover - the sweep never overfills
+            raise InvalidStrategyError("assignment sweep overfilled a segment")
+        if deficit > 0:
+            candidates = [
+                index
+                for index, interval in enumerate(intervals)
+                if state[index] is None
+                and interval.left <= a + 1e-12
+                and interval.right >= b - 1e-15
+            ]
+            candidates.sort(key=lambda index: intervals[index].right)
+            if len(candidates) < deficit:
+                raise CoverageHoleError(
+                    f"range ({a}, {b}] is covered only "
+                    f"{len(active) + len(candidates)} < {fold} times"
+                )
+            for index in candidates[:deficit]:
+                state[index] = "active"
+                assigned_left[index] = a
+                active.append(index)
+
+    result = [
+        AssignedInterval(
+            left=assigned_left[index],
+            right=intervals[index].right,
+            robot=intervals[index].robot,
+            turn_index=intervals[index].turn_index,
+            original_left=intervals[index].left,
+        )
+        for index in assigned_left
+    ]
+    result.sort(key=lambda interval: (interval.left, interval.robot, interval.turn_index))
+    return result

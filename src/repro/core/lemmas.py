@@ -1,0 +1,258 @@
+"""Executable versions of the paper's Lemma 4 and Lemma 5.
+
+The lower-bound proofs hinge on a single elementary inequality about the
+polynomial ``x^s (mu* - x)^k``:
+
+* **Lemma 4** — for ``mu* > 0`` the polynomial is maximised over
+  ``0 < x < mu*`` at ``x = s mu* / (k + s)``.
+* **Lemma 5** — consequently, for every ``0 < x < mu*``,
+
+  .. math::
+
+     \\frac{\\mu^{*s}}{x^s (\\mu^* - x)^k}
+        \\;\\ge\\; \\frac{(k+s)^{k+s}}{s^s k^k \\mu^{*k}}
+        \\;\\ge\\; \\delta := \\frac{(k+s)^{k+s}}{s^s k^k \\mu^{k}} \\; > 1
+
+  whenever ``mu < ((k+s)^(k+s) / (s^s k^k))^(1/k)``.
+
+These two facts drive the potential-function argument of Theorem 3 and of
+Eq. (10): every time a new assigned interval is appended to the prefix, the
+potential is multiplied by at least ``delta > 1``, contradicting the uniform
+upper bound on the potential.
+
+The module provides both the closed-form quantities and brute-force numeric
+verifiers used by the property-based test-suite and the E8 bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidProblemError
+
+__all__ = [
+    "polynomial_value",
+    "argmax_of_polynomial",
+    "polynomial_maximum",
+    "step_ratio",
+    "step_ratio_lower_bound",
+    "critical_mu",
+    "delta",
+    "verify_lemma4",
+    "verify_lemma5",
+    "Lemma4Report",
+    "Lemma5Report",
+]
+
+
+def _check_ks(k: float, s: float) -> None:
+    if k <= 0 or s <= 0:
+        raise InvalidProblemError(f"k and s must be positive, got k={k}, s={s}")
+
+
+def polynomial_value(x: float, mu_star: float, k: float, s: float) -> float:
+    """Evaluate the Lemma 4 polynomial ``x^s (mu* - x)^k``.
+
+    Defined for ``0 <= x <= mu*``; returns 0 at both endpoints.  ``k`` and
+    ``s`` may be non-integral (the m-ray proof applies the lemma with
+    ``s = q - k`` which is an integer, but the fractional relaxation of
+    Eq. (11) uses real exponents).
+    """
+    _check_ks(k, s)
+    if not 0.0 <= x <= mu_star:
+        raise InvalidProblemError(
+            f"x must lie in [0, mu*] = [0, {mu_star}], got {x}"
+        )
+    if x == 0.0 or x == mu_star:
+        return 0.0
+    return math.exp(s * math.log(x) + k * math.log(mu_star - x))
+
+
+def argmax_of_polynomial(mu_star: float, k: float, s: float) -> float:
+    """Lemma 4: the unique maximiser ``x* = s mu* / (k + s)`` in ``(0, mu*)``."""
+    _check_ks(k, s)
+    if mu_star <= 0:
+        raise InvalidProblemError(f"mu* must be positive, got {mu_star}")
+    return s * mu_star / (k + s)
+
+
+def polynomial_maximum(mu_star: float, k: float, s: float) -> float:
+    """Maximum value of ``x^s (mu* - x)^k`` over ``0 < x < mu*``.
+
+    Substituting ``x* = s mu*/(k+s)`` gives
+    ``s^s k^k mu*^(k+s) / (k+s)^(k+s)``.
+    """
+    x_star = argmax_of_polynomial(mu_star, k, s)
+    return polynomial_value(x_star, mu_star, k, s)
+
+
+def step_ratio(x: float, mu_star: float, k: float, s: float) -> float:
+    """The potential-step ratio ``mu*^s / (x^s (mu* - x)^k)``.
+
+    This is exactly ``f(P+) / f(P)`` in the proof of Theorem 3 when the new
+    interval belongs to a robot whose load-to-frontier ratio is ``x`` and
+    whose interval obeys constraint (5) with slack parameter ``mu*``.
+    """
+    value = polynomial_value(x, mu_star, k, s)
+    if value == 0.0:
+        return math.inf
+    return math.exp(s * math.log(mu_star)) / value
+
+
+def step_ratio_lower_bound(mu_star: float, k: float, s: float) -> float:
+    """Lemma 5, first inequality: ``(k+s)^(k+s) / (s^s k^k mu*^k)``.
+
+    This is the infimum of :func:`step_ratio` over ``x in (0, mu*)``.
+    """
+    _check_ks(k, s)
+    if mu_star <= 0:
+        raise InvalidProblemError(f"mu* must be positive, got {mu_star}")
+    log_value = (
+        (k + s) * math.log(k + s)
+        - s * math.log(s)
+        - k * math.log(k)
+        - k * math.log(mu_star)
+    )
+    return math.exp(log_value)
+
+
+def critical_mu(k: float, s: float) -> float:
+    """The threshold ``mu_c = ((k+s)^(k+s) / (s^s k^k))^(1/k)``.
+
+    For ``mu < mu_c`` Lemma 5 yields ``delta > 1`` and the lower-bound
+    argument applies; ``lambda = 2 mu_c + 1`` is exactly the tight ratio of
+    Theorems 1 and 6 (with ``s = q - k``).
+    """
+    _check_ks(k, s)
+    log_value = (k + s) * math.log(k + s) - s * math.log(s) - k * math.log(k)
+    return math.exp(log_value / k)
+
+
+def delta(mu_value: float, k: float, s: float) -> float:
+    """Lemma 5, second inequality: ``delta = (k+s)^(k+s) / (s^s k^k mu^k)``.
+
+    ``delta > 1`` iff ``mu < critical_mu(k, s)``; this multiplicative gap is
+    what the potential accumulates at every prefix-extension step.
+    """
+    return step_ratio_lower_bound(mu_value, k, s)
+
+
+# ----------------------------------------------------------------------
+# Brute-force verification (used by tests and the E8 bench)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Lemma4Report:
+    """Result of numerically verifying Lemma 4 on a grid.
+
+    Attributes
+    ----------
+    mu_star, k, s:
+        Parameters the lemma was checked for.
+    analytic_argmax:
+        The closed-form maximiser ``s mu*/(k+s)``.
+    grid_argmax:
+        The best grid point found by brute force.
+    analytic_maximum / grid_maximum:
+        Corresponding polynomial values.
+    holds:
+        True when no grid point beats the analytic maximum (up to floating
+        point slack).
+    """
+
+    mu_star: float
+    k: float
+    s: float
+    analytic_argmax: float
+    grid_argmax: float
+    analytic_maximum: float
+    grid_maximum: float
+    holds: bool
+
+
+def verify_lemma4(
+    mu_star: float,
+    k: float,
+    s: float,
+    grid_points: int = 10_001,
+    rel_tol: float = 1e-9,
+) -> Lemma4Report:
+    """Check Lemma 4 by brute force on a uniform grid of ``(0, mu*)``.
+
+    Returns a :class:`Lemma4Report`; ``report.holds`` is True when the
+    analytic maximum dominates every sampled value and the grid maximiser
+    is close to the analytic one.
+    """
+    _check_ks(k, s)
+    xs = np.linspace(0.0, mu_star, grid_points)[1:-1]
+    values = np.exp(s * np.log(xs) + k * np.log(mu_star - xs))
+    best_index = int(np.argmax(values))
+    grid_argmax = float(xs[best_index])
+    grid_maximum = float(values[best_index])
+    analytic_argmax = argmax_of_polynomial(mu_star, k, s)
+    analytic_maximum = polynomial_maximum(mu_star, k, s)
+    holds = grid_maximum <= analytic_maximum * (1.0 + rel_tol)
+    return Lemma4Report(
+        mu_star=mu_star,
+        k=k,
+        s=s,
+        analytic_argmax=analytic_argmax,
+        grid_argmax=grid_argmax,
+        analytic_maximum=analytic_maximum,
+        grid_maximum=grid_maximum,
+        holds=holds,
+    )
+
+
+@dataclass(frozen=True)
+class Lemma5Report:
+    """Result of numerically verifying Lemma 5 on a grid.
+
+    ``min_step_ratio`` is the smallest sampled value of
+    ``mu*^s / (x^s (mu*-x)^k)`` over ``x`` and over ``mu* <= mu``; the lemma
+    asserts it is at least ``delta``.
+    """
+
+    mu: float
+    k: float
+    s: float
+    delta: float
+    min_step_ratio: float
+    holds: bool
+
+
+def verify_lemma5(
+    mu_value: float,
+    k: float,
+    s: float,
+    grid_points: int = 2_001,
+    mu_star_samples: int = 25,
+    rel_tol: float = 1e-9,
+) -> Lemma5Report:
+    """Check Lemma 5 by sampling ``x`` and ``mu* <= mu`` on grids.
+
+    The lemma states that for every ``mu* <= mu`` and ``0 < x < mu*`` the
+    step ratio is at least ``delta = (k+s)^(k+s)/(s^s k^k mu^k)``.
+    """
+    _check_ks(k, s)
+    if mu_value <= 0:
+        raise InvalidProblemError(f"mu must be positive, got {mu_value}")
+    delta_value = delta(mu_value, k, s)
+    min_ratio = math.inf
+    for mu_star in np.linspace(mu_value / mu_star_samples, mu_value, mu_star_samples):
+        xs = np.linspace(0.0, mu_star, grid_points)[1:-1]
+        values = np.exp(s * np.log(xs) + k * np.log(mu_star - xs))
+        ratios = math.exp(s * math.log(mu_star)) / values
+        min_ratio = min(min_ratio, float(np.min(ratios)))
+    holds = min_ratio >= delta_value * (1.0 - rel_tol)
+    return Lemma5Report(
+        mu=mu_value,
+        k=k,
+        s=s,
+        delta=delta_value,
+        min_step_ratio=min_ratio,
+        holds=holds,
+    )

@@ -1,0 +1,483 @@
+"""The potential functions of the lower-bound proofs, made executable.
+
+Theorem 3 (line, ±-cover setting) analyses the function of Eq. (7)
+
+.. math::
+
+   f(\\mathcal{P}) \\;=\\; \\prod_{r=1}^{k}
+        \\frac{\\bigl(L^{(r)}(\\mathcal{P})\\bigr)^{s}}
+             {\\prod_{y \\in A(\\mathcal{P})} y}
+
+over growing prefixes ``P`` of the assigned intervals (sorted by left
+endpoint), where ``L^(r)`` is robot ``r``'s *load* (sum of the turning
+points of its assigned intervals in ``P``) and ``A(P) = {a_s, ..., a_1}``
+records the coverage frontiers.  Two facts produce the contradiction:
+
+* boundedness (Eq. 8): ``f(P) <= mu^{k s}`` for every prefix of a *valid*
+  cover, because loads are at most ``mu a`` and every frontier is at least
+  ``a``;
+* growth (Lemma 5): appending one interval multiplies ``f`` by
+  ``mu*^s / (x^s (mu* - x)^k) >= delta``, and ``delta > 1`` whenever
+  ``mu`` is below the critical value.
+
+The ORC-setting proof (Eq. 15) uses the variant
+
+.. math::
+
+   f(\\mathcal{P}) \\;=\\; \\prod_{r=1}^{k}
+        \\frac{\\bigl(L^{(r)}\\bigr)^{q-k}\\,\\bigl(b^{(r)}\\bigr)^{k}}
+             {\\prod_{y \\in A(\\mathcal{P})} y}
+
+where ``b^(r)`` is the left end of robot ``r``'s next, not-yet-included
+assigned interval.
+
+This module tracks both potentials step by step over concrete assignment
+data (produced by :func:`repro.core.covering.assign_exact_cover`) and
+records, for every step, the observed ratio together with the Lemma-5
+floor — which is how the certificates of
+:mod:`repro.core.certificates` and the E6/E8 benches validate the proof
+numerically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import CertificateError, InvalidStrategyError
+from .covering import AssignedInterval
+from .lemmas import delta as lemma5_delta
+
+__all__ = [
+    "PotentialStep",
+    "PotentialTrace",
+    "trace_line_potential",
+    "trace_orc_potential",
+]
+
+
+@dataclass(frozen=True)
+class PotentialStep:
+    """One prefix-extension step of the potential argument.
+
+    Attributes
+    ----------
+    interval:
+        The assigned interval appended at this step.
+    frontier:
+        The value ``a = a_s`` (equivalently the interval's left end) at the
+        moment of the step.
+    load_before / load_after:
+        The owning robot's load before and after the step.
+    mu_star:
+        ``load_after / frontier`` (for the line potential) — the effective
+        slack parameter; the proof guarantees ``mu_star <= mu``.
+    x:
+        ``load_before / frontier`` — the variable of Lemma 4/5.
+    ratio:
+        Observed multiplicative change ``f(P+) / f(P)``.
+    lemma5_floor:
+        The Lemma-5 lower bound for this step given the global ``mu``.
+    potential:
+        Value of ``f`` *after* the step.
+    """
+
+    interval: AssignedInterval
+    frontier: float
+    load_before: float
+    load_after: float
+    mu_star: float
+    x: float
+    ratio: float
+    lemma5_floor: float
+    potential: float
+
+
+@dataclass
+class PotentialTrace:
+    """The full trajectory of the potential over a sequence of prefixes.
+
+    ``initial_potential`` is the value of ``f`` for the starting prefix
+    (the shortest prefix in which every robot owns at least one assigned
+    interval); ``steps`` records every subsequent extension; ``cap`` is the
+    uniform upper bound of Eq. 8 / the ORC analogue.
+    """
+
+    setting: str
+    mu: float
+    num_robots: int
+    fold: int
+    initial_potential: float
+    cap: float
+    steps: List[PotentialStep] = field(default_factory=list)
+
+    @property
+    def final_potential(self) -> float:
+        """Potential after the last recorded step."""
+        if not self.steps:
+            return self.initial_potential
+        return self.steps[-1].potential
+
+    @property
+    def min_step_ratio(self) -> float:
+        """Smallest observed ``f(P+)/f(P)`` over all steps (``inf`` if none)."""
+        if not self.steps:
+            return math.inf
+        return min(step.ratio for step in self.steps)
+
+    @property
+    def cap_respected(self) -> bool:
+        """True when the potential never exceeded the Eq.-8 cap."""
+        tolerance = 1.0 + 1e-9
+        if self.initial_potential > self.cap * tolerance:
+            return False
+        return all(step.potential <= self.cap * tolerance for step in self.steps)
+
+    @property
+    def all_steps_above_floor(self) -> bool:
+        """True when every observed ratio met its Lemma-5 floor."""
+        tolerance = 1.0 - 1e-9
+        return all(step.ratio >= step.lemma5_floor * tolerance for step in self.steps)
+
+    def max_steps_allowed(self) -> float:
+        """Upper bound on the number of steps a valid cover could sustain.
+
+        If every step multiplies the potential by at least ``delta > 1``
+        (Lemma 5 with the global ``mu``) and the potential can never exceed
+        the cap, then at most ``log(cap / initial) / log(delta)`` steps are
+        possible.  Returns ``math.inf`` when ``delta <= 1`` (i.e. ``mu`` is
+        at or above the critical value and the argument does not bite).
+        """
+        delta_value = lemma5_delta(self.mu, self.num_robots, self._lemma_s())
+        if delta_value <= 1.0 or self.initial_potential <= 0:
+            return math.inf
+        if self.initial_potential >= self.cap:
+            return 0.0
+        return math.log(self.cap / self.initial_potential) / math.log(delta_value)
+
+    def _lemma_s(self) -> int:
+        """Exponent ``s`` used in Lemma 5 for this setting."""
+        if self.setting == "line":
+            return self.fold
+        return self.fold - self.num_robots
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _group_by_robot(
+    assigned: Sequence[AssignedInterval], num_robots: int
+) -> Dict[int, List[AssignedInterval]]:
+    grouped: Dict[int, List[AssignedInterval]] = {r: [] for r in range(num_robots)}
+    for interval in assigned:
+        if interval.robot not in grouped:
+            raise InvalidStrategyError(
+                f"assigned interval references unknown robot {interval.robot}"
+            )
+        grouped[interval.robot].append(interval)
+    for robot_intervals in grouped.values():
+        robot_intervals.sort(key=lambda interval: interval.left)
+    return grouped
+
+
+def _frontier_multiset(
+    assigned_prefix: Sequence[AssignedInterval], fold: int, lo: float
+) -> List[float]:
+    """The multiset ``A(P) = {a_fold, ..., a_1}`` of coverage frontiers.
+
+    ``a_j`` is the largest value such that ``(lo, a_j]`` is covered at
+    least ``j`` times by the prefix; ``a_j = lo`` when nothing is covered
+    ``j`` times yet.  Computed by sweeping the prefix's endpoints.
+    """
+    events: List[tuple] = []
+    for interval in assigned_prefix:
+        events.append((max(interval.left, lo), 1))
+        events.append((interval.right, -1))
+    events.sort()
+    frontiers = [lo] * fold
+    coverage = 0
+    position = lo
+    index = 0
+    while index < len(events):
+        value = events[index][0]
+        # The coverage level on (position, value] is ``coverage``; that
+        # pushes every frontier a_j with j <= coverage out to ``value``.
+        if value > position and coverage >= 1:
+            for j in range(min(coverage, fold)):
+                frontiers[j] = max(frontiers[j], value)
+        position = max(position, value)
+        while index < len(events) and events[index][0] == value:
+            coverage += events[index][1]
+            index += 1
+    # frontiers[j] currently holds a_{j+1}; the multiset is returned in the
+    # paper's order a_fold <= ... <= a_1.
+    return sorted(frontiers)
+
+
+def _potential_value_line(
+    loads: Dict[int, float], frontiers: Sequence[float], fold: int
+) -> float:
+    log_value = 0.0
+    denominator = sum(math.log(y) for y in frontiers)
+    for load in loads.values():
+        if load <= 0:
+            raise CertificateError(
+                "line potential undefined: some robot has an empty load"
+            )
+        log_value += fold * math.log(load) - denominator
+    return math.exp(log_value)
+
+
+def _potential_value_orc(
+    loads: Dict[int, float],
+    next_lefts: Dict[int, float],
+    frontiers: Sequence[float],
+    fold: int,
+    num_robots: int,
+) -> float:
+    log_value = 0.0
+    denominator = sum(math.log(y) for y in frontiers)
+    exponent = fold - num_robots
+    for robot, load in loads.items():
+        if load <= 0 or next_lefts[robot] <= 0:
+            raise CertificateError(
+                "ORC potential undefined: empty load or missing next interval"
+            )
+        log_value += (
+            exponent * math.log(load)
+            + num_robots * math.log(next_lefts[robot])
+            - denominator
+        )
+    return math.exp(log_value)
+
+
+# ----------------------------------------------------------------------
+# Line (±-cover) potential, Eq. 7
+# ----------------------------------------------------------------------
+def trace_line_potential(
+    assigned: Sequence[AssignedInterval],
+    mu: float,
+    num_robots: int,
+    fold: int,
+    lo: float = 1.0,
+) -> PotentialTrace:
+    """Track the Eq.-7 potential over the prefixes of an exact ``fold``-cover.
+
+    ``assigned`` must be sorted by left endpoint (the output of
+    :func:`repro.core.covering.assign_exact_cover` already is).  Tracking
+    starts at the shortest prefix containing at least one interval of every
+    robot, exactly as in the paper.
+
+    Raises
+    ------
+    CertificateError
+        If some robot owns no assigned interval at all (the potential is
+        then undefined — such a robot contributes nothing and should have
+        been excluded by the caller).
+    """
+    if mu <= 0:
+        raise InvalidStrategyError(f"mu must be positive, got {mu}")
+    ordered = sorted(assigned, key=lambda interval: (interval.left, interval.robot))
+    grouped = _group_by_robot(ordered, num_robots)
+    for robot, robot_intervals in grouped.items():
+        if not robot_intervals:
+            raise CertificateError(
+                f"robot {robot} owns no assigned interval; potential undefined"
+            )
+
+    # Find the starting prefix: the shortest one touching every robot.
+    seen: set = set()
+    start_length = 0
+    for index, interval in enumerate(ordered):
+        seen.add(interval.robot)
+        if len(seen) == num_robots:
+            start_length = index + 1
+            break
+
+    loads: Dict[int, float] = {r: 0.0 for r in range(num_robots)}
+    for interval in ordered[:start_length]:
+        loads[interval.robot] += interval.right
+    frontiers = _frontier_multiset(ordered[:start_length], fold, lo)
+    initial = _potential_value_line(loads, frontiers, fold)
+    cap = mu ** (num_robots * fold)
+    trace = PotentialTrace(
+        setting="line",
+        mu=mu,
+        num_robots=num_robots,
+        fold=fold,
+        initial_potential=initial,
+        cap=cap,
+    )
+
+    potential = initial
+    for interval in ordered[start_length:]:
+        frontier = min(frontiers)
+        load_before = loads[interval.robot]
+        load_after = load_before + interval.right
+        loads[interval.robot] = load_after
+        # Update the frontier multiset: the smallest frontier is replaced
+        # by the new interval's right end (the paper's A -> A update).
+        frontiers.remove(frontier)
+        frontiers.append(interval.right)
+        frontiers.sort()
+        new_potential = _potential_value_line(loads, frontiers, fold)
+        ratio = new_potential / potential
+        mu_star = load_after / frontier if frontier > 0 else math.inf
+        x = load_before / frontier if frontier > 0 else math.inf
+        trace.steps.append(
+            PotentialStep(
+                interval=interval,
+                frontier=frontier,
+                load_before=load_before,
+                load_after=load_after,
+                mu_star=mu_star,
+                x=x,
+                ratio=ratio,
+                lemma5_floor=lemma5_delta(mu, num_robots, fold),
+                potential=new_potential,
+            )
+        )
+        potential = new_potential
+    return trace
+
+
+# ----------------------------------------------------------------------
+# ORC potential, Eq. 15
+# ----------------------------------------------------------------------
+def trace_orc_potential(
+    assigned: Sequence[AssignedInterval],
+    mu: float,
+    num_robots: int,
+    fold: int,
+    lo: float = 1.0,
+) -> PotentialTrace:
+    """Track the Eq.-15 potential over the prefixes of an exact ``fold``-cover.
+
+    The ORC potential needs, for every robot, the left end ``b^(r)`` of the
+    *next* assigned interval not yet in the prefix; tracking therefore stops
+    at the last prefix for which every robot still has a pending interval.
+    ``fold`` is the covering multiplicity ``q`` and must exceed
+    ``num_robots`` for the exponent ``q - k`` to be positive.
+    """
+    if mu <= 0:
+        raise InvalidStrategyError(f"mu must be positive, got {mu}")
+    if fold <= num_robots:
+        raise CertificateError(
+            "the ORC potential needs q > k (otherwise the covering problem is trivial)"
+        )
+    ordered = sorted(assigned, key=lambda interval: (interval.left, interval.robot))
+    grouped = _group_by_robot(ordered, num_robots)
+    for robot, robot_intervals in grouped.items():
+        if len(robot_intervals) < 2:
+            raise CertificateError(
+                f"robot {robot} owns fewer than two assigned intervals; the ORC "
+                "potential needs a pending interval per robot"
+            )
+
+    # Per-robot pointers into their interval lists.
+    pointer: Dict[int, int] = {r: 0 for r in range(num_robots)}
+
+    seen: set = set()
+    start_length = 0
+    for index, interval in enumerate(ordered):
+        seen.add(interval.robot)
+        if len(seen) == num_robots:
+            start_length = index + 1
+            break
+
+    loads: Dict[int, float] = {r: 0.0 for r in range(num_robots)}
+    for interval in ordered[:start_length]:
+        loads[interval.robot] += interval.right
+        pointer[interval.robot] += 1
+    # b^(r): left end of the next (pending) interval of robot r.
+    next_lefts: Dict[int, float] = {}
+    for robot in range(num_robots):
+        robot_intervals = grouped[robot]
+        if pointer[robot] >= len(robot_intervals):
+            raise CertificateError(
+                f"robot {robot} has no pending interval at the starting prefix"
+            )
+        next_lefts[robot] = robot_intervals[pointer[robot]].left
+
+    frontiers = _frontier_multiset(ordered[:start_length], fold, lo)
+    initial = _potential_value_orc(loads, next_lefts, frontiers, fold, num_robots)
+    # Eq. 14 gives L_r <= mu * b_r and every y >= a <= b_r, so the cap of
+    # the ORC potential over valid covers is mu^{(q-k) k} once normalised by
+    # the b_r^k / prod(y) <= (b_r / a)^k terms; the uniform, strategy-free
+    # cap used in Case 1 of the proof additionally involves the constant C.
+    # For certification purposes we use the same mu^{k(q-k)} * (C)^{qk}
+    # shape with C supplied implicitly by the data: the conservative cap
+    # recorded here is the maximum over the trace of the product of
+    # (b_r / a)^k, times mu^{k (q-k)}.  It is recomputed after the trace.
+    cap_placeholder = math.inf
+    trace = PotentialTrace(
+        setting="orc",
+        mu=mu,
+        num_robots=num_robots,
+        fold=fold,
+        initial_potential=initial,
+        cap=cap_placeholder,
+    )
+
+    potential = initial
+    max_b_over_a = max(
+        next_lefts[robot] / min(frontiers) if min(frontiers) > 0 else math.inf
+        for robot in range(num_robots)
+    )
+    for interval in ordered[start_length:]:
+        robot = interval.robot
+        robot_intervals = grouped[robot]
+        if pointer[robot] + 1 >= len(robot_intervals):
+            # No pending interval would remain for this robot; stop tracking.
+            break
+        frontier = min(frontiers)
+        load_before = loads[robot]
+        load_after = load_before + interval.right
+        loads[robot] = load_after
+        pointer[robot] += 1
+        new_next_left = robot_intervals[pointer[robot]].left
+        previous_next_left = next_lefts[robot]
+        next_lefts[robot] = new_next_left
+
+        frontiers.remove(frontier)
+        frontiers.append(interval.right)
+        frontiers.sort()
+
+        new_potential = _potential_value_orc(
+            loads, next_lefts, frontiers, fold, num_robots
+        )
+        ratio = new_potential / potential
+        mu_star = (
+            load_after / new_next_left if new_next_left > 0 else math.inf
+        )
+        x = load_before / new_next_left if new_next_left > 0 else math.inf
+        trace.steps.append(
+            PotentialStep(
+                interval=interval,
+                frontier=frontier,
+                load_before=load_before,
+                load_after=load_after,
+                mu_star=mu_star,
+                x=x,
+                ratio=ratio,
+                lemma5_floor=lemma5_delta(mu, num_robots, fold - num_robots),
+                potential=new_potential,
+            )
+        )
+        potential = new_potential
+        max_b_over_a = max(
+            max_b_over_a,
+            max(
+                next_lefts[r] / min(frontiers) if min(frontiers) > 0 else math.inf
+                for r in range(num_robots)
+            ),
+        )
+    # Conservative data-driven cap (Case 1 of the proof, with the observed
+    # maximum of b_r / a standing in for the constant C): each robot factor
+    # is at most mu^{q-k} * (b_r / a)^q, hence the product is at most
+    # mu^{k (q-k)} * C^{q k}.
+    trace.cap = (mu ** (num_robots * (fold - num_robots))) * (
+        max_b_over_a ** (fold * num_robots)
+    )
+    return trace

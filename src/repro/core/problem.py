@@ -1,0 +1,243 @@
+"""Search-problem definitions.
+
+The central object of the paper is the following game.  ``k`` unit-speed
+robots start at the origin of a star of ``m`` rays (the real line is the
+special case ``m = 2``).  A target is hidden at distance ``|x| >= 1`` from
+the origin on one of the rays.  ``f`` of the robots are *faulty*:
+
+* **crash** faults silently fail to report the target when they pass it;
+* **Byzantine** faults may additionally fabricate a report.
+
+The (time) competitive ratio of a collective strategy is the supremum over
+target positions of ``tau(x) / |x|`` where ``tau(x)`` is the time at which
+the non-faulty robots are certain of the target location.
+
+:class:`SearchProblem` validates parameters, classifies the parameter regime
+(Theorem 1 / Theorem 6 discussion), and exposes the derived quantities used
+throughout the library (``rho``, ``s``, ``q``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..exceptions import InvalidProblemError
+
+__all__ = [
+    "FaultType",
+    "Regime",
+    "SearchProblem",
+    "line_problem",
+    "ray_problem",
+]
+
+
+class FaultType(str, enum.Enum):
+    """The two fault models studied by the paper.
+
+    ``CRASH`` robots (the focus of Theorem 1 and Theorem 6) stay silent when
+    they reach the target.  ``BYZANTINE`` robots (studied by Czyzowitz et
+    al., ISAAC 2016) may also issue false reports; every crash lower bound
+    transfers to the Byzantine model.
+    """
+
+    NONE = "none"
+    CRASH = "crash"
+    BYZANTINE = "byzantine"
+
+
+class Regime(str, enum.Enum):
+    """Parameter regimes of the (m, k, f) search problem.
+
+    * ``TRIVIAL`` — ``k >= m * (f + 1)``: sending ``f + 1`` robots straight
+      out on each ray achieves competitive ratio exactly 1.
+    * ``INTERESTING`` — ``f < k < m * (f + 1)``: the regime covered by
+      Theorem 1 (``m = 2``) and Theorem 6 (general ``m``), where the optimal
+      ratio is ``2 * (q^q / ((q-k)^(q-k) k^k))^(1/k) + 1`` with
+      ``q = m (f + 1)``.
+    * ``IMPOSSIBLE`` — ``k == f``: every robot is faulty, so the target can
+      never be confirmed and no finite ratio exists.
+    """
+
+    TRIVIAL = "trivial"
+    INTERESTING = "interesting"
+    IMPOSSIBLE = "impossible"
+
+
+@dataclass(frozen=True)
+class SearchProblem:
+    """An instance of the faulty-robot search problem.
+
+    Parameters
+    ----------
+    num_rays:
+        Number of rays ``m`` emanating from the origin.  The real line is
+        ``m = 2`` (ray 0 is the positive half-line, ray 1 the negative one).
+    num_robots:
+        Number of robots ``k`` sent out from the origin.
+    num_faulty:
+        Number of faulty robots ``f`` (``0 <= f <= k``).  The identity of
+        the faulty robots is chosen adversarially and is unknown to the
+        searcher.
+    fault_type:
+        The fault model; defaults to crash faults, the model for which the
+        paper proves tight bounds.
+    min_target_distance:
+        The target is guaranteed to be at distance at least this value from
+        the origin (the paper normalises it to 1).
+
+    Examples
+    --------
+    >>> p = SearchProblem(num_rays=2, num_robots=3, num_faulty=1)
+    >>> p.regime
+    <Regime.INTERESTING: 'interesting'>
+    >>> round(p.rho, 4)
+    1.3333
+    """
+
+    num_rays: int
+    num_robots: int
+    num_faulty: int = 0
+    fault_type: FaultType = FaultType.CRASH
+    min_target_distance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.num_rays, int) or self.num_rays < 1:
+            raise InvalidProblemError(
+                f"num_rays must be a positive integer, got {self.num_rays!r}"
+            )
+        if not isinstance(self.num_robots, int) or self.num_robots < 1:
+            raise InvalidProblemError(
+                f"num_robots must be a positive integer, got {self.num_robots!r}"
+            )
+        if not isinstance(self.num_faulty, int) or self.num_faulty < 0:
+            raise InvalidProblemError(
+                f"num_faulty must be a non-negative integer, got {self.num_faulty!r}"
+            )
+        if self.num_faulty > self.num_robots:
+            raise InvalidProblemError(
+                "num_faulty cannot exceed num_robots "
+                f"({self.num_faulty} > {self.num_robots})"
+            )
+        if self.num_faulty > 0 and self.fault_type is FaultType.NONE:
+            raise InvalidProblemError(
+                "fault_type must be CRASH or BYZANTINE when num_faulty > 0"
+            )
+        if not self.min_target_distance > 0:
+            raise InvalidProblemError(
+                "min_target_distance must be positive, got "
+                f"{self.min_target_distance!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities used by the paper
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Alias for :attr:`num_rays`, matching the paper's notation."""
+        return self.num_rays
+
+    @property
+    def k(self) -> int:
+        """Alias for :attr:`num_robots`, matching the paper's notation."""
+        return self.num_robots
+
+    @property
+    def f(self) -> int:
+        """Alias for :attr:`num_faulty`, matching the paper's notation."""
+        return self.num_faulty
+
+    @property
+    def q(self) -> int:
+        """The covering multiplicity ``q = m * (f + 1)`` from Theorem 6.
+
+        A point can only be confirmed once ``f + 1`` robots have visited it,
+        so over all ``m`` rays the robots must collectively produce a
+        ``q``-fold covering in the ORC relaxation.
+        """
+        return self.num_rays * (self.num_faulty + 1)
+
+    @property
+    def s(self) -> int:
+        """The quantity ``s = 2(f+1) - k`` from Theorem 1 (line only).
+
+        ``s`` is the number of robots that must cover *both* ``x`` and
+        ``-x`` within the deadline.  Only meaningful when ``m == 2``.
+        """
+        return 2 * (self.num_faulty + 1) - self.num_robots
+
+    @property
+    def rho(self) -> float:
+        """The exponent ``rho = m (f + 1) / k`` appearing in the bound."""
+        return self.q / self.num_robots
+
+    @property
+    def required_visits(self) -> int:
+        """Number of distinct robot visits needed to confirm the target.
+
+        With ``f`` crash-faulty robots the adversary silences the first
+        ``f`` visitors, so the target is only confirmed when the
+        ``(f + 1)``-th distinct robot arrives.
+        """
+        return self.num_faulty + 1
+
+    @property
+    def regime(self) -> Regime:
+        """Classify the parameter regime (see :class:`Regime`)."""
+        if self.num_robots == self.num_faulty:
+            return Regime.IMPOSSIBLE
+        if self.num_robots >= self.q:
+            return Regime.TRIVIAL
+        return Regime.INTERESTING
+
+    @property
+    def is_line(self) -> bool:
+        """True when the domain is the real line (``m == 2``)."""
+        return self.num_rays == 2
+
+    def describe(self) -> str:
+        """Return a one-line human-readable description of the instance."""
+        fault = (
+            "no faults"
+            if self.num_faulty == 0
+            else f"{self.num_faulty} {self.fault_type.value} fault(s)"
+        )
+        domain = "the real line" if self.is_line else f"{self.num_rays} rays"
+        return (
+            f"{self.num_robots} robot(s) searching {domain} with {fault} "
+            f"[regime: {self.regime.value}]"
+        )
+
+
+def line_problem(
+    num_robots: int,
+    num_faulty: int = 0,
+    fault_type: FaultType = FaultType.CRASH,
+) -> SearchProblem:
+    """Build the line-search instance (``m = 2``) studied by Theorem 1."""
+    if num_faulty == 0:
+        fault_type = FaultType.NONE
+    return SearchProblem(
+        num_rays=2,
+        num_robots=num_robots,
+        num_faulty=num_faulty,
+        fault_type=fault_type,
+    )
+
+
+def ray_problem(
+    num_rays: int,
+    num_robots: int,
+    num_faulty: int = 0,
+    fault_type: FaultType = FaultType.CRASH,
+) -> SearchProblem:
+    """Build the ``m``-ray instance studied by Theorem 6."""
+    if num_faulty == 0:
+        fault_type = FaultType.NONE
+    return SearchProblem(
+        num_rays=num_rays,
+        num_robots=num_robots,
+        num_faulty=num_faulty,
+        fault_type=fault_type,
+    )

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch library-specific failures without also catching built-in
+errors.  The hierarchy mirrors the main subsystems:
+
+* configuration / parameter problems → :class:`InvalidProblemError`,
+  :class:`InvalidStrategyError`
+* infeasible searches (all robots faulty, no strategy can succeed) →
+  :class:`InfeasibleProblemError`
+* simulation failures (a target is never detected by a given strategy) →
+  :class:`TargetNotDetectedError`, :class:`CoverageHoleError`
+* certificate construction failures → :class:`CertificateError`
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class InvalidProblemError(ReproError, ValueError):
+    """Raised when search-problem parameters are malformed.
+
+    Examples include a negative number of robots, more faults than robots,
+    or fewer than one ray.
+    """
+
+
+class InfeasibleProblemError(ReproError):
+    """Raised when the search problem admits no finite-ratio strategy.
+
+    This happens exactly when every robot is faulty (``k == f``): no set of
+    trajectories can ever confirm the target location (Theorem 1 discussion).
+    """
+
+
+class InvalidStrategyError(ReproError, ValueError):
+    """Raised when a strategy description violates its structural rules.
+
+    Typical causes: non-positive turning points, a turning-point sequence
+    that is not monotone after normalisation, excursions on rays that do not
+    exist in the domain, or a per-robot schedule of the wrong length.
+    """
+
+
+class TargetNotDetectedError(ReproError):
+    """Raised when a strategy never accumulates ``f + 1`` visits at a target.
+
+    The competitive ratio of such a strategy is infinite; callers that prefer
+    ``math.inf`` over an exception can use the ``allow_undetected`` switches
+    on the evaluation functions.
+    """
+
+
+class CoverageHoleError(ReproError):
+    """Raised when a covering strategy leaves part of the required set uncovered."""
+
+
+class CertificateError(ReproError):
+    """Raised when a lower-bound certificate cannot be constructed.
+
+    This is *expected* when the claimed ratio is actually achievable: the
+    potential-function argument only yields a contradiction below the bound.
+    """

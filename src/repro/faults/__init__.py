@@ -1,0 +1,39 @@
+"""Fault substrate: fault models, the adversary, and Byzantine comparisons."""
+
+from .adversary import Adversary, AdversaryChoice, candidate_targets
+from .byzantine import (
+    ByzantineBoundComparison,
+    headline_improvement,
+    improvement_table,
+)
+from .injection import (
+    FaultInjectionReport,
+    RandomFaultTrial,
+    detection_time_with_faults,
+    simulate_random_faults,
+)
+from .models import (
+    ByzantineFaultModel,
+    CrashFaultModel,
+    FaultModel,
+    NoFaultModel,
+    fault_model_for,
+)
+
+__all__ = [
+    "Adversary",
+    "AdversaryChoice",
+    "candidate_targets",
+    "ByzantineBoundComparison",
+    "headline_improvement",
+    "improvement_table",
+    "ByzantineFaultModel",
+    "CrashFaultModel",
+    "FaultModel",
+    "NoFaultModel",
+    "fault_model_for",
+    "FaultInjectionReport",
+    "RandomFaultTrial",
+    "detection_time_with_faults",
+    "simulate_random_faults",
+]

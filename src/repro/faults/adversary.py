@@ -1,0 +1,161 @@
+"""The adversary: worst-case target placement and fault assignment.
+
+The competitive ratio is a game against an adversary that (a) places the
+target anywhere at distance at least 1 from the origin and (b) chooses which
+``f`` robots are faulty — both *after* seeing the strategy.  This module
+implements that adversary exactly:
+
+* For a fixed target point, the worst fault assignment silences the first
+  ``f`` distinct visitors (:meth:`FaultModel.adversarial_fault_set`).
+* Over target positions, the detection-time-to-distance ratio on a fixed
+  ray is a piecewise function of the form ``(c + x) / x`` between
+  *breakpoints* (the radii at which some robot's first-arrival time jumps),
+  so the supremum is attained in the right-limit at a breakpoint.  The
+  adversary therefore only needs to consider finitely many candidate
+  targets; :func:`candidate_targets` enumerates them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.problem import SearchProblem
+from ..exceptions import InvalidProblemError
+from ..geometry.rays import RayPoint
+from ..geometry.trajectory import Trajectory
+from ..geometry.visits import Visit, first_visits
+from .models import FaultModel, fault_model_for
+
+__all__ = ["AdversaryChoice", "Adversary", "candidate_targets"]
+
+#: Default multiplicative nudge applied past each breakpoint: the supremum
+#: over a piece ``(a, b]`` of ``(c+x)/x`` is approached as ``x -> a+``, so we
+#: evaluate at ``a * (1 + BREAKPOINT_NUDGE)``.
+BREAKPOINT_NUDGE = 1e-9
+
+
+def candidate_targets(
+    trajectories: Sequence[Trajectory],
+    num_rays: int,
+    min_distance: float = 1.0,
+    horizon: Optional[float] = None,
+    nudge: float = BREAKPOINT_NUDGE,
+) -> List[RayPoint]:
+    """Enumerate the target positions at which the worst ratio can occur.
+
+    For every ray the candidates are:
+
+    * the minimum admissible distance itself, and
+    * every breakpoint of every robot's first-arrival-time function on that
+      ray, nudged infinitesimally to the right (strictly beyond the radius
+      already swept), clipped to ``[min_distance, horizon]``.
+
+    Between consecutive candidates the detection time has the form
+    ``c + x`` with constant ``c``, hence the ratio ``(c + x)/x`` is
+    decreasing and the listed points dominate.
+    """
+    if min_distance <= 0:
+        raise InvalidProblemError(f"min_distance must be positive, got {min_distance}")
+    targets: List[RayPoint] = []
+    for ray in range(num_rays):
+        distances = {min_distance}
+        for trajectory in trajectories:
+            for breakpoint in trajectory.arrival_breakpoints(ray, minimum=min_distance):
+                nudged = breakpoint * (1.0 + nudge)
+                if nudged < min_distance:
+                    continue
+                if horizon is not None and nudged > horizon:
+                    continue
+                distances.add(nudged)
+        for distance in sorted(distances):
+            targets.append(RayPoint(ray=ray, distance=distance))
+    return targets
+
+
+@dataclass(frozen=True)
+class AdversaryChoice:
+    """The adversary's best response to a set of trajectories.
+
+    Attributes
+    ----------
+    target:
+        Worst-case target location.
+    faulty_robots:
+        Robots the adversary makes faulty (the earliest visitors).
+    detection_time:
+        Time at which the target is nevertheless confirmed
+        (``math.inf`` when it never is).
+    ratio:
+        ``detection_time / target.distance`` — the competitive ratio this
+        choice forces.
+    """
+
+    target: RayPoint
+    faulty_robots: tuple
+    detection_time: float
+    ratio: float
+
+
+class Adversary:
+    """Adversary for a given :class:`SearchProblem`.
+
+    The adversary evaluates a concrete set of trajectories and returns the
+    choice (target position + fault assignment) that maximises the
+    detection-time-to-distance ratio.
+    """
+
+    def __init__(self, problem: SearchProblem, fault_model: Optional[FaultModel] = None) -> None:
+        self.problem = problem
+        self.fault_model = fault_model if fault_model is not None else fault_model_for(problem)
+
+    def response_at(
+        self, trajectories: Sequence[Trajectory], target: RayPoint
+    ) -> AdversaryChoice:
+        """The adversary's best response when the target is pinned at ``target``."""
+        visits = first_visits(trajectories, target)
+        detection_time = self.fault_model.confirmation_time(visits)
+        faulty = tuple(self.fault_model.adversarial_fault_set(visits))
+        ratio = (
+            detection_time / target.distance
+            if target.distance > 0
+            else math.inf
+        )
+        return AdversaryChoice(
+            target=target,
+            faulty_robots=faulty,
+            detection_time=detection_time,
+            ratio=ratio,
+        )
+
+    def best_response(
+        self,
+        trajectories: Sequence[Trajectory],
+        horizon: float,
+        extra_targets: Sequence[RayPoint] = (),
+    ) -> AdversaryChoice:
+        """The adversary's best choice over all candidate targets up to ``horizon``.
+
+        ``extra_targets`` lets callers add hand-picked positions (e.g. a
+        uniform verification grid) on top of the exact breakpoint
+        candidates.
+        """
+        candidates = candidate_targets(
+            trajectories,
+            num_rays=self.problem.num_rays,
+            min_distance=self.problem.min_target_distance,
+            horizon=horizon,
+        )
+        candidates = list(candidates) + list(extra_targets)
+        if not candidates:
+            raise InvalidProblemError("no candidate targets to evaluate")
+        best: Optional[AdversaryChoice] = None
+        for target in candidates:
+            if target.distance > horizon:
+                continue
+            choice = self.response_at(trajectories, target)
+            if best is None or choice.ratio > best.ratio:
+                best = choice
+        assert best is not None  # candidates is non-empty and contains min_distance
+        return best

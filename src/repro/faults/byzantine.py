@@ -1,0 +1,95 @@
+"""Byzantine-fault specifics: prior bounds and the paper's improvements.
+
+The paper's contribution for Byzantine faults is indirect but substantial:
+because a Byzantine adversary can always emulate a crash adversary, every
+crash lower bound of Theorem 1 transfers verbatim, and for several small
+parameter pairs this beats the previously published Byzantine bounds.  The
+headline example quoted in the paper is
+
+    ``B(3, 1) >= (8/3) * 4^(1/3) + 1 ≈ 5.23``   (previously 3.93).
+
+This module packages the comparison so the E3 bench and EXPERIMENTS.md can
+report it mechanically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.bounds import byzantine_lower_bound, known_byzantine_bounds_isaac2016
+from ..exceptions import InvalidProblemError
+
+__all__ = [
+    "ByzantineBoundComparison",
+    "headline_improvement",
+    "improvement_table",
+]
+
+
+@dataclass(frozen=True)
+class ByzantineBoundComparison:
+    """One row of the Byzantine lower-bound comparison.
+
+    Attributes
+    ----------
+    k, f:
+        Robot and fault counts.
+    new_bound:
+        The bound implied by Theorem 1 (crash transfer).
+    previous_bound:
+        The best previously published bound, when the paper quotes one.
+    improvement:
+        ``new_bound - previous_bound`` (``None`` when no prior bound is
+        known).
+    """
+
+    k: int
+    f: int
+    new_bound: float
+    previous_bound: Optional[float]
+    improvement: Optional[float]
+
+
+def headline_improvement() -> ByzantineBoundComparison:
+    """The paper's headline example: ``B(3, 1)`` improves from 3.93 to ≈5.23."""
+    previous = known_byzantine_bounds_isaac2016()[(3, 1)]
+    new = byzantine_lower_bound(3, 1)
+    return ByzantineBoundComparison(
+        k=3, f=1, new_bound=new, previous_bound=previous, improvement=new - previous
+    )
+
+
+def improvement_table(pairs: Optional[List[Tuple[int, int]]] = None) -> List[ByzantineBoundComparison]:
+    """Byzantine lower bounds implied by Theorem 1 for a list of ``(k, f)`` pairs.
+
+    The default list covers the small interesting-regime pairs
+    (``f < k < 2 (f + 1)``) with up to nine robots.  Pairs outside the
+    interesting regime are rejected because Theorem 1 does not bound them.
+    """
+    if pairs is None:
+        pairs = [
+            (k, f)
+            for f in range(1, 5)
+            for k in range(f + 1, 2 * (f + 1))
+        ]
+    known = known_byzantine_bounds_isaac2016()
+    rows: List[ByzantineBoundComparison] = []
+    for k, f in pairs:
+        if not (f < k < 2 * (f + 1)):
+            raise InvalidProblemError(
+                f"pair (k={k}, f={f}) is outside the interesting regime of Theorem 1"
+            )
+        new = byzantine_lower_bound(k, f)
+        previous = known.get((k, f))
+        rows.append(
+            ByzantineBoundComparison(
+                k=k,
+                f=f,
+                new_bound=new,
+                previous_bound=previous,
+                improvement=None if previous is None else new - previous,
+            )
+        )
+    return rows

@@ -1,0 +1,162 @@
+"""Random (non-adversarial) fault injection.
+
+The paper's competitive ratios are worst-case: the adversary chooses both
+the target and the faulty robots after seeing the strategy.  In practice
+faults are often random, and a natural question for a user of the library is
+how much slack the adversarial bound leaves on average.  This module
+injects *uniformly random* crash-fault sets and measures the resulting
+detection ratios, so that average-case behaviour can be compared against
+the adversarial guarantee:
+
+* every random-fault ratio is at most the adversarial ratio for the same
+  target (the adversarial fault set dominates any fixed one);
+* the mean over fault sets is typically well below the bound — quantified
+  by :func:`simulate_random_faults` and asserted in the failure-injection
+  tests.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.problem import SearchProblem
+from ..exceptions import InvalidProblemError
+from ..geometry.rays import RayPoint
+from ..geometry.trajectory import Trajectory
+from ..geometry.visits import first_visits
+from ..strategies.base import Strategy
+
+__all__ = [
+    "RandomFaultTrial",
+    "FaultInjectionReport",
+    "detection_time_with_faults",
+    "simulate_random_faults",
+]
+
+
+def detection_time_with_faults(
+    trajectories: Sequence[Trajectory],
+    target: RayPoint,
+    faulty_robots: Sequence[int],
+) -> float:
+    """Detection time when a *fixed* set of robots is crash-faulty.
+
+    The target is confirmed at the first visit by a robot outside
+    ``faulty_robots`` (``math.inf`` if no healthy robot ever reaches it).
+    """
+    faulty = set(faulty_robots)
+    for visit in first_visits(trajectories, target):
+        if visit.robot not in faulty:
+            return visit.time
+    return math.inf
+
+
+@dataclass(frozen=True)
+class RandomFaultTrial:
+    """One fault-injection trial: the sampled fault set, target and outcome."""
+
+    target: RayPoint
+    faulty_robots: Tuple[int, ...]
+    detection_time: float
+    ratio: float
+
+
+@dataclass
+class FaultInjectionReport:
+    """Aggregate of a fault-injection campaign.
+
+    ``adversarial_ratio`` is the worst-case ratio over the same targets with
+    the adversarial fault assignment, for comparison.
+    """
+
+    trials: List[RandomFaultTrial]
+    adversarial_ratio: float
+
+    @property
+    def mean_ratio(self) -> float:
+        """Average ratio over all trials (``inf`` if any trial never detects)."""
+        if not self.trials:
+            return math.nan
+        return sum(trial.ratio for trial in self.trials) / len(self.trials)
+
+    @property
+    def max_ratio(self) -> float:
+        """Worst ratio observed across the random trials."""
+        if not self.trials:
+            return math.nan
+        return max(trial.ratio for trial in self.trials)
+
+    @property
+    def slack(self) -> float:
+        """How much head-room the adversarial bound leaves on average."""
+        return self.adversarial_ratio - self.mean_ratio
+
+    def quantile(self, q: float) -> float:
+        """Empirical ``q``-quantile of the trial ratios (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise InvalidProblemError(f"quantile must be in [0, 1], got {q}")
+        if not self.trials:
+            return math.nan
+        ordered = sorted(trial.ratio for trial in self.trials)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+
+def simulate_random_faults(
+    strategy: Strategy,
+    horizon: float,
+    num_trials: int = 200,
+    seed: int = 0,
+    targets: Optional[Sequence[RayPoint]] = None,
+) -> FaultInjectionReport:
+    """Run a random fault-injection campaign against a strategy.
+
+    Each trial samples a uniformly random set of ``f`` faulty robots and a
+    target (uniformly among the provided targets, or geometrically spread
+    over ``[1, horizon]`` on random rays when none are given), then records
+    the detection ratio with that fixed fault set.
+    """
+    problem: SearchProblem = strategy.problem
+    if num_trials < 1:
+        raise InvalidProblemError("need at least one trial")
+    rng = random.Random(seed)
+    trajectories = strategy.trajectories(horizon)
+
+    if targets is None:
+        targets = []
+        for _ in range(32):
+            exponent = rng.uniform(0.0, math.log10(max(horizon, 10.0)))
+            targets.append(
+                RayPoint(
+                    ray=rng.randrange(problem.num_rays),
+                    distance=min(horizon, max(1.0, 10.0**exponent)),
+                )
+            )
+
+    # Adversarial reference over the same targets.
+    from .adversary import Adversary
+
+    adversary = Adversary(problem)
+    adversarial_ratio = max(
+        adversary.response_at(trajectories, target).ratio for target in targets
+    )
+
+    trials: List[RandomFaultTrial] = []
+    robots = list(range(problem.num_robots))
+    for _ in range(num_trials):
+        target = targets[rng.randrange(len(targets))]
+        faulty = tuple(sorted(rng.sample(robots, problem.num_faulty)))
+        detection_time = detection_time_with_faults(trajectories, target, faulty)
+        ratio = detection_time / target.distance
+        trials.append(
+            RandomFaultTrial(
+                target=target,
+                faulty_robots=faulty,
+                detection_time=detection_time,
+                ratio=ratio,
+            )
+        )
+    return FaultInjectionReport(trials=trials, adversarial_ratio=adversarial_ratio)

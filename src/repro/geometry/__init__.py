@@ -1,0 +1,47 @@
+"""Geometric substrate: ray domains, trajectories and visit analysis."""
+
+from .rays import (
+    NEGATIVE_RAY,
+    POSITIVE_RAY,
+    LineDomain,
+    RayPoint,
+    StarDomain,
+    symmetric_pair,
+)
+from .trajectory import (
+    Excursion,
+    Segment,
+    Trajectory,
+    excursion_trajectory,
+    idle_trajectory,
+    straight_trajectory,
+    zigzag_trajectory,
+)
+from .visits import (
+    Visit,
+    covering_robots,
+    first_visits,
+    nth_distinct_visit_time,
+    visit_count_by_time,
+)
+
+__all__ = [
+    "NEGATIVE_RAY",
+    "POSITIVE_RAY",
+    "LineDomain",
+    "RayPoint",
+    "StarDomain",
+    "symmetric_pair",
+    "Excursion",
+    "Segment",
+    "Trajectory",
+    "excursion_trajectory",
+    "idle_trajectory",
+    "straight_trajectory",
+    "zigzag_trajectory",
+    "Visit",
+    "covering_robots",
+    "first_visits",
+    "nth_distinct_visit_time",
+    "visit_count_by_time",
+]

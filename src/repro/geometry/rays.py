@@ -1,0 +1,184 @@
+"""Search domains: the star of ``m`` rays and the real line.
+
+The paper's robots move on a *star*: ``m`` half-lines (rays) glued at a
+common origin.  A point is addressed by the pair ``(ray index, distance from
+the origin)``.  The real line is the special case ``m = 2``: ray ``0`` is
+the positive half-line and ray ``1`` the negative one, and
+:class:`LineDomain` offers conversions to and from signed coordinates.
+
+These classes are deliberately lightweight — they validate addressing and
+provide distance computations, while trajectories and simulation live in
+:mod:`repro.geometry.trajectory` and :mod:`repro.simulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..exceptions import InvalidProblemError
+
+__all__ = [
+    "RayPoint",
+    "StarDomain",
+    "LineDomain",
+    "POSITIVE_RAY",
+    "NEGATIVE_RAY",
+    "symmetric_pair",
+]
+
+#: Ray index used for the positive half-line when the domain is the real line.
+POSITIVE_RAY = 0
+#: Ray index used for the negative half-line when the domain is the real line.
+NEGATIVE_RAY = 1
+
+
+@dataclass(frozen=True, order=True)
+class RayPoint:
+    """A point on a star of rays: ``(ray, distance)`` with ``distance >= 0``.
+
+    The origin is represented as distance ``0.0`` on any ray; two origin
+    points on different rays compare unequal as dataclasses but are treated
+    as the same location by :meth:`StarDomain.travel_distance`.
+    """
+
+    ray: int
+    distance: float
+
+    def __post_init__(self) -> None:
+        if self.ray < 0:
+            raise InvalidProblemError(f"ray index must be >= 0, got {self.ray}")
+        if self.distance < 0:
+            raise InvalidProblemError(
+                f"distance must be >= 0, got {self.distance}"
+            )
+
+    @property
+    def is_origin(self) -> bool:
+        """True when the point is the common origin of all rays."""
+        return self.distance == 0.0
+
+
+class StarDomain:
+    """A star of ``num_rays`` rays emanating from a single origin.
+
+    The domain knows how to validate ray indices, measure travel distance
+    between points (through the origin when the rays differ), and enumerate
+    its rays.  It is shared by every strategy and by the simulator.
+    """
+
+    def __init__(self, num_rays: int) -> None:
+        if not isinstance(num_rays, int) or num_rays < 1:
+            raise InvalidProblemError(
+                f"a star domain needs at least one ray, got {num_rays!r}"
+            )
+        self._num_rays = num_rays
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rays(self) -> int:
+        """Number of rays in the star."""
+        return self._num_rays
+
+    @property
+    def is_line(self) -> bool:
+        """True when the star is the real line (exactly two rays)."""
+        return self._num_rays == 2
+
+    def rays(self) -> Iterator[int]:
+        """Iterate over the valid ray indices ``0 .. num_rays - 1``."""
+        return iter(range(self._num_rays))
+
+    # ------------------------------------------------------------------
+    def validate_ray(self, ray: int) -> int:
+        """Check that ``ray`` is a valid index and return it."""
+        if not 0 <= ray < self._num_rays:
+            raise InvalidProblemError(
+                f"ray index {ray} out of range for a {self._num_rays}-ray star"
+            )
+        return ray
+
+    def point(self, ray: int, distance: float) -> RayPoint:
+        """Build a validated :class:`RayPoint` on this domain."""
+        self.validate_ray(ray)
+        return RayPoint(ray=ray, distance=float(distance))
+
+    def travel_distance(self, a: RayPoint, b: RayPoint) -> float:
+        """Shortest travel distance between two points of the star.
+
+        On the same ray this is ``|a.distance - b.distance|``; on different
+        rays the robot must pass through the origin, giving
+        ``a.distance + b.distance``.
+        """
+        self.validate_ray(a.ray)
+        self.validate_ray(b.ray)
+        if a.ray == b.ray or a.is_origin or b.is_origin:
+            if a.is_origin:
+                return b.distance
+            if b.is_origin:
+                return a.distance
+            return abs(a.distance - b.distance)
+        return a.distance + b.distance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StarDomain(num_rays={self._num_rays})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StarDomain) and other._num_rays == self._num_rays
+
+    def __hash__(self) -> int:
+        return hash(("StarDomain", self._num_rays))
+
+
+class LineDomain(StarDomain):
+    """The real line viewed as a two-ray star.
+
+    Adds conversions between signed coordinates and ``(ray, distance)``
+    pairs: positive coordinates live on ray :data:`POSITIVE_RAY`, negative
+    ones on ray :data:`NEGATIVE_RAY`.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(num_rays=2)
+
+    @staticmethod
+    def from_signed(x: float) -> RayPoint:
+        """Convert a signed coordinate into a :class:`RayPoint`."""
+        if x >= 0:
+            return RayPoint(ray=POSITIVE_RAY, distance=float(x))
+        return RayPoint(ray=NEGATIVE_RAY, distance=float(-x))
+
+    @staticmethod
+    def to_signed(point: RayPoint) -> float:
+        """Convert a :class:`RayPoint` of a two-ray star into a signed coordinate."""
+        if point.ray == POSITIVE_RAY:
+            return point.distance
+        if point.ray == NEGATIVE_RAY:
+            return -point.distance
+        raise InvalidProblemError(
+            f"point on ray {point.ray} does not belong to the line domain"
+        )
+
+    @staticmethod
+    def mirror(point: RayPoint) -> RayPoint:
+        """Return the reflection ``-x`` of a line point ``x``."""
+        if point.ray not in (POSITIVE_RAY, NEGATIVE_RAY):
+            raise InvalidProblemError(
+                f"point on ray {point.ray} does not belong to the line domain"
+            )
+        other = NEGATIVE_RAY if point.ray == POSITIVE_RAY else POSITIVE_RAY
+        return RayPoint(ray=other, distance=point.distance)
+
+
+def symmetric_pair(distance: float) -> List[RayPoint]:
+    """The pair ``(x, -x)`` of line points at a given distance.
+
+    Used by the symmetric line-cover setting of Section 2, where a robot
+    covers ``x`` only once it has visited both ``x`` and ``-x``.
+    """
+    if distance < 0:
+        raise InvalidProblemError(f"distance must be >= 0, got {distance}")
+    return [
+        RayPoint(ray=POSITIVE_RAY, distance=float(distance)),
+        RayPoint(ray=NEGATIVE_RAY, distance=float(distance)),
+    ]

@@ -1,0 +1,85 @@
+"""Multi-robot visit analysis.
+
+The detection rule for crash faults is purely order-statistical: a target at
+point ``p`` is confirmed at the time the ``(f + 1)``-th *distinct* robot
+first reaches ``p`` (the adversary silences the earliest ``f`` visitors).
+This module computes those order statistics exactly from trajectories.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..exceptions import InvalidProblemError
+from .rays import RayPoint
+from .trajectory import Trajectory
+
+__all__ = [
+    "Visit",
+    "first_visits",
+    "nth_distinct_visit_time",
+    "visit_count_by_time",
+    "covering_robots",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Visit:
+    """A single robot's first arrival at a point: ``(time, robot index)``.
+
+    Ordering is by time first (then robot index), so a sorted list of visits
+    is the arrival order the adversary reasons about.
+    """
+
+    time: float
+    robot: int
+
+
+def first_visits(trajectories: Sequence[Trajectory], point: RayPoint) -> List[Visit]:
+    """First arrival of every robot at ``point``, sorted by time.
+
+    Robots that never reach the point are omitted (their arrival time is
+    infinite).
+    """
+    visits = []
+    for index, trajectory in enumerate(trajectories):
+        time = trajectory.first_arrival_time(point.ray, point.distance)
+        if math.isfinite(time):
+            visits.append(Visit(time=time, robot=index))
+    return sorted(visits)
+
+
+def nth_distinct_visit_time(
+    trajectories: Sequence[Trajectory], point: RayPoint, n: int
+) -> float:
+    """Time at which the ``n``-th distinct robot first reaches ``point``.
+
+    Returns ``math.inf`` when fewer than ``n`` robots ever visit the point.
+    With ``n = f + 1`` this is exactly the crash-fault detection time.
+    """
+    if n < 1:
+        raise InvalidProblemError(f"n must be at least 1, got {n}")
+    visits = first_visits(trajectories, point)
+    if len(visits) < n:
+        return math.inf
+    return visits[n - 1].time
+
+
+def visit_count_by_time(
+    trajectories: Sequence[Trajectory], point: RayPoint, deadline: float
+) -> int:
+    """Number of distinct robots that have visited ``point`` by ``deadline``."""
+    return sum(1 for visit in first_visits(trajectories, point) if visit.time <= deadline)
+
+
+def covering_robots(
+    trajectories: Sequence[Trajectory], point: RayPoint, deadline: float
+) -> List[int]:
+    """Indices of the robots that visit ``point`` no later than ``deadline``."""
+    return [
+        visit.robot
+        for visit in first_visits(trajectories, point)
+        if visit.time <= deadline
+    ]

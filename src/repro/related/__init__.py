@@ -1,0 +1,49 @@
+"""Related problems from Section 3: ORC covering, fractional retrieval, contracts, hybrids."""
+
+from .contract import (
+    Contract,
+    ContractSchedule,
+    geometric_contract_schedule,
+    optimal_acceleration_ratio,
+    search_ratio_from_acceleration,
+)
+from .fractional import (
+    WeightedCoveringStrategy,
+    fractional_strategy,
+    measure_fractional_ratio,
+)
+from .hybrid import (
+    HybridSchedule,
+    Run,
+    geometric_hybrid_schedule,
+    hybrid_optimal_ratio,
+    measure_hybrid_ratio,
+)
+from .orc import (
+    OrcCoveringStrategy,
+    geometric_orc_strategy,
+    measure_orc_ratio,
+    orc_strategy_from_ray_strategy,
+    required_lambda_at,
+)
+
+__all__ = [
+    "Contract",
+    "ContractSchedule",
+    "geometric_contract_schedule",
+    "optimal_acceleration_ratio",
+    "search_ratio_from_acceleration",
+    "WeightedCoveringStrategy",
+    "fractional_strategy",
+    "measure_fractional_ratio",
+    "HybridSchedule",
+    "Run",
+    "geometric_hybrid_schedule",
+    "hybrid_optimal_ratio",
+    "measure_hybrid_ratio",
+    "OrcCoveringStrategy",
+    "geometric_orc_strategy",
+    "measure_orc_ratio",
+    "orc_strategy_from_ray_strategy",
+    "required_lambda_at",
+]

@@ -1,0 +1,209 @@
+"""Contract algorithms and their correspondence with ray search.
+
+A *contract algorithm* must be told its running time in advance; run for a
+longer contract it produces a better answer, interrupted early it produces
+nothing.  The scheduling problem (Bernstein, Finkelstein & Zilberstein,
+IJCAI 2003; Zilberstein et al.) is: ``k`` processors run contracts for
+``m`` problems back-to-back, and at an unknown interruption time ``T`` an
+adversary names a problem ``i``; the schedule's quality is the length of
+the longest contract for ``i`` completed by ``T``.  The *acceleration
+ratio* is
+
+.. math:: \\mathrm{acc} = \\sup_{T, i} \\frac{T}{\\ell_i(T)},
+
+the factor by which a clairvoyant scheduler (that knew ``T`` and ``i``)
+could have run a longer contract.
+
+The connection the paper discusses: interpreting each problem as a ray and
+contract lengths as distances, contract scheduling is ray searching
+*without the return trips*.  Quantitatively, for the optimal geometric
+schedules,
+
+.. math:: A(m, k, 0) \\;=\\; 1 + 2\\,\\mathrm{acc}^*(m - k, k),
+
+i.e. the fault-free ``m``-ray / ``k``-robot search ratio of Theorem 6
+equals one plus twice the optimal acceleration ratio for ``m - k`` problems
+on ``k`` processors.  This module implements contract schedules, measures
+acceleration ratios exactly, provides the optimal geometric schedule, and
+exposes the correspondence so bench E11 can verify it numerically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.bounds import crash_ray_ratio
+from ..exceptions import InvalidProblemError, InvalidStrategyError
+
+__all__ = [
+    "Contract",
+    "ContractSchedule",
+    "geometric_contract_schedule",
+    "optimal_acceleration_ratio",
+    "search_ratio_from_acceleration",
+]
+
+
+@dataclass(frozen=True)
+class Contract:
+    """One contract: ``problem`` index and ``length`` (processing time)."""
+
+    problem: int
+    length: float
+
+    def __post_init__(self) -> None:
+        if self.problem < 0:
+            raise InvalidProblemError(f"problem index must be >= 0, got {self.problem}")
+        if self.length <= 0:
+            raise InvalidStrategyError(f"contract length must be positive, got {self.length}")
+
+
+class ContractSchedule:
+    """A contract schedule: per-processor sequences of contracts run back-to-back."""
+
+    def __init__(self, num_problems: int, assignments: Sequence[Sequence[Contract]]) -> None:
+        if num_problems < 1:
+            raise InvalidProblemError(
+                f"need at least one problem, got {num_problems}"
+            )
+        if not assignments:
+            raise InvalidStrategyError("a schedule needs at least one processor")
+        for processor_contracts in assignments:
+            for contract in processor_contracts:
+                if contract.problem >= num_problems:
+                    raise InvalidProblemError(
+                        f"contract references problem {contract.problem} but only "
+                        f"{num_problems} problems exist"
+                    )
+        self.num_problems = num_problems
+        self.assignments: Tuple[Tuple[Contract, ...], ...] = tuple(
+            tuple(contracts) for contracts in assignments
+        )
+
+    @property
+    def num_processors(self) -> int:
+        """Number of processors in the schedule."""
+        return len(self.assignments)
+
+    def completion_events(self) -> List[Tuple[float, Contract]]:
+        """All contract completions as ``(completion_time, contract)``, sorted."""
+        events: List[Tuple[float, Contract]] = []
+        for processor_contracts in self.assignments:
+            elapsed = 0.0
+            for contract in processor_contracts:
+                elapsed += contract.length
+                events.append((elapsed, contract))
+        events.sort(key=lambda event: event[0])
+        return events
+
+    def best_completed_length(self, problem: int, interruption_time: float) -> float:
+        """Longest contract for ``problem`` completed by ``interruption_time``.
+
+        Returns ``0.0`` when no contract for the problem has completed yet.
+        """
+        best = 0.0
+        for completion_time, contract in self.completion_events():
+            if completion_time > interruption_time:
+                break
+            if contract.problem == problem:
+                best = max(best, contract.length)
+        return best
+
+    def acceleration_ratio(self, min_interruption: Optional[float] = None) -> float:
+        """Exact acceleration ratio of the schedule.
+
+        The supremum of ``T / ell_i(T)`` is approached just *before* a
+        completion event improves ``ell_i``, so it suffices to evaluate, for
+        every completion event of every problem, the ratio of that event's
+        time to the previously best completed length for the same problem.
+        ``min_interruption`` discards interruptions earlier than the given
+        time (the standard convention: the adversary cannot interrupt before
+        each problem has at least one completed contract; by default the
+        earliest time at which every problem has one).
+        """
+        events = self.completion_events()
+        if not events:
+            return math.inf
+        # Default minimum interruption: first time every problem has a result.
+        if min_interruption is None:
+            seen: Dict[int, float] = {}
+            min_interruption = math.inf
+            for completion_time, contract in events:
+                if contract.problem not in seen:
+                    seen[contract.problem] = completion_time
+                    if len(seen) == self.num_problems:
+                        min_interruption = completion_time
+                        break
+        best_length: Dict[int, float] = {problem: 0.0 for problem in range(self.num_problems)}
+        worst = 0.0
+        for completion_time, contract in events:
+            if completion_time > min_interruption:
+                previous = best_length[contract.problem]
+                if previous <= 0.0:
+                    return math.inf
+                worst = max(worst, completion_time / previous)
+            best_length[contract.problem] = max(
+                best_length[contract.problem], contract.length
+            )
+        return worst
+
+
+def geometric_contract_schedule(
+    num_problems: int,
+    num_processors: int,
+    horizon: float,
+    base: Optional[float] = None,
+    warmup: int = 2,
+) -> ContractSchedule:
+    """The optimal cyclic geometric contract schedule.
+
+    Global contract ``n`` is for problem ``n mod m``, has length ``base^n``
+    and runs on processor ``n mod k``.  The optimal base is
+    ``((m + k)/m)^{1/k}``, for which the acceleration ratio equals
+    :func:`optimal_acceleration_ratio`.
+    """
+    if num_processors < 1 or num_problems < 1:
+        raise InvalidProblemError("need at least one problem and one processor")
+    if horizon <= 1.0:
+        raise InvalidProblemError(f"horizon must exceed 1, got {horizon}")
+    if base is None:
+        base = ((num_problems + num_processors) / num_problems) ** (1.0 / num_processors)
+    if base <= 1.0:
+        raise InvalidStrategyError(f"base must exceed 1, got {base}")
+    start = -warmup * num_problems * num_processors
+    end = int(math.ceil(math.log(horizon, base))) + num_problems * num_processors
+    assignments: List[List[Contract]] = [[] for _ in range(num_processors)]
+    for n in range(start, end + 1):
+        assignments[n % num_processors].append(
+            Contract(problem=n % num_problems, length=base**n)
+        )
+    return ContractSchedule(num_problems, assignments)
+
+
+def optimal_acceleration_ratio(num_problems: int, num_processors: int) -> float:
+    """The optimal acceleration ratio for ``m`` problems on ``k`` processors.
+
+    .. math:: \\mathrm{acc}^*(m, k) =
+        \\left(\\frac{(m+k)^{m+k}}{m^m k^k}\\right)^{1/k}
+        = \\frac{m+k}{k}\\left(\\frac{m+k}{m}\\right)^{m/k}.
+    """
+    m, k = num_problems, num_processors
+    if m < 1 or k < 1:
+        raise InvalidProblemError("need at least one problem and one processor")
+    log_value = (m + k) * math.log(m + k) - m * math.log(m) - k * math.log(k)
+    return math.exp(log_value / k)
+
+
+def search_ratio_from_acceleration(num_rays: int, num_robots: int) -> float:
+    """Theorem 6 (``f = 0``) recovered from the contract-scheduling optimum.
+
+    ``A(m, k, 0) = 1 + 2 * acc*(m - k, k)`` for ``k < m``; the identity is
+    exercised by bench E11 and the related-problems tests.
+    """
+    if not num_robots < num_rays:
+        raise InvalidProblemError(
+            "the correspondence requires fewer robots than rays (k < m)"
+        )
+    return 1.0 + 2.0 * optimal_acceleration_ratio(num_rays - num_robots, num_robots)

@@ -1,0 +1,161 @@
+"""Fractional one-ray retrieval with returns (Eq. 11).
+
+The fractional relaxation replaces the integer covering multiplicity by a
+*weight* requirement: finitely many robots of total weight 1 move on a
+single ray (returning to the origin between rounds), and the target at
+distance ``x >= 1`` must be covered by rounds of total weight ``eta >= 1``
+within time ``lambda x``.  The paper proves
+
+.. math:: C(\\eta) \\;=\\; 2\\,\\frac{\\eta^\\eta}{(\\eta-1)^{\\eta-1}} + 1
+
+by sandwiching the fractional problem between integer ORC instances with
+``q/k -> eta`` (its appendix reduction).  This module makes both directions
+executable:
+
+* :func:`fractional_strategy` — the rational-approximation construction:
+  ``k`` robots of weight ``1/k`` running the geometric ORC schedule for
+  ``q = round(eta * k)``; its measured ratio converges to ``C(eta)`` as
+  ``k`` grows.
+* :func:`measure_fractional_ratio` — the exact measured ratio of an
+  arbitrary weighted schedule over a finite range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.bounds import fractional_retrieval_ratio
+from ..exceptions import InvalidProblemError, InvalidStrategyError
+from .orc import OrcCoveringStrategy, geometric_orc_strategy
+
+__all__ = [
+    "WeightedCoveringStrategy",
+    "fractional_strategy",
+    "required_lambda_at",
+    "measure_fractional_ratio",
+]
+
+
+@dataclass(frozen=True)
+class WeightedCoveringStrategy:
+    """A fractional covering strategy: per-robot weights and round radii.
+
+    ``weights[r]`` is the weight of robot ``r`` (weights sum to 1, up to
+    floating point); ``radii[r]`` its round radii; ``eta`` the total weight
+    with which every distance must be covered within the deadline.
+    """
+
+    weights: Tuple[float, ...]
+    radii: Tuple[Tuple[float, ...], ...]
+    eta: float
+
+    def __post_init__(self) -> None:
+        if self.eta < 1.0:
+            raise InvalidProblemError(f"eta must be at least 1, got {self.eta}")
+        if len(self.weights) != len(self.radii):
+            raise InvalidStrategyError(
+                "weights and radii must describe the same number of robots"
+            )
+        if not self.weights:
+            raise InvalidStrategyError("a fractional strategy needs at least one robot")
+        total = sum(self.weights)
+        if abs(total - 1.0) > 1e-6:
+            raise InvalidStrategyError(
+                f"robot weights must sum to 1, got {total}"
+            )
+        for weight in self.weights:
+            if weight <= 0:
+                raise InvalidStrategyError(f"weights must be positive, got {weight}")
+        for robot_radii in self.radii:
+            for radius in robot_radii:
+                if radius <= 0:
+                    raise InvalidStrategyError(
+                        f"round radii must be positive, got {radius}"
+                    )
+
+    @property
+    def num_robots(self) -> int:
+        """Number of weighted robots."""
+        return len(self.weights)
+
+    def theoretical_ratio(self) -> float:
+        """The tight Eq.-11 value ``C(eta)``."""
+        return fractional_retrieval_ratio(self.eta)
+
+
+def fractional_strategy(
+    eta: float,
+    num_robots: int,
+    horizon: float,
+    alpha: Optional[float] = None,
+) -> WeightedCoveringStrategy:
+    """Rational-approximation construction achieving ``C(eta)`` in the limit.
+
+    ``num_robots`` equal-weight robots run the geometric ORC strategy for
+    covering multiplicity ``q = round(eta * num_robots)``; every distance is
+    then covered by weight ``q / num_robots ~ eta`` within the deadline
+    ``C(num_robots, q)``, which converges to ``C(eta)`` as ``num_robots``
+    grows (the paper's appendix argument).
+    """
+    if eta <= 1.0:
+        raise InvalidProblemError(
+            f"the fractional construction needs eta > 1, got {eta}"
+        )
+    if num_robots < 1:
+        raise InvalidProblemError(f"need at least one robot, got {num_robots}")
+    fold = int(round(eta * num_robots))
+    if fold <= num_robots:
+        fold = num_robots + 1
+    inner = geometric_orc_strategy(num_robots, fold, horizon, alpha=alpha)
+    weight = 1.0 / num_robots
+    return WeightedCoveringStrategy(
+        weights=tuple(weight for _ in range(num_robots)),
+        radii=inner.radii,
+        eta=fold / num_robots,
+    )
+
+
+def required_lambda_at(strategy: WeightedCoveringStrategy, distance: float) -> float:
+    """Smallest ``lambda`` at which ``distance`` is covered with weight ``eta``.
+
+    Rounds are sorted by their individual deadline requirement; weight is
+    accumulated greedily until it reaches ``eta`` and the requirement of the
+    last round taken is returned (``math.inf`` when the total available
+    weight falls short).
+    """
+    if distance <= 0:
+        raise InvalidProblemError(f"distance must be positive, got {distance}")
+    requirements: List[Tuple[float, float]] = []
+    for weight, robot_radii in zip(strategy.weights, strategy.radii):
+        prefix = 0.0
+        for radius in robot_radii:
+            if radius >= distance:
+                requirements.append(((2.0 * prefix + distance) / distance, weight))
+            prefix += radius
+    requirements.sort(key=lambda item: item[0])
+    accumulated = 0.0
+    for requirement, weight in requirements:
+        accumulated += weight
+        if accumulated >= strategy.eta - 1e-12:
+            return requirement
+    return math.inf
+
+
+def measure_fractional_ratio(
+    strategy: WeightedCoveringStrategy,
+    lo: float = 1.0,
+    hi: float = 1e4,
+    nudge: float = 1e-9,
+) -> float:
+    """Measured fractional covering ratio over ``[lo, hi]`` (exact via breakpoints)."""
+    if hi < lo:
+        raise InvalidProblemError(f"empty range [{lo}, {hi}]")
+    candidates = {lo}
+    for robot_radii in strategy.radii:
+        for radius in robot_radii:
+            nudged = radius * (1.0 + nudge)
+            if lo <= nudged <= hi:
+                candidates.add(nudged)
+    return max(required_lambda_at(strategy, candidate) for candidate in sorted(candidates))

@@ -1,0 +1,192 @@
+"""Hybrid on-line algorithms (Kao, Ma, Sipser & Yin; Fiat, Rabani & Ravid).
+
+The hybrid-algorithm problem quoted in Section 3 of the paper: ``m`` basic
+algorithms can each potentially solve a problem ``Q``; only one of them
+(adversarially chosen) terminates, after an unknown amount ``x`` of
+computation.  A computer with ``k`` disjoint memory areas runs basic
+algorithms one at a time per area; restarting an algorithm in an area
+re-does its computation from scratch.  The hybrid strategy's competitive
+ratio is the worst case, over the solving algorithm ``i`` and its required
+amount ``x``, of the total elapsed time until ``x`` units of algorithm ``i``
+have been executed consecutively in some area, divided by ``x``.
+
+Interpreting algorithm ``i`` as ray ``i`` and executed computation as
+distance, this is ray search *without return trips*: progress is abandoned
+rather than walked back.  For the cyclic geometric schedule the optimal
+(time) competitive ratio is therefore
+
+.. math:: H(m, k) \\;=\\; 1 + \\sqrt[k]{\\frac{m^m}{(m-k)^{m-k} k^k}}
+          \\;=\\; 1 + \\frac{A(m, k, 0) - 1}{2},
+
+exactly half the "search overhead" of Theorem 6 — the robots save the
+return trips.  This module implements hybrid schedules, measures their
+ratio exactly, and exposes the identity above for bench E11.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.bounds import crash_ray_ratio
+from ..exceptions import InvalidProblemError, InvalidStrategyError
+
+__all__ = [
+    "Run",
+    "HybridSchedule",
+    "geometric_hybrid_schedule",
+    "hybrid_optimal_ratio",
+    "measure_hybrid_ratio",
+]
+
+
+@dataclass(frozen=True)
+class Run:
+    """One run: execute ``algorithm`` from scratch up to ``amount`` units."""
+
+    algorithm: int
+    amount: float
+
+    def __post_init__(self) -> None:
+        if self.algorithm < 0:
+            raise InvalidProblemError(
+                f"algorithm index must be >= 0, got {self.algorithm}"
+            )
+        if self.amount <= 0:
+            raise InvalidStrategyError(f"run amount must be positive, got {self.amount}")
+
+
+class HybridSchedule:
+    """A hybrid-algorithm schedule: per-memory-area sequences of runs."""
+
+    def __init__(self, num_algorithms: int, areas: Sequence[Sequence[Run]]) -> None:
+        if num_algorithms < 1:
+            raise InvalidProblemError(
+                f"need at least one basic algorithm, got {num_algorithms}"
+            )
+        if not areas:
+            raise InvalidStrategyError("a hybrid schedule needs at least one memory area")
+        for area_runs in areas:
+            for run in area_runs:
+                if run.algorithm >= num_algorithms:
+                    raise InvalidProblemError(
+                        f"run references algorithm {run.algorithm} but only "
+                        f"{num_algorithms} algorithms exist"
+                    )
+        self.num_algorithms = num_algorithms
+        self.areas: Tuple[Tuple[Run, ...], ...] = tuple(tuple(runs) for runs in areas)
+
+    @property
+    def num_areas(self) -> int:
+        """Number of memory areas (parallel execution slots)."""
+        return len(self.areas)
+
+    def solve_time(self, algorithm: int, amount: float) -> float:
+        """Elapsed time until ``algorithm`` has executed ``amount`` units in one run.
+
+        All areas run in parallel; within an area runs execute back-to-back
+        and each run starts its algorithm from scratch.  Returns
+        ``math.inf`` when no run of the algorithm ever reaches ``amount``.
+        """
+        if amount <= 0:
+            raise InvalidProblemError(f"amount must be positive, got {amount}")
+        best = math.inf
+        for area_runs in self.areas:
+            elapsed = 0.0
+            for run in area_runs:
+                if run.algorithm == algorithm and run.amount >= amount:
+                    best = min(best, elapsed + amount)
+                    break
+                elapsed += run.amount
+        return best
+
+    def max_explored(self, algorithm: int) -> float:
+        """Largest amount any single run of ``algorithm`` reaches."""
+        best = 0.0
+        for area_runs in self.areas:
+            for run in area_runs:
+                if run.algorithm == algorithm:
+                    best = max(best, run.amount)
+        return best
+
+
+def measure_hybrid_ratio(
+    schedule: HybridSchedule,
+    lo: float = 1.0,
+    hi: float = 1e4,
+    nudge: float = 1e-9,
+) -> float:
+    """Measured competitive ratio of a hybrid schedule over amounts in ``[lo, hi]``.
+
+    For a fixed algorithm, ``solve_time(amount) / amount`` is piecewise of
+    the form ``(c + x)/x`` between run amounts, so the supremum is attained
+    just past a run amount (or at ``lo``); those candidates are evaluated
+    exactly.
+    """
+    if hi < lo:
+        raise InvalidProblemError(f"empty range [{lo}, {hi}]")
+    worst = 0.0
+    for algorithm in range(schedule.num_algorithms):
+        candidates = {lo}
+        for area_runs in schedule.areas:
+            for run in area_runs:
+                if run.algorithm != algorithm:
+                    continue
+                nudged = run.amount * (1.0 + nudge)
+                if lo <= nudged <= hi:
+                    candidates.add(nudged)
+        for amount in candidates:
+            worst = max(worst, schedule.solve_time(algorithm, amount) / amount)
+    return worst
+
+
+def geometric_hybrid_schedule(
+    num_algorithms: int,
+    num_areas: int,
+    horizon: float,
+    base: Optional[float] = None,
+    warmup: int = 2,
+) -> HybridSchedule:
+    """The optimal cyclic geometric hybrid schedule for ``k < m``.
+
+    Global run ``n`` executes algorithm ``n mod m`` up to ``base^n`` units in
+    memory area ``n mod k``; the optimal base is ``(m/(m-k))^{1/k}``, the
+    same as for ray search, and the resulting ratio is
+    :func:`hybrid_optimal_ratio`.
+    """
+    m, k = num_algorithms, num_areas
+    if k < 1 or m < 1:
+        raise InvalidProblemError("need at least one algorithm and one memory area")
+    if k >= m:
+        raise InvalidProblemError(
+            "with k >= m each algorithm gets a dedicated area and the ratio is 1; "
+            "the geometric schedule needs k < m"
+        )
+    if horizon <= 1.0:
+        raise InvalidProblemError(f"horizon must exceed 1, got {horizon}")
+    if base is None:
+        base = (m / (m - k)) ** (1.0 / k)
+    if base <= 1.0:
+        raise InvalidStrategyError(f"base must exceed 1, got {base}")
+    start = -warmup * m * k
+    end = int(math.ceil(math.log(horizon, base))) + m * k
+    areas: List[List[Run]] = [[] for _ in range(k)]
+    for n in range(start, end + 1):
+        areas[n % k].append(Run(algorithm=n % m, amount=base**n))
+    return HybridSchedule(m, areas)
+
+
+def hybrid_optimal_ratio(num_algorithms: int, num_areas: int) -> float:
+    """Optimal time-competitive ratio for hybrid algorithms, ``k < m``.
+
+    ``H(m, k) = 1 + (m^m / ((m-k)^{m-k} k^k))^{1/k}``, i.e.
+    ``1 + (A(m, k, 0) - 1) / 2`` — the ray-search overhead without the
+    return trips.
+    """
+    m, k = num_algorithms, num_areas
+    if not 1 <= k < m:
+        raise InvalidProblemError(
+            f"the formula applies for 1 <= k < m, got m={m}, k={k}"
+        )
+    return 1.0 + (crash_ray_ratio(m, k, 0) - 1.0) / 2.0

@@ -1,0 +1,186 @@
+"""The one-ray cover with returns (ORC) setting as a standalone problem.
+
+Section 3 of the paper introduces the ORC setting as a *relaxation* of the
+m-ray search problem: forget the ray labels, keep only the requirement that
+robots return to the origin between rounds and that every distance in
+``[1, inf)`` is covered ``q = m (f + 1)`` times within the deadline.  Any
+ray-search strategy with ratio ``lambda`` induces an ORC covering strategy
+with the same ratio (Eq. 10 direction "A >= C"); conversely the tight ORC
+bound is matched by the geometric covering strategy.
+
+This module provides:
+
+* :class:`OrcCoveringStrategy` — per-robot round-radius schedules;
+* :func:`geometric_orc_strategy` — the optimal geometric construction for a
+  ``(k, q)`` covering instance;
+* :func:`orc_strategy_from_ray_strategy` — the label-forgetting reduction;
+* :func:`measure_orc_ratio` — the smallest ``lambda`` for which a schedule
+  ``q``-fold lambda-covers ``[lo, hi]``, computed exactly from breakpoints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.bounds import orc_covering_ratio
+from ..core.covering import orc_cover_intervals, find_hole
+from ..exceptions import CoverageHoleError, InvalidProblemError, InvalidStrategyError
+from ..strategies.base import Strategy
+
+__all__ = [
+    "OrcCoveringStrategy",
+    "geometric_orc_strategy",
+    "orc_strategy_from_ray_strategy",
+    "measure_orc_ratio",
+    "required_lambda_at",
+]
+
+
+@dataclass(frozen=True)
+class OrcCoveringStrategy:
+    """A covering strategy in the ORC setting.
+
+    ``radii[r]`` is the list of round radii of robot ``r`` (the robot walks
+    out to the radius and back to the origin, in order).  ``fold`` is the
+    covering multiplicity ``q`` the strategy is meant to deliver.
+    """
+
+    radii: Tuple[Tuple[float, ...], ...]
+    fold: int
+
+    def __post_init__(self) -> None:
+        if self.fold < 1:
+            raise InvalidProblemError(f"fold must be at least 1, got {self.fold}")
+        if not self.radii:
+            raise InvalidStrategyError("an ORC strategy needs at least one robot")
+        for robot_radii in self.radii:
+            for radius in robot_radii:
+                if radius <= 0:
+                    raise InvalidStrategyError(
+                        f"round radii must be positive, got {radius}"
+                    )
+
+    @property
+    def num_robots(self) -> int:
+        """Number of robots in the schedule."""
+        return len(self.radii)
+
+    def theoretical_ratio(self) -> float:
+        """The tight bound ``C(k, q)`` for these parameters (Eq. 10)."""
+        return orc_covering_ratio(self.num_robots, self.fold)
+
+
+def geometric_orc_strategy(
+    num_robots: int,
+    fold: int,
+    horizon: float,
+    alpha: Optional[float] = None,
+    warmup_rounds: int = 2,
+) -> OrcCoveringStrategy:
+    """The optimal geometric ORC covering strategy for ``(k, q)``.
+
+    Round ``n`` (a global index) has radius ``alpha^n`` and is executed by
+    robot ``n mod k``; with ``alpha = (q/(q-k))^{1/k}`` every distance is
+    covered by ``q`` consecutive rounds within the tight deadline, exactly
+    mirroring the upper-bound construction of Theorem 6 with the ray labels
+    removed.  ``warmup_rounds`` extra global rounds per robot are prepended
+    below distance 1 (the paper's ``j = -2`` convention).
+    """
+    if num_robots < 1:
+        raise InvalidProblemError(f"need at least one robot, got {num_robots}")
+    if fold <= num_robots:
+        raise InvalidProblemError(
+            "the geometric ORC strategy needs q > k (otherwise straight walks "
+            f"cover trivially); got k={num_robots}, q={fold}"
+        )
+    if horizon < 1.0:
+        raise InvalidProblemError(f"horizon must be at least 1, got {horizon}")
+    if alpha is None:
+        alpha = (fold / (fold - num_robots)) ** (1.0 / num_robots)
+    if alpha <= 1.0:
+        raise InvalidStrategyError(f"alpha must exceed 1, got {alpha}")
+    start = -warmup_rounds * num_robots - fold
+    needed_exponent = math.log(horizon, alpha) + fold
+    end = int(math.ceil(needed_exponent)) + num_robots
+    radii: List[List[float]] = [[] for _ in range(num_robots)]
+    for n in range(start, end + 1):
+        radii[n % num_robots].append(alpha**n)
+    return OrcCoveringStrategy(
+        radii=tuple(tuple(robot_radii) for robot_radii in radii), fold=fold
+    )
+
+
+def orc_strategy_from_ray_strategy(
+    strategy: Strategy, horizon: float
+) -> OrcCoveringStrategy:
+    """Forget the ray labels of a ray-search strategy (the Eq.-10 reduction).
+
+    Every excursion of every robot becomes a round with the same radius; the
+    covering multiplicity is ``q = m (f + 1)`` of the underlying problem.
+    The reduction preserves the competitive ratio: if the search strategy
+    confirms every target at distance ``x`` by ``lambda x``, then every
+    distance is ``q``-fold lambda-covered in the ORC sense.
+    """
+    problem = strategy.problem
+    trajectories = strategy.trajectories(horizon)
+    radii: List[List[float]] = []
+    for trajectory in trajectories:
+        rounds: List[float] = []
+        for segment in trajectory.segments:
+            if segment.end_distance > segment.start_distance:
+                rounds.append(segment.end_distance)
+        radii.append(rounds)
+    return OrcCoveringStrategy(
+        radii=tuple(tuple(rounds) for rounds in radii), fold=problem.q
+    )
+
+
+def required_lambda_at(
+    strategy: OrcCoveringStrategy, distance: float
+) -> float:
+    """Smallest ``lambda`` for which ``distance`` is ``fold``-covered.
+
+    Robot ``r``'s round ``i`` (radius ``t_i``) covers ``distance`` with
+    ratio requirement ``(2 (t_1 + ... + t_{i-1}) + distance) / distance``
+    provided ``t_i >= distance``; the answer is the ``fold``-th smallest
+    requirement over all rounds of all robots (``math.inf`` when fewer than
+    ``fold`` rounds ever reach the distance).
+    """
+    if distance <= 0:
+        raise InvalidProblemError(f"distance must be positive, got {distance}")
+    requirements: List[float] = []
+    for robot_radii in strategy.radii:
+        prefix = 0.0
+        for radius in robot_radii:
+            if radius >= distance:
+                requirements.append((2.0 * prefix + distance) / distance)
+            prefix += radius
+    if len(requirements) < strategy.fold:
+        return math.inf
+    requirements.sort()
+    return requirements[strategy.fold - 1]
+
+
+def measure_orc_ratio(
+    strategy: OrcCoveringStrategy,
+    lo: float = 1.0,
+    hi: float = 1e4,
+    nudge: float = 1e-9,
+) -> float:
+    """Measured covering ratio: ``sup`` of :func:`required_lambda_at` over ``[lo, hi]``.
+
+    The supremum is attained (in the right-limit) either at ``lo`` or just
+    past one of the round radii, so those finitely many candidates are
+    evaluated exactly.
+    """
+    if hi < lo:
+        raise InvalidProblemError(f"empty range [{lo}, {hi}]")
+    candidates = {lo}
+    for robot_radii in strategy.radii:
+        for radius in robot_radii:
+            nudged = radius * (1.0 + nudge)
+            if lo <= nudged <= hi:
+                candidates.add(nudged)
+    return max(required_lambda_at(strategy, candidate) for candidate in sorted(candidates))

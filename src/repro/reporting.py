@@ -1,0 +1,55 @@
+"""Plain-text rendering of experiment tables and results.
+
+The library has no plotting dependency by design (the paper has no figures
+to redraw); instead every experiment is reported as an aligned plain-text
+table that benches print and EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_value", "render_table", "render_experiment"]
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Render a single cell: floats rounded, infinities spelled out."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 4,
+) -> str:
+    """Render an aligned plain-text table with a header separator line."""
+    text_rows: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    output = [line(list(headers)), line(["-" * width for width in widths])]
+    output.extend(line(row) for row in text_rows)
+    return "\n".join(output)
+
+
+def render_experiment(table, precision: int = 4) -> str:
+    """Render an :class:`~repro.analysis.tables.ExperimentTable` with its title."""
+    header = f"[{table.experiment_id}] {table.title}"
+    body = render_table(table.headers, table.rows, precision)
+    return f"{header}\n{body}"

@@ -1,0 +1,36 @@
+"""Simulation layer: detection semantics, competitive-ratio measurement, timelines."""
+
+from .competitive import (
+    CompetitiveRatioResult,
+    evaluate_strategy,
+    evaluate_trajectories,
+    grid_targets,
+    ratio_profile,
+)
+from .detection import DetectionOutcome, detect
+from .distance import (
+    DedicatedRayStrategy,
+    DistanceRatioResult,
+    distance_ratio_at,
+    evaluate_distance_ratio,
+    total_distance_travelled,
+)
+from .timeline import Event, Timeline, build_timeline
+
+__all__ = [
+    "CompetitiveRatioResult",
+    "evaluate_strategy",
+    "evaluate_trajectories",
+    "grid_targets",
+    "ratio_profile",
+    "DetectionOutcome",
+    "detect",
+    "DedicatedRayStrategy",
+    "DistanceRatioResult",
+    "distance_ratio_at",
+    "evaluate_distance_ratio",
+    "total_distance_travelled",
+    "Event",
+    "Timeline",
+    "build_timeline",
+]

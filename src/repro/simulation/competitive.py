@@ -1,0 +1,192 @@
+"""Competitive-ratio evaluation.
+
+The competitive ratio of a strategy is the supremum over admissible targets
+of ``detection_time(x) / |x|``.  Because every robot moves at unit speed,
+the detection time on a fixed ray is piecewise of the form ``c + x`` between
+finitely many breakpoints (the swept radii), so the supremum over a finite
+horizon ``[1, N]`` is computed *exactly* by evaluating the finitely many
+candidate targets produced by :func:`repro.faults.adversary.candidate_targets`
+(each nudged just beyond its breakpoint).  A uniform verification grid can be
+added for defence in depth; it never changes the result beyond the nudge
+epsilon and is exercised by the test suite.
+
+The headline entry points are:
+
+* :func:`evaluate_strategy` — measure a :class:`~repro.strategies.base.Strategy`
+  on a horizon, returning a :class:`CompetitiveRatioResult` with the worst
+  target, the measured ratio and the strategy's theoretical ratio;
+* :func:`evaluate_trajectories` — the same for raw trajectories;
+* :func:`ratio_profile` — the full ratio-versus-distance curve used by the
+  convergence analysis and the examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.problem import SearchProblem
+from ..exceptions import TargetNotDetectedError
+from ..faults.adversary import Adversary, AdversaryChoice
+from ..faults.models import FaultModel, fault_model_for
+from ..geometry.rays import RayPoint
+from ..geometry.trajectory import Trajectory
+from ..strategies.base import Strategy
+from ..strategies.validation import validate_trajectory_count
+from .detection import DetectionOutcome, detect
+
+__all__ = [
+    "CompetitiveRatioResult",
+    "evaluate_trajectories",
+    "evaluate_strategy",
+    "ratio_profile",
+    "grid_targets",
+]
+
+
+@dataclass(frozen=True)
+class CompetitiveRatioResult:
+    """Outcome of measuring a strategy's competitive ratio on a finite horizon.
+
+    Attributes
+    ----------
+    ratio:
+        The measured supremum of ``detection_time / distance`` over the
+        evaluated targets (``math.inf`` when some target is never
+        confirmed).
+    worst_case:
+        The adversary's best response (target + fault set) achieving
+        ``ratio``.
+    horizon:
+        The largest target distance that was considered.
+    num_targets_evaluated:
+        Number of candidate targets inspected.
+    theoretical_ratio:
+        The strategy's closed-form guarantee when one is known.
+    """
+
+    ratio: float
+    worst_case: AdversaryChoice
+    horizon: float
+    num_targets_evaluated: int
+    theoretical_ratio: Optional[float] = None
+
+    @property
+    def within_guarantee(self) -> Optional[bool]:
+        """True when the measured ratio does not exceed the theoretical one.
+
+        ``None`` when no theoretical ratio is known.  A tiny tolerance
+        absorbs the breakpoint nudge.
+        """
+        if self.theoretical_ratio is None:
+            return None
+        return self.ratio <= self.theoretical_ratio * (1.0 + 1e-6)
+
+
+def grid_targets(
+    num_rays: int,
+    min_distance: float,
+    horizon: float,
+    points_per_ray: int = 200,
+    geometric: bool = True,
+) -> List[RayPoint]:
+    """A verification grid of targets, geometric or uniform per ray.
+
+    The exact evaluation uses breakpoints only; this grid exists so tests
+    and benches can cross-check that no target between breakpoints ever
+    beats the breakpoint supremum (it cannot, by the piecewise argument).
+    """
+    if horizon < min_distance:
+        raise TargetNotDetectedError(
+            f"horizon {horizon} is below the minimum distance {min_distance}"
+        )
+    if geometric:
+        distances = np.geomspace(min_distance, horizon, points_per_ray)
+    else:
+        distances = np.linspace(min_distance, horizon, points_per_ray)
+    return [
+        RayPoint(ray=ray, distance=float(distance))
+        for ray in range(num_rays)
+        for distance in distances
+    ]
+
+
+def evaluate_trajectories(
+    trajectories: Sequence[Trajectory],
+    problem: SearchProblem,
+    horizon: float,
+    fault_model: Optional[FaultModel] = None,
+    extra_targets: Sequence[RayPoint] = (),
+    theoretical_ratio: Optional[float] = None,
+) -> CompetitiveRatioResult:
+    """Measure the competitive ratio of raw trajectories over ``[1, horizon]``."""
+    validate_trajectory_count(trajectories, problem.num_robots)
+    model = fault_model if fault_model is not None else fault_model_for(problem)
+    adversary = Adversary(problem, fault_model=model)
+    best = adversary.best_response(trajectories, horizon, extra_targets=extra_targets)
+    from ..faults.adversary import candidate_targets  # local import to reuse count
+
+    num_targets = len(
+        candidate_targets(
+            trajectories,
+            num_rays=problem.num_rays,
+            min_distance=problem.min_target_distance,
+            horizon=horizon,
+        )
+    ) + len(extra_targets)
+    return CompetitiveRatioResult(
+        ratio=best.ratio,
+        worst_case=best,
+        horizon=float(horizon),
+        num_targets_evaluated=num_targets,
+        theoretical_ratio=theoretical_ratio,
+    )
+
+
+def evaluate_strategy(
+    strategy: Strategy,
+    horizon: float,
+    fault_model: Optional[FaultModel] = None,
+    extra_targets: Sequence[RayPoint] = (),
+) -> CompetitiveRatioResult:
+    """Measure the competitive ratio of a :class:`Strategy` over ``[1, horizon]``.
+
+    The strategy materialises its trajectories for the horizon first; its
+    closed-form guarantee (when available) is attached to the result so
+    callers can check ``result.within_guarantee``.
+    """
+    trajectories = strategy.trajectories(horizon)
+    return evaluate_trajectories(
+        trajectories,
+        problem=strategy.problem,
+        horizon=horizon,
+        fault_model=fault_model,
+        extra_targets=extra_targets,
+        theoretical_ratio=strategy.theoretical_ratio(),
+    )
+
+
+def ratio_profile(
+    strategy: Strategy,
+    horizon: float,
+    points_per_ray: int = 400,
+    fault_model: Optional[FaultModel] = None,
+) -> List[DetectionOutcome]:
+    """Detection outcomes on a geometric grid of targets (the ratio curve).
+
+    Useful for plotting/printing how the ratio oscillates below its
+    supremum, and for convergence studies: the envelope of the curve
+    approaches the theoretical ratio as the horizon grows.
+    """
+    problem = strategy.problem
+    model = fault_model if fault_model is not None else fault_model_for(problem)
+    trajectories = strategy.trajectories(horizon)
+    outcomes = []
+    for target in grid_targets(
+        problem.num_rays, problem.min_target_distance, horizon, points_per_ray
+    ):
+        outcomes.append(detect(trajectories, target, problem, fault_model=model))
+    return outcomes

@@ -1,0 +1,97 @@
+"""Target-detection semantics.
+
+Given concrete robot trajectories, a target location and a fault model,
+this module answers "when is the target confirmed, and by whom?".  It is a
+thin, well-tested layer over :mod:`repro.geometry.visits` and
+:mod:`repro.faults.models` that the competitive-ratio evaluator and the
+event timeline both build on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.problem import SearchProblem
+from ..exceptions import TargetNotDetectedError
+from ..faults.models import FaultModel, fault_model_for
+from ..geometry.rays import RayPoint
+from ..geometry.trajectory import Trajectory
+from ..geometry.visits import Visit, first_visits
+
+__all__ = ["DetectionOutcome", "detect"]
+
+
+@dataclass(frozen=True)
+class DetectionOutcome:
+    """Everything the library knows about one target-detection instance.
+
+    Attributes
+    ----------
+    target:
+        The target location that was evaluated.
+    visits:
+        First arrivals of every robot that ever reaches the target, sorted
+        by time.
+    faulty_robots:
+        The adversary's worst-case fault assignment for this target.
+    confirming_robot:
+        The robot whose visit confirms the target (``None`` when the target
+        is never confirmed).
+    detection_time:
+        Time of confirmation (``math.inf`` when never).
+    ratio:
+        ``detection_time / target.distance``.
+    """
+
+    target: RayPoint
+    visits: tuple
+    faulty_robots: tuple
+    confirming_robot: Optional[int]
+    detection_time: float
+    ratio: float
+
+    @property
+    def detected(self) -> bool:
+        """True when the target is eventually confirmed."""
+        return math.isfinite(self.detection_time)
+
+
+def detect(
+    trajectories: Sequence[Trajectory],
+    target: RayPoint,
+    problem: SearchProblem,
+    fault_model: Optional[FaultModel] = None,
+    require_detection: bool = False,
+) -> DetectionOutcome:
+    """Evaluate detection of ``target`` by ``trajectories`` under ``problem``.
+
+    Parameters
+    ----------
+    require_detection:
+        When True, raise :class:`~repro.exceptions.TargetNotDetectedError`
+        instead of returning an infinite detection time.
+    """
+    model = fault_model if fault_model is not None else fault_model_for(problem)
+    visits = first_visits(trajectories, target)
+    detection_time = model.confirmation_time(visits)
+    faulty = tuple(model.adversarial_fault_set(visits))
+    confirming: Optional[int] = None
+    if math.isfinite(detection_time):
+        confirming = visits[model.required_visits - 1].robot
+    elif require_detection:
+        raise TargetNotDetectedError(
+            f"target at ray {target.ray}, distance {target.distance} is never "
+            f"confirmed (only {len(visits)} of the required "
+            f"{model.required_visits} robots reach it)"
+        )
+    ratio = detection_time / target.distance if target.distance > 0 else math.inf
+    return DetectionOutcome(
+        target=target,
+        visits=tuple(visits),
+        faulty_robots=faulty,
+        confirming_robot=confirming,
+        detection_time=detection_time,
+        ratio=ratio,
+    )

@@ -1,0 +1,54 @@
+"""Strategy library: optimal constructions, classics, cyclic class, baselines."""
+
+from .base import Strategy
+from .cyclic import CyclicStrategy, geometric_radius_schedule
+from .geometric import RoundRobinGeometricStrategy, ZigzagGeometricLineStrategy
+from .naive import (
+    IgnoreFaultsStrategy,
+    PartitionStrategy,
+    ReplicationStrategy,
+    TrivialStraightStrategy,
+)
+from .optimal import optimal_strategy
+from .randomized import (
+    RandomizedSingleRobotRayStrategy,
+    expected_randomized_ratio,
+    monte_carlo_expected_ratio,
+    optimal_randomized_base,
+    randomized_ray_ratio,
+)
+from .single_robot import DoublingLineStrategy, SingleRobotRayStrategy
+from .validation import (
+    covered_intervals,
+    coverage_left_end,
+    fruitful_turning_points,
+    is_monotone_standard,
+    normalise_turning_points,
+    validate_trajectory_count,
+)
+
+__all__ = [
+    "Strategy",
+    "CyclicStrategy",
+    "geometric_radius_schedule",
+    "RoundRobinGeometricStrategy",
+    "ZigzagGeometricLineStrategy",
+    "IgnoreFaultsStrategy",
+    "PartitionStrategy",
+    "ReplicationStrategy",
+    "TrivialStraightStrategy",
+    "optimal_strategy",
+    "RandomizedSingleRobotRayStrategy",
+    "expected_randomized_ratio",
+    "monte_carlo_expected_ratio",
+    "optimal_randomized_base",
+    "randomized_ray_ratio",
+    "DoublingLineStrategy",
+    "SingleRobotRayStrategy",
+    "covered_intervals",
+    "coverage_left_end",
+    "fruitful_turning_points",
+    "is_monotone_standard",
+    "normalise_turning_points",
+    "validate_trajectory_count",
+]

@@ -1,0 +1,105 @@
+"""Strategy interface.
+
+A *strategy* prescribes the motion of every robot.  Because the library
+evaluates strategies over a finite target horizon ``[1, N]`` (the paper's
+own finite-horizon reduction, Eq. 12), a strategy is asked to *materialise*
+its trajectories for a given horizon: the returned trajectories must make
+the target detectable for every admissible target up to distance ``N``.
+
+Concrete strategies in this package:
+
+=====================================  =======================================
+:class:`~repro.strategies.single_robot.DoublingLineStrategy`
+                                        classic cow-path doubling (ratio 9)
+:class:`~repro.strategies.single_robot.SingleRobotRayStrategy`
+                                        one robot on m rays (Baeza-Yates et al.)
+:class:`~repro.strategies.geometric.RoundRobinGeometricStrategy`
+                                        the optimal multi-robot strategy that
+                                        attains Theorems 1 and 6
+:class:`~repro.strategies.geometric.ZigzagGeometricLineStrategy`
+                                        the same radii realised as line zigzags
+:class:`~repro.strategies.cyclic.CyclicStrategy`
+                                        general cyclic strategies (Bernstein,
+                                        Finkelstein & Zilberstein)
+:class:`~repro.strategies.naive.TrivialStraightStrategy`
+                                        ratio-1 strategy for ``k >= m (f+1)``
+:class:`~repro.strategies.naive.ReplicationStrategy`
+                                        fault-masking by robot replication
+                                        (baseline)
+:class:`~repro.strategies.naive.PartitionStrategy`
+                                        rays partitioned among robots (baseline)
+=====================================  =======================================
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from ..core.problem import SearchProblem
+from ..exceptions import InvalidStrategyError
+from ..geometry.trajectory import Trajectory
+
+__all__ = ["Strategy"]
+
+
+class Strategy(abc.ABC):
+    """Abstract base class for collective search strategies.
+
+    Subclasses must implement :meth:`trajectories`; they may override
+    :meth:`theoretical_ratio` when a closed-form worst-case ratio is known
+    (the benches compare measured against theoretical values).
+    """
+
+    #: Human-readable strategy name used in reports and tables.
+    name: str = "strategy"
+
+    def __init__(self, problem: SearchProblem) -> None:
+        self._problem = problem
+
+    @property
+    def problem(self) -> SearchProblem:
+        """The search problem this strategy was built for."""
+        return self._problem
+
+    @property
+    def num_robots(self) -> int:
+        """Number of robots the strategy controls."""
+        return self._problem.num_robots
+
+    @abc.abstractmethod
+    def trajectories(self, horizon: float) -> List[Trajectory]:
+        """Materialise one trajectory per robot for targets up to ``horizon``.
+
+        Parameters
+        ----------
+        horizon:
+            Largest target distance (from the origin) that the returned
+            trajectories must make detectable.  Must be at least the
+            problem's ``min_target_distance``.
+
+        Returns
+        -------
+        list of :class:`~repro.geometry.trajectory.Trajectory`
+            Exactly ``problem.num_robots`` trajectories, in robot order.
+        """
+
+    def theoretical_ratio(self) -> Optional[float]:
+        """Closed-form worst-case competitive ratio, when known.
+
+        Returns ``None`` for strategies without a published analysis; the
+        simulator can still measure their ratio empirically.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    def _check_horizon(self, horizon: float) -> float:
+        if horizon < self._problem.min_target_distance:
+            raise InvalidStrategyError(
+                f"horizon {horizon} is smaller than the minimum target "
+                f"distance {self._problem.min_target_distance}"
+            )
+        return float(horizon)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self._problem.describe()})"

@@ -1,0 +1,225 @@
+"""Baseline strategies.
+
+These strategies are either optimal in trivial regimes or natural-but-
+suboptimal approaches that the benchmarks compare against the paper's
+geometric strategy:
+
+* :class:`TrivialStraightStrategy` — for ``k >= m (f + 1)``: send ``f + 1``
+  robots straight out along every ray; competitive ratio exactly 1 (the
+  paper's remark after Theorem 1 / Theorem 6).
+* :class:`ReplicationStrategy` — mask faults by moving robots in lock-step
+  groups of ``f + 1`` and running the fault-free optimal strategy with
+  ``floor(k / (f + 1))`` "super-robots".  Always correct, never better than
+  the paper's strategy, usually strictly worse — quantified in bench E10.
+* :class:`PartitionStrategy` — split the rays among the robots and let each
+  robot run a single-robot search on its own bundle, ignoring the other
+  robots.  Only correct for ``f = 0``; used as the historical baseline
+  (this is the shape of the distance-optimal strategy of Kao, Ma, Sipser &
+  Yin, which the paper points out is weak for the *time* measure).
+* :class:`IgnoreFaultsStrategy` — run the fault-free optimal strategy even
+  though ``f > 0``; the adversary silences the single visiting robot and
+  the ratio is infinite.  Demonstrates that fault-awareness is necessary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..core.bounds import crash_ray_ratio, single_robot_ray_ratio
+from ..core.problem import FaultType, Regime, SearchProblem, ray_problem
+from ..exceptions import InvalidProblemError, InvalidStrategyError
+from ..geometry.trajectory import (
+    Trajectory,
+    excursion_trajectory,
+    idle_trajectory,
+    straight_trajectory,
+)
+from .base import Strategy
+from .cyclic import CyclicStrategy
+from .geometric import RoundRobinGeometricStrategy
+from .single_robot import SingleRobotRayStrategy
+
+__all__ = [
+    "TrivialStraightStrategy",
+    "ReplicationStrategy",
+    "PartitionStrategy",
+    "IgnoreFaultsStrategy",
+]
+
+
+class TrivialStraightStrategy(Strategy):
+    """Ratio-1 strategy for the trivial regime ``k >= m (f + 1)``.
+
+    Robot ``r`` walks straight out along ray ``r mod m`` and never turns.
+    Each ray receives at least ``f + 1`` robots, so the target at distance
+    ``x`` is confirmed at time exactly ``x``.
+    """
+
+    name = "trivial-straight"
+
+    def __init__(self, problem: SearchProblem) -> None:
+        if problem.regime is not Regime.TRIVIAL:
+            raise InvalidProblemError(
+                "TrivialStraightStrategy requires k >= m (f + 1); got "
+                f"{problem.describe()}"
+            )
+        super().__init__(problem)
+
+    def trajectories(self, horizon: float) -> List[Trajectory]:
+        horizon = self._check_horizon(horizon)
+        return [
+            straight_trajectory(ray=robot % self.problem.m, distance=horizon)
+            for robot in range(self.problem.k)
+        ]
+
+    def theoretical_ratio(self) -> float:
+        """Exactly 1: every target is confirmed the moment it is reached."""
+        return 1.0
+
+
+class ReplicationStrategy(Strategy):
+    """Fault masking by lock-step replication (baseline).
+
+    The ``k`` robots are partitioned into ``g = floor(k / (f + 1))`` groups
+    of ``f + 1`` (leftover robots idle at the origin).  Every group moves as
+    one fault-free "super-robot", and the ``g`` super-robots run the optimal
+    fault-free strategy for ``(m, g)``.  Whenever a group reaches the
+    target, at least one member is non-faulty, so correctness is immediate;
+    the price is that the effective robot count drops from ``k`` to ``g``,
+    giving ratio ``A(m, g, 0) >= A(m, k, f)``.
+
+    Because the Theorem 6 bound depends only on ``rho = m (f+1) / k``,
+    replication is *exactly* optimal whenever ``f + 1`` divides ``k`` (no
+    robot is wasted and ``rho`` is preserved); with leftover robots it is
+    strictly suboptimal.  Bench E10 quantifies the gap.
+    """
+
+    name = "replication"
+
+    def __init__(self, problem: SearchProblem) -> None:
+        if problem.num_faulty >= problem.num_robots:
+            raise InvalidProblemError(
+                "replication needs at least one fault-free group (k > f)"
+            )
+        super().__init__(problem)
+        self.group_size = problem.num_faulty + 1
+        self.num_groups = problem.num_robots // self.group_size
+        if self.num_groups < 1:  # pragma: no cover - excluded by the check above
+            raise InvalidProblemError("not enough robots to form a single group")
+        self._inner = _fault_free_strategy(problem.m, self.num_groups)
+
+    def trajectories(self, horizon: float) -> List[Trajectory]:
+        horizon = self._check_horizon(horizon)
+        group_trajectories = self._inner.trajectories(horizon)
+        result: List[Trajectory] = []
+        for robot in range(self.problem.k):
+            group = robot // self.group_size
+            if group < self.num_groups:
+                result.append(group_trajectories[group])
+            else:
+                result.append(idle_trajectory())
+        return result
+
+    def theoretical_ratio(self) -> float:
+        """The fault-free optimum with the reduced robot count, ``A(m, g, 0)``."""
+        return crash_ray_ratio(self.problem.m, self.num_groups, 0)
+
+
+class PartitionStrategy(Strategy):
+    """Rays partitioned among robots, each searching its bundle alone.
+
+    Robot ``r`` receives rays ``{i : i mod k == r}`` and runs the optimal
+    single-robot strategy on them (a straight walk when the bundle has one
+    ray).  Correct only for ``f = 0``.  Its worst-case ratio is
+    ``1 + 2 b^b/(b-1)^(b-1)`` for the largest bundle size
+    ``b = ceil(m / k)`` — the robots do not help each other, which is
+    exactly the weakness of distance-optimal constructions when time is the
+    measure.
+
+    When ``k`` divides ``m`` the bundles are even and the partition is in
+    fact exactly optimal (``A(m, k, 0)`` reduces to the single-robot bound
+    for ``m / k`` rays); with uneven bundles it is strictly suboptimal.
+    """
+
+    name = "partition"
+
+    def __init__(self, problem: SearchProblem) -> None:
+        if problem.num_faulty != 0:
+            raise InvalidProblemError(
+                "PartitionStrategy is only correct for fault-free robots"
+            )
+        if problem.num_robots > problem.num_rays:
+            raise InvalidProblemError(
+                "PartitionStrategy expects at most one robot per ray (k <= m)"
+            )
+        super().__init__(problem)
+        self.bundles: List[List[int]] = [
+            [ray for ray in range(problem.m) if ray % problem.k == robot]
+            for robot in range(problem.k)
+        ]
+
+    def trajectories(self, horizon: float) -> List[Trajectory]:
+        horizon = self._check_horizon(horizon)
+        result: List[Trajectory] = []
+        for bundle in self.bundles:
+            if len(bundle) == 1:
+                result.append(straight_trajectory(ray=bundle[0], distance=horizon))
+                continue
+            inner = SingleRobotRayStrategy(num_rays=len(bundle))
+            local = inner.excursions(horizon)
+            result.append(
+                excursion_trajectory(
+                    [(bundle[local_ray], radius) for local_ray, radius in local]
+                )
+            )
+        return result
+
+    def theoretical_ratio(self) -> float:
+        """Ratio of the largest bundle: ``single_robot_ray_ratio(ceil(m / k))``."""
+        largest = max(len(bundle) for bundle in self.bundles)
+        return single_robot_ray_ratio(largest)
+
+
+class IgnoreFaultsStrategy(Strategy):
+    """Run the fault-free optimal strategy while faults are actually present.
+
+    With ``f > 0`` crash faults the adversary silences the first ``f``
+    visitors of the target, so the fault-free deadline guarantee is lost:
+    detection only happens at the ``(f + 1)``-th distinct visit, which the
+    fault-free schedule was never designed to deliver quickly (and, when a
+    point is visited by fewer than ``f + 1`` robots in total — e.g. a
+    single robot on the line — never happens at all).  The strategy exists
+    to demonstrate in tests and bench E2/E10 how much is lost by ignoring
+    fault-tolerance; its worst-case ratio has no useful closed form, so
+    :meth:`theoretical_ratio` returns ``None`` when ``f > 0``.
+    """
+
+    name = "ignore-faults"
+
+    def __init__(self, problem: SearchProblem) -> None:
+        super().__init__(problem)
+        self._inner = _fault_free_strategy(problem.m, problem.k)
+
+    def trajectories(self, horizon: float) -> List[Trajectory]:
+        return self._inner.trajectories(self._check_horizon(horizon))
+
+    def theoretical_ratio(self) -> Optional[float]:
+        """The fault-free optimum when ``f = 0``; ``None`` (unknown) otherwise."""
+        if self.problem.num_faulty > 0:
+            return None
+        return self._inner.theoretical_ratio()
+
+
+def _fault_free_strategy(num_rays: int, num_robots: int) -> Strategy:
+    """Optimal fault-free strategy for ``num_robots`` robots on ``num_rays`` rays."""
+    problem = ray_problem(num_rays, num_robots, 0)
+    if problem.regime is Regime.TRIVIAL:
+        return TrivialStraightStrategy(problem)
+    if num_robots == 1:
+        if num_rays == 2:
+            from .single_robot import DoublingLineStrategy
+
+            return DoublingLineStrategy(problem=problem)
+        return SingleRobotRayStrategy(num_rays=num_rays, problem=problem)
+    return RoundRobinGeometricStrategy(problem)

@@ -1,0 +1,49 @@
+"""Factory for the optimal strategy of a given search problem.
+
+The paper (combined with the upper bounds it cites and re-derives) gives an
+optimal strategy for every parameter regime:
+
+* ``k >= m (f + 1)`` — the trivial straight strategy, ratio 1;
+* ``f < k < m (f + 1)`` — the round-robin geometric strategy with the
+  optimal base, ratio ``A(m, k, f)`` (Theorems 1 and 6);
+* ``k == f`` — no strategy exists (:class:`~repro.exceptions.InfeasibleProblemError`).
+
+:func:`optimal_strategy` dispatches accordingly and is the entry point used
+by the examples and by most benches.
+"""
+
+from __future__ import annotations
+
+from ..core.problem import Regime, SearchProblem
+from ..exceptions import InfeasibleProblemError
+from .base import Strategy
+from .geometric import RoundRobinGeometricStrategy
+from .naive import TrivialStraightStrategy
+from .single_robot import DoublingLineStrategy, SingleRobotRayStrategy
+
+__all__ = ["optimal_strategy"]
+
+
+def optimal_strategy(problem: SearchProblem) -> Strategy:
+    """Return a strategy attaining the optimal competitive ratio for ``problem``.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If every robot is faulty (``k == f``), in which case no strategy
+        can ever confirm the target.
+    """
+    regime = problem.regime
+    if regime is Regime.IMPOSSIBLE:
+        raise InfeasibleProblemError(
+            "all robots are faulty; the target location can never be confirmed"
+        )
+    if regime is Regime.TRIVIAL:
+        return TrivialStraightStrategy(problem)
+    # Interesting regime.  Single fault-free robot cases get the classic
+    # constructions (identical ratio, nicer trajectories for inspection).
+    if problem.num_robots == 1 and problem.num_faulty == 0:
+        if problem.is_line:
+            return DoublingLineStrategy(problem=problem)
+        return SingleRobotRayStrategy(num_rays=problem.num_rays, problem=problem)
+    return RoundRobinGeometricStrategy(problem)

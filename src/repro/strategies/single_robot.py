@@ -1,0 +1,175 @@
+"""Single-robot strategies: the classic cow path and its m-ray extension.
+
+These are the ``k = 1, f = 0`` special cases of the paper's Theorem 6 and
+serve as the historical baselines (Beck & Newman 1970; Baeza-Yates,
+Culberson & Rawlins 1988/1993):
+
+* :class:`DoublingLineStrategy` — go 1 right, 2 left, 4 right, ...;
+  worst-case ratio ``1 + 2 b^2/(b-1)`` for base ``b``, minimised at
+  ``b = 2`` with value 9.
+* :class:`SingleRobotRayStrategy` — visit the ``m`` rays cyclically with
+  radii ``b^0, b^1, b^2, ...``; worst-case ratio ``1 + 2 b^m/(b-1)``,
+  minimised at ``b = m/(m-1)`` with value ``1 + 2 m^m/(m-1)^(m-1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..core.bounds import single_robot_ray_ratio
+from ..core.problem import SearchProblem, line_problem, ray_problem
+from ..exceptions import InvalidProblemError, InvalidStrategyError
+from ..geometry.trajectory import Trajectory, excursion_trajectory, zigzag_trajectory
+from .base import Strategy
+
+__all__ = ["DoublingLineStrategy", "SingleRobotRayStrategy"]
+
+
+class DoublingLineStrategy(Strategy):
+    """The classic single-robot linear-search (cow path) strategy.
+
+    The robot walks to ``+b^0``, turns, walks to ``-b^1``, turns, walks to
+    ``+b^2`` and so on, doubling (for ``b = 2``) the explored radius at
+    every turn.  Against the worst-case target the competitive ratio is
+    ``1 + 2 b^2 / (b - 1)``; the optimal base ``b = 2`` yields the famous
+    ratio 9.
+
+    Parameters
+    ----------
+    base:
+        Geometric growth factor ``b > 1`` of the turning points.
+    start_positive:
+        Direction of the first leg.
+    problem:
+        Optional explicit problem instance; defaults to one fault-free
+        robot on the line.
+    """
+
+    name = "doubling-line"
+
+    def __init__(
+        self,
+        base: float = 2.0,
+        start_positive: bool = True,
+        problem: Optional[SearchProblem] = None,
+    ) -> None:
+        if base <= 1.0:
+            raise InvalidStrategyError(f"base must exceed 1, got {base}")
+        problem = problem if problem is not None else line_problem(num_robots=1)
+        if problem.num_robots != 1 or problem.num_faulty != 0 or not problem.is_line:
+            raise InvalidProblemError(
+                "DoublingLineStrategy only applies to one fault-free robot on the line"
+            )
+        super().__init__(problem)
+        self.base = float(base)
+        self.start_positive = bool(start_positive)
+
+    def turning_points(self, horizon: float) -> List[float]:
+        """The turning-point sequence ``b^0, b^1, ...`` needed for ``horizon``.
+
+        The sequence is long enough that both half-lines are explored beyond
+        ``horizon``: the last two turning points are each ``>= horizon``.
+        """
+        horizon = self._check_horizon(horizon)
+        points: List[float] = []
+        exponent = 0
+        while len(points) < 2 or points[-1] < horizon or points[-2] < horizon:
+            points.append(self.base**exponent)
+            exponent += 1
+        return points
+
+    def trajectories(self, horizon: float) -> List[Trajectory]:
+        points = self.turning_points(horizon)
+        return [zigzag_trajectory(points, start_positive=self.start_positive)]
+
+    def theoretical_ratio(self) -> float:
+        """Worst-case ratio ``1 + 2 b^2/(b - 1)`` (= 9 at ``b = 2``)."""
+        return 1.0 + 2.0 * self.base**2 / (self.base - 1.0)
+
+
+class SingleRobotRayStrategy(Strategy):
+    """One fault-free robot searching ``m`` rays cyclically.
+
+    The robot performs excursions on rays ``0, 1, ..., m-1, 0, 1, ...`` with
+    radii ``b^0, b^1, b^2, ...``.  The worst-case ratio is
+    ``1 + 2 b^m / (b - 1)``, minimised at ``b = m/(m-1)`` where it equals
+    ``1 + 2 m^m/(m-1)^(m-1)`` — the value the paper's Theorem 6 specialises
+    to for ``k = 1, f = 0``.
+
+    Parameters
+    ----------
+    num_rays:
+        The number of rays ``m >= 2``.
+    base:
+        Excursion-radius growth factor; ``None`` selects the optimal
+        ``m/(m-1)``.
+    start_exponent:
+        First radius is ``base ** start_exponent``; negative values make
+        the robot sweep the region below distance 1 first, which is what
+        the worst-case analysis assumes.  The default ``-(m - 1)`` ensures
+        every ray is visited at least once before distance 1 is exceeded.
+    """
+
+    name = "single-robot-rays"
+
+    def __init__(
+        self,
+        num_rays: int,
+        base: Optional[float] = None,
+        start_exponent: Optional[int] = None,
+        problem: Optional[SearchProblem] = None,
+    ) -> None:
+        if num_rays < 2:
+            raise InvalidProblemError(
+                f"ray search needs at least 2 rays, got {num_rays}"
+            )
+        problem = problem if problem is not None else ray_problem(num_rays, num_robots=1)
+        if problem.num_robots != 1 or problem.num_faulty != 0:
+            raise InvalidProblemError(
+                "SingleRobotRayStrategy only applies to one fault-free robot"
+            )
+        if problem.num_rays != num_rays:
+            raise InvalidProblemError(
+                f"problem has {problem.num_rays} rays but strategy was given {num_rays}"
+            )
+        super().__init__(problem)
+        self.num_rays = num_rays
+        if base is None:
+            base = num_rays / (num_rays - 1)
+        if base <= 1.0:
+            raise InvalidStrategyError(f"base must exceed 1, got {base}")
+        self.base = float(base)
+        self.start_exponent = (
+            int(start_exponent) if start_exponent is not None else -(num_rays - 1)
+        )
+
+    def excursions(self, horizon: float) -> List[tuple]:
+        """``(ray, radius)`` pairs covering targets up to ``horizon``.
+
+        Excursion ``n`` (counting from ``start_exponent``) visits ray
+        ``n mod m`` to radius ``base ** n``.  The list extends until every
+        ray has been explored beyond ``horizon``.
+        """
+        horizon = self._check_horizon(horizon)
+        pairs: List[tuple] = []
+        reached = [0.0] * self.num_rays
+        exponent = self.start_exponent
+        while min(reached) < horizon:
+            ray = (exponent - self.start_exponent) % self.num_rays
+            radius = self.base**exponent
+            pairs.append((ray, radius))
+            reached[ray] = max(reached[ray], radius)
+            exponent += 1
+        return pairs
+
+    def trajectories(self, horizon: float) -> List[Trajectory]:
+        return [excursion_trajectory(self.excursions(horizon))]
+
+    def theoretical_ratio(self) -> float:
+        """Worst-case ratio ``1 + 2 b^m / (b - 1)`` of the cyclic sweep."""
+        return 1.0 + 2.0 * self.base**self.num_rays / (self.base - 1.0)
+
+    def optimal_ratio(self) -> float:
+        """The minimum of :meth:`theoretical_ratio` over the base (paper value)."""
+        return single_robot_ray_ratio(self.num_rays)

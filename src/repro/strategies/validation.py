@@ -1,0 +1,142 @@
+"""Strategy standardisation and validity checking (Section 2 of the paper).
+
+The lower-bound proof begins by arguing that any line strategy can be
+transformed, without loss of generality, into a *standard* one:
+
+1. the robot alternates between turning at positive and negative points;
+2. turning points on each side are non-decreasing (a robot never turns in
+   territory it has already visited — such turns can be shifted);
+3. turning points that are not *fruitful* (whose interval ``[t''_i, t_i]``
+   of newly lambda-covered points is empty, Eq. 3) can be skipped.
+
+This module implements those transformations executably, plus the validity
+predicates used everywhere else:
+
+* :func:`normalise_turning_points` — steps 1–2;
+* :func:`fruitful_turning_points` / :func:`covered_intervals` — Eq. 3, the
+  set ``Cov_mu(T)`` a single robot lambda-covers;
+* :func:`is_monotone_standard` — check the standard form;
+* :func:`validate_trajectory_count` — sanity check used by the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..exceptions import InvalidStrategyError
+
+__all__ = [
+    "normalise_turning_points",
+    "is_monotone_standard",
+    "fruitful_turning_points",
+    "covered_intervals",
+    "coverage_left_end",
+    "validate_trajectory_count",
+]
+
+
+def is_monotone_standard(turning_points: Sequence[float]) -> bool:
+    """Check the standard form: odd- and even-indexed subsequences non-decreasing.
+
+    ``turning_points`` is the alternating sequence ``(t1, t2, t3, ...)``
+    of Section 2 (all magnitudes, signs implied by alternation).  The
+    standard form requires ``t1 <= t3 <= t5 <= ...`` and
+    ``t2 <= t4 <= ...``.
+    """
+    for index in range(len(turning_points) - 2):
+        if turning_points[index] > turning_points[index + 2]:
+            return False
+    return True
+
+
+def normalise_turning_points(turning_points: Sequence[float]) -> List[float]:
+    """Transform an arbitrary alternating sequence into standard form.
+
+    The paper's argument: if the robot turns at ``x1`` and then at ``-x2``
+    with ``x2 < x1``, then for the purposes of ±-covering it may as well
+    have turned at ``x2`` instead of ``x1`` (only already-visited territory
+    is skipped, and every later visit happens earlier).  Applying the rule
+    repeatedly clips every turning point from above by its successor, so
+    the resulting sequence is non-decreasing as a whole — which implies the
+    standard form ``t1 <= t3 <= ...`` and ``t2 <= t4 <= ...`` used by the
+    proof.  A single right-to-left pass of
+    ``t_i <- min(t_i, t_{i+1})`` reaches the fixed point.
+
+    The output (a) is non-decreasing and (b) ±-covers at least as much as
+    the input for every ``lambda``, *under the paper's preconditions*: the
+    input already alternates into unvisited territory (each side's turning
+    points non-decreasing — the paper's first reduction) and is a prefix of
+    a strategy that keeps exploring (the re-visit of the skipped stretch
+    happens on a later leg).  Property (b) is exercised on such inputs by
+    the property-based tests; for arbitrary finite sequences only (a) and
+    the pointwise domination ``normalised[i] <= original[i]`` are
+    guaranteed.
+    """
+    points = [float(t) for t in turning_points]
+    for t in points:
+        if t <= 0:
+            raise InvalidStrategyError(f"turning points must be positive, got {t}")
+    if not points:
+        return []
+    for index in range(len(points) - 2, -1, -1):
+        if points[index] > points[index + 1]:
+            points[index] = points[index + 1]
+    return points
+
+
+def coverage_left_end(turning_points: Sequence[float], index: int, mu: float) -> float:
+    """The left end ``t''_i`` of the interval lambda-covered at turn ``index``.
+
+    Eq. 3: ``t''_i = max{ (t1 + ... + t_i) / mu , t_{i-1} }``; when this
+    exceeds ``t_i`` the turn is not fruitful and ``math.inf`` is returned.
+    ``index`` is 0-based.
+    """
+    if mu <= 0:
+        raise InvalidStrategyError(f"mu must be positive, got {mu}")
+    if not 0 <= index < len(turning_points):
+        raise InvalidStrategyError(
+            f"index {index} out of range for {len(turning_points)} turning points"
+        )
+    prefix = sum(turning_points[: index + 1])
+    earliest = prefix / mu
+    previous = turning_points[index - 1] if index >= 1 else 0.0
+    left = max(earliest, previous)
+    if left > turning_points[index]:
+        return math.inf
+    return left
+
+
+def fruitful_turning_points(
+    turning_points: Sequence[float], mu: float
+) -> List[int]:
+    """Indices of the fruitful turns (those that lambda-cover a non-empty interval)."""
+    return [
+        index
+        for index in range(len(turning_points))
+        if math.isfinite(coverage_left_end(turning_points, index, mu))
+    ]
+
+
+def covered_intervals(
+    turning_points: Sequence[float], mu: float
+) -> List[Tuple[float, float]]:
+    """The set ``Cov_mu(T)`` as a list of intervals ``[t''_i, t_i]``.
+
+    A point ``x`` with ``t''_i <= x <= t_i`` is lambda-covered by the robot
+    in the symmetric line-cover setting: the robot has visited both ``x``
+    and ``-x`` by time ``lambda x`` (with ``lambda = 2 mu + 1``).
+    """
+    intervals: List[Tuple[float, float]] = []
+    for index in fruitful_turning_points(turning_points, mu):
+        left = coverage_left_end(turning_points, index, mu)
+        intervals.append((left, float(turning_points[index])))
+    return intervals
+
+
+def validate_trajectory_count(trajectories: Sequence, expected: int) -> None:
+    """Raise unless exactly ``expected`` trajectories were supplied."""
+    if len(trajectories) != expected:
+        raise InvalidStrategyError(
+            f"expected {expected} trajectories, got {len(trajectories)}"
+        )

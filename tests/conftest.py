@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import line_problem, ray_problem
+from repro.strategies.geometric import (
+    RoundRobinGeometricStrategy,
+    ZigzagGeometricLineStrategy,
+)
+
+
+@pytest.fixture
+def line_3_1():
+    """The headline instance of Theorem 1: 3 robots, 1 crash fault, the line."""
+    return line_problem(3, 1)
+
+
+@pytest.fixture
+def rays_3_2_0():
+    """A fault-free m-ray instance: 3 rays, 2 robots."""
+    return ray_problem(3, 2, 0)
+
+
+@pytest.fixture
+def rays_3_4_1():
+    """A faulty m-ray instance in the interesting regime: 3 rays, 4 robots, 1 fault."""
+    return ray_problem(3, 4, 1)
+
+
+@pytest.fixture
+def geometric_3_1(line_3_1):
+    """Optimal geometric strategy for the (k=3, f=1) line instance."""
+    return RoundRobinGeometricStrategy(line_3_1)
+
+
+@pytest.fixture
+def zigzag_3_1(line_3_1):
+    """Zigzag realisation of the optimal (k=3, f=1) line strategy."""
+    return ZigzagGeometricLineStrategy(line_3_1)

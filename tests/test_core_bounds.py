@@ -1,0 +1,274 @@
+"""Tests for :mod:`repro.core.bounds` — every closed form the paper states."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import bounds
+from repro.core.problem import line_problem, ray_problem
+from repro.exceptions import InvalidProblemError
+
+
+class TestPowerTerm:
+    def test_at_two(self):
+        # rho = 2: 2^2 / 1^1 = 4 (the cow-path overhead).
+        assert bounds.power_term(2.0) == pytest.approx(4.0)
+
+    def test_at_one_limit(self):
+        assert bounds.power_term(1.0) == pytest.approx(1.0)
+
+    def test_below_one_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            bounds.power_term(0.5)
+
+    def test_monotone_increasing_above_one(self):
+        values = [bounds.power_term(rho) for rho in (1.1, 1.5, 2.0, 3.0, 5.0)]
+        assert values == sorted(values)
+
+    def test_large_argument_stable(self):
+        # log-space evaluation must not overflow for large rho.
+        value = bounds.power_term(200.0)
+        assert math.isfinite(value)
+        assert value > 1.0
+
+
+class TestCrashLineRatio:
+    def test_headline_value_a_3_1(self):
+        # The paper: A(3, 1) = (8/3) * 4^(1/3) + 1 ~ 5.23.
+        expected = (8.0 / 3.0) * 4.0 ** (1.0 / 3.0) + 1.0
+        assert bounds.crash_line_ratio(3, 1) == pytest.approx(expected)
+
+    def test_single_robot_is_cow_path(self):
+        assert bounds.crash_line_ratio(1, 0) == pytest.approx(9.0)
+
+    def test_rho_equals_two_cases(self):
+        # k = f + 1 (rho = 2) always gives 2*4 + 1 = 9.
+        for f in range(0, 5):
+            assert bounds.crash_line_ratio(f + 1, f) == pytest.approx(9.0)
+
+    def test_trivial_regime_returns_one(self):
+        assert bounds.crash_line_ratio(2, 0) == 1.0
+        assert bounds.crash_line_ratio(4, 1) == 1.0
+        assert bounds.crash_line_ratio(17, 3) == 1.0
+
+    def test_impossible_regime_returns_inf(self):
+        assert bounds.crash_line_ratio(2, 2) == math.inf
+
+    def test_matches_ray_formula_on_two_rays(self):
+        for k, f in [(1, 0), (3, 1), (5, 2), (2, 1), (7, 3)]:
+            assert bounds.crash_line_ratio(k, f) == pytest.approx(
+                bounds.crash_ray_ratio(2, k, f)
+            )
+
+    def test_monotone_in_faults(self):
+        # More faults (same k) can only make the problem harder.
+        assert bounds.crash_line_ratio(5, 2) <= bounds.crash_line_ratio(5, 3)
+        assert bounds.crash_line_ratio(5, 3) <= bounds.crash_line_ratio(5, 4)
+
+    def test_monotone_in_robots(self):
+        # More robots (same f) can only help.
+        assert bounds.crash_line_ratio(3, 1) >= bounds.crash_line_ratio(4, 1)
+        assert bounds.crash_line_ratio(2, 1) >= bounds.crash_line_ratio(3, 1)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            bounds.crash_line_ratio(0, 0)
+        with pytest.raises(InvalidProblemError):
+            bounds.crash_line_ratio(3, -1)
+        with pytest.raises(InvalidProblemError):
+            bounds.crash_line_ratio(2, 3)
+
+
+class TestCrashRayRatio:
+    def test_single_robot_two_rays_is_nine(self):
+        assert bounds.crash_ray_ratio(2, 1, 0) == pytest.approx(9.0)
+
+    def test_single_robot_matches_baeza_yates(self):
+        for m in range(2, 8):
+            assert bounds.crash_ray_ratio(m, 1, 0) == pytest.approx(
+                bounds.single_robot_ray_ratio(m)
+            )
+
+    def test_trivial_when_k_at_least_q(self):
+        assert bounds.crash_ray_ratio(3, 3, 0) == 1.0
+        assert bounds.crash_ray_ratio(3, 6, 1) == 1.0
+        assert bounds.crash_ray_ratio(2, 8, 3) == 1.0
+
+    def test_impossible_when_all_faulty(self):
+        assert bounds.crash_ray_ratio(3, 2, 2) == math.inf
+
+    def test_value_3_rays_2_robots(self):
+        # q = 3, k = 2: 2 * (27 / (1 * 4))^(1/2) + 1 = sqrt(27) + 1.
+        assert bounds.crash_ray_ratio(3, 2, 0) == pytest.approx(math.sqrt(27) + 1.0)
+
+    def test_scale_invariance_in_q_and_k(self):
+        # The bound depends only on rho = q / k: (m=2,k=3,f=1) has q=4, and
+        # (m=4,k=6,f=1) has q=8 with the same rho=4/3... but different k, so
+        # equality holds because the expression is a function of q/k only.
+        a = bounds.crash_ray_ratio(2, 3, 1)
+        b = bounds.crash_ray_ratio(4, 6, 1)
+        assert a == pytest.approx(b)
+
+    def test_monotone_in_rays(self):
+        # More rays to search can only hurt.
+        assert bounds.crash_ray_ratio(3, 2, 0) <= bounds.crash_ray_ratio(4, 2, 0)
+        assert bounds.crash_ray_ratio(4, 2, 0) <= bounds.crash_ray_ratio(5, 2, 0)
+
+    def test_theorem6_equals_theorem1_reparametrisation(self):
+        # Substituting m = 2 into Eq. 9 must give Eq. 1 (the paper notes this).
+        for k, f in [(3, 1), (5, 2), (4, 2), (7, 3)]:
+            rho = 2 * (f + 1) / k
+            eq1 = 2 * bounds.power_term(rho) + 1
+            assert bounds.crash_ray_ratio(2, k, f) == pytest.approx(eq1)
+
+
+class TestOrcCoveringRatio:
+    def test_matches_theorem6(self):
+        for m, k, f in [(2, 3, 1), (3, 2, 0), (3, 4, 1), (4, 3, 0)]:
+            q = m * (f + 1)
+            assert bounds.orc_covering_ratio(k, q) == pytest.approx(
+                bounds.crash_ray_ratio(m, k, f)
+            )
+
+    def test_trivial_when_k_at_least_q(self):
+        assert bounds.orc_covering_ratio(4, 4) == 1.0
+        assert bounds.orc_covering_ratio(5, 3) == 1.0
+
+    def test_single_robot_double_cover(self):
+        # C(1, 2) = 2 * 2^2/1 + 1 = 9.
+        assert bounds.orc_covering_ratio(1, 2) == pytest.approx(9.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidProblemError):
+            bounds.orc_covering_ratio(0, 2)
+        with pytest.raises(InvalidProblemError):
+            bounds.orc_covering_ratio(2, 0)
+
+
+class TestFractionalRatio:
+    def test_eta_two_is_nine(self):
+        assert bounds.fractional_retrieval_ratio(2.0) == pytest.approx(9.0)
+
+    def test_eta_one_is_trivial(self):
+        assert bounds.fractional_retrieval_ratio(1.0) == 1.0
+
+    def test_below_one_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            bounds.fractional_retrieval_ratio(0.9)
+
+    def test_limit_of_integer_covering(self):
+        # C(eta) is the limit of C(k, q) with q/k -> eta (the appendix
+        # reduction); check closeness for a large denominator.
+        eta = 1.75
+        k = 400
+        q = int(round(eta * k))
+        assert bounds.orc_covering_ratio(k, q) == pytest.approx(
+            bounds.fractional_retrieval_ratio(eta), rel=1e-6
+        )
+
+    def test_monotone_in_eta(self):
+        values = [bounds.fractional_retrieval_ratio(eta) for eta in (1.2, 1.5, 2.0, 3.0)]
+        assert values == sorted(values)
+
+
+class TestByzantine:
+    def test_transfer_equals_crash_bound(self):
+        for k, f in [(3, 1), (5, 2), (2, 1)]:
+            assert bounds.byzantine_lower_bound(k, f) == bounds.crash_line_ratio(k, f)
+
+    def test_headline_improvement_over_isaac2016(self):
+        previous = bounds.known_byzantine_bounds_isaac2016()[(3, 1)]
+        assert previous == pytest.approx(3.93)
+        assert bounds.byzantine_lower_bound(3, 1) > previous
+        assert bounds.byzantine_lower_bound(3, 1) == pytest.approx(5.2331, abs=1e-3)
+
+
+class TestClassics:
+    def test_cow_path(self):
+        assert bounds.cow_path_ratio() == 9.0
+
+    def test_single_robot_ray_values(self):
+        assert bounds.single_robot_ray_ratio(2) == pytest.approx(9.0)
+        assert bounds.single_robot_ray_ratio(3) == pytest.approx(1 + 2 * 27 / 4)
+        assert bounds.single_robot_ray_ratio(4) == pytest.approx(1 + 2 * 256 / 27)
+
+    def test_single_ray_is_trivial(self):
+        assert bounds.single_robot_ray_ratio(1) == 1.0
+
+    def test_invalid_rays(self):
+        with pytest.raises(InvalidProblemError):
+            bounds.single_robot_ray_ratio(0)
+
+
+class TestMuConversions:
+    def test_mu_of_nine(self):
+        assert bounds.mu(9.0) == pytest.approx(4.0)
+
+    def test_roundtrip(self):
+        for ratio in (1.0, 3.5, 9.0, 5.233):
+            assert bounds.ratio_from_mu(bounds.mu(ratio)) == pytest.approx(ratio)
+
+
+class TestGeometricStrategyFormulas:
+    def test_optimal_base_cow_path_is_two(self):
+        assert bounds.optimal_geometric_base(2, 1, 0) == pytest.approx(2.0)
+
+    def test_optimal_base_3_1(self):
+        # q = 4, k = 3: alpha* = (4/1)^(1/3).
+        assert bounds.optimal_geometric_base(2, 3, 1) == pytest.approx(4 ** (1 / 3))
+
+    def test_strategy_ratio_at_optimum_matches_bound(self):
+        for m, k, f in [(2, 1, 0), (2, 3, 1), (3, 2, 0), (3, 4, 1), (4, 3, 0)]:
+            alpha = bounds.optimal_geometric_base(m, k, f)
+            assert bounds.geometric_strategy_ratio(alpha, m, k, f) == pytest.approx(
+                bounds.crash_ray_ratio(m, k, f)
+            )
+
+    def test_strategy_ratio_suboptimal_base_is_worse(self):
+        alpha_star = bounds.optimal_geometric_base(2, 3, 1)
+        optimal = bounds.geometric_strategy_ratio(alpha_star, 2, 3, 1)
+        assert bounds.geometric_strategy_ratio(alpha_star * 1.2, 2, 3, 1) > optimal
+        assert bounds.geometric_strategy_ratio(alpha_star * 0.9, 2, 3, 1) > optimal
+
+    def test_base_must_exceed_one(self):
+        with pytest.raises(InvalidProblemError):
+            bounds.geometric_strategy_ratio(1.0, 2, 3, 1)
+
+    def test_optimal_base_rejected_in_trivial_regime(self):
+        with pytest.raises(InvalidProblemError):
+            bounds.optimal_geometric_base(2, 4, 1)
+
+
+class TestDeltaGrowthFactor:
+    def test_above_one_below_critical(self):
+        # For the cow path (k = 1, s = 1) the critical mu is 4.
+        assert bounds.delta_growth_factor(3.9, 1, 1) > 1.0
+
+    def test_exactly_one_at_critical(self):
+        assert bounds.delta_growth_factor(4.0, 1, 1) == pytest.approx(1.0)
+
+    def test_below_one_above_critical(self):
+        assert bounds.delta_growth_factor(4.1, 1, 1) < 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidProblemError):
+            bounds.delta_growth_factor(0.0, 1, 1)
+        with pytest.raises(InvalidProblemError):
+            bounds.delta_growth_factor(1.0, 0, 1)
+
+
+class TestBoundForProblem:
+    def test_dispatches_to_ray_formula(self):
+        assert bounds.bound_for_problem(ray_problem(3, 4, 1)) == pytest.approx(
+            bounds.crash_ray_ratio(3, 4, 1)
+        )
+
+    def test_line_problem(self):
+        assert bounds.bound_for_problem(line_problem(3, 1)) == pytest.approx(
+            bounds.crash_line_ratio(3, 1)
+        )
+
+    def test_trivial_problem(self):
+        assert bounds.bound_for_problem(line_problem(4, 1)) == 1.0

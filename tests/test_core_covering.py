@@ -1,0 +1,207 @@
+"""Tests for :mod:`repro.core.covering` — the ±-cover and ORC covering settings."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import crash_line_ratio, mu_from_ratio, orc_covering_ratio
+from repro.core.covering import (
+    AssignedInterval,
+    CoverInterval,
+    assign_exact_cover,
+    find_hole,
+    is_fold_cover,
+    line_cover_intervals,
+    minimum_multiplicity,
+    multiplicity_at,
+    orc_cover_intervals,
+)
+from repro.core.problem import line_problem
+from repro.exceptions import CoverageHoleError, InvalidStrategyError
+from repro.strategies.geometric import ZigzagGeometricLineStrategy
+
+
+def doubling_sequence(count: int, base: float = 2.0):
+    """The classic cow-path turning-point sequence 1, 2, 4, ..."""
+    return [base**i for i in range(count)]
+
+
+class TestCoverInterval:
+    def test_valid(self):
+        interval = CoverInterval(left=1.0, right=2.0, robot=0, turn_index=3)
+        assert interval.width == pytest.approx(1.0)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(InvalidStrategyError):
+            CoverInterval(left=2.0, right=1.0, robot=0, turn_index=0)
+
+
+class TestLineCoverIntervals:
+    def test_doubling_at_mu_4_tiles_the_line(self):
+        intervals = line_cover_intervals([doubling_sequence(15)], mu=4.0)
+        assert is_fold_cover(intervals, fold=1, lo=1.0, hi=1000.0)
+
+    def test_doubling_below_mu_4_has_holes(self):
+        intervals = line_cover_intervals([doubling_sequence(15)], mu=3.8)
+        hole = find_hole(intervals, fold=1, lo=1.0, hi=1000.0)
+        assert hole is not None
+        assert multiplicity_at(intervals, hole) == 0
+
+    def test_multiple_robots_accumulate_multiplicity(self):
+        sequences = [doubling_sequence(15), doubling_sequence(15)]
+        intervals = line_cover_intervals(sequences, mu=4.0)
+        assert is_fold_cover(intervals, fold=2, lo=1.0, hi=1000.0)
+        assert not is_fold_cover(intervals, fold=3, lo=1.0, hi=1000.0)
+
+    def test_robot_indices_recorded(self):
+        intervals = line_cover_intervals(
+            [doubling_sequence(5), doubling_sequence(5)], mu=4.0
+        )
+        assert {interval.robot for interval in intervals} == {0, 1}
+
+
+class TestOrcCoverIntervals:
+    def test_round_prefix_excludes_current_radius(self):
+        # Rounds 1, 2, 4 with mu = 1: round i covers [prefix_{i-1}, t_i].
+        intervals = orc_cover_intervals([[1.0, 2.0, 4.0]], mu=1.0)
+        assert intervals[0].left == pytest.approx(0.0)
+        assert intervals[0].right == pytest.approx(1.0)
+        assert intervals[1].left == pytest.approx(1.0)
+        assert intervals[1].right == pytest.approx(2.0)
+        assert intervals[2].left == pytest.approx(3.0)
+        assert intervals[2].right == pytest.approx(4.0)
+
+    def test_unfruitful_rounds_skipped(self):
+        # With a big first round and tiny mu, the second round can be unfruitful.
+        intervals = orc_cover_intervals([[10.0, 1.0]], mu=0.05)
+        assert len(intervals) == 1
+
+    def test_same_robot_may_cover_twice(self):
+        # Two large rounds by the same robot both cover small distances.
+        intervals = orc_cover_intervals([[5.0, 6.0]], mu=10.0)
+        assert multiplicity_at(intervals, 1.0) == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidStrategyError):
+            orc_cover_intervals([[1.0]], mu=0.0)
+        with pytest.raises(InvalidStrategyError):
+            orc_cover_intervals([[-1.0]], mu=1.0)
+
+
+class TestMultiplicityQueries:
+    def test_multiplicity_at(self):
+        intervals = [
+            CoverInterval(0.0, 2.0, 0, 0),
+            CoverInterval(1.0, 3.0, 1, 0),
+            CoverInterval(2.5, 4.0, 0, 1),
+        ]
+        assert multiplicity_at(intervals, 0.5) == 1
+        assert multiplicity_at(intervals, 1.5) == 2
+        assert multiplicity_at(intervals, 2.7) == 2
+        assert multiplicity_at(intervals, 3.5) == 1
+        assert multiplicity_at(intervals, 5.0) == 0
+
+    def test_minimum_multiplicity(self):
+        intervals = [
+            CoverInterval(0.0, 2.0, 0, 0),
+            CoverInterval(1.0, 3.0, 1, 0),
+        ]
+        assert minimum_multiplicity(intervals, 0.5, 2.5) == 1
+        assert minimum_multiplicity(intervals, 1.2, 1.8) == 2
+
+    def test_find_hole_returns_none_when_covered(self):
+        intervals = [CoverInterval(0.0, 10.0, 0, 0)]
+        assert find_hole(intervals, 1, 1.0, 9.0) is None
+
+    def test_find_hole_locates_gap(self):
+        intervals = [CoverInterval(0.0, 2.0, 0, 0), CoverInterval(3.0, 10.0, 0, 1)]
+        hole = find_hole(intervals, 1, 1.0, 9.0)
+        assert hole is not None
+        assert 2.0 < hole < 3.0
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(InvalidStrategyError):
+            minimum_multiplicity([], 5.0, 1.0)
+
+
+class TestAssignExactCover:
+    def test_exactness_single_fold(self):
+        intervals = line_cover_intervals([doubling_sequence(15)], mu=4.5)
+        assigned = assign_exact_cover(intervals, fold=1, lo=1.0, hi=500.0)
+        self._check_exact(assigned, fold=1, lo=1.0, hi=500.0)
+
+    def test_exactness_two_fold_from_optimal_strategy(self):
+        problem = line_problem(3, 1)
+        strategy = ZigzagGeometricLineStrategy(problem)
+        mu = mu_from_ratio(crash_line_ratio(3, 1) * (1 + 1e-9))
+        sequences = [strategy.turning_points(r, 2000.0) for r in range(3)]
+        intervals = line_cover_intervals(sequences, mu)
+        # s = 2(f+1) - k = 1 for (k=3, f=1).
+        assigned = assign_exact_cover(intervals, fold=1, lo=1.0, hi=500.0)
+        self._check_exact(assigned, fold=1, lo=1.0, hi=500.0)
+
+    def test_exactness_orc_two_fold(self):
+        mu = mu_from_ratio(orc_covering_ratio(1, 2) + 0.1)
+        radii = [[2.0**i for i in range(-3, 14)]]
+        intervals = orc_cover_intervals(radii, mu)
+        assigned = assign_exact_cover(intervals, fold=2, lo=1.0, hi=800.0)
+        self._check_exact(assigned, fold=2, lo=1.0, hi=800.0)
+
+    def test_rights_are_original_turning_points(self):
+        intervals = line_cover_intervals([doubling_sequence(12)], mu=4.5)
+        assigned = assign_exact_cover(intervals, fold=1, lo=1.0, hi=200.0)
+        original_rights = {interval.right for interval in intervals}
+        assert all(a.right in original_rights for a in assigned)
+
+    def test_lefts_never_precede_originals(self):
+        intervals = line_cover_intervals([doubling_sequence(12)], mu=4.5)
+        assigned = assign_exact_cover(intervals, fold=1, lo=1.0, hi=200.0)
+        assert all(a.left >= a.original_left - 1e-9 for a in assigned)
+
+    def test_sorted_by_left_endpoint(self):
+        intervals = line_cover_intervals(
+            [doubling_sequence(12), doubling_sequence(12)], mu=4.5
+        )
+        assigned = assign_exact_cover(intervals, fold=2, lo=1.0, hi=200.0)
+        lefts = [a.left for a in assigned]
+        assert lefts == sorted(lefts)
+
+    def test_hole_raises(self):
+        intervals = line_cover_intervals([doubling_sequence(12)], mu=3.5)
+        with pytest.raises(CoverageHoleError):
+            assign_exact_cover(intervals, fold=1, lo=1.0, hi=200.0)
+
+    def test_insufficient_fold_raises(self):
+        intervals = line_cover_intervals([doubling_sequence(12)], mu=4.5)
+        with pytest.raises(CoverageHoleError):
+            assign_exact_cover(intervals, fold=2, lo=1.0, hi=200.0)
+
+    def test_invalid_fold(self):
+        with pytest.raises(InvalidStrategyError):
+            assign_exact_cover([], fold=0, lo=1.0, hi=2.0)
+
+    @staticmethod
+    def _check_exact(assigned, fold, lo, hi):
+        """Every interior sample point must be covered exactly ``fold`` times."""
+        assert assigned, "assignment must not be empty"
+        cuts = sorted(
+            {lo, hi}
+            | {a.left for a in assigned if lo < a.left < hi}
+            | {a.right for a in assigned if lo < a.right < hi}
+        )
+        for a, b in zip(cuts[:-1], cuts[1:]):
+            midpoint = (a + b) / 2
+            count = sum(
+                1 for interval in assigned if interval.left < midpoint <= interval.right
+            )
+            assert count == fold, f"point {midpoint} covered {count} != {fold} times"
+
+
+class TestAssignedInterval:
+    def test_validation(self):
+        with pytest.raises(InvalidStrategyError):
+            AssignedInterval(left=3.0, right=2.0, robot=0, turn_index=0, original_left=1.0)
+        with pytest.raises(InvalidStrategyError):
+            AssignedInterval(left=0.5, right=2.0, robot=0, turn_index=0, original_left=1.0)

@@ -1,0 +1,151 @@
+"""Tests for :mod:`repro.core.lemmas` — Lemma 4 and Lemma 5."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import lemmas
+from repro.core.bounds import crash_line_ratio, crash_ray_ratio, mu_from_ratio
+from repro.exceptions import InvalidProblemError
+
+
+class TestPolynomialValue:
+    def test_zero_at_endpoints(self):
+        assert lemmas.polynomial_value(0.0, 2.0, k=3, s=1) == 0.0
+        assert lemmas.polynomial_value(2.0, 2.0, k=3, s=1) == 0.0
+
+    def test_simple_interior_value(self):
+        # x^1 (2 - x)^1 at x = 0.5 is 0.75.
+        assert lemmas.polynomial_value(0.5, 2.0, k=1, s=1) == pytest.approx(0.75)
+
+    def test_outside_range_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            lemmas.polynomial_value(-0.1, 2.0, k=1, s=1)
+        with pytest.raises(InvalidProblemError):
+            lemmas.polynomial_value(2.5, 2.0, k=1, s=1)
+
+    def test_non_positive_exponents_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            lemmas.polynomial_value(0.5, 2.0, k=0, s=1)
+        with pytest.raises(InvalidProblemError):
+            lemmas.polynomial_value(0.5, 2.0, k=1, s=-1)
+
+
+class TestLemma4:
+    def test_argmax_formula(self):
+        # s mu / (k + s): for k = 3, s = 1, mu* = 4 the maximiser is 1.
+        assert lemmas.argmax_of_polynomial(4.0, k=3, s=1) == pytest.approx(1.0)
+
+    def test_symmetric_case(self):
+        # k = s: maximiser is the midpoint.
+        assert lemmas.argmax_of_polynomial(2.0, k=2, s=2) == pytest.approx(1.0)
+
+    def test_maximum_value(self):
+        # k = s = 1, mu* = 2: max of x(2-x) is 1 at x = 1.
+        assert lemmas.polynomial_maximum(2.0, k=1, s=1) == pytest.approx(1.0)
+
+    def test_maximum_dominates_samples(self):
+        maximum = lemmas.polynomial_maximum(3.0, k=2, s=3)
+        for x in (0.1, 0.5, 1.0, 1.5, 2.0, 2.5, 2.9):
+            assert lemmas.polynomial_value(x, 3.0, k=2, s=3) <= maximum + 1e-12
+
+    @pytest.mark.parametrize("k, s", [(1, 1), (2, 1), (3, 1), (3, 2), (5, 3), (4, 4)])
+    def test_brute_force_verification(self, k, s):
+        report = lemmas.verify_lemma4(mu_star=2.7, k=k, s=s)
+        assert report.holds
+        assert report.grid_argmax == pytest.approx(report.analytic_argmax, rel=1e-2)
+
+    def test_fractional_exponents(self):
+        report = lemmas.verify_lemma4(mu_star=1.8, k=2.5, s=1.5)
+        assert report.holds
+
+    def test_invalid_mu_star(self):
+        with pytest.raises(InvalidProblemError):
+            lemmas.argmax_of_polynomial(0.0, k=1, s=1)
+
+
+class TestStepRatio:
+    def test_infinite_at_boundary(self):
+        assert lemmas.step_ratio(0.0, 2.0, k=1, s=1) == math.inf
+
+    def test_value_at_maximiser_matches_floor(self):
+        mu_star = 2.0
+        k, s = 3, 1
+        x_star = lemmas.argmax_of_polynomial(mu_star, k, s)
+        assert lemmas.step_ratio(x_star, mu_star, k, s) == pytest.approx(
+            lemmas.step_ratio_lower_bound(mu_star, k, s)
+        )
+
+    def test_floor_is_infimum(self):
+        mu_star = 1.7
+        k, s = 2, 3
+        floor = lemmas.step_ratio_lower_bound(mu_star, k, s)
+        for x in (0.05, 0.3, 0.8, 1.2, 1.5, 1.65):
+            assert lemmas.step_ratio(x, mu_star, k, s) >= floor - 1e-12
+
+
+class TestCriticalMuAndDelta:
+    def test_critical_mu_cow_path(self):
+        # k = 1, s = 1: critical mu is 2^2 / 1 = 4, i.e. lambda = 9.
+        assert lemmas.critical_mu(1, 1) == pytest.approx(4.0)
+
+    def test_critical_mu_matches_theorem1(self):
+        # 2 * critical_mu(k, s) + 1 with s = 2(f+1) - k must be A(k, f).
+        for k, f in [(3, 1), (5, 2), (2, 1), (7, 3)]:
+            s = 2 * (f + 1) - k
+            assert 2 * lemmas.critical_mu(k, s) + 1 == pytest.approx(
+                crash_line_ratio(k, f)
+            )
+
+    def test_critical_mu_matches_theorem6(self):
+        # With s = q - k the critical mu gives the m-ray bound.
+        for m, k, f in [(3, 2, 0), (3, 4, 1), (4, 3, 0), (5, 4, 1)]:
+            q = m * (f + 1)
+            assert 2 * lemmas.critical_mu(k, q - k) + 1 == pytest.approx(
+                crash_ray_ratio(m, k, f)
+            )
+
+    def test_delta_greater_than_one_below_critical(self):
+        for k, s in [(1, 1), (3, 1), (2, 2), (5, 3)]:
+            mu_c = lemmas.critical_mu(k, s)
+            assert lemmas.delta(0.95 * mu_c, k, s) > 1.0
+
+    def test_delta_equals_one_at_critical(self):
+        for k, s in [(1, 1), (3, 1), (4, 2)]:
+            mu_c = lemmas.critical_mu(k, s)
+            assert lemmas.delta(mu_c, k, s) == pytest.approx(1.0)
+
+    def test_delta_below_one_above_critical(self):
+        for k, s in [(1, 1), (3, 1)]:
+            mu_c = lemmas.critical_mu(k, s)
+            assert lemmas.delta(1.05 * mu_c, k, s) < 1.0
+
+    def test_scale_invariance(self):
+        # critical_mu(ck, cs) == critical_mu(k, s), noted after Eq. 12.
+        assert lemmas.critical_mu(2, 3) == pytest.approx(lemmas.critical_mu(4, 6))
+        assert lemmas.critical_mu(1, 1) == pytest.approx(lemmas.critical_mu(5, 5))
+
+    def test_monotone_in_q_over_k(self):
+        # mu(q, k) < mu(q - 1, k - 1) for q > k > 1, noted in Section 3.1.
+        for q, k in [(4, 3), (6, 4), (5, 2)]:
+            assert lemmas.critical_mu(k, q - k) < lemmas.critical_mu(k - 1, q - k)
+
+
+class TestLemma5Verification:
+    @pytest.mark.parametrize("k, s", [(1, 1), (3, 1), (2, 2), (4, 2)])
+    def test_holds_below_critical(self, k, s):
+        mu_value = 0.9 * lemmas.critical_mu(k, s)
+        report = lemmas.verify_lemma5(mu_value, k, s)
+        assert report.holds
+        assert report.delta > 1.0
+        assert report.min_step_ratio >= report.delta * (1 - 1e-9)
+
+    def test_holds_at_generic_mu(self):
+        report = lemmas.verify_lemma5(1.3, k=2, s=3)
+        assert report.holds
+
+    def test_invalid_mu(self):
+        with pytest.raises(InvalidProblemError):
+            lemmas.verify_lemma5(0.0, 1, 1)

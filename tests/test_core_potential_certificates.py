@@ -1,0 +1,242 @@
+"""Tests for :mod:`repro.core.potential` and :mod:`repro.core.certificates`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    crash_line_ratio,
+    mu_from_ratio,
+    orc_covering_ratio,
+)
+from repro.core.certificates import (
+    Certificate,
+    CertificateKind,
+    certify_line_strategy,
+    certify_orc_strategy,
+    validate_potential_argument,
+)
+from repro.core.covering import (
+    assign_exact_cover,
+    line_cover_intervals,
+    orc_cover_intervals,
+)
+from repro.core.lemmas import delta as lemma5_delta
+from repro.core.potential import trace_line_potential, trace_orc_potential
+from repro.core.problem import line_problem
+from repro.exceptions import CertificateError, CoverageHoleError
+from repro.strategies.geometric import ZigzagGeometricLineStrategy
+from repro.related.orc import geometric_orc_strategy
+
+
+def line_sequences(k: int, f: int, horizon: float):
+    """Turning sequences of the optimal line strategy for (k, f)."""
+    strategy = ZigzagGeometricLineStrategy(line_problem(k, f))
+    return [strategy.turning_points(robot, horizon) for robot in range(k)]
+
+
+class TestLinePotentialTrace:
+    def setup_method(self):
+        self.k, self.f = 3, 1
+        self.fold = 2 * (self.f + 1) - self.k  # s = 1
+        self.bound = crash_line_ratio(self.k, self.f)
+        self.mu = mu_from_ratio(self.bound * (1 + 1e-9))
+        sequences = line_sequences(self.k, self.f, 4000.0)
+        intervals = line_cover_intervals(sequences, self.mu)
+        self.assigned = assign_exact_cover(intervals, self.fold, lo=1.0, hi=1000.0)
+
+    def test_cap_respected_for_valid_cover(self):
+        """Eq. 8: the potential of a valid cover never exceeds mu^(k s)."""
+        trace = trace_line_potential(
+            self.assigned, mu=self.mu, num_robots=self.k, fold=self.fold
+        )
+        assert trace.cap == pytest.approx(self.mu ** (self.k * self.fold))
+        assert trace.cap_respected
+
+    def test_steps_meet_lemma5_floor(self):
+        """Every observed step ratio is at least the Lemma-5 delta."""
+        trace = trace_line_potential(
+            self.assigned, mu=self.mu, num_robots=self.k, fold=self.fold
+        )
+        assert trace.steps, "expected at least one prefix-extension step"
+        assert trace.all_steps_above_floor
+        floor = lemma5_delta(self.mu, self.k, self.fold)
+        assert trace.min_step_ratio >= floor * (1 - 1e-9)
+
+    def test_step_bookkeeping(self):
+        trace = trace_line_potential(
+            self.assigned, mu=self.mu, num_robots=self.k, fold=self.fold
+        )
+        for step in trace.steps:
+            assert step.load_after == pytest.approx(
+                step.load_before + step.interval.right
+            )
+            assert step.mu_star <= self.mu * (1 + 1e-6)
+            assert 0 < step.x < step.mu_star + 1e-9
+            assert step.potential > 0
+
+    def test_max_steps_allowed_is_finite_below_the_bound(self):
+        """Below the critical mu the potential budget caps the prefix length."""
+        small_mu = mu_from_ratio(self.bound * 0.97)
+        sequences = line_sequences(self.k, self.f, 4000.0)
+        intervals = line_cover_intervals(sequences, self.mu)
+        assigned = assign_exact_cover(intervals, self.fold, lo=1.0, hi=300.0)
+        trace = trace_line_potential(
+            assigned, mu=small_mu, num_robots=self.k, fold=self.fold
+        )
+        assert math.isfinite(trace.max_steps_allowed())
+
+    def test_max_steps_allowed_infinite_at_or_above_bound(self):
+        trace = trace_line_potential(
+            self.assigned, mu=self.mu, num_robots=self.k, fold=self.fold
+        )
+        assert trace.max_steps_allowed() == math.inf
+
+    def test_missing_robot_rejected(self):
+        only_robot_zero = [a for a in self.assigned if a.robot == 0]
+        with pytest.raises(CertificateError):
+            trace_line_potential(
+                only_robot_zero, mu=self.mu, num_robots=self.k, fold=self.fold
+            )
+
+
+class TestOrcPotentialTrace:
+    def setup_method(self):
+        self.k, self.q = 2, 4
+        self.bound = orc_covering_ratio(self.k, self.q)
+        self.mu = mu_from_ratio(self.bound * (1 + 1e-9))
+        strategy = geometric_orc_strategy(self.k, self.q, horizon=2000.0)
+        intervals = orc_cover_intervals(list(strategy.radii), self.mu)
+        self.assigned = assign_exact_cover(intervals, self.q, lo=1.0, hi=500.0)
+
+    def test_trace_runs_and_respects_floor(self):
+        trace = trace_orc_potential(
+            self.assigned, mu=self.mu, num_robots=self.k, fold=self.q
+        )
+        assert trace.steps
+        floor = lemma5_delta(self.mu, self.k, self.q - self.k)
+        assert trace.min_step_ratio >= floor * (1 - 1e-6)
+        assert trace.all_steps_above_floor
+
+    def test_cap_respected(self):
+        trace = trace_orc_potential(
+            self.assigned, mu=self.mu, num_robots=self.k, fold=self.q
+        )
+        assert trace.cap_respected
+
+    def test_needs_q_above_k(self):
+        with pytest.raises(CertificateError):
+            trace_orc_potential(self.assigned, mu=self.mu, num_robots=4, fold=4)
+
+
+class TestLineCertificates:
+    def test_refutation_below_bound_finds_evidence(self):
+        sequences = line_sequences(3, 1, 2000.0)
+        bound = crash_line_ratio(3, 1)
+        certificate = certify_line_strategy(
+            sequences, claimed_ratio=0.9 * bound, num_faulty=1, horizon=500.0
+        )
+        assert certificate.kind in (
+            CertificateKind.COVERAGE_HOLE,
+            CertificateKind.POTENTIAL_BUDGET,
+        )
+        assert certificate.tight_bound == pytest.approx(bound)
+        assert certificate.delta is None or certificate.delta > 1.0
+        assert "claimed ratio" in certificate.summary()
+
+    def test_refutation_of_cow_path_below_nine(self):
+        # A single fault-free robot (s = 1): claiming ratio 8.5 must fail.
+        sequences = [[2.0**i for i in range(20)]]
+        certificate = certify_line_strategy(
+            sequences, claimed_ratio=8.5, num_faulty=0, horizon=1000.0
+        )
+        assert certificate.kind is CertificateKind.COVERAGE_HOLE
+        assert certificate.hole is not None
+        assert 1.0 <= certificate.hole <= 1000.0
+
+    def test_claim_at_or_above_bound_is_rejected(self):
+        sequences = line_sequences(3, 1, 500.0)
+        bound = crash_line_ratio(3, 1)
+        with pytest.raises(CertificateError):
+            certify_line_strategy(
+                sequences, claimed_ratio=bound + 0.01, num_faulty=1, horizon=200.0
+            )
+
+    def test_trivial_regime_rejected(self):
+        with pytest.raises(CertificateError):
+            certify_line_strategy(
+                [[1.0], [1.0], [1.0], [1.0]], claimed_ratio=0.5, num_faulty=1, horizon=10.0
+            )
+
+    def test_certificate_fold_matches_s(self):
+        sequences = line_sequences(5, 2, 2000.0)
+        certificate = certify_line_strategy(
+            sequences,
+            claimed_ratio=0.9 * crash_line_ratio(5, 2),
+            num_faulty=2,
+            horizon=300.0,
+        )
+        assert certificate.fold == 2 * 3 - 5 == 1
+
+
+class TestOrcCertificates:
+    def test_refutation_below_bound(self):
+        strategy = geometric_orc_strategy(2, 4, horizon=2000.0)
+        bound = orc_covering_ratio(2, 4)
+        certificate = certify_orc_strategy(
+            list(strategy.radii), claimed_ratio=0.9 * bound, fold=4, horizon=500.0
+        )
+        assert certificate.kind in (
+            CertificateKind.COVERAGE_HOLE,
+            CertificateKind.POTENTIAL_BUDGET,
+        )
+        assert certificate.tight_bound == pytest.approx(bound)
+
+    def test_claim_at_bound_rejected(self):
+        strategy = geometric_orc_strategy(2, 4, horizon=500.0)
+        with pytest.raises(CertificateError):
+            certify_orc_strategy(
+                list(strategy.radii),
+                claimed_ratio=orc_covering_ratio(2, 4) + 0.05,
+                fold=4,
+                horizon=200.0,
+            )
+
+    def test_trivial_fold_rejected(self):
+        with pytest.raises(CertificateError):
+            certify_orc_strategy([[1.0], [1.0]], claimed_ratio=1.5, fold=2, horizon=10.0)
+
+
+class TestValidatePotentialArgument:
+    def test_valid_cover_passes_both_pillars(self):
+        sequences = line_sequences(3, 1, 4000.0)
+        ratio = crash_line_ratio(3, 1) * (1 + 1e-9)
+        validation = validate_potential_argument(
+            sequences, ratio=ratio, num_faulty=1, horizon=800.0
+        )
+        assert validation.holds
+        assert validation.cap_respected
+        assert validation.steps_above_floor
+        assert validation.num_steps > 5
+
+    def test_cow_path_at_nine(self):
+        sequences = [[2.0**i for i in range(-2, 25)]]
+        validation = validate_potential_argument(
+            sequences, ratio=9.0 + 1e-9, num_faulty=0, horizon=2000.0
+        )
+        assert validation.holds
+
+    def test_invalid_cover_raises_hole_error(self):
+        sequences = [[2.0**i for i in range(20)]]
+        with pytest.raises(CoverageHoleError):
+            validate_potential_argument(
+                sequences, ratio=8.0, num_faulty=0, horizon=1000.0
+            )
+
+    def test_vacuous_fold_rejected(self):
+        with pytest.raises(CertificateError):
+            validate_potential_argument(
+                [[1.0], [1.0], [1.0], [1.0]], ratio=2.0, num_faulty=1, horizon=10.0
+            )

@@ -1,0 +1,144 @@
+"""Tests for :mod:`repro.core.problem`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import (
+    FaultType,
+    Regime,
+    SearchProblem,
+    line_problem,
+    ray_problem,
+)
+from repro.exceptions import InvalidProblemError
+
+
+class TestSearchProblemValidation:
+    def test_valid_line_problem(self):
+        problem = SearchProblem(num_rays=2, num_robots=3, num_faulty=1)
+        assert problem.m == 2
+        assert problem.k == 3
+        assert problem.f == 1
+
+    def test_zero_rays_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            SearchProblem(num_rays=0, num_robots=1)
+
+    def test_negative_rays_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            SearchProblem(num_rays=-2, num_robots=1)
+
+    def test_zero_robots_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            SearchProblem(num_rays=2, num_robots=0)
+
+    def test_negative_faulty_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            SearchProblem(num_rays=2, num_robots=2, num_faulty=-1)
+
+    def test_more_faulty_than_robots_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            SearchProblem(num_rays=2, num_robots=2, num_faulty=3)
+
+    def test_faulty_with_none_fault_type_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            SearchProblem(
+                num_rays=2, num_robots=3, num_faulty=1, fault_type=FaultType.NONE
+            )
+
+    def test_non_positive_min_distance_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            SearchProblem(num_rays=2, num_robots=1, min_target_distance=0.0)
+
+    def test_non_integer_rays_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            SearchProblem(num_rays=2.5, num_robots=1)  # type: ignore[arg-type]
+
+    def test_equal_faulty_and_robots_allowed_but_impossible(self):
+        problem = SearchProblem(num_rays=2, num_robots=2, num_faulty=2)
+        assert problem.regime is Regime.IMPOSSIBLE
+
+
+class TestDerivedQuantities:
+    def test_q_is_m_times_f_plus_one(self):
+        problem = SearchProblem(num_rays=3, num_robots=4, num_faulty=1)
+        assert problem.q == 6
+
+    def test_s_matches_theorem1(self):
+        problem = SearchProblem(num_rays=2, num_robots=3, num_faulty=1)
+        assert problem.s == 2 * (1 + 1) - 3 == 1
+
+    def test_rho_is_q_over_k(self):
+        problem = SearchProblem(num_rays=2, num_robots=3, num_faulty=1)
+        assert problem.rho == pytest.approx(4 / 3)
+
+    def test_required_visits(self):
+        assert SearchProblem(2, 3, 1).required_visits == 2
+        assert SearchProblem(2, 3, 0).required_visits == 1
+
+    def test_is_line(self):
+        assert SearchProblem(2, 1).is_line
+        assert not SearchProblem(3, 1).is_line
+
+
+class TestRegimes:
+    @pytest.mark.parametrize(
+        "m, k, f",
+        [(2, 2, 0), (2, 4, 1), (3, 3, 0), (3, 6, 1), (4, 4, 0)],
+    )
+    def test_trivial_regime(self, m, k, f):
+        assert SearchProblem(m, k, f).regime is Regime.TRIVIAL
+
+    @pytest.mark.parametrize(
+        "m, k, f",
+        [(2, 1, 0), (2, 3, 1), (3, 2, 0), (3, 5, 1), (4, 3, 0), (5, 9, 1)],
+    )
+    def test_interesting_regime(self, m, k, f):
+        assert SearchProblem(m, k, f).regime is Regime.INTERESTING
+
+    @pytest.mark.parametrize("m, k, f", [(2, 1, 1), (3, 2, 2), (4, 5, 5)])
+    def test_impossible_regime(self, m, k, f):
+        assert SearchProblem(m, k, f).regime is Regime.IMPOSSIBLE
+
+    def test_boundary_k_equals_q_is_trivial(self):
+        # k = m(f+1) exactly: sending f+1 robots down each ray gives ratio 1.
+        assert SearchProblem(3, 6, 1).regime is Regime.TRIVIAL
+
+    def test_boundary_k_just_below_q_is_interesting(self):
+        assert SearchProblem(3, 5, 1).regime is Regime.INTERESTING
+
+
+class TestConstructors:
+    def test_line_problem_builds_two_rays(self):
+        assert line_problem(3, 1).num_rays == 2
+
+    def test_line_problem_zero_faults_uses_none_fault_type(self):
+        assert line_problem(2, 0).fault_type is FaultType.NONE
+
+    def test_line_problem_with_faults_defaults_to_crash(self):
+        assert line_problem(3, 1).fault_type is FaultType.CRASH
+
+    def test_ray_problem_byzantine(self):
+        problem = ray_problem(3, 4, 1, fault_type=FaultType.BYZANTINE)
+        assert problem.fault_type is FaultType.BYZANTINE
+
+    def test_describe_mentions_regime(self):
+        assert "interesting" in line_problem(3, 1).describe()
+
+    def test_describe_mentions_line(self):
+        assert "line" in line_problem(1, 0).describe()
+
+    def test_describe_mentions_rays(self):
+        assert "3 rays" in ray_problem(3, 1, 0).describe()
+
+
+class TestImmutability:
+    def test_frozen(self):
+        problem = line_problem(3, 1)
+        with pytest.raises(AttributeError):
+            problem.num_robots = 5  # type: ignore[misc]
+
+    def test_equality(self):
+        assert line_problem(3, 1) == line_problem(3, 1)
+        assert line_problem(3, 1) != line_problem(4, 1)

@@ -1,0 +1,242 @@
+"""Tests for the extension modules: randomized search, fault injection, distance measure."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.bounds import crash_ray_ratio, single_robot_ray_ratio
+from repro.core.problem import line_problem, ray_problem
+from repro.exceptions import InvalidProblemError, InvalidStrategyError
+from repro.faults.injection import (
+    FaultInjectionReport,
+    detection_time_with_faults,
+    simulate_random_faults,
+)
+from repro.geometry.rays import RayPoint
+from repro.geometry.trajectory import excursion_trajectory, straight_trajectory
+from repro.simulation.competitive import evaluate_strategy
+from repro.simulation.distance import (
+    DedicatedRayStrategy,
+    distance_ratio_at,
+    evaluate_distance_ratio,
+    total_distance_travelled,
+)
+from repro.strategies.geometric import RoundRobinGeometricStrategy
+from repro.strategies.randomized import (
+    RandomizedSingleRobotRayStrategy,
+    expected_randomized_ratio,
+    monte_carlo_expected_ratio,
+    optimal_randomized_base,
+    randomized_ray_ratio,
+)
+from repro.strategies.single_robot import DoublingLineStrategy
+
+
+class TestRandomizedFormulas:
+    def test_line_optimum_matches_kao_reif_tate(self):
+        # The classic randomized linear-search constant ~4.5911 at base ~3.59.
+        assert optimal_randomized_base(2) == pytest.approx(3.5911, abs=2e-3)
+        assert randomized_ray_ratio(2) == pytest.approx(4.5911, abs=2e-3)
+
+    def test_randomization_beats_determinism(self):
+        for m in (2, 3, 4, 5):
+            assert randomized_ray_ratio(m) < single_robot_ray_ratio(m)
+
+    def test_randomized_overhead_roughly_half_on_the_line(self):
+        deterministic_overhead = single_robot_ray_ratio(2) - 1.0
+        randomized_overhead = randomized_ray_ratio(2) - 1.0
+        assert 0.4 < randomized_overhead / deterministic_overhead < 0.5
+
+    def test_expected_ratio_minimised_at_optimal_base(self):
+        for m in (2, 3, 4):
+            base = optimal_randomized_base(m)
+            optimum = expected_randomized_ratio(base, m)
+            assert expected_randomized_ratio(base * 1.2, m) > optimum
+            assert expected_randomized_ratio(base * 0.85, m) > optimum
+
+    def test_validation(self):
+        with pytest.raises(InvalidProblemError):
+            expected_randomized_ratio(2.0, 1)
+        with pytest.raises(InvalidStrategyError):
+            expected_randomized_ratio(1.0, 2)
+        with pytest.raises(InvalidProblemError):
+            optimal_randomized_base(1)
+
+
+class TestRandomizedStrategy:
+    def test_sampling_produces_valid_trajectories(self):
+        strategy = RandomizedSingleRobotRayStrategy(3)
+        rng = random.Random(7)
+        schedule = strategy.sample(rng, horizon=100.0)
+        trajectory = schedule.trajectory()
+        for ray in range(3):
+            assert trajectory.max_distance(ray) >= 100.0
+        assert 0.0 <= schedule.offset <= 3.0
+
+    def test_explicit_offset(self):
+        strategy = RandomizedSingleRobotRayStrategy(2)
+        schedule = strategy.sample(random.Random(0), horizon=50.0, offset=1.25)
+        assert schedule.offset == 1.25
+        with pytest.raises(InvalidStrategyError):
+            strategy.sample(random.Random(0), horizon=50.0, offset=5.0)
+
+    def test_expected_vs_deterministic_accessors(self):
+        strategy = RandomizedSingleRobotRayStrategy(2)
+        assert strategy.expected_ratio() < strategy.deterministic_ratio()
+
+    def test_monte_carlo_matches_closed_form(self):
+        strategy = RandomizedSingleRobotRayStrategy(2)
+        estimate = monte_carlo_expected_ratio(
+            strategy, targets=[(0, 17.3), (1, 42.0)], num_samples=600, seed=3
+        )
+        assert estimate == pytest.approx(strategy.expected_ratio(), rel=0.05)
+
+    def test_monte_carlo_validation(self):
+        strategy = RandomizedSingleRobotRayStrategy(2)
+        with pytest.raises(InvalidProblemError):
+            monte_carlo_expected_ratio(strategy, targets=[], num_samples=10)
+        with pytest.raises(InvalidProblemError):
+            monte_carlo_expected_ratio(strategy, targets=[(0, 2.0)], num_samples=0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidProblemError):
+            RandomizedSingleRobotRayStrategy(1)
+        with pytest.raises(InvalidStrategyError):
+            RandomizedSingleRobotRayStrategy(2, base=0.5)
+
+
+class TestFaultInjection:
+    def test_fixed_fault_set_detection(self):
+        trajectories = [
+            straight_trajectory(0, 10.0),
+            excursion_trajectory([(1, 2.0), (0, 10.0)]),
+        ]
+        target = RayPoint(0, 4.0)
+        # Healthy robot 0 reaches the target at t = 4.
+        assert detection_time_with_faults(trajectories, target, []) == pytest.approx(4.0)
+        # If robot 0 is faulty, robot 1 confirms at t = 4 + 4 = 8.
+        assert detection_time_with_faults(trajectories, target, [0]) == pytest.approx(8.0)
+        # Both faulty: never confirmed.
+        assert detection_time_with_faults(trajectories, target, [0, 1]) == math.inf
+
+    def test_random_faults_never_beat_the_adversary(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        report = simulate_random_faults(strategy, horizon=300.0, num_trials=150, seed=11)
+        assert report.max_ratio <= report.adversarial_ratio + 1e-9
+        assert report.mean_ratio <= report.max_ratio
+
+    def test_average_case_leaves_slack(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        report = simulate_random_faults(strategy, horizon=300.0, num_trials=200, seed=5)
+        assert report.slack > 0.0
+        assert report.quantile(0.5) <= report.quantile(1.0)
+
+    def test_reproducible_with_seed(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        first = simulate_random_faults(strategy, horizon=200.0, num_trials=50, seed=42)
+        second = simulate_random_faults(strategy, horizon=200.0, num_trials=50, seed=42)
+        assert [t.ratio for t in first.trials] == [t.ratio for t in second.trials]
+
+    def test_explicit_targets(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        targets = [RayPoint(0, 7.0), RayPoint(1, 13.0)]
+        report = simulate_random_faults(
+            strategy, horizon=100.0, num_trials=40, seed=1, targets=targets
+        )
+        assert all(trial.target in targets for trial in report.trials)
+        assert all(len(trial.faulty_robots) == 1 for trial in report.trials)
+
+    def test_zero_faults_matches_first_visit(self):
+        problem = ray_problem(3, 2, 0)
+        strategy = RoundRobinGeometricStrategy(problem)
+        report = simulate_random_faults(strategy, horizon=100.0, num_trials=30, seed=2)
+        assert all(trial.faulty_robots == () for trial in report.trials)
+        assert report.max_ratio <= report.adversarial_ratio + 1e-9
+
+    def test_quantile_validation(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        report = simulate_random_faults(strategy, horizon=100.0, num_trials=10, seed=0)
+        with pytest.raises(InvalidProblemError):
+            report.quantile(1.5)
+
+    def test_trial_count_validation(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        with pytest.raises(InvalidProblemError):
+            simulate_random_faults(strategy, horizon=100.0, num_trials=0)
+
+
+class TestDistanceMeasure:
+    def test_total_distance(self):
+        trajectories = [
+            straight_trajectory(0, 5.0),
+            excursion_trajectory([(1, 2.0)]),  # total time 4
+        ]
+        assert total_distance_travelled(trajectories, 3.0) == pytest.approx(6.0)
+        assert total_distance_travelled(trajectories, 10.0) == pytest.approx(9.0)
+        with pytest.raises(InvalidProblemError):
+            total_distance_travelled(trajectories, -1.0)
+
+    def test_single_robot_distance_equals_time(self):
+        strategy = DoublingLineStrategy()
+        horizon = 500.0
+        time_result = evaluate_strategy(strategy, horizon)
+        distance_result = evaluate_distance_ratio(strategy, horizon)
+        assert distance_result.ratio == pytest.approx(time_result.ratio, rel=1e-6)
+
+    def test_distance_between_time_and_k_times_time(self):
+        problem = ray_problem(3, 2, 0)
+        strategy = RoundRobinGeometricStrategy(problem)
+        horizon = 300.0
+        time_ratio = evaluate_strategy(strategy, horizon).ratio
+        distance_ratio = evaluate_distance_ratio(strategy, horizon).ratio
+        assert time_ratio - 1e-9 <= distance_ratio <= 2 * time_ratio + 1e-9
+
+    def test_distance_ratio_at_undetected_is_infinite(self, line_3_1):
+        trajectories = [
+            straight_trajectory(0, 10.0),
+            straight_trajectory(1, 10.0),
+            straight_trajectory(1, 10.0),
+        ]
+        assert distance_ratio_at(trajectories, RayPoint(0, 3.0), line_3_1) == math.inf
+
+    def test_dedicated_strategy_structure(self):
+        problem = ray_problem(4, 2, 0)
+        strategy = DedicatedRayStrategy(problem)
+        trajectories = strategy.trajectories(50.0)
+        assert len(trajectories) == 2
+        # Robot 0 only ever visits its dedicated ray 0.
+        assert trajectories[0].rays_visited() == [0]
+        # The searcher covers the remaining rays.
+        assert trajectories[1].rays_visited() == [1, 2, 3]
+
+    def test_dedicated_strategy_is_time_suboptimal(self):
+        # The paper's remark: the barely-cooperative shape of the
+        # distance-optimal construction is weak for the time measure.
+        problem = ray_problem(4, 2, 0)
+        dedicated = DedicatedRayStrategy(problem)
+        collaborative = RoundRobinGeometricStrategy(problem)
+        horizon = 1e3
+        dedicated_time = evaluate_strategy(dedicated, horizon).ratio
+        collaborative_time = evaluate_strategy(collaborative, horizon).ratio
+        assert collaborative_time <= crash_ray_ratio(4, 2, 0) + 1e-6
+        assert dedicated_time > collaborative_time + 4.0
+        assert dedicated_time <= dedicated.theoretical_ratio() + 1e-6
+
+    def test_dedicated_strategy_validation(self):
+        with pytest.raises(InvalidProblemError):
+            DedicatedRayStrategy(ray_problem(3, 2, 1))
+        with pytest.raises(InvalidProblemError):
+            DedicatedRayStrategy(ray_problem(2, 2, 0))
+
+    def test_dedicated_single_ray_bundle(self):
+        # k = m - 1 robots dedicated, the searcher gets exactly one ray left?
+        # No: with k robots the searcher's bundle has m - k + 1 rays; for
+        # m = 3, k = 2 that is 2 rays.
+        problem = ray_problem(3, 2, 0)
+        strategy = DedicatedRayStrategy(problem)
+        assert strategy.searcher_rays == [1, 2]
+        result = evaluate_strategy(strategy, 500.0)
+        assert result.ratio <= single_robot_ray_ratio(2) + 1e-6

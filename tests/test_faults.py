@@ -1,0 +1,158 @@
+"""Tests for :mod:`repro.faults` — fault models, the adversary, Byzantine bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import byzantine_lower_bound, crash_line_ratio
+from repro.core.problem import FaultType, line_problem, ray_problem
+from repro.exceptions import InvalidProblemError
+from repro.faults.adversary import Adversary, candidate_targets
+from repro.faults.byzantine import headline_improvement, improvement_table
+from repro.faults.models import (
+    ByzantineFaultModel,
+    CrashFaultModel,
+    NoFaultModel,
+    fault_model_for,
+)
+from repro.geometry.rays import RayPoint
+from repro.geometry.trajectory import excursion_trajectory, straight_trajectory
+from repro.geometry.visits import Visit
+
+
+class TestFaultModels:
+    def test_no_fault_confirms_at_first_visit(self):
+        model = NoFaultModel(3)
+        visits = [Visit(2.0, 0), Visit(5.0, 1)]
+        assert model.confirmation_time(visits) == 2.0
+        assert model.required_visits == 1
+
+    def test_no_fault_without_visits_is_infinite(self):
+        assert NoFaultModel(2).confirmation_time([]) == math.inf
+
+    def test_crash_requires_f_plus_one_visits(self):
+        model = CrashFaultModel(num_robots=4, num_faulty=2)
+        visits = [Visit(1.0, 0), Visit(2.0, 1), Visit(7.0, 3)]
+        assert model.required_visits == 3
+        assert model.confirmation_time(visits) == 7.0
+
+    def test_crash_with_too_few_visits_is_infinite(self):
+        model = CrashFaultModel(num_robots=4, num_faulty=2)
+        assert model.confirmation_time([Visit(1.0, 0), Visit(2.0, 1)]) == math.inf
+
+    def test_crash_zero_faults_is_first_visit(self):
+        model = CrashFaultModel(num_robots=3, num_faulty=0)
+        assert model.confirmation_time([Visit(4.0, 2)]) == 4.0
+
+    def test_adversarial_fault_set_silences_earliest_visitors(self):
+        model = CrashFaultModel(num_robots=4, num_faulty=2)
+        visits = [Visit(1.0, 3), Visit(2.0, 0), Visit(3.0, 1)]
+        assert model.adversarial_fault_set(visits) == [3, 0]
+
+    def test_byzantine_confirmation_matches_crash(self):
+        crash = CrashFaultModel(num_robots=3, num_faulty=1)
+        byzantine = ByzantineFaultModel(num_robots=3, num_faulty=1)
+        visits = [Visit(1.0, 0), Visit(4.0, 2), Visit(5.0, 1)]
+        assert byzantine.confirmation_time(visits) == crash.confirmation_time(visits)
+        assert byzantine.is_lower_bound_only
+
+    def test_invalid_fault_count(self):
+        with pytest.raises(InvalidProblemError):
+            CrashFaultModel(num_robots=2, num_faulty=3)
+
+    def test_factory_dispatch(self):
+        assert isinstance(fault_model_for(line_problem(3, 0)), NoFaultModel)
+        assert isinstance(fault_model_for(line_problem(3, 1)), CrashFaultModel)
+        assert isinstance(
+            fault_model_for(ray_problem(3, 4, 1, fault_type=FaultType.BYZANTINE)),
+            ByzantineFaultModel,
+        )
+
+
+class TestCandidateTargets:
+    def test_includes_minimum_distance(self):
+        trajectories = [straight_trajectory(0, 10.0)]
+        targets = candidate_targets(trajectories, num_rays=2, min_distance=1.0)
+        assert any(t.ray == 0 and t.distance == 1.0 for t in targets)
+        assert any(t.ray == 1 and t.distance == 1.0 for t in targets)
+
+    def test_includes_nudged_breakpoints(self):
+        trajectories = [excursion_trajectory([(0, 2.0), (0, 5.0)])]
+        targets = candidate_targets(trajectories, num_rays=1, min_distance=1.0)
+        distances = [t.distance for t in targets]
+        assert any(abs(d - 2.0) < 1e-6 and d > 2.0 for d in distances)
+
+    def test_horizon_filter(self):
+        trajectories = [excursion_trajectory([(0, 2.0), (0, 50.0)])]
+        targets = candidate_targets(
+            trajectories, num_rays=1, min_distance=1.0, horizon=10.0
+        )
+        assert all(t.distance <= 10.0 for t in targets)
+
+    def test_invalid_min_distance(self):
+        with pytest.raises(InvalidProblemError):
+            candidate_targets([], num_rays=1, min_distance=0.0)
+
+
+class TestAdversary:
+    def test_response_at_fixed_target(self, line_3_1, geometric_3_1):
+        adversary = Adversary(line_3_1)
+        trajectories = geometric_3_1.trajectories(100.0)
+        choice = adversary.response_at(trajectories, RayPoint(0, 10.0))
+        assert math.isfinite(choice.detection_time)
+        assert choice.ratio == pytest.approx(choice.detection_time / 10.0)
+        assert len(choice.faulty_robots) == 1
+
+    def test_best_response_maximises_ratio(self, line_3_1, geometric_3_1):
+        adversary = Adversary(line_3_1)
+        trajectories = geometric_3_1.trajectories(200.0)
+        best = adversary.best_response(trajectories, horizon=200.0)
+        # No hand-picked target may beat the adversary's choice.
+        for distance in (1.0, 3.0, 7.0, 19.0, 54.0, 120.0, 199.0):
+            for ray in (0, 1):
+                other = adversary.response_at(trajectories, RayPoint(ray, distance))
+                assert other.ratio <= best.ratio + 1e-9
+
+    def test_best_response_respects_extra_targets(self, line_3_1, geometric_3_1):
+        adversary = Adversary(line_3_1)
+        trajectories = geometric_3_1.trajectories(50.0)
+        best = adversary.best_response(
+            trajectories, horizon=50.0, extra_targets=[RayPoint(0, 33.3)]
+        )
+        assert best.ratio >= adversary.response_at(trajectories, RayPoint(0, 33.3)).ratio
+
+    def test_undetectable_target_gives_infinite_ratio(self, line_3_1):
+        # Only two robots move: with f = 1 the single visitor per half-line
+        # is silenced, so nothing is ever confirmed.
+        trajectories = [
+            straight_trajectory(0, 100.0),
+            straight_trajectory(1, 100.0),
+            straight_trajectory(1, 100.0),
+        ]
+        adversary = Adversary(line_3_1)
+        best = adversary.best_response(trajectories, horizon=50.0)
+        assert best.ratio == math.inf
+
+
+class TestByzantineComparisons:
+    def test_headline_improvement(self):
+        row = headline_improvement()
+        assert row.k == 3 and row.f == 1
+        assert row.previous_bound == pytest.approx(3.93)
+        assert row.new_bound == pytest.approx(byzantine_lower_bound(3, 1))
+        assert row.improvement == pytest.approx(row.new_bound - 3.93)
+        assert row.improvement > 1.0
+
+    def test_improvement_table_default_rows(self):
+        rows = improvement_table()
+        pairs = {(row.k, row.f) for row in rows}
+        assert (3, 1) in pairs
+        assert all(f < k < 2 * (f + 1) for k, f in pairs)
+        for row in rows:
+            assert row.new_bound == pytest.approx(crash_line_ratio(row.k, row.f))
+
+    def test_improvement_table_rejects_out_of_regime_pairs(self):
+        with pytest.raises(InvalidProblemError):
+            improvement_table([(4, 1)])

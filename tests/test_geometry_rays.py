@@ -1,0 +1,131 @@
+"""Tests for :mod:`repro.geometry.rays`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.geometry.rays import (
+    NEGATIVE_RAY,
+    POSITIVE_RAY,
+    LineDomain,
+    RayPoint,
+    StarDomain,
+    symmetric_pair,
+)
+
+
+class TestRayPoint:
+    def test_valid_point(self):
+        point = RayPoint(ray=2, distance=3.5)
+        assert point.ray == 2
+        assert point.distance == 3.5
+
+    def test_negative_ray_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            RayPoint(ray=-1, distance=1.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            RayPoint(ray=0, distance=-0.1)
+
+    def test_origin_flag(self):
+        assert RayPoint(ray=0, distance=0.0).is_origin
+        assert not RayPoint(ray=0, distance=0.5).is_origin
+
+    def test_ordering_by_ray_then_distance(self):
+        assert RayPoint(0, 5.0) < RayPoint(1, 1.0)
+        assert RayPoint(1, 1.0) < RayPoint(1, 2.0)
+
+
+class TestStarDomain:
+    def test_num_rays(self):
+        assert StarDomain(4).num_rays == 4
+
+    def test_invalid_ray_count(self):
+        with pytest.raises(InvalidProblemError):
+            StarDomain(0)
+
+    def test_is_line(self):
+        assert StarDomain(2).is_line
+        assert not StarDomain(3).is_line
+
+    def test_rays_iterator(self):
+        assert list(StarDomain(3).rays()) == [0, 1, 2]
+
+    def test_validate_ray(self):
+        domain = StarDomain(3)
+        assert domain.validate_ray(2) == 2
+        with pytest.raises(InvalidProblemError):
+            domain.validate_ray(3)
+        with pytest.raises(InvalidProblemError):
+            domain.validate_ray(-1)
+
+    def test_point_constructor_validates(self):
+        domain = StarDomain(2)
+        point = domain.point(1, 2.0)
+        assert point == RayPoint(1, 2.0)
+        with pytest.raises(InvalidProblemError):
+            domain.point(2, 1.0)
+
+    def test_travel_distance_same_ray(self):
+        domain = StarDomain(3)
+        assert domain.travel_distance(RayPoint(1, 2.0), RayPoint(1, 5.0)) == 3.0
+
+    def test_travel_distance_across_rays_through_origin(self):
+        domain = StarDomain(3)
+        assert domain.travel_distance(RayPoint(0, 2.0), RayPoint(2, 3.0)) == 5.0
+
+    def test_travel_distance_from_origin(self):
+        domain = StarDomain(3)
+        assert domain.travel_distance(RayPoint(0, 0.0), RayPoint(2, 3.0)) == 3.0
+        assert domain.travel_distance(RayPoint(2, 3.0), RayPoint(1, 0.0)) == 3.0
+
+    def test_equality_and_hash(self):
+        assert StarDomain(3) == StarDomain(3)
+        assert StarDomain(3) != StarDomain(4)
+        assert hash(StarDomain(3)) == hash(StarDomain(3))
+
+
+class TestLineDomain:
+    def test_has_two_rays(self):
+        assert LineDomain().num_rays == 2
+
+    def test_from_signed_positive(self):
+        point = LineDomain.from_signed(2.5)
+        assert point.ray == POSITIVE_RAY
+        assert point.distance == 2.5
+
+    def test_from_signed_negative(self):
+        point = LineDomain.from_signed(-3.0)
+        assert point.ray == NEGATIVE_RAY
+        assert point.distance == 3.0
+
+    def test_to_signed_roundtrip(self):
+        for x in (-4.0, -0.5, 0.0, 1.5, 10.0):
+            assert LineDomain.to_signed(LineDomain.from_signed(x)) == x
+
+    def test_to_signed_rejects_other_rays(self):
+        with pytest.raises(InvalidProblemError):
+            LineDomain.to_signed(RayPoint(ray=2, distance=1.0))
+
+    def test_mirror(self):
+        mirrored = LineDomain.mirror(RayPoint(POSITIVE_RAY, 2.0))
+        assert mirrored == RayPoint(NEGATIVE_RAY, 2.0)
+        assert LineDomain.mirror(mirrored) == RayPoint(POSITIVE_RAY, 2.0)
+
+    def test_mirror_rejects_other_rays(self):
+        with pytest.raises(InvalidProblemError):
+            LineDomain.mirror(RayPoint(ray=5, distance=1.0))
+
+
+class TestSymmetricPair:
+    def test_pair_contents(self):
+        pair = symmetric_pair(3.0)
+        assert RayPoint(POSITIVE_RAY, 3.0) in pair
+        assert RayPoint(NEGATIVE_RAY, 3.0) in pair
+        assert len(pair) == 2
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            symmetric_pair(-1.0)

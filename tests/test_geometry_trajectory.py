@@ -1,0 +1,251 @@
+"""Tests for :mod:`repro.geometry.trajectory`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidStrategyError
+from repro.geometry.rays import NEGATIVE_RAY, POSITIVE_RAY
+from repro.geometry.trajectory import (
+    Excursion,
+    Segment,
+    Trajectory,
+    excursion_trajectory,
+    idle_trajectory,
+    straight_trajectory,
+    zigzag_trajectory,
+)
+
+
+class TestSegment:
+    def test_valid_segment(self):
+        seg = Segment(0.0, 2.0, ray=0, start_distance=0.0, end_distance=2.0)
+        assert seg.duration == 2.0
+        assert seg.max_distance == 2.0
+        assert seg.min_distance == 0.0
+
+    def test_unit_speed_enforced(self):
+        with pytest.raises(InvalidStrategyError):
+            Segment(0.0, 1.0, ray=0, start_distance=0.0, end_distance=2.0)
+
+    def test_time_reversal_rejected(self):
+        with pytest.raises(InvalidStrategyError):
+            Segment(2.0, 1.0, ray=0, start_distance=0.0, end_distance=1.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(InvalidStrategyError):
+            Segment(0.0, 1.0, ray=0, start_distance=-1.0, end_distance=0.0)
+
+    def test_covers_distance(self):
+        seg = Segment(0.0, 3.0, ray=0, start_distance=1.0, end_distance=4.0)
+        assert seg.covers_distance(1.0)
+        assert seg.covers_distance(2.5)
+        assert seg.covers_distance(4.0)
+        assert not seg.covers_distance(0.5)
+        assert not seg.covers_distance(4.5)
+
+    def test_arrival_time_outward(self):
+        seg = Segment(1.0, 4.0, ray=0, start_distance=1.0, end_distance=4.0)
+        assert seg.arrival_time(2.5) == pytest.approx(2.5)
+
+    def test_arrival_time_inward(self):
+        seg = Segment(4.0, 8.0, ray=0, start_distance=4.0, end_distance=0.0)
+        assert seg.arrival_time(1.0) == pytest.approx(7.0)
+
+    def test_arrival_time_outside_raises(self):
+        seg = Segment(0.0, 1.0, ray=0, start_distance=0.0, end_distance=1.0)
+        with pytest.raises(InvalidStrategyError):
+            seg.arrival_time(2.0)
+
+    def test_position_at(self):
+        seg = Segment(2.0, 5.0, ray=0, start_distance=3.0, end_distance=0.0)
+        assert seg.position_at(2.0) == pytest.approx(3.0)
+        assert seg.position_at(3.5) == pytest.approx(1.5)
+        assert seg.position_at(5.0) == pytest.approx(0.0)
+
+
+class TestTrajectoryValidation:
+    def test_must_start_at_origin(self):
+        with pytest.raises(InvalidStrategyError):
+            Trajectory([Segment(0.0, 1.0, 0, start_distance=1.0, end_distance=2.0)])
+
+    def test_must_start_at_time_zero(self):
+        with pytest.raises(InvalidStrategyError):
+            Trajectory([Segment(1.0, 2.0, 0, start_distance=0.0, end_distance=1.0)])
+
+    def test_temporal_gap_rejected(self):
+        with pytest.raises(InvalidStrategyError):
+            Trajectory(
+                [
+                    Segment(0.0, 1.0, 0, 0.0, 1.0),
+                    Segment(2.0, 3.0, 0, 1.0, 2.0),
+                ]
+            )
+
+    def test_spatial_jump_rejected(self):
+        with pytest.raises(InvalidStrategyError):
+            Trajectory(
+                [
+                    Segment(0.0, 1.0, 0, 0.0, 1.0),
+                    Segment(1.0, 2.0, 0, 2.0, 3.0),
+                ]
+            )
+
+    def test_ray_change_away_from_origin_rejected(self):
+        with pytest.raises(InvalidStrategyError):
+            Trajectory(
+                [
+                    Segment(0.0, 2.0, 0, 0.0, 2.0),
+                    Segment(2.0, 4.0, 1, 2.0, 0.0),
+                ]
+            )
+
+    def test_ray_change_at_origin_allowed(self):
+        trajectory = Trajectory(
+            [
+                Segment(0.0, 2.0, 0, 0.0, 2.0),
+                Segment(2.0, 4.0, 0, 2.0, 0.0),
+                Segment(4.0, 7.0, 1, 0.0, 3.0),
+            ]
+        )
+        assert trajectory.total_time == 7.0
+
+
+class TestExcursionTrajectory:
+    def test_basic_queries(self):
+        trajectory = excursion_trajectory([(0, 1.0), (1, 2.0), (0, 4.0)])
+        # Excursions take 2, 4, 8 time units respectively.
+        assert trajectory.total_time == pytest.approx(14.0)
+        assert trajectory.max_distance(0) == 4.0
+        assert trajectory.max_distance(1) == 2.0
+        assert trajectory.max_distance(2) == 0.0
+        assert trajectory.rays_visited() == [0, 1]
+
+    def test_first_arrival_times(self):
+        trajectory = excursion_trajectory([(0, 1.0), (1, 2.0), (0, 4.0)])
+        assert trajectory.first_arrival_time(0, 0.5) == pytest.approx(0.5)
+        assert trajectory.first_arrival_time(1, 1.5) == pytest.approx(2.0 + 1.5)
+        # Distance 3 on ray 0 is only reached in the third excursion,
+        # which starts at time 2 + 4 = 6.
+        assert trajectory.first_arrival_time(0, 3.0) == pytest.approx(6.0 + 3.0)
+        assert trajectory.first_arrival_time(0, 5.0) == math.inf
+        assert trajectory.first_arrival_time(2, 1.0) == math.inf
+
+    def test_origin_always_visited_at_time_zero(self):
+        trajectory = excursion_trajectory([(1, 3.0)])
+        assert trajectory.first_arrival_time(0, 0.0) == 0.0
+        assert trajectory.first_arrival_time(5, 0.0) == 0.0
+
+    def test_arrival_times_multiple_passes(self):
+        trajectory = excursion_trajectory([(0, 2.0), (0, 3.0)])
+        times = trajectory.arrival_times(0, 1.0)
+        # Pass out (t=1), back (t=3), out again (t=5), back (t=9).
+        assert times == pytest.approx([1.0, 3.0, 5.0, 9.0])
+
+    def test_position_queries(self):
+        trajectory = excursion_trajectory([(0, 2.0), (1, 1.0)])
+        assert trajectory.position(0.0).distance == 0.0
+        p = trajectory.position(1.0)
+        assert p.ray == 0 and p.distance == pytest.approx(1.0)
+        p = trajectory.position(3.0)
+        assert p.ray == 0 and p.distance == pytest.approx(1.0)
+        p = trajectory.position(4.5)
+        assert p.ray == 1 and p.distance == pytest.approx(0.5)
+        # After the end the robot rests at its final position (the origin).
+        assert trajectory.position(100.0).distance == pytest.approx(0.0)
+
+    def test_arrival_breakpoints_increasing_radii(self):
+        trajectory = excursion_trajectory([(0, 1.0), (0, 2.0), (0, 4.0)])
+        assert trajectory.arrival_breakpoints(0) == pytest.approx([0.0, 1.0, 2.0])
+
+    def test_arrival_breakpoints_ignore_redundant_excursions(self):
+        trajectory = excursion_trajectory([(0, 4.0), (0, 2.0), (0, 8.0)])
+        # The radius-2 excursion never extends the covered frontier.
+        assert trajectory.arrival_breakpoints(0) == pytest.approx([0.0, 4.0])
+
+    def test_arrival_breakpoints_minimum_filter(self):
+        trajectory = excursion_trajectory([(0, 1.0), (0, 2.0), (0, 4.0)])
+        assert trajectory.arrival_breakpoints(0, minimum=1.5) == pytest.approx([2.0])
+
+    def test_visits_origin_times(self):
+        trajectory = excursion_trajectory([(0, 1.0), (1, 2.0)])
+        assert trajectory.visits_origin_times() == pytest.approx([0.0, 2.0, 6.0])
+
+    def test_excursion_validation(self):
+        with pytest.raises(InvalidStrategyError):
+            Excursion(ray=0, radius=0.0)
+        with pytest.raises(InvalidStrategyError):
+            Excursion(ray=-1, radius=1.0)
+
+
+class TestZigzagTrajectory:
+    def test_doubling_arrival_times(self):
+        # The classic 1, 2, 4, 8 doubling strategy.
+        trajectory = zigzag_trajectory([1.0, 2.0, 4.0, 8.0])
+        # +0.5 is reached on the first leg.
+        assert trajectory.first_arrival_time(POSITIVE_RAY, 0.5) == pytest.approx(0.5)
+        # -1.0 is reached after going to +1 and back: t = 3.
+        assert trajectory.first_arrival_time(NEGATIVE_RAY, 1.0) == pytest.approx(3.0)
+        # +3 is reached on the third leg: 2*(1 + 2) + 3 = 9.
+        assert trajectory.first_arrival_time(POSITIVE_RAY, 3.0) == pytest.approx(9.0)
+        # -5 is reached on the fourth leg: 2*(1 + 2 + 4) + 5 = 19.
+        assert trajectory.first_arrival_time(NEGATIVE_RAY, 5.0) == pytest.approx(19.0)
+
+    def test_equivalent_to_excursions_on_the_line(self):
+        # The paper's observation: turning directly costs the same as
+        # returning to the origin, for first arrivals.
+        radii = [1.0, 1.5, 2.25, 3.375, 5.0]
+        zigzag = zigzag_trajectory(radii)
+        excursions = excursion_trajectory(
+            [(POSITIVE_RAY if i % 2 == 0 else NEGATIVE_RAY, r) for i, r in enumerate(radii)]
+        )
+        for ray in (POSITIVE_RAY, NEGATIVE_RAY):
+            for distance in (0.5, 1.0, 1.2, 2.0, 3.0, 4.9):
+                assert zigzag.first_arrival_time(ray, distance) == pytest.approx(
+                    excursions.first_arrival_time(ray, distance)
+                )
+
+    def test_start_negative(self):
+        trajectory = zigzag_trajectory([1.0, 2.0], start_positive=False)
+        assert trajectory.first_arrival_time(NEGATIVE_RAY, 1.0) == pytest.approx(1.0)
+        assert trajectory.first_arrival_time(POSITIVE_RAY, 1.0) == pytest.approx(3.0)
+
+    def test_final_leg(self):
+        trajectory = zigzag_trajectory([1.0, 2.0], final_leg=10.0)
+        assert trajectory.first_arrival_time(POSITIVE_RAY, 8.0) == pytest.approx(
+            2 * (1.0 + 2.0) + 8.0
+        )
+
+    def test_non_positive_turning_point_rejected(self):
+        with pytest.raises(InvalidStrategyError):
+            zigzag_trajectory([1.0, 0.0])
+
+    def test_non_positive_final_leg_rejected(self):
+        with pytest.raises(InvalidStrategyError):
+            zigzag_trajectory([1.0], final_leg=-2.0)
+
+    def test_breakpoints(self):
+        trajectory = zigzag_trajectory([1.0, 2.0, 4.0, 8.0])
+        assert trajectory.arrival_breakpoints(POSITIVE_RAY) == pytest.approx([0.0, 1.0])
+        assert trajectory.arrival_breakpoints(NEGATIVE_RAY) == pytest.approx([0.0, 2.0])
+
+
+class TestStraightAndIdle:
+    def test_straight(self):
+        trajectory = straight_trajectory(ray=1, distance=5.0)
+        assert trajectory.first_arrival_time(1, 3.0) == pytest.approx(3.0)
+        assert trajectory.first_arrival_time(1, 6.0) == math.inf
+        assert trajectory.first_arrival_time(0, 3.0) == math.inf
+        assert trajectory.total_time == 5.0
+
+    def test_straight_invalid_distance(self):
+        with pytest.raises(InvalidStrategyError):
+            straight_trajectory(ray=0, distance=0.0)
+
+    def test_idle(self):
+        trajectory = idle_trajectory()
+        assert trajectory.total_time == 0.0
+        assert trajectory.first_arrival_time(0, 1.0) == math.inf
+        assert trajectory.position(10.0).is_origin

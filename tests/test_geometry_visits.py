@@ -1,0 +1,86 @@
+"""Tests for :mod:`repro.geometry.visits`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.geometry.rays import RayPoint
+from repro.geometry.trajectory import excursion_trajectory, straight_trajectory
+from repro.geometry.visits import (
+    Visit,
+    covering_robots,
+    first_visits,
+    nth_distinct_visit_time,
+    visit_count_by_time,
+)
+
+
+@pytest.fixture
+def three_trajectories():
+    """Three robots with easily-predictable first arrivals at (ray 0, 2.0).
+
+    Robot 0 walks straight out: arrives at t = 2.
+    Robot 1 does a radius-1 excursion first: arrives at t = 2 + 2 = 4.
+    Robot 2 never reaches distance 2 on ray 0.
+    """
+    return [
+        straight_trajectory(0, 10.0),
+        excursion_trajectory([(0, 1.0), (0, 5.0)]),
+        excursion_trajectory([(1, 5.0)]),
+    ]
+
+
+TARGET = RayPoint(ray=0, distance=2.0)
+
+
+class TestFirstVisits:
+    def test_sorted_by_time(self, three_trajectories):
+        visits = first_visits(three_trajectories, TARGET)
+        assert [visit.robot for visit in visits] == [0, 1]
+        assert visits[0].time == pytest.approx(2.0)
+        assert visits[1].time == pytest.approx(4.0)
+
+    def test_unreachable_robots_omitted(self, three_trajectories):
+        visits = first_visits(three_trajectories, TARGET)
+        assert all(visit.robot != 2 for visit in visits)
+
+    def test_origin_visited_by_everyone(self, three_trajectories):
+        visits = first_visits(three_trajectories, RayPoint(0, 0.0))
+        assert len(visits) == 3
+        assert all(visit.time == 0.0 for visit in visits)
+
+    def test_visit_ordering_dataclass(self):
+        assert Visit(1.0, 5) < Visit(2.0, 1)
+        assert Visit(1.0, 1) < Visit(1.0, 2)
+
+
+class TestNthDistinctVisit:
+    def test_first_visit(self, three_trajectories):
+        assert nth_distinct_visit_time(three_trajectories, TARGET, 1) == pytest.approx(2.0)
+
+    def test_second_visit(self, three_trajectories):
+        assert nth_distinct_visit_time(three_trajectories, TARGET, 2) == pytest.approx(4.0)
+
+    def test_missing_third_visit_is_infinite(self, three_trajectories):
+        assert nth_distinct_visit_time(three_trajectories, TARGET, 3) == math.inf
+
+    def test_invalid_n(self, three_trajectories):
+        with pytest.raises(InvalidProblemError):
+            nth_distinct_visit_time(three_trajectories, TARGET, 0)
+
+
+class TestVisitCounts:
+    def test_count_by_time(self, three_trajectories):
+        assert visit_count_by_time(three_trajectories, TARGET, 1.0) == 0
+        assert visit_count_by_time(three_trajectories, TARGET, 2.0) == 1
+        assert visit_count_by_time(three_trajectories, TARGET, 3.9) == 1
+        assert visit_count_by_time(three_trajectories, TARGET, 4.0) == 2
+        assert visit_count_by_time(three_trajectories, TARGET, 100.0) == 2
+
+    def test_covering_robots(self, three_trajectories):
+        assert covering_robots(three_trajectories, TARGET, 2.0) == [0]
+        assert covering_robots(three_trajectories, TARGET, 10.0) == [0, 1]
+        assert covering_robots(three_trajectories, TARGET, 0.5) == []

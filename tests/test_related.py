@@ -1,0 +1,270 @@
+"""Tests for :mod:`repro.related` — ORC, fractional, contract, hybrid problems."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    crash_ray_ratio,
+    fractional_retrieval_ratio,
+    orc_covering_ratio,
+)
+from repro.core.problem import ray_problem
+from repro.exceptions import InvalidProblemError, InvalidStrategyError
+from repro.related.contract import (
+    Contract,
+    ContractSchedule,
+    geometric_contract_schedule,
+    optimal_acceleration_ratio,
+    search_ratio_from_acceleration,
+)
+from repro.related.fractional import (
+    WeightedCoveringStrategy,
+    fractional_strategy,
+    measure_fractional_ratio,
+)
+from repro.related.fractional import required_lambda_at as fractional_lambda_at
+from repro.related.hybrid import (
+    HybridSchedule,
+    Run,
+    geometric_hybrid_schedule,
+    hybrid_optimal_ratio,
+    measure_hybrid_ratio,
+)
+from repro.related.orc import (
+    OrcCoveringStrategy,
+    geometric_orc_strategy,
+    measure_orc_ratio,
+    orc_strategy_from_ray_strategy,
+    required_lambda_at,
+)
+from repro.strategies.geometric import RoundRobinGeometricStrategy
+
+
+class TestOrcStrategy:
+    def test_validation(self):
+        with pytest.raises(InvalidStrategyError):
+            OrcCoveringStrategy(radii=(), fold=2)
+        with pytest.raises(InvalidStrategyError):
+            OrcCoveringStrategy(radii=((1.0, -1.0),), fold=2)
+        with pytest.raises(InvalidProblemError):
+            OrcCoveringStrategy(radii=((1.0,),), fold=0)
+
+    def test_theoretical_ratio(self):
+        strategy = OrcCoveringStrategy(radii=((1.0, 2.0),), fold=2)
+        assert strategy.theoretical_ratio() == pytest.approx(orc_covering_ratio(1, 2))
+
+    def test_required_lambda_simple_case(self):
+        # One robot, rounds 1, 2, 4; q = 1.  Distance 1.5 is first covered in
+        # the round of radius 2, which starts after 2*1 time: lambda = (2 + 1.5)/1.5.
+        strategy = OrcCoveringStrategy(radii=((1.0, 2.0, 4.0),), fold=1)
+        assert required_lambda_at(strategy, 1.5) == pytest.approx((2.0 + 1.5) / 1.5)
+
+    def test_required_lambda_two_fold(self):
+        # q = 2: distance 1.5 needs the rounds of radii 2 AND 4; the latter
+        # starts after 2*(1+2) = 6: lambda = (6 + 1.5)/1.5 = 5.
+        strategy = OrcCoveringStrategy(radii=((1.0, 2.0, 4.0),), fold=2)
+        assert required_lambda_at(strategy, 1.5) == pytest.approx(5.0)
+
+    def test_required_lambda_unreachable(self):
+        strategy = OrcCoveringStrategy(radii=((1.0, 2.0),), fold=3)
+        assert required_lambda_at(strategy, 1.5) == math.inf
+
+    @pytest.mark.parametrize("k, q", [(1, 2), (1, 3), (2, 3), (2, 4), (3, 5), (4, 6)])
+    def test_geometric_strategy_matches_eq10(self, k, q):
+        strategy = geometric_orc_strategy(k, q, horizon=1e4)
+        measured = measure_orc_ratio(strategy, hi=1e4)
+        bound = orc_covering_ratio(k, q)
+        assert measured <= bound + 1e-6
+        assert measured == pytest.approx(bound, rel=1e-2)
+
+    def test_geometric_strategy_needs_q_above_k(self):
+        with pytest.raises(InvalidProblemError):
+            geometric_orc_strategy(3, 3, horizon=100.0)
+
+    def test_reduction_from_ray_strategy_preserves_ratio(self):
+        # Eq. 10 direction: an m-ray strategy induces a q-fold ORC cover with
+        # the same ratio bound.
+        problem = ray_problem(3, 4, 1)
+        strategy = RoundRobinGeometricStrategy(problem)
+        orc = orc_strategy_from_ray_strategy(strategy, horizon=500.0)
+        assert orc.fold == problem.q == 6
+        measured = measure_orc_ratio(orc, hi=500.0)
+        assert measured <= crash_ray_ratio(3, 4, 1) + 1e-6
+
+    def test_measure_orc_ratio_empty_range_rejected(self):
+        strategy = OrcCoveringStrategy(radii=((1.0, 2.0),), fold=1)
+        with pytest.raises(InvalidProblemError):
+            measure_orc_ratio(strategy, lo=10.0, hi=1.0)
+
+
+class TestFractional:
+    def test_weight_validation(self):
+        with pytest.raises(InvalidStrategyError):
+            WeightedCoveringStrategy(weights=(0.5, 0.4), radii=((1.0,), (1.0,)), eta=1.5)
+        with pytest.raises(InvalidStrategyError):
+            WeightedCoveringStrategy(weights=(0.5,), radii=((1.0,), (1.0,)), eta=1.5)
+        with pytest.raises(InvalidProblemError):
+            WeightedCoveringStrategy(weights=(1.0,), radii=((1.0,),), eta=0.5)
+
+    def test_construction_effective_eta(self):
+        strategy = fractional_strategy(1.5, num_robots=4, horizon=100.0)
+        assert strategy.eta == pytest.approx(1.5)
+        assert strategy.num_robots == 4
+        assert sum(strategy.weights) == pytest.approx(1.0)
+
+    def test_eta_below_requirement_bumped(self):
+        # eta so close to 1 that round(eta*k) == k: the construction bumps
+        # the fold to k + 1 and reports the effective eta.
+        strategy = fractional_strategy(1.01, num_robots=3, horizon=50.0)
+        assert strategy.eta > 1.01
+
+    @pytest.mark.parametrize("eta", [1.5, 2.0, 3.0])
+    def test_measured_ratio_matches_integer_bound(self, eta):
+        num_robots = 4
+        strategy = fractional_strategy(eta, num_robots, horizon=1e4)
+        measured = measure_fractional_ratio(strategy, hi=1e4)
+        q = int(round(eta * num_robots))
+        assert measured <= orc_covering_ratio(num_robots, q) + 1e-6
+
+    def test_convergence_to_c_eta_as_robots_grow(self):
+        eta = 2.0
+        coarse = measure_fractional_ratio(
+            fractional_strategy(eta, 2, horizon=1e4), hi=1e4
+        )
+        fine = measure_fractional_ratio(
+            fractional_strategy(eta, 8, horizon=1e4), hi=1e4
+        )
+        target = fractional_retrieval_ratio(eta)
+        assert abs(fine - target) <= abs(coarse - target) + 1e-6
+        assert fine == pytest.approx(target, rel=0.05)
+
+    def test_required_lambda_accumulates_weight(self):
+        strategy = WeightedCoveringStrategy(
+            weights=(0.5, 0.5), radii=((2.0, 8.0), (4.0,)), eta=1.5
+        )
+        # Distance 1: covered by robot 0 round 1 (lambda 1), robot 1 round 1
+        # (lambda 1), robot 0 round 2 (lambda (2*2+1)/1 = 5).  Weight 1.5
+        # needs all three: lambda = 5.
+        assert fractional_lambda_at(strategy, 1.0) == pytest.approx(5.0)
+
+    def test_invalid_eta_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            fractional_strategy(1.0, 3, horizon=10.0)
+
+
+class TestContracts:
+    def test_contract_validation(self):
+        with pytest.raises(InvalidStrategyError):
+            Contract(problem=0, length=0.0)
+        with pytest.raises(InvalidProblemError):
+            Contract(problem=-1, length=1.0)
+
+    def test_schedule_validation(self):
+        with pytest.raises(InvalidProblemError):
+            ContractSchedule(1, [[Contract(problem=3, length=1.0)]])
+        with pytest.raises(InvalidStrategyError):
+            ContractSchedule(1, [])
+
+    def test_best_completed_length(self):
+        schedule = ContractSchedule(
+            2,
+            [[Contract(0, 1.0), Contract(1, 2.0), Contract(0, 4.0)]],
+        )
+        assert schedule.best_completed_length(0, 0.5) == 0.0
+        assert schedule.best_completed_length(0, 1.0) == 1.0
+        assert schedule.best_completed_length(0, 6.9) == 1.0
+        assert schedule.best_completed_length(0, 7.0) == 4.0
+        assert schedule.best_completed_length(1, 3.0) == 2.0
+
+    def test_acceleration_ratio_known_small_case(self):
+        # One problem, one processor, doubling lengths 1, 2, 4, ...:
+        # worst interruption just before completing length 2^n gives
+        # T/ell = (2^{n+1} - 1) / 2^{n-1} -> 4.
+        schedule = ContractSchedule(
+            1, [[Contract(0, 2.0**i) for i in range(15)]]
+        )
+        assert schedule.acceleration_ratio() == pytest.approx(4.0, rel=1e-3)
+
+    @pytest.mark.parametrize("m, k", [(1, 1), (2, 1), (1, 2), (3, 2), (2, 3)])
+    def test_geometric_schedule_matches_optimal_acceleration(self, m, k):
+        schedule = geometric_contract_schedule(m, k, horizon=1e5)
+        measured = schedule.acceleration_ratio()
+        target = optimal_acceleration_ratio(m, k)
+        assert measured <= target + 1e-6
+        assert measured == pytest.approx(target, rel=1e-2)
+
+    def test_optimal_acceleration_closed_form(self):
+        assert optimal_acceleration_ratio(1, 1) == pytest.approx(4.0)
+        assert optimal_acceleration_ratio(2, 1) == pytest.approx(27.0 / 4.0)
+
+    @pytest.mark.parametrize("m, k", [(2, 1), (3, 1), (3, 2), (4, 2), (5, 3)])
+    def test_search_ratio_identity(self, m, k):
+        # A(m, k, 0) = 1 + 2 * acc*(m - k, k) — the Section 3 correspondence.
+        assert search_ratio_from_acceleration(m, k) == pytest.approx(
+            crash_ray_ratio(m, k, 0)
+        )
+
+    def test_search_ratio_identity_requires_k_below_m(self):
+        with pytest.raises(InvalidProblemError):
+            search_ratio_from_acceleration(3, 3)
+
+
+class TestHybrid:
+    def test_run_validation(self):
+        with pytest.raises(InvalidStrategyError):
+            Run(algorithm=0, amount=0.0)
+        with pytest.raises(InvalidProblemError):
+            Run(algorithm=-1, amount=1.0)
+
+    def test_schedule_validation(self):
+        with pytest.raises(InvalidProblemError):
+            HybridSchedule(1, [[Run(algorithm=2, amount=1.0)]])
+        with pytest.raises(InvalidStrategyError):
+            HybridSchedule(1, [])
+
+    def test_solve_time_restarts_from_scratch(self):
+        schedule = HybridSchedule(
+            2, [[Run(0, 1.0), Run(1, 2.0), Run(0, 4.0)]]
+        )
+        # Algorithm 0 to amount 3: the first run is too short, so the third
+        # run (starting at elapsed time 3) delivers it at 3 + 3 = 6.
+        assert schedule.solve_time(0, 3.0) == pytest.approx(6.0)
+        assert schedule.solve_time(0, 0.5) == pytest.approx(0.5)
+        assert schedule.solve_time(1, 1.5) == pytest.approx(1.0 + 1.5)
+        assert schedule.solve_time(1, 5.0) == math.inf
+
+    def test_parallel_areas_race(self):
+        schedule = HybridSchedule(
+            2,
+            [
+                [Run(0, 8.0)],
+                [Run(1, 1.0), Run(0, 8.0)],
+            ],
+        )
+        # Area 0 reaches amount 5 of algorithm 0 at t=5; area 1 only at 1+5=6.
+        assert schedule.solve_time(0, 5.0) == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("m, k", [(2, 1), (3, 1), (3, 2), (4, 2), (5, 3)])
+    def test_geometric_schedule_matches_formula(self, m, k):
+        schedule = geometric_hybrid_schedule(m, k, horizon=1e4)
+        measured = measure_hybrid_ratio(schedule, hi=1e4)
+        target = hybrid_optimal_ratio(m, k)
+        assert measured <= target + 1e-6
+        assert measured == pytest.approx(target, rel=1e-2)
+
+    def test_hybrid_is_half_the_search_overhead(self):
+        for m, k in [(2, 1), (3, 2), (5, 3)]:
+            assert hybrid_optimal_ratio(m, k) == pytest.approx(
+                1.0 + (crash_ray_ratio(m, k, 0) - 1.0) / 2.0
+            )
+
+    def test_formula_requires_k_below_m(self):
+        with pytest.raises(InvalidProblemError):
+            hybrid_optimal_ratio(3, 3)
+
+    def test_geometric_schedule_requires_k_below_m(self):
+        with pytest.raises(InvalidProblemError):
+            geometric_hybrid_schedule(2, 2, horizon=100.0)

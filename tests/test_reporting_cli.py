@@ -1,0 +1,115 @@
+"""Tests for :mod:`repro.reporting` and :mod:`repro.cli`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.tables import ExperimentTable
+from repro.cli import build_parser, main
+from repro.reporting import format_value, render_experiment, render_table
+
+
+class TestFormatValue:
+    def test_floats_rounded(self):
+        assert format_value(3.14159, precision=2) == "3.14"
+
+    def test_infinities(self):
+        assert format_value(math.inf) == "inf"
+        assert format_value(-math.inf) == "-inf"
+
+    def test_nan(self):
+        assert format_value(math.nan) == "nan"
+
+    def test_booleans(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_strings_and_ints(self):
+        assert format_value("abc") == "abc"
+        assert format_value(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["name", "value"], [["a", 1.5], ["bc", 22.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1].replace("  ", " ").strip()) <= {"-", " "}
+        # All lines are equally wide (right-justified columns).
+        assert len({len(line) for line in lines}) == 1
+
+    def test_header_growth(self):
+        text = render_table(["very long header"], [[1]])
+        assert "very long header" in text
+
+    def test_render_experiment_includes_id_and_title(self):
+        table = ExperimentTable(
+            experiment_id="E99", title="demo", headers=["x"], rows=[[1]]
+        )
+        text = render_experiment(table)
+        assert text.startswith("[E99] demo")
+
+
+class TestCliParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bounds_defaults(self):
+        args = build_parser().parse_args(["bounds", "-k", "3", "-f", "1"])
+        assert args.rays == 2
+        assert args.robots == 3
+        assert args.faulty == 1
+
+    def test_experiments_only_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "--only", "E99"])
+
+
+class TestCliCommands:
+    def test_bounds_command(self, capsys):
+        assert main(["bounds", "-k", "3", "-f", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "5.2331" in output
+        assert "alpha*" in output
+
+    def test_bounds_trivial_regime_has_no_alpha(self, capsys):
+        assert main(["bounds", "-k", "4", "-f", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "1.0000" in output
+        assert "alpha*" not in output
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate", "-k", "3", "-f", "1", "--horizon", "200"]) == 0
+        output = capsys.readouterr().out
+        assert "measured ratio" in output
+        assert "theoretical ratio" in output
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "--only", "E3"]) == 0
+        output = capsys.readouterr().out
+        assert "[E3]" in output
+        assert "5.2331" in output
+
+    def test_timeline_command(self, capsys):
+        assert (
+            main(
+                [
+                    "timeline",
+                    "-k",
+                    "2",
+                    "-m",
+                    "3",
+                    "--target-distance",
+                    "5",
+                    "--limit",
+                    "100",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "detection time" in output
+        assert "confirm" in output

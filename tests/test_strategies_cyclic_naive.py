@@ -1,0 +1,223 @@
+"""Tests for :mod:`repro.strategies.cyclic` and :mod:`repro.strategies.naive`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import crash_ray_ratio, single_robot_ray_ratio
+from repro.core.problem import line_problem, ray_problem
+from repro.exceptions import InvalidProblemError, InvalidStrategyError
+from repro.geometry.rays import RayPoint
+from repro.geometry.visits import nth_distinct_visit_time
+from repro.simulation.competitive import evaluate_strategy
+from repro.strategies.cyclic import CyclicStrategy, geometric_radius_schedule
+from repro.strategies.naive import (
+    IgnoreFaultsStrategy,
+    PartitionStrategy,
+    ReplicationStrategy,
+    TrivialStraightStrategy,
+)
+
+
+class TestCyclicStrategy:
+    def test_rejects_faulty_problems(self):
+        with pytest.raises(InvalidProblemError):
+            CyclicStrategy(ray_problem(3, 2, 1))
+
+    def test_rejects_trivial_regime(self):
+        with pytest.raises(InvalidProblemError):
+            CyclicStrategy(ray_problem(3, 3, 0))
+
+    def test_default_schedule_is_optimal_geometric(self, rays_3_2_0):
+        strategy = CyclicStrategy(rays_3_2_0)
+        assert strategy.alpha == pytest.approx((3 / 1) ** (1 / 2))
+        assert strategy.theoretical_ratio() == pytest.approx(crash_ray_ratio(3, 2, 0))
+
+    def test_extension_assignment(self, rays_3_2_0):
+        strategy = CyclicStrategy(rays_3_2_0)
+        ray, robot, radius = strategy.extension(7)
+        assert ray == 7 % 3
+        assert robot == 7 % 2
+        assert radius == pytest.approx(strategy.alpha**7)
+
+    def test_extensions_reach_horizon_on_every_ray(self, rays_3_2_0):
+        strategy = CyclicStrategy(rays_3_2_0)
+        extensions = strategy.extensions_up_to(50.0)
+        reached = {ray: 0.0 for ray in range(3)}
+        for ray, _robot, radius in extensions:
+            reached[ray] = max(reached[ray], radius)
+        assert all(value >= 50.0 for value in reached.values())
+
+    @pytest.mark.parametrize("m, k", [(2, 1), (3, 1), (3, 2), (4, 2), (5, 3), (4, 3)])
+    def test_measured_ratio_matches_theorem6_f0(self, m, k):
+        strategy = CyclicStrategy(ray_problem(m, k, 0))
+        result = evaluate_strategy(strategy, horizon=1e4)
+        bound = crash_ray_ratio(m, k, 0)
+        assert result.ratio <= bound + 1e-6
+        assert result.ratio == pytest.approx(bound, rel=1e-2)
+
+    def test_custom_schedule(self, rays_3_2_0):
+        strategy = CyclicStrategy(
+            rays_3_2_0, radius_schedule=geometric_radius_schedule(2.0), start_index=-6
+        )
+        assert strategy.theoretical_ratio() is None
+        result = evaluate_strategy(strategy, horizon=100.0)
+        assert math.isfinite(result.ratio)
+        # Base 2 is suboptimal for (m=3, k=2); the measured ratio exceeds the optimum.
+        assert result.ratio > crash_ray_ratio(3, 2, 0)
+
+    def test_non_increasing_schedule_rejected(self, rays_3_2_0):
+        strategy = CyclicStrategy(
+            rays_3_2_0, radius_schedule=lambda n: 5.0, start_index=0
+        )
+        with pytest.raises(InvalidStrategyError):
+            strategy.trajectories(10.0)
+
+    def test_non_positive_schedule_rejected(self, rays_3_2_0):
+        strategy = CyclicStrategy(
+            rays_3_2_0, radius_schedule=lambda n: -1.0, start_index=0
+        )
+        with pytest.raises(InvalidStrategyError):
+            strategy.trajectories(10.0)
+
+    def test_geometric_radius_schedule_validation(self):
+        with pytest.raises(InvalidStrategyError):
+            geometric_radius_schedule(1.0)
+
+
+class TestTrivialStraightStrategy:
+    def test_requires_trivial_regime(self, line_3_1):
+        with pytest.raises(InvalidProblemError):
+            TrivialStraightStrategy(line_3_1)
+
+    @pytest.mark.parametrize("m, k, f", [(2, 2, 0), (2, 4, 1), (3, 6, 1), (4, 8, 1)])
+    def test_ratio_is_exactly_one(self, m, k, f):
+        strategy = TrivialStraightStrategy(ray_problem(m, k, f))
+        result = evaluate_strategy(strategy, horizon=100.0)
+        assert result.ratio == pytest.approx(1.0)
+        assert strategy.theoretical_ratio() == 1.0
+
+    def test_every_ray_gets_enough_robots(self):
+        problem = ray_problem(3, 7, 1)
+        strategy = TrivialStraightStrategy(problem)
+        trajectories = strategy.trajectories(10.0)
+        for ray in range(3):
+            point = RayPoint(ray=ray, distance=5.0)
+            assert nth_distinct_visit_time(trajectories, point, 2) == pytest.approx(5.0)
+
+
+class TestReplicationStrategy:
+    def test_group_arithmetic(self, line_3_1):
+        strategy = ReplicationStrategy(line_3_1)
+        assert strategy.group_size == 2
+        assert strategy.num_groups == 1
+
+    def test_requires_a_fault_free_group(self):
+        with pytest.raises(InvalidProblemError):
+            ReplicationStrategy(line_problem(2, 2))
+
+    def test_correct_but_suboptimal(self, line_3_1):
+        strategy = ReplicationStrategy(line_3_1)
+        result = evaluate_strategy(strategy, horizon=1e4)
+        # Correct: finite ratio within its own guarantee (cow path with one group).
+        assert result.ratio <= strategy.theoretical_ratio() + 1e-6
+        # Suboptimal: strictly worse than the paper's strategy.
+        assert result.ratio > crash_ray_ratio(2, 3, 1) + 0.5
+
+    def test_leftover_robots_idle(self, line_3_1):
+        trajectories = ReplicationStrategy(line_3_1).trajectories(50.0)
+        assert len(trajectories) == 3
+        # The third robot does not fit in a group of 2 and stays at the origin.
+        assert trajectories[2].total_time == 0.0
+
+    def test_replication_optimal_when_group_size_divides_k(self):
+        # With k divisible by f+1 the replication strategy preserves the
+        # exponent rho = q/k, so it is exactly optimal: A(3, 4, 1) = A(3, 2, 0).
+        problem = ray_problem(3, 4, 1)
+        strategy = ReplicationStrategy(problem)
+        assert strategy.num_groups == 2
+        assert strategy.theoretical_ratio() == pytest.approx(crash_ray_ratio(3, 4, 1))
+        result = evaluate_strategy(strategy, horizon=1e3)
+        assert result.ratio <= strategy.theoretical_ratio() + 1e-6
+
+    def test_replication_suboptimal_with_leftover_robots(self):
+        # k = 5, f = 1: one robot is wasted, so the ratio strictly exceeds
+        # the paper's A(3, 5, 1).
+        problem = ray_problem(3, 5, 1)
+        strategy = ReplicationStrategy(problem)
+        assert strategy.num_groups == 2
+        assert strategy.theoretical_ratio() > crash_ray_ratio(3, 5, 1)
+        result = evaluate_strategy(strategy, horizon=1e3)
+        assert result.ratio > crash_ray_ratio(3, 5, 1)
+
+
+class TestPartitionStrategy:
+    def test_requires_fault_free(self, line_3_1):
+        with pytest.raises(InvalidProblemError):
+            PartitionStrategy(line_3_1)
+
+    def test_requires_at_most_one_robot_per_ray(self):
+        with pytest.raises(InvalidProblemError):
+            PartitionStrategy(ray_problem(2, 3, 0))
+
+    def test_one_robot_per_ray_gives_ratio_one(self):
+        strategy = PartitionStrategy(ray_problem(3, 3, 0))
+        result = evaluate_strategy(strategy, horizon=100.0)
+        assert result.ratio == pytest.approx(1.0)
+
+    def test_single_robot_degenerates_to_ray_search(self):
+        strategy = PartitionStrategy(ray_problem(3, 1, 0))
+        result = evaluate_strategy(strategy, horizon=1e4)
+        assert result.ratio <= single_robot_ray_ratio(3) + 1e-6
+
+    def test_even_partition_is_optimal(self):
+        # When k divides m, splitting the rays evenly is exactly optimal:
+        # A(4, 2, 0) = 9 = the single-robot two-ray (cow path) ratio.
+        strategy = PartitionStrategy(ray_problem(4, 2, 0))
+        assert strategy.theoretical_ratio() == pytest.approx(crash_ray_ratio(4, 2, 0))
+        result = evaluate_strategy(strategy, horizon=1e4)
+        assert result.ratio <= crash_ray_ratio(4, 2, 0) + 1e-6
+
+    def test_uneven_partition_is_worse_than_optimal(self):
+        # 5 rays, 2 robots: one robot is stuck with 3 rays, so the partition
+        # ratio (14.5) strictly exceeds the collaborative optimum (~11.76).
+        strategy = PartitionStrategy(ray_problem(5, 2, 0))
+        result = evaluate_strategy(strategy, horizon=1e4)
+        assert result.ratio <= strategy.theoretical_ratio() + 1e-6
+        assert result.ratio > crash_ray_ratio(5, 2, 0) + 1.0
+
+    def test_bundles_cover_all_rays(self):
+        strategy = PartitionStrategy(ray_problem(5, 2, 0))
+        covered = sorted(ray for bundle in strategy.bundles for ray in bundle)
+        assert covered == [0, 1, 2, 3, 4]
+
+
+class TestIgnoreFaultsStrategy:
+    def test_fault_free_case_is_optimal(self, rays_3_2_0):
+        strategy = IgnoreFaultsStrategy(rays_3_2_0)
+        assert strategy.theoretical_ratio() == pytest.approx(crash_ray_ratio(3, 2, 0))
+        result = evaluate_strategy(strategy, horizon=1e3)
+        assert result.ratio <= crash_ray_ratio(3, 2, 0) + 1e-6
+
+    def test_with_faults_guarantee_unknown(self, line_3_1):
+        strategy = IgnoreFaultsStrategy(line_3_1)
+        assert strategy.theoretical_ratio() is None
+
+    def test_single_robot_with_fault_never_confirms(self):
+        # One robot, one fault: the single visitor is silenced forever.
+        problem = line_problem(1, 0)
+        faulty = line_problem(2, 1)
+        strategy = IgnoreFaultsStrategy(faulty)
+        result = evaluate_strategy(strategy, horizon=100.0)
+        # The fault-free optimal strategy for k=2 is the trivial straight
+        # strategy (one robot per half-line); with one crash fault a target
+        # is visited by only one robot, so it is never confirmed.
+        assert result.ratio == math.inf
+
+    def test_degradation_when_faults_ignored(self, line_3_1):
+        strategy = IgnoreFaultsStrategy(line_3_1)
+        result = evaluate_strategy(strategy, horizon=1e3)
+        # Whatever happens, the fault-aware optimum cannot be beaten.
+        assert result.ratio >= crash_ray_ratio(2, 3, 1) - 1e-6

@@ -1,0 +1,184 @@
+"""Tests for :mod:`repro.strategies.geometric` — the optimal strategies."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import crash_line_ratio, crash_ray_ratio, optimal_geometric_base
+from repro.core.problem import line_problem, ray_problem
+from repro.exceptions import InvalidProblemError, InvalidStrategyError
+from repro.geometry.visits import nth_distinct_visit_time
+from repro.geometry.rays import RayPoint
+from repro.simulation.competitive import evaluate_strategy
+from repro.strategies.geometric import (
+    RoundRobinGeometricStrategy,
+    ZigzagGeometricLineStrategy,
+)
+
+
+class TestConstruction:
+    def test_default_alpha_is_optimal(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        assert strategy.alpha == pytest.approx(optimal_geometric_base(2, 3, 1))
+
+    def test_rejects_trivial_regime(self):
+        with pytest.raises(InvalidProblemError):
+            RoundRobinGeometricStrategy(line_problem(4, 1))
+
+    def test_rejects_impossible_regime(self):
+        with pytest.raises(InvalidProblemError):
+            RoundRobinGeometricStrategy(line_problem(1, 1))
+
+    def test_rejects_alpha_at_most_one(self, line_3_1):
+        with pytest.raises(InvalidStrategyError):
+            RoundRobinGeometricStrategy(line_3_1, alpha=1.0)
+
+    def test_rejects_late_start_cycle(self, line_3_1):
+        with pytest.raises(InvalidStrategyError):
+            RoundRobinGeometricStrategy(line_3_1, start_cycle=0)
+
+    def test_radius_formula(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        alpha = strategy.alpha
+        # exponent = k*(ray + m*cycle) + m*robot
+        assert strategy.radius(robot=1, ray=0, cycle=0) == pytest.approx(alpha**2)
+        assert strategy.radius(robot=0, ray=1, cycle=0) == pytest.approx(alpha**3)
+        assert strategy.radius(robot=2, ray=1, cycle=1) == pytest.approx(alpha ** (3 * 3 + 4))
+
+    def test_schedule_alternates_rays(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        schedule = strategy.excursion_schedule(0, horizon=100.0)
+        rays = [ray for ray, _radius in schedule]
+        assert rays[: 6] == [0, 1, 0, 1, 0, 1]
+
+    def test_schedule_radii_increase(self, rays_3_4_1):
+        strategy = RoundRobinGeometricStrategy(rays_3_4_1)
+        for robot in range(4):
+            radii = [radius for _ray, radius in strategy.excursion_schedule(robot, 100.0)]
+            assert all(b > a for a, b in zip(radii, radii[1:]))
+
+    def test_number_of_trajectories(self, rays_3_4_1):
+        assert len(RoundRobinGeometricStrategy(rays_3_4_1).trajectories(10.0)) == 4
+
+
+class TestCoverageGuarantee:
+    @pytest.mark.parametrize(
+        "m, k, f",
+        [(2, 3, 1), (2, 5, 2), (3, 2, 0), (3, 4, 1), (4, 3, 0), (3, 5, 1)],
+    )
+    def test_every_target_confirmed_within_guarantee(self, m, k, f):
+        """Spot-check the (f+1)-distinct-visit deadline at many targets."""
+        problem = ray_problem(m, k, f)
+        strategy = RoundRobinGeometricStrategy(problem)
+        horizon = 200.0
+        trajectories = strategy.trajectories(horizon)
+        guarantee = strategy.theoretical_ratio()
+        for ray in range(m):
+            for distance in (1.0, 1.7, 3.1, 9.9, 42.0, 150.0, horizon):
+                point = RayPoint(ray=ray, distance=distance)
+                time = nth_distinct_visit_time(trajectories, point, f + 1)
+                assert time <= guarantee * distance + 1e-6
+
+    def test_distinct_robots_confirm(self, line_3_1):
+        """The f+1 visits must come from distinct robots (crash model)."""
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        trajectories = strategy.trajectories(100.0)
+        point = RayPoint(ray=0, distance=7.3)
+        time = nth_distinct_visit_time(trajectories, point, 2)
+        assert math.isfinite(time)
+
+
+class TestMeasuredRatios:
+    @pytest.mark.parametrize(
+        "k, f",
+        [(3, 1), (2, 1), (5, 2), (4, 2), (7, 3)],
+    )
+    def test_line_measured_matches_theorem1(self, k, f):
+        problem = line_problem(k, f)
+        strategy = RoundRobinGeometricStrategy(problem)
+        result = evaluate_strategy(strategy, horizon=1e4)
+        bound = crash_line_ratio(k, f)
+        assert result.ratio <= bound + 1e-6
+        assert result.ratio == pytest.approx(bound, rel=1e-3)
+
+    @pytest.mark.parametrize(
+        "m, k, f",
+        [(3, 2, 0), (3, 4, 1), (4, 3, 0), (5, 4, 0), (4, 6, 1)],
+    )
+    def test_rays_measured_matches_theorem6(self, m, k, f):
+        problem = ray_problem(m, k, f)
+        strategy = RoundRobinGeometricStrategy(problem)
+        result = evaluate_strategy(strategy, horizon=1e4)
+        bound = crash_ray_ratio(m, k, f)
+        assert result.ratio <= bound + 1e-6
+        assert result.ratio == pytest.approx(bound, rel=1e-3)
+
+    def test_suboptimal_alpha_still_within_its_guarantee(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1, alpha=2.0)
+        result = evaluate_strategy(strategy, horizon=1e4)
+        assert result.ratio <= strategy.theoretical_ratio() + 1e-6
+        assert result.ratio > crash_line_ratio(3, 1)
+
+    def test_theoretical_ratio_optimal_equals_bound(self, rays_3_4_1):
+        strategy = RoundRobinGeometricStrategy(rays_3_4_1)
+        assert strategy.theoretical_ratio() == pytest.approx(
+            crash_ray_ratio(3, 4, 1)
+        )
+        assert strategy.optimal_ratio() == pytest.approx(crash_ray_ratio(3, 4, 1))
+
+    def test_earlier_start_cycle_stays_within_guarantee(self, line_3_1):
+        # Extra warm-up excursions delay later arrivals slightly (the
+        # measured ratio grows towards the theoretical value) but can never
+        # push it past the guarantee, which assumes an infinite warm-up.
+        late = RoundRobinGeometricStrategy(line_3_1, start_cycle=-2)
+        early = RoundRobinGeometricStrategy(line_3_1, start_cycle=-4)
+        horizon = 1e3
+        late_ratio = evaluate_strategy(late, horizon).ratio
+        early_ratio = evaluate_strategy(early, horizon).ratio
+        assert late_ratio <= early_ratio + 1e-9
+        assert early_ratio <= early.theoretical_ratio() + 1e-6
+
+
+class TestZigzagRealisation:
+    def test_requires_line(self, rays_3_2_0):
+        with pytest.raises(InvalidProblemError):
+            ZigzagGeometricLineStrategy(rays_3_2_0)
+
+    def test_requires_interesting_regime(self):
+        with pytest.raises(InvalidProblemError):
+            ZigzagGeometricLineStrategy(line_problem(4, 1))
+
+    def test_turning_points_match_round_robin_radii(self, line_3_1):
+        zigzag = ZigzagGeometricLineStrategy(line_3_1)
+        round_robin = RoundRobinGeometricStrategy(line_3_1)
+        for robot in range(3):
+            points = zigzag.turning_points(robot, 100.0)
+            radii = [r for _ray, r in round_robin.excursion_schedule(robot, 100.0)]
+            assert points == pytest.approx(radii)
+
+    def test_same_first_arrival_times_as_round_robin(self, line_3_1):
+        zigzag = ZigzagGeometricLineStrategy(line_3_1).trajectories(200.0)
+        excursions = RoundRobinGeometricStrategy(line_3_1).trajectories(200.0)
+        for robot in range(3):
+            for ray in (0, 1):
+                for distance in (1.0, 2.5, 10.0, 99.0):
+                    assert zigzag[robot].first_arrival_time(ray, distance) == pytest.approx(
+                        excursions[robot].first_arrival_time(ray, distance)
+                    )
+
+    def test_same_measured_ratio_as_round_robin(self, line_3_1):
+        horizon = 1e3
+        zigzag_ratio = evaluate_strategy(
+            ZigzagGeometricLineStrategy(line_3_1), horizon
+        ).ratio
+        round_robin_ratio = evaluate_strategy(
+            RoundRobinGeometricStrategy(line_3_1), horizon
+        ).ratio
+        assert zigzag_ratio == pytest.approx(round_robin_ratio)
+
+    def test_guarantees_match(self, line_3_1):
+        zigzag = ZigzagGeometricLineStrategy(line_3_1)
+        assert zigzag.theoretical_ratio() == pytest.approx(crash_line_ratio(3, 1))
+        assert zigzag.optimal_ratio() == pytest.approx(crash_line_ratio(3, 1))

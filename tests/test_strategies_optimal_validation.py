@@ -1,0 +1,207 @@
+"""Tests for :mod:`repro.strategies.optimal` and :mod:`repro.strategies.validation`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import crash_ray_ratio, mu_from_ratio
+from repro.core.problem import line_problem, ray_problem
+from repro.exceptions import InfeasibleProblemError, InvalidStrategyError
+from repro.simulation.competitive import evaluate_strategy
+from repro.strategies.geometric import RoundRobinGeometricStrategy
+from repro.strategies.naive import TrivialStraightStrategy
+from repro.strategies.optimal import optimal_strategy
+from repro.strategies.single_robot import DoublingLineStrategy, SingleRobotRayStrategy
+from repro.strategies.validation import (
+    coverage_left_end,
+    covered_intervals,
+    fruitful_turning_points,
+    is_monotone_standard,
+    normalise_turning_points,
+    validate_trajectory_count,
+)
+
+
+class TestOptimalStrategyFactory:
+    def test_impossible_raises(self):
+        with pytest.raises(InfeasibleProblemError):
+            optimal_strategy(line_problem(2, 2))
+
+    def test_trivial_regime_gets_straight_strategy(self):
+        assert isinstance(optimal_strategy(line_problem(4, 1)), TrivialStraightStrategy)
+
+    def test_single_robot_line_gets_doubling(self):
+        assert isinstance(optimal_strategy(line_problem(1, 0)), DoublingLineStrategy)
+
+    def test_single_robot_rays_gets_cyclic_sweep(self):
+        assert isinstance(
+            optimal_strategy(ray_problem(4, 1, 0)), SingleRobotRayStrategy
+        )
+
+    def test_general_case_gets_geometric(self):
+        assert isinstance(
+            optimal_strategy(ray_problem(3, 4, 1)), RoundRobinGeometricStrategy
+        )
+
+    @pytest.mark.parametrize(
+        "m, k, f",
+        [(2, 1, 0), (2, 3, 1), (2, 4, 1), (3, 2, 0), (3, 4, 1), (4, 4, 0), (3, 6, 1)],
+    )
+    def test_factory_output_attains_the_bound(self, m, k, f):
+        problem = ray_problem(m, k, f)
+        strategy = optimal_strategy(problem)
+        result = evaluate_strategy(strategy, horizon=1e4)
+        bound = crash_ray_ratio(m, k, f)
+        assert result.ratio <= bound + 1e-6
+        assert result.ratio == pytest.approx(bound, rel=2e-2)
+
+
+class TestNormalisation:
+    def test_already_standard_unchanged(self):
+        points = [1.0, 2.0, 4.0, 8.0]
+        assert normalise_turning_points(points) == points
+
+    def test_clips_decreasing_pair(self):
+        # Turning at 5 then at 2: the paper says we may as well turn at 2.
+        assert normalise_turning_points([5.0, 2.0]) == [2.0, 2.0]
+
+    def test_result_is_non_decreasing(self):
+        result = normalise_turning_points([3.0, 7.0, 2.0, 9.0, 4.0, 11.0])
+        assert all(b >= a for a, b in zip(result, result[1:]))
+
+    def test_result_never_exceeds_original(self):
+        original = [3.0, 7.0, 2.0, 9.0, 4.0, 11.0]
+        result = normalise_turning_points(original)
+        assert all(new <= old for new, old in zip(result, original))
+
+    def test_empty_sequence(self):
+        assert normalise_turning_points([]) == []
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(InvalidStrategyError):
+            normalise_turning_points([1.0, -2.0])
+
+    def test_normalisation_covers_at_least_as_much(self):
+        """The paper's claim: the transformed strategy ±-covers no less.
+
+        The ±-cover of each sequence is computed from the *actual* zigzag
+        trajectory (first arrival at both ``+x`` and ``-x``), not from the
+        Eq.-3 formula, because the formula only applies to standardised
+        sequences.
+        """
+        from repro.geometry.trajectory import zigzag_trajectory
+
+        original = [2.0, 6.0, 3.0, 10.0, 8.0, 20.0]
+        normalised = normalise_turning_points(original)
+        mu = 3.0
+        lam = 2 * mu + 1
+
+        def pm_covered(points, x):
+            trajectory = zigzag_trajectory(points)
+            both = max(
+                trajectory.first_arrival_time(0, x),
+                trajectory.first_arrival_time(1, x),
+            )
+            return both <= lam * x + 1e-9
+
+        for x in [1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 15.0, 19.0]:
+            if pm_covered(original, x):
+                assert pm_covered(normalised, x)
+
+    def test_covered_intervals_match_trajectory_for_standard_sequences(self):
+        """For non-decreasing sequences Eq. 3 equals the trajectory-based cover."""
+        from repro.geometry.trajectory import zigzag_trajectory
+
+        points = [1.0, 1.5, 3.0, 5.0, 9.0, 16.0, 30.0]
+        mu = 3.0
+        lam = 2 * mu + 1
+        intervals = covered_intervals(points, mu)
+        trajectory = zigzag_trajectory(points)
+
+        def formula_covered(x):
+            return any(left <= x <= right for left, right in intervals)
+
+        def trajectory_covered(x):
+            both = max(
+                trajectory.first_arrival_time(0, x),
+                trajectory.first_arrival_time(1, x),
+            )
+            return both <= lam * x + 1e-9
+
+        # Stay below the last turning point's bracket: Eq. 3 credits the
+        # final turn with an interval whose second visit would happen on the
+        # (not materialised) next leg of an infinite strategy.
+        for x in [1.0, 1.2, 1.5, 2.0, 2.9, 3.5, 4.9, 6.0, 8.9, 12.0, 15.9]:
+            assert formula_covered(x) == trajectory_covered(x)
+
+    def test_is_monotone_standard(self):
+        assert is_monotone_standard([1.0, 2.0, 4.0, 8.0])
+        assert is_monotone_standard([1.0, 5.0, 2.0, 6.0])  # subsequences increase
+        assert not is_monotone_standard([4.0, 5.0, 2.0, 6.0])
+        assert is_monotone_standard([])
+        assert is_monotone_standard([3.0])
+
+
+class TestCoverageFormulas:
+    def test_coverage_left_end_matches_equation3(self):
+        # Doubling strategy, mu = 4 (lambda = 9): t''_i = max(prefix_i / 4, t_{i-1}).
+        points = [1.0, 2.0, 4.0, 8.0, 16.0]
+        mu = 4.0
+        # i = 0: prefix = 1, 1/4 = 0.25, previous = 0 -> 0.25.
+        assert coverage_left_end(points, 0, mu) == pytest.approx(0.25)
+        # i = 2: prefix = 7, 7/4 = 1.75 < t_1 = 2 -> 2.
+        assert coverage_left_end(points, 2, mu) == pytest.approx(2.0)
+        # i = 3: prefix = 15, 15/4 = 3.75 < t_2 = 4 -> 4.
+        assert coverage_left_end(points, 3, mu) == pytest.approx(4.0)
+
+    def test_unfruitful_turn_returns_inf(self):
+        # With a small mu the deadline cannot be met at the first turn.
+        points = [1.0, 1.1]
+        assert coverage_left_end(points, 1, mu=0.5) == math.inf
+
+    def test_fruitful_indices(self):
+        points = [1.0, 2.0, 4.0, 8.0]
+        assert fruitful_turning_points(points, mu=4.0) == [0, 1, 2, 3]
+        # A tiny mu makes later turns unfruitful.
+        assert fruitful_turning_points(points, mu=0.9) != [0, 1, 2, 3]
+
+    def test_covered_intervals_structure(self):
+        points = [1.0, 2.0, 4.0, 8.0]
+        intervals = covered_intervals(points, mu=4.0)
+        assert len(intervals) == 4
+        for (left, right), turning_point in zip(intervals, points):
+            assert right == turning_point
+            assert left <= right
+
+    def test_doubling_strategy_covers_everything_at_mu_4(self):
+        # At lambda = 9 (mu = 4) the doubling strategy 1, 2, 4, ... covers
+        # [1, N] once; intervals must tile without gaps.
+        points = [2.0**i for i in range(12)]
+        intervals = covered_intervals(points, mu=4.0)
+        # Consecutive fruitful intervals must touch (left_{i+1} <= right_i).
+        for (left_a, right_a), (left_b, right_b) in zip(intervals, intervals[1:]):
+            assert left_b <= right_a + 1e-12
+
+    def test_doubling_strategy_has_gaps_below_mu_4(self):
+        points = [2.0**i for i in range(12)]
+        intervals = covered_intervals(points, mu=3.5)
+        has_gap = any(
+            left_b > right_a + 1e-12
+            for (_, right_a), (left_b, _) in zip(intervals, intervals[1:])
+        )
+        assert has_gap
+
+    def test_invalid_mu(self):
+        with pytest.raises(InvalidStrategyError):
+            coverage_left_end([1.0], 0, mu=0.0)
+
+    def test_invalid_index(self):
+        with pytest.raises(InvalidStrategyError):
+            coverage_left_end([1.0], 3, mu=1.0)
+
+    def test_validate_trajectory_count(self):
+        validate_trajectory_count([1, 2, 3], 3)
+        with pytest.raises(InvalidStrategyError):
+            validate_trajectory_count([1, 2], 3)

@@ -1,0 +1,119 @@
+"""Tests for :mod:`repro.strategies.single_robot`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import cow_path_ratio, single_robot_ray_ratio
+from repro.core.problem import line_problem, ray_problem
+from repro.exceptions import InvalidProblemError, InvalidStrategyError
+from repro.simulation.competitive import evaluate_strategy
+from repro.strategies.single_robot import DoublingLineStrategy, SingleRobotRayStrategy
+
+
+class TestDoublingLineStrategy:
+    def test_turning_points_are_powers_of_base(self):
+        strategy = DoublingLineStrategy(base=2.0)
+        points = strategy.turning_points(10.0)
+        assert points[:4] == pytest.approx([1.0, 2.0, 4.0, 8.0])
+
+    def test_turning_points_cover_both_sides(self):
+        strategy = DoublingLineStrategy()
+        points = strategy.turning_points(100.0)
+        assert points[-1] >= 100.0
+        assert points[-2] >= 100.0
+
+    def test_theoretical_ratio_base_two_is_nine(self):
+        assert DoublingLineStrategy(base=2.0).theoretical_ratio() == pytest.approx(9.0)
+
+    def test_theoretical_ratio_other_bases_are_worse(self):
+        assert DoublingLineStrategy(base=3.0).theoretical_ratio() > 9.0
+        assert DoublingLineStrategy(base=1.5).theoretical_ratio() > 9.0
+
+    def test_measured_ratio_approaches_nine(self):
+        strategy = DoublingLineStrategy()
+        result = evaluate_strategy(strategy, horizon=1e5)
+        assert result.ratio == pytest.approx(cow_path_ratio(), rel=1e-3)
+        assert result.ratio <= 9.0 + 1e-9
+
+    def test_measured_ratio_respects_guarantee_for_other_bases(self):
+        strategy = DoublingLineStrategy(base=3.0)
+        result = evaluate_strategy(strategy, horizon=1e4)
+        assert result.ratio <= strategy.theoretical_ratio() + 1e-9
+
+    def test_one_trajectory(self):
+        assert len(DoublingLineStrategy().trajectories(50.0)) == 1
+
+    def test_invalid_base(self):
+        with pytest.raises(InvalidStrategyError):
+            DoublingLineStrategy(base=1.0)
+
+    def test_rejects_wrong_problem(self):
+        with pytest.raises(InvalidProblemError):
+            DoublingLineStrategy(problem=line_problem(2, 0))
+        with pytest.raises(InvalidProblemError):
+            DoublingLineStrategy(problem=ray_problem(3, 1, 0))
+
+    def test_horizon_below_minimum_rejected(self):
+        with pytest.raises(InvalidStrategyError):
+            DoublingLineStrategy().trajectories(0.5)
+
+
+class TestSingleRobotRayStrategy:
+    def test_default_base_is_optimal(self):
+        strategy = SingleRobotRayStrategy(num_rays=3)
+        assert strategy.base == pytest.approx(1.5)
+
+    def test_theoretical_ratio_at_optimal_base(self):
+        for m in (2, 3, 4, 5):
+            strategy = SingleRobotRayStrategy(num_rays=m)
+            assert strategy.theoretical_ratio() == pytest.approx(
+                single_robot_ray_ratio(m)
+            )
+            assert strategy.optimal_ratio() == pytest.approx(single_robot_ray_ratio(m))
+
+    def test_excursions_visit_rays_cyclically(self):
+        strategy = SingleRobotRayStrategy(num_rays=3)
+        excursions = strategy.excursions(10.0)
+        rays = [ray for ray, _radius in excursions[:6]]
+        assert rays == [0, 1, 2, 0, 1, 2]
+
+    def test_excursion_radii_grow_geometrically(self):
+        strategy = SingleRobotRayStrategy(num_rays=3, base=2.0)
+        excursions = strategy.excursions(10.0)
+        radii = [radius for _ray, radius in excursions]
+        for a, b in zip(radii, radii[1:]):
+            assert b == pytest.approx(2.0 * a)
+
+    def test_every_ray_reaches_horizon(self):
+        strategy = SingleRobotRayStrategy(num_rays=4)
+        trajectory = strategy.trajectories(50.0)[0]
+        for ray in range(4):
+            assert trajectory.max_distance(ray) >= 50.0
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 5])
+    def test_measured_ratio_matches_paper(self, m):
+        strategy = SingleRobotRayStrategy(num_rays=m)
+        result = evaluate_strategy(strategy, horizon=1e4)
+        assert result.ratio <= single_robot_ray_ratio(m) + 1e-9
+        assert result.ratio == pytest.approx(single_robot_ray_ratio(m), rel=1e-2)
+
+    def test_suboptimal_base_measured_within_guarantee(self):
+        strategy = SingleRobotRayStrategy(num_rays=3, base=2.0)
+        result = evaluate_strategy(strategy, horizon=1e4)
+        assert result.ratio <= strategy.theoretical_ratio() + 1e-9
+        assert result.ratio > single_robot_ray_ratio(3)
+
+    def test_rejects_single_ray(self):
+        with pytest.raises(InvalidProblemError):
+            SingleRobotRayStrategy(num_rays=1)
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(InvalidStrategyError):
+            SingleRobotRayStrategy(num_rays=3, base=0.9)
+
+    def test_rejects_mismatched_problem(self):
+        with pytest.raises(InvalidProblemError):
+            SingleRobotRayStrategy(num_rays=3, problem=ray_problem(4, 1, 0))
+        with pytest.raises(InvalidProblemError):
+            SingleRobotRayStrategy(num_rays=3, problem=ray_problem(3, 2, 0))
