@@ -1,0 +1,85 @@
+"""Perf — scalar oracle versus vectorized engine on the E1 sweep.
+
+Times the adversary's exact best response for every ``(k, f)`` of the E1
+Theorem-1 grid at horizon 1e5, with the defence-in-depth verification grid
+added (2048 targets per ray), under both evaluation engines.  The measured
+times and the speedup land in the benchmark's ``extra_info`` so the BENCH
+JSON tracks the vectorized engine's advantage over time; the test asserts
+the >= 10x acceptance floor and that both engines agree to 1e-9.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.problem import line_problem
+from repro.simulation.competitive import evaluate_trajectories, grid_targets
+from repro.strategies.geometric import RoundRobinGeometricStrategy
+
+HORIZON = 1e5
+POINTS_PER_RAY = 2048
+MAX_FAULTY = 3
+
+
+def _e1_cases():
+    """One evaluation workload per (k, f) of the E1 interesting regime."""
+    cases = []
+    for f in range(1, MAX_FAULTY + 1):
+        for k in range(f + 1, 2 * (f + 1)):
+            problem = line_problem(k, f)
+            strategy = RoundRobinGeometricStrategy(problem)
+            trajectories = strategy.trajectories(HORIZON)
+            grid = grid_targets(2, 1.0, HORIZON, points_per_ray=POINTS_PER_RAY)
+            cases.append((problem, trajectories, grid))
+    return cases
+
+
+def _sweep(cases, engine):
+    return [
+        evaluate_trajectories(
+            trajectories, problem, HORIZON, extra_targets=grid, engine=engine
+        ).ratio
+        for problem, trajectories, grid in cases
+    ]
+
+
+def _time(cases, engine, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        _sweep(cases, engine)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_perf_engine_e1_sweep(benchmark):
+    cases = _e1_cases()
+    # Warm both paths once: the compiled arrival arrays are built lazily and
+    # cached on the trajectories, and both engines share them afterwards.
+    scalar_ratios = _sweep(cases, "scalar")
+    vectorized_ratios = _sweep(cases, "vectorized")
+    for slow, fast in zip(scalar_ratios, vectorized_ratios):
+        assert abs(slow - fast) <= 1e-9 * max(1.0, abs(slow))
+
+    scalar_seconds = _time(cases, "scalar")
+    vectorized_seconds = _time(cases, "vectorized")
+    speedup = scalar_seconds / vectorized_seconds
+
+    benchmark.extra_info["experiment"] = "PERF-ENGINE"
+    benchmark.extra_info["horizon"] = HORIZON
+    benchmark.extra_info["targets_per_ray"] = POINTS_PER_RAY
+    benchmark.extra_info["rows"] = len(cases)
+    benchmark.extra_info["scalar_seconds"] = round(scalar_seconds, 6)
+    benchmark.extra_info["vectorized_seconds"] = round(vectorized_seconds, 6)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    print(
+        f"\nE1 sweep @ horizon {HORIZON:g} with {POINTS_PER_RAY} grid targets/ray: "
+        f"scalar {scalar_seconds * 1e3:.1f} ms, "
+        f"vectorized {vectorized_seconds * 1e3:.1f} ms, "
+        f"speedup {speedup:.1f}x"
+    )
+
+    benchmark.pedantic(lambda: _sweep(cases, "vectorized"), rounds=3, iterations=1)
+    assert speedup >= 10.0, (
+        f"vectorized engine only {speedup:.1f}x faster than the scalar oracle"
+    )

@@ -1,13 +1,15 @@
 """Shared helpers for the benchmark harness.
 
-Every bench module regenerates one experiment table of EXPERIMENTS.md (the
-experiment ids E1–E11 are indexed in DESIGN.md).  The pytest-benchmark
-fixture times the table generation; the rendered table itself is attached to
-the benchmark's ``extra_info`` and printed, so running
+Every ``bench_e*`` module regenerates one experiment table (the experiment
+ids E1–E12 match the generators in :mod:`repro.analysis.tables`), and
+``bench_perf_engine`` tracks the scalar-versus-vectorized engine speedup
+(see PERFORMANCE.md).  The pytest-benchmark fixture times the table
+generation; the rendered table itself is attached to the benchmark's
+``extra_info`` and printed, so running
 
     pytest benchmarks/ --benchmark-only -s
 
-reproduces every number reported in EXPERIMENTS.md.
+reproduces every number in the tables.
 """
 
 from __future__ import annotations

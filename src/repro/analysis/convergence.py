@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from ..simulation.competitive import evaluate_strategy
+from ..simulation.engine import DEFAULT_ENGINE
 from ..strategies.base import Strategy
 
 __all__ = ["ConvergencePoint", "ConvergenceStudy", "horizon_convergence"]
@@ -63,11 +64,16 @@ class ConvergenceStudy:
 def horizon_convergence(
     strategy: Strategy,
     horizons: Sequence[float],
+    engine: str = DEFAULT_ENGINE,
 ) -> ConvergenceStudy:
-    """Measure a strategy at several horizons (sorted ascending)."""
+    """Measure a strategy at several horizons (sorted ascending).
+
+    ``engine`` selects the evaluation engine of
+    :func:`~repro.simulation.competitive.evaluate_strategy`.
+    """
     points: List[ConvergencePoint] = []
     for horizon in sorted(horizons):
-        result = evaluate_strategy(strategy, horizon)
+        result = evaluate_strategy(strategy, horizon, engine=engine)
         points.append(
             ConvergencePoint(
                 horizon=float(horizon),

@@ -1,20 +1,32 @@
 """Parameter sweeps: measured versus theoretical ratios over grids of (m, k, f).
 
-The benches and EXPERIMENTS.md all boil down to tables of the shape
-"for these parameters, the paper predicts X, the simulator measures Y".
-This module produces those rows once, so benches, tests and the CLI share a
-single implementation.
+The benches and the CLI all boil down to tables of the shape "for these
+parameters, the paper predicts X, the simulator measures Y".  This module
+produces those rows once, so benches, tests and the CLI share a single
+implementation.
+
+Rows are independent of each other, so by default a sweep fans out over a
+process pool (one task per ``(m, k, f)`` triple or per strategy) and falls
+back to serial evaluation when multiprocessing is unavailable or the
+strategies do not pickle.  Pass ``max_workers=1`` to force serial
+evaluation — the row order and values are identical either way.
 """
 
 from __future__ import annotations
 
 import math
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.bounds import crash_ray_ratio
-from ..core.problem import Regime, SearchProblem, ray_problem
+from ..core.problem import ray_problem
 from ..simulation.competitive import evaluate_strategy
+from ..simulation.engine import DEFAULT_ENGINE
 from ..strategies.base import Strategy
 from ..strategies.optimal import optimal_strategy
 
@@ -59,54 +71,102 @@ def interesting_grid(
     return grid
 
 
+# ----------------------------------------------------------------------
+# Parallel fan-out
+# ----------------------------------------------------------------------
+def _optimal_row(args: Tuple[int, int, int, float, str]) -> SweepRow:
+    m, k, f, horizon, engine = args
+    problem = ray_problem(m, k, f)
+    strategy = optimal_strategy(problem)
+    result = evaluate_strategy(strategy, horizon, engine=engine)
+    return SweepRow(
+        num_rays=m,
+        num_robots=k,
+        num_faulty=f,
+        strategy_name=strategy.name,
+        theoretical=crash_ray_ratio(m, k, f),
+        measured=result.ratio,
+        horizon=horizon,
+    )
+
+
+def _family_row(args: Tuple[Strategy, float, str]) -> SweepRow:
+    strategy, horizon, engine = args
+    problem = strategy.problem
+    result = evaluate_strategy(strategy, horizon, engine=engine)
+    theoretical = strategy.theoretical_ratio()
+    return SweepRow(
+        num_rays=problem.num_rays,
+        num_robots=problem.num_robots,
+        num_faulty=problem.num_faulty,
+        strategy_name=strategy.name,
+        theoretical=theoretical if theoretical is not None else math.nan,
+        measured=result.ratio,
+        horizon=horizon,
+    )
+
+
+def _resolve_workers(max_workers: Optional[int], num_tasks: int) -> int:
+    if num_tasks <= 1:
+        return 1
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    return max(1, min(max_workers, num_tasks))
+
+
+def _map_rows(
+    worker: Callable[[tuple], SweepRow],
+    tasks: List[tuple],
+    max_workers: Optional[int],
+) -> List[SweepRow]:
+    """Map ``worker`` over ``tasks``, in parallel when it pays off.
+
+    Row order always matches task order.  Any pool-level failure (a worker
+    machine without fork, unpicklable strategies, a broken pool) degrades
+    to the serial path rather than surfacing an infrastructure error.
+    """
+    workers = _resolve_workers(max_workers, len(tasks))
+    if workers > 1:
+        try:
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+                return list(pool.map(worker, tasks))
+        except (pickle.PicklingError, AttributeError, TypeError, BrokenProcessPool, OSError):
+            pass
+    return [worker(task) for task in tasks]
+
+
 def sweep_optimal_strategies(
     parameters: Iterable[Tuple[int, int, int]],
     horizon: float = 1e4,
+    engine: str = DEFAULT_ENGINE,
+    max_workers: Optional[int] = None,
 ) -> List[SweepRow]:
     """Measure the optimal strategy for every ``(m, k, f)`` triple.
 
     The theoretical column is the tight bound ``A(m, k, f)``; the measured
     column is the exact finite-horizon supremum of the optimal strategy's
     ratio, which approaches the bound from below as the horizon grows.
+    Triples are evaluated in parallel across processes by default
+    (``max_workers=None`` uses one worker per CPU); pass ``max_workers=1``
+    for serial evaluation.
     """
-    rows: List[SweepRow] = []
-    for m, k, f in parameters:
-        problem = ray_problem(m, k, f)
-        strategy = optimal_strategy(problem)
-        result = evaluate_strategy(strategy, horizon)
-        rows.append(
-            SweepRow(
-                num_rays=m,
-                num_robots=k,
-                num_faulty=f,
-                strategy_name=strategy.name,
-                theoretical=crash_ray_ratio(m, k, f),
-                measured=result.ratio,
-                horizon=horizon,
-            )
-        )
-    return rows
+    tasks = [(m, k, f, horizon, engine) for m, k, f in parameters]
+    return _map_rows(_optimal_row, tasks, max_workers)
 
 
 def sweep_strategy_family(
     strategies: Sequence[Strategy],
     horizon: float = 1e4,
+    engine: str = DEFAULT_ENGINE,
+    max_workers: Optional[int] = None,
 ) -> List[SweepRow]:
-    """Measure an arbitrary family of strategies (baselines, ablations, ...)."""
-    rows: List[SweepRow] = []
-    for strategy in strategies:
-        problem = strategy.problem
-        result = evaluate_strategy(strategy, horizon)
-        theoretical = strategy.theoretical_ratio()
-        rows.append(
-            SweepRow(
-                num_rays=problem.num_rays,
-                num_robots=problem.num_robots,
-                num_faulty=problem.num_faulty,
-                strategy_name=strategy.name,
-                theoretical=theoretical if theoretical is not None else math.nan,
-                measured=result.ratio,
-                horizon=horizon,
-            )
-        )
-    return rows
+    """Measure an arbitrary family of strategies (baselines, ablations, ...).
+
+    Parallelised like :func:`sweep_optimal_strategies`; strategies that do
+    not pickle are evaluated serially in-process.
+    """
+    tasks = [(strategy, horizon, engine) for strategy in strategies]
+    return _map_rows(_family_row, tasks, max_workers)

@@ -1,6 +1,11 @@
 """Fault substrate: fault models, the adversary, and Byzantine comparisons."""
 
-from .adversary import Adversary, AdversaryChoice, candidate_targets
+from .adversary import (
+    Adversary,
+    AdversaryChoice,
+    candidate_distances,
+    candidate_targets,
+)
 from .byzantine import (
     ByzantineBoundComparison,
     headline_improvement,
@@ -23,6 +28,7 @@ from .models import (
 __all__ = [
     "Adversary",
     "AdversaryChoice",
+    "candidate_distances",
     "candidate_targets",
     "ByzantineBoundComparison",
     "headline_improvement",

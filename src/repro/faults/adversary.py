@@ -13,13 +13,18 @@ implements that adversary exactly:
   so the supremum is attained in the right-limit at a breakpoint.  The
   adversary therefore only needs to consider finitely many candidate
   targets; :func:`candidate_targets` enumerates them.
+
+The enumeration is shared by two evaluation engines: the scalar per-target
+reference loop and the batched NumPy engine of
+:mod:`repro.simulation.engine` (the default).  Both see exactly the same
+candidate set, so their results agree to floating-point noise.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
 
 from ..core.problem import SearchProblem
 from ..exceptions import InvalidProblemError
@@ -28,12 +33,63 @@ from ..geometry.trajectory import Trajectory
 from ..geometry.visits import Visit, first_visits
 from .models import FaultModel, fault_model_for
 
-__all__ = ["AdversaryChoice", "Adversary", "candidate_targets"]
+__all__ = [
+    "AdversaryChoice",
+    "Adversary",
+    "candidate_distances",
+    "candidate_targets",
+]
 
 #: Default multiplicative nudge applied past each breakpoint: the supremum
 #: over a piece ``(a, b]`` of ``(c+x)/x`` is approached as ``x -> a+``, so we
 #: evaluate at ``a * (1 + BREAKPOINT_NUDGE)``.
 BREAKPOINT_NUDGE = 1e-9
+
+#: Relative tolerance under which two candidate distances are considered the
+#: same target.  When several robots sweep (numerically almost) the same
+#: radius — e.g. the same power of alpha accumulated in different orders —
+#: their breakpoints differ only in the last few ulps; evaluating each copy
+#: multiplies the target count without changing the supremum.  The tolerance
+#: is kept three orders of magnitude below :data:`BREAKPOINT_NUDGE` so
+#: genuinely distinct nudged breakpoints are never merged.
+DEDUP_TOLERANCE = 1e-12
+
+
+def candidate_distances(
+    trajectories: Sequence[Trajectory],
+    ray: int,
+    min_distance: float = 1.0,
+    horizon: Optional[float] = None,
+    nudge: float = BREAKPOINT_NUDGE,
+    dedup_tolerance: float = DEDUP_TOLERANCE,
+) -> List[float]:
+    """Sorted candidate target distances on one ray.
+
+    The candidates are the minimum admissible distance itself plus every
+    breakpoint of every robot's first-arrival-time function on ``ray``,
+    nudged infinitesimally to the right and clipped to
+    ``[min_distance, horizon]``.  Near-identical values (within a relative
+    ``dedup_tolerance``) are merged, keeping the smallest representative.
+    """
+    if min_distance <= 0:
+        raise InvalidProblemError(f"min_distance must be positive, got {min_distance}")
+    distances = {min_distance}
+    for trajectory in trajectories:
+        for breakpoint in trajectory.arrival_breakpoints(ray, minimum=min_distance):
+            nudged = breakpoint * (1.0 + nudge)
+            if nudged < min_distance:
+                continue
+            if horizon is not None and nudged > horizon:
+                continue
+            distances.add(nudged)
+    ordered = sorted(distances)
+    deduped = [ordered[0]]
+    for distance in ordered[1:]:
+        # Purely relative: distances are >= min_distance > 0, and an absolute
+        # floor would swallow genuinely distinct nudged breakpoints below 1.
+        if distance - deduped[-1] > dedup_tolerance * deduped[-1]:
+            deduped.append(distance)
+    return deduped
 
 
 def candidate_targets(
@@ -42,34 +98,25 @@ def candidate_targets(
     min_distance: float = 1.0,
     horizon: Optional[float] = None,
     nudge: float = BREAKPOINT_NUDGE,
+    dedup_tolerance: float = DEDUP_TOLERANCE,
 ) -> List[RayPoint]:
     """Enumerate the target positions at which the worst ratio can occur.
 
-    For every ray the candidates are:
-
-    * the minimum admissible distance itself, and
-    * every breakpoint of every robot's first-arrival-time function on that
-      ray, nudged infinitesimally to the right (strictly beyond the radius
-      already swept), clipped to ``[min_distance, horizon]``.
-
     Between consecutive candidates the detection time has the form
     ``c + x`` with constant ``c``, hence the ratio ``(c + x)/x`` is
-    decreasing and the listed points dominate.
+    decreasing and the listed points dominate.  See
+    :func:`candidate_distances` for the per-ray enumeration.
     """
-    if min_distance <= 0:
-        raise InvalidProblemError(f"min_distance must be positive, got {min_distance}")
     targets: List[RayPoint] = []
     for ray in range(num_rays):
-        distances = {min_distance}
-        for trajectory in trajectories:
-            for breakpoint in trajectory.arrival_breakpoints(ray, minimum=min_distance):
-                nudged = breakpoint * (1.0 + nudge)
-                if nudged < min_distance:
-                    continue
-                if horizon is not None and nudged > horizon:
-                    continue
-                distances.add(nudged)
-        for distance in sorted(distances):
+        for distance in candidate_distances(
+            trajectories,
+            ray,
+            min_distance=min_distance,
+            horizon=horizon,
+            nudge=nudge,
+            dedup_tolerance=dedup_tolerance,
+        ):
             targets.append(RayPoint(ray=ray, distance=distance))
     return targets
 
@@ -90,12 +137,16 @@ class AdversaryChoice:
     ratio:
         ``detection_time / target.distance`` — the competitive ratio this
         choice forces.
+    num_targets:
+        Number of candidate targets the adversary inspected to arrive at
+        this choice (0 for single-target evaluations via ``response_at``).
     """
 
     target: RayPoint
     faulty_robots: tuple
     detection_time: float
     ratio: float
+    num_targets: int = 0
 
 
 class Adversary:
@@ -134,13 +185,49 @@ class Adversary:
         trajectories: Sequence[Trajectory],
         horizon: float,
         extra_targets: Sequence[RayPoint] = (),
+        engine: Optional[str] = None,
     ) -> AdversaryChoice:
         """The adversary's best choice over all candidate targets up to ``horizon``.
 
         ``extra_targets`` lets callers add hand-picked positions (e.g. a
         uniform verification grid) on top of the exact breakpoint
-        candidates.
+        candidates.  ``engine`` selects the evaluation engine
+        (``"vectorized"``, the default, or the ``"scalar"`` reference
+        oracle); fault models without order-statistic confirmation always
+        use the scalar path.
         """
+        from ..simulation.engine import (
+            DEFAULT_ENGINE,
+            VECTORIZED_ENGINE,
+            supports_vectorized,
+            validate_engine,
+        )
+
+        engine = validate_engine(engine if engine is not None else DEFAULT_ENGINE)
+        if engine == VECTORIZED_ENGINE and supports_vectorized(self.fault_model):
+            return self._best_response_vectorized(trajectories, horizon, extra_targets)
+        return self._best_response_scalar(trajectories, horizon, extra_targets)
+
+    # ------------------------------------------------------------------
+    def _candidates_by_ray(
+        self, trajectories: Sequence[Trajectory], horizon: float
+    ) -> Dict[int, List[float]]:
+        return {
+            ray: candidate_distances(
+                trajectories,
+                ray,
+                min_distance=self.problem.min_target_distance,
+                horizon=horizon,
+            )
+            for ray in range(self.problem.num_rays)
+        }
+
+    def _best_response_scalar(
+        self,
+        trajectories: Sequence[Trajectory],
+        horizon: float,
+        extra_targets: Sequence[RayPoint],
+    ) -> AdversaryChoice:
         candidates = candidate_targets(
             trajectories,
             num_rays=self.problem.num_rays,
@@ -158,4 +245,31 @@ class Adversary:
             if best is None or choice.ratio > best.ratio:
                 best = choice
         assert best is not None  # candidates is non-empty and contains min_distance
-        return best
+        return replace(best, num_targets=len(candidates))
+
+    def _best_response_vectorized(
+        self,
+        trajectories: Sequence[Trajectory],
+        horizon: float,
+        extra_targets: Sequence[RayPoint],
+    ) -> AdversaryChoice:
+        from ..simulation.engine import best_candidate
+
+        candidates = self._candidates_by_ray(trajectories, horizon)
+        num_targets = sum(len(d) for d in candidates.values()) + len(extra_targets)
+        best = best_candidate(trajectories, self.fault_model, candidates)
+        if extra_targets:
+            extras: Dict[int, List[float]] = {}
+            for target in extra_targets:
+                if target.distance > horizon:
+                    continue
+                extras.setdefault(target.ray, []).append(target.distance)
+            extra_best = best_candidate(trajectories, self.fault_model, extras)
+            if extra_best is not None and (best is None or extra_best.ratio > best.ratio):
+                best = extra_best
+        if best is None:
+            raise InvalidProblemError("no candidate targets to evaluate")
+        choice = self.response_at(
+            trajectories, RayPoint(ray=best.ray, distance=best.distance)
+        )
+        return replace(choice, num_targets=num_targets)

@@ -52,6 +52,13 @@ class FaultModel(abc.ABC):
     #: The :class:`~repro.core.problem.FaultType` this model implements.
     fault_type: FaultType
 
+    #: True when :meth:`confirmation_time` is exactly the
+    #: ``required_visits``-th smallest arrival time.  The vectorized engine
+    #: (:mod:`repro.simulation.engine`) relies on this to batch confirmation
+    #: times with ``np.partition``; models with a different rule keep the
+    #: default False and are evaluated by the scalar reference path.
+    is_order_statistic: bool = False
+
     def __init__(self, num_robots: int, num_faulty: int) -> None:
         if num_faulty < 0 or num_faulty > num_robots:
             raise InvalidProblemError(
@@ -89,6 +96,7 @@ class NoFaultModel(FaultModel):
     """All robots are reliable: the first visit confirms the target."""
 
     fault_type = FaultType.NONE
+    is_order_statistic = True
 
     def __init__(self, num_robots: int) -> None:
         super().__init__(num_robots, 0)
@@ -103,6 +111,7 @@ class CrashFaultModel(FaultModel):
     """Crash faults: confirmation at the ``(f + 1)``-th distinct visit."""
 
     fault_type = FaultType.CRASH
+    is_order_statistic = True
 
     def confirmation_time(self, visits: Sequence[Visit]) -> float:
         if len(visits) < self.required_visits:
@@ -123,6 +132,7 @@ class ByzantineFaultModel(FaultModel):
     """
 
     fault_type = FaultType.BYZANTINE
+    is_order_statistic = True
     is_lower_bound_only = True
 
     def confirmation_time(self, visits: Sequence[Visit]) -> float:

@@ -1,5 +1,6 @@
 """Geometric substrate: ray domains, trajectories and visit analysis."""
 
+from .compiled import CompiledRay, CompiledTrajectory
 from .rays import (
     NEGATIVE_RAY,
     POSITIVE_RAY,
@@ -20,12 +21,17 @@ from .trajectory import (
 from .visits import (
     Visit,
     covering_robots,
+    first_arrival_matrix,
     first_visits,
     nth_distinct_visit_time,
+    nth_distinct_visit_times,
+    order_statistic_times,
     visit_count_by_time,
 )
 
 __all__ = [
+    "CompiledRay",
+    "CompiledTrajectory",
     "NEGATIVE_RAY",
     "POSITIVE_RAY",
     "LineDomain",
@@ -41,7 +47,10 @@ __all__ = [
     "zigzag_trajectory",
     "Visit",
     "covering_robots",
+    "first_arrival_matrix",
     "first_visits",
     "nth_distinct_visit_time",
+    "nth_distinct_visit_times",
+    "order_statistic_times",
     "visit_count_by_time",
 ]

@@ -28,8 +28,12 @@ Two convenient constructors cover the strategies in the paper:
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .compiled import CompiledTrajectory
 
 from ..exceptions import InvalidStrategyError
 from .rays import NEGATIVE_RAY, POSITIVE_RAY, RayPoint
@@ -138,6 +142,21 @@ class Trajectory:
         self._by_ray: dict[int, List[Segment]] = {}
         for seg in segs:
             self._by_ray.setdefault(seg.ray, []).append(seg)
+        self._start_times = [seg.start_time for seg in segs]
+        self._pieces: dict[int, Tuple[List[float], List[float], List[Segment]]] = {}
+        for ray, ray_segs in self._by_ray.items():
+            frontiers: List[float] = []  # radius already covered before each piece
+            reaches: List[float] = []  # radius covered after the piece (ascending)
+            owners: List[Segment] = []  # outward segment realising the piece
+            covered = 0.0
+            for seg in ray_segs:
+                if seg.end_distance > seg.start_distance and seg.end_distance > covered + _EPS:
+                    frontiers.append(max(covered, seg.start_distance))
+                    reaches.append(seg.end_distance)
+                    owners.append(seg)
+                    covered = seg.end_distance
+            self._pieces[ray] = (frontiers, reaches, owners)
+        self._compiled: Optional["CompiledTrajectory"] = None
 
     @staticmethod
     def _validate(segments: Tuple[Segment, ...]) -> None:
@@ -213,9 +232,15 @@ class Trajectory:
         if t >= self.total_time:
             last = self._segments[-1]
             return RayPoint(ray=last.ray, distance=max(0.0, last.end_distance))
-        for seg in self._segments:
-            if seg.start_time - _EPS <= t <= seg.end_time + _EPS:
-                return RayPoint(ray=seg.ray, distance=max(0.0, seg.position_at(t)))
+        # Last segment starting no later than t; step back when the previous
+        # segment still covers t so that ties resolve to the earliest segment,
+        # exactly as the original linear scan did.
+        index = bisect_right(self._start_times, t) - 1
+        while index > 0 and t <= self._segments[index - 1].end_time + _EPS:
+            index -= 1
+        seg = self._segments[index]
+        if seg.start_time - _EPS <= t <= seg.end_time + _EPS:
+            return RayPoint(ray=seg.ray, distance=max(0.0, seg.position_at(t)))
         # Unreachable given validation, but keep a defensive error.
         raise InvalidStrategyError(f"time {t} not covered by trajectory")
 
@@ -228,10 +253,15 @@ class Trajectory:
         """
         if distance <= _EPS:
             return 0.0
-        for seg in self._by_ray.get(ray, ()):  # segments are in temporal order
-            if seg.covers_distance(distance):
-                return seg.arrival_time(distance)
-        return math.inf
+        pieces = self._pieces.get(ray)
+        if pieces is None:
+            return math.inf
+        _frontiers, reaches, owners = pieces
+        index = bisect_left(reaches, distance - _EPS)
+        if index == len(reaches):
+            return math.inf
+        seg = owners[index]
+        return seg.start_time + abs(distance - seg.start_distance)
 
     def arrival_times(self, ray: int, distance: float) -> List[float]:
         """All times at which the robot passes through ``(ray, distance)``."""
@@ -255,14 +285,40 @@ class Trajectory:
         (largest distance already covered earlier), restricted to values at
         least ``minimum``, sorted and de-duplicated.
         """
-        breakpoints: set[float] = set()
-        covered = 0.0
-        for seg in self._by_ray.get(ray, ()):
-            if seg.end_distance > seg.start_distance:  # outward motion
-                if seg.end_distance > covered + _EPS:
-                    breakpoints.add(max(covered, seg.start_distance))
-                    covered = seg.end_distance
-        return sorted(b for b in breakpoints if b >= minimum - _EPS)
+        pieces = self._pieces.get(ray)
+        if pieces is None:
+            return []
+        frontiers, _reaches, _owners = pieces
+        return [b for b in frontiers if b >= minimum - _EPS]
+
+    def arrival_pieces(self, ray: int) -> Tuple[List[float], List[float], List[float]]:
+        """The pieces of the first-arrival-time function on ``ray``.
+
+        Returns three parallel lists ``(frontiers, reaches, offsets)``: on
+        the ``i``-th piece, i.e. for distances in ``(frontiers[i],
+        reaches[i]]``, the first arrival time is ``offsets[i] + x``.  All
+        three lists are strictly increasing in radius and empty when the
+        trajectory never moves on ``ray``.  This is the raw material of
+        :class:`~repro.geometry.compiled.CompiledTrajectory`.
+        """
+        pieces = self._pieces.get(ray)
+        if pieces is None:
+            return [], [], []
+        frontiers, reaches, owners = pieces
+        offsets = [seg.start_time - seg.start_distance for seg in owners]
+        return list(frontiers), list(reaches), offsets
+
+    def compiled(self) -> "CompiledTrajectory":
+        """The NumPy-lowered form of this trajectory, built once and cached.
+
+        The compiled form answers batched first-arrival queries via
+        ``np.searchsorted``; see :mod:`repro.geometry.compiled`.
+        """
+        if self._compiled is None:
+            from .compiled import CompiledTrajectory
+
+            self._compiled = CompiledTrajectory(self)
+        return self._compiled
 
     def visits_origin_times(self) -> List[float]:
         """Times at which the robot is at the origin (segment endpoints only)."""

@@ -12,6 +12,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import numpy as np
+
 from ..exceptions import InvalidProblemError
 from .rays import RayPoint
 from .trajectory import Trajectory
@@ -22,6 +24,9 @@ __all__ = [
     "nth_distinct_visit_time",
     "visit_count_by_time",
     "covering_robots",
+    "first_arrival_matrix",
+    "order_statistic_times",
+    "nth_distinct_visit_times",
 ]
 
 
@@ -83,3 +88,47 @@ def covering_robots(
         for visit in first_visits(trajectories, point)
         if visit.time <= deadline
     ]
+
+
+# ----------------------------------------------------------------------
+# Batched order statistics (the vectorized engine's primitives)
+# ----------------------------------------------------------------------
+def first_arrival_matrix(
+    trajectories: Sequence[Trajectory], ray: int, distances: np.ndarray
+) -> np.ndarray:
+    """The ``(robots, targets)`` matrix of first arrival times on one ray.
+
+    Row ``r`` holds robot ``r``'s first arrival at every queried distance
+    (``inf`` where it never visits).  Built from the trajectories' cached
+    compiled forms, so a batch of targets costs one ``np.searchsorted`` per
+    robot instead of a Python loop per (robot, target) pair.
+    """
+    distances = np.asarray(distances, dtype=float)
+    if not trajectories:
+        return np.full((0, distances.size), math.inf)
+    return np.vstack(
+        [t.compiled().first_arrival_times(ray, distances) for t in trajectories]
+    )
+
+
+def order_statistic_times(matrix: np.ndarray, n: int) -> np.ndarray:
+    """Per-column ``n``-th smallest arrival time of an arrival matrix.
+
+    With ``n = f + 1`` this is the crash-fault confirmation time of every
+    target at once; columns with fewer than ``n`` finite entries come out
+    as ``inf`` because the missing arrivals already are ``inf``.
+    """
+    if n < 1:
+        raise InvalidProblemError(f"n must be at least 1, got {n}")
+    if matrix.shape[0] < n:
+        return np.full(matrix.shape[1], math.inf)
+    if n == 1:
+        return matrix.min(axis=0)
+    return np.partition(matrix, n - 1, axis=0)[n - 1]
+
+
+def nth_distinct_visit_times(
+    trajectories: Sequence[Trajectory], ray: int, distances: np.ndarray, n: int
+) -> np.ndarray:
+    """Batched :func:`nth_distinct_visit_time` over distances on one ray."""
+    return order_statistic_times(first_arrival_matrix(trajectories, ray, distances), n)

@@ -8,6 +8,15 @@ from .competitive import (
     ratio_profile,
 )
 from .detection import DetectionOutcome, detect
+from .engine import (
+    DEFAULT_ENGINE,
+    SCALAR_ENGINE,
+    VECTORIZED_ENGINE,
+    best_candidate,
+    detection_outcomes,
+    supports_vectorized,
+    validate_engine,
+)
 from .distance import (
     DedicatedRayStrategy,
     DistanceRatioResult,
@@ -25,6 +34,13 @@ __all__ = [
     "ratio_profile",
     "DetectionOutcome",
     "detect",
+    "DEFAULT_ENGINE",
+    "SCALAR_ENGINE",
+    "VECTORIZED_ENGINE",
+    "best_candidate",
+    "detection_outcomes",
+    "supports_vectorized",
+    "validate_engine",
     "DedicatedRayStrategy",
     "DistanceRatioResult",
     "distance_ratio_at",

@@ -37,6 +37,13 @@ from ..geometry.trajectory import Trajectory
 from ..strategies.base import Strategy
 from ..strategies.validation import validate_trajectory_count
 from .detection import DetectionOutcome, detect
+from .engine import (
+    DEFAULT_ENGINE,
+    VECTORIZED_ENGINE,
+    detection_outcomes,
+    supports_vectorized,
+    validate_engine,
+)
 
 __all__ = [
     "CompetitiveRatioResult",
@@ -121,27 +128,24 @@ def evaluate_trajectories(
     fault_model: Optional[FaultModel] = None,
     extra_targets: Sequence[RayPoint] = (),
     theoretical_ratio: Optional[float] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> CompetitiveRatioResult:
-    """Measure the competitive ratio of raw trajectories over ``[1, horizon]``."""
+    """Measure the competitive ratio of raw trajectories over ``[1, horizon]``.
+
+    ``engine`` selects the evaluation engine: ``"vectorized"`` (default,
+    batched NumPy) or ``"scalar"`` (the per-target reference oracle).
+    """
     validate_trajectory_count(trajectories, problem.num_robots)
     model = fault_model if fault_model is not None else fault_model_for(problem)
     adversary = Adversary(problem, fault_model=model)
-    best = adversary.best_response(trajectories, horizon, extra_targets=extra_targets)
-    from ..faults.adversary import candidate_targets  # local import to reuse count
-
-    num_targets = len(
-        candidate_targets(
-            trajectories,
-            num_rays=problem.num_rays,
-            min_distance=problem.min_target_distance,
-            horizon=horizon,
-        )
-    ) + len(extra_targets)
+    best = adversary.best_response(
+        trajectories, horizon, extra_targets=extra_targets, engine=engine
+    )
     return CompetitiveRatioResult(
         ratio=best.ratio,
         worst_case=best,
         horizon=float(horizon),
-        num_targets_evaluated=num_targets,
+        num_targets_evaluated=best.num_targets,
         theoretical_ratio=theoretical_ratio,
     )
 
@@ -151,14 +155,17 @@ def evaluate_strategy(
     horizon: float,
     fault_model: Optional[FaultModel] = None,
     extra_targets: Sequence[RayPoint] = (),
+    engine: str = DEFAULT_ENGINE,
 ) -> CompetitiveRatioResult:
     """Measure the competitive ratio of a :class:`Strategy` over ``[1, horizon]``.
 
-    The strategy materialises its trajectories for the horizon first; its
-    closed-form guarantee (when available) is attached to the result so
-    callers can check ``result.within_guarantee``.
+    The strategy materialises its trajectories for the horizon first (the
+    materialisation is cached on the strategy, so follow-up evaluations at
+    the same horizon are free); its closed-form guarantee (when available)
+    is attached to the result so callers can check
+    ``result.within_guarantee``.
     """
-    trajectories = strategy.trajectories(horizon)
+    trajectories = strategy.materialise(horizon)
     return evaluate_trajectories(
         trajectories,
         problem=strategy.problem,
@@ -166,6 +173,7 @@ def evaluate_strategy(
         fault_model=fault_model,
         extra_targets=extra_targets,
         theoretical_ratio=strategy.theoretical_ratio(),
+        engine=engine,
     )
 
 
@@ -174,19 +182,25 @@ def ratio_profile(
     horizon: float,
     points_per_ray: int = 400,
     fault_model: Optional[FaultModel] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> List[DetectionOutcome]:
     """Detection outcomes on a geometric grid of targets (the ratio curve).
 
     Useful for plotting/printing how the ratio oscillates below its
     supremum, and for convergence studies: the envelope of the curve
-    approaches the theoretical ratio as the horizon grows.
+    approaches the theoretical ratio as the horizon grows.  The vectorized
+    engine (default) computes all arrival times per ray in one batch; the
+    scalar engine calls :func:`detect` per target.
     """
     problem = strategy.problem
     model = fault_model if fault_model is not None else fault_model_for(problem)
-    trajectories = strategy.trajectories(horizon)
-    outcomes = []
-    for target in grid_targets(
+    trajectories = strategy.materialise(horizon)
+    targets = grid_targets(
         problem.num_rays, problem.min_target_distance, horizon, points_per_ray
-    ):
-        outcomes.append(detect(trajectories, target, problem, fault_model=model))
-    return outcomes
+    )
+    engine = validate_engine(engine)
+    if engine == VECTORIZED_ENGINE and supports_vectorized(model):
+        return detection_outcomes(trajectories, targets, model)
+    return [
+        detect(trajectories, target, problem, fault_model=model) for target in targets
+    ]

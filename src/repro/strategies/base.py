@@ -54,8 +54,12 @@ class Strategy(abc.ABC):
     #: Human-readable strategy name used in reports and tables.
     name: str = "strategy"
 
+    #: Maximum number of horizons whose materialised trajectories are cached.
+    _CACHE_LIMIT = 8
+
     def __init__(self, problem: SearchProblem) -> None:
         self._problem = problem
+        self._trajectory_cache: dict = {}
 
     @property
     def problem(self) -> SearchProblem:
@@ -83,6 +87,26 @@ class Strategy(abc.ABC):
         list of :class:`~repro.geometry.trajectory.Trajectory`
             Exactly ``problem.num_robots`` trajectories, in robot order.
         """
+
+    def materialise(self, horizon: float) -> List[Trajectory]:
+        """Cached :meth:`trajectories` for ``horizon``.
+
+        Repeated evaluations at the same horizon (competitive ratio plus a
+        ratio profile, say) reuse the trajectories — and with them the
+        compiled NumPy arrival arrays cached on each
+        :class:`~repro.geometry.trajectory.Trajectory`.  A small bounded
+        cache keeps convergence studies over many horizons from pinning
+        every materialisation in memory.
+        """
+        key = float(horizon)
+        cache = self._trajectory_cache
+        trajectories = cache.get(key)
+        if trajectories is None:
+            trajectories = self.trajectories(horizon)
+            if len(cache) >= self._CACHE_LIMIT:
+                cache.pop(next(iter(cache)))
+            cache[key] = trajectories
+        return trajectories
 
     def theoretical_ratio(self) -> Optional[float]:
         """Closed-form worst-case competitive ratio, when known.

@@ -1,0 +1,284 @@
+"""Differential tests: the vectorized engine against the scalar oracle.
+
+The batched NumPy engine (:mod:`repro.simulation.engine` plus
+:mod:`repro.geometry.compiled`) must reproduce the scalar per-target
+reference path to 1e-9 — on randomized trajectories, on the full
+``interesting_grid()`` of (m, k, f) triples, and on the edge cases (targets
+never detected, ``f = 0``, a single robot).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import interesting_grid
+from repro.core.problem import line_problem, ray_problem
+from repro.faults.adversary import Adversary, candidate_distances, candidate_targets
+from repro.geometry.rays import RayPoint
+from repro.geometry.trajectory import (
+    Trajectory,
+    excursion_trajectory,
+    idle_trajectory,
+    straight_trajectory,
+    zigzag_trajectory,
+)
+from repro.geometry.visits import (
+    first_arrival_matrix,
+    nth_distinct_visit_time,
+    nth_distinct_visit_times,
+)
+from repro.simulation.competitive import (
+    evaluate_strategy,
+    grid_targets,
+    ratio_profile,
+)
+from repro.strategies.geometric import RoundRobinGeometricStrategy
+from repro.strategies.optimal import optimal_strategy
+
+AGREEMENT = 1e-9
+
+
+def _random_trajectory(rng: random.Random, num_rays: int) -> Trajectory:
+    """A random multi-excursion or zigzag trajectory."""
+    if num_rays == 2 and rng.random() < 0.3:
+        points = []
+        radius = rng.uniform(0.1, 1.0)
+        for _ in range(rng.randint(1, 12)):
+            radius *= rng.uniform(1.05, 2.5)
+            points.append(radius)
+        return zigzag_trajectory(points, start_positive=rng.random() < 0.5)
+    excursions = []
+    for _ in range(rng.randint(1, 15)):
+        # Radii deliberately non-monotone so some excursions are redundant.
+        excursions.append((rng.randrange(num_rays), rng.uniform(0.05, 50.0)))
+    return excursion_trajectory(excursions)
+
+
+def _probe_distances(trajectory: Trajectory, ray: int, rng: random.Random):
+    """Distances that stress the piece lookup: breakpoints, nudges, midpoints."""
+    probes = [0.0, 1e-13, 0.5]
+    breakpoints = trajectory.arrival_breakpoints(ray)
+    reach = trajectory.max_distance(ray)
+    for b in breakpoints:
+        if b > 0:
+            probes.extend([b, b * (1.0 + 1e-9), b * (1.0 - 1e-9)])
+    probes.extend([reach, reach * 1.5 + 1.0])
+    probes.extend(rng.uniform(0.0, reach + 5.0) for _ in range(20))
+    return probes
+
+
+class TestCompiledArrivalEquivalence:
+    def test_randomized_trajectories(self):
+        rng = random.Random(20260726)
+        for trial in range(40):
+            num_rays = rng.choice([1, 2, 3, 5])
+            trajectory = _random_trajectory(rng, num_rays)
+            compiled = trajectory.compiled()
+            for ray in range(num_rays + 1):  # +1: a ray never visited
+                probes = _probe_distances(trajectory, ray, rng)
+                batched = compiled.first_arrival_times(ray, np.asarray(probes))
+                for distance, fast in zip(probes, batched):
+                    slow = trajectory.first_arrival_time(ray, distance)
+                    if math.isinf(slow) or math.isinf(fast):
+                        assert slow == fast, (trial, ray, distance)
+                    else:
+                        assert fast == pytest.approx(slow, abs=AGREEMENT), (
+                            trial,
+                            ray,
+                            distance,
+                        )
+
+    def test_idle_and_straight(self):
+        idle = idle_trajectory().compiled()
+        assert np.all(np.isinf(idle.first_arrival_times(0, np.array([1.0, 2.0]))))
+        assert idle.first_arrival_times(0, np.array([0.0]))[0] == 0.0
+        straight = straight_trajectory(0, 10.0).compiled()
+        times = straight.first_arrival_times(0, np.array([3.0, 10.0, 10.5]))
+        assert times[0] == pytest.approx(3.0)
+        assert times[1] == pytest.approx(10.0)
+        assert math.isinf(times[2])
+        assert straight.max_reach(0) == 10.0
+        assert straight.max_reach(1) == 0.0
+
+    def test_batched_order_statistics_match_scalar(self):
+        rng = random.Random(7)
+        trajectories = [_random_trajectory(rng, 2) for _ in range(5)]
+        distances = np.array([0.5, 1.0, 3.0, 7.5, 40.0, 100.0])
+        for n in (1, 2, 4, 6):
+            batched = nth_distinct_visit_times(trajectories, 0, distances, n)
+            for distance, fast in zip(distances, batched):
+                slow = nth_distinct_visit_time(
+                    trajectories, RayPoint(0, float(distance)), n
+                )
+                assert fast == pytest.approx(slow, abs=AGREEMENT) or (
+                    math.isinf(slow) and math.isinf(fast)
+                )
+
+    def test_arrival_matrix_shape(self):
+        assert first_arrival_matrix([], 0, np.array([1.0, 2.0])).shape == (0, 2)
+
+
+class TestBestResponseEquivalence:
+    @pytest.mark.parametrize("m,k,f", interesting_grid())
+    def test_full_interesting_grid(self, m, k, f):
+        problem = ray_problem(m, k, f)
+        strategy = optimal_strategy(problem)
+        horizon = 1e3
+        scalar = evaluate_strategy(strategy, horizon, engine="scalar")
+        vectorized = evaluate_strategy(strategy, horizon, engine="vectorized")
+        assert vectorized.ratio == pytest.approx(scalar.ratio, abs=AGREEMENT)
+        assert vectorized.num_targets_evaluated == scalar.num_targets_evaluated
+        # The vectorized choice must be self-consistent under the scalar
+        # oracle: re-evaluating its target scalar-ly reproduces its ratio.
+        adversary = Adversary(problem)
+        trajectories = strategy.materialise(horizon)
+        recheck = adversary.response_at(trajectories, vectorized.worst_case.target)
+        assert recheck.ratio == pytest.approx(vectorized.ratio, abs=AGREEMENT)
+
+    def test_large_horizons_are_routine(self):
+        problem = line_problem(3, 1)
+        strategy = RoundRobinGeometricStrategy(problem)
+        for horizon in (1e5, 1e6):
+            scalar = evaluate_strategy(strategy, horizon, engine="scalar")
+            vectorized = evaluate_strategy(strategy, horizon, engine="vectorized")
+            assert vectorized.ratio == pytest.approx(scalar.ratio, abs=AGREEMENT)
+
+    def test_with_verification_grid(self):
+        problem = line_problem(3, 1)
+        strategy = RoundRobinGeometricStrategy(problem)
+        grid = grid_targets(2, 1.0, 500.0, points_per_ray=300)
+        scalar = evaluate_strategy(strategy, 500.0, extra_targets=grid, engine="scalar")
+        vectorized = evaluate_strategy(
+            strategy, 500.0, extra_targets=grid, engine="vectorized"
+        )
+        assert vectorized.ratio == pytest.approx(scalar.ratio, abs=AGREEMENT)
+        assert vectorized.num_targets_evaluated == scalar.num_targets_evaluated
+
+    def test_never_detected_targets(self, line_3_1):
+        # Only one robot per half-line moves, so with f = 1 nothing is ever
+        # confirmed: both engines must report an infinite ratio.
+        trajectories = [
+            straight_trajectory(0, 100.0),
+            straight_trajectory(1, 100.0),
+            straight_trajectory(1, 100.0),
+        ]
+        adversary = Adversary(line_3_1)
+        scalar = adversary.best_response(trajectories, 50.0, engine="scalar")
+        vectorized = adversary.best_response(trajectories, 50.0, engine="vectorized")
+        assert scalar.ratio == math.inf
+        assert vectorized.ratio == math.inf
+        assert scalar.target == vectorized.target
+
+    def test_fault_free(self):
+        problem = ray_problem(3, 2, 0)
+        strategy = optimal_strategy(problem)
+        scalar = evaluate_strategy(strategy, 1e3, engine="scalar")
+        vectorized = evaluate_strategy(strategy, 1e3, engine="vectorized")
+        assert vectorized.ratio == pytest.approx(scalar.ratio, abs=AGREEMENT)
+
+    def test_single_robot(self):
+        problem = ray_problem(3, 1, 0)
+        strategy = optimal_strategy(problem)
+        scalar = evaluate_strategy(strategy, 1e3, engine="scalar")
+        vectorized = evaluate_strategy(strategy, 1e3, engine="vectorized")
+        assert vectorized.ratio == pytest.approx(scalar.ratio, abs=AGREEMENT)
+
+    def test_origin_extra_target_does_not_poison_the_batch(self, line_3_1, geometric_3_1):
+        # A zero-distance extra target has ratio inf under the scalar
+        # convention; the batched ratio arithmetic must not turn it into a
+        # NaN that hides the other extras.
+        trajectories = geometric_3_1.trajectories(100.0)
+        adversary = Adversary(line_3_1)
+        extras = [RayPoint(0, 0.0), RayPoint(0, 50.0)]
+        scalar = adversary.best_response(
+            trajectories, 100.0, extra_targets=extras, engine="scalar"
+        )
+        vectorized = adversary.best_response(
+            trajectories, 100.0, extra_targets=extras, engine="vectorized"
+        )
+        assert scalar.ratio == math.inf
+        assert vectorized.ratio == math.inf
+
+    def test_unknown_engine_rejected(self, line_3_1, geometric_3_1):
+        adversary = Adversary(line_3_1)
+        trajectories = geometric_3_1.trajectories(50.0)
+        from repro.exceptions import InvalidProblemError
+
+        with pytest.raises(InvalidProblemError):
+            adversary.best_response(trajectories, 50.0, engine="quantum")
+
+
+class TestRatioProfileEquivalence:
+    def test_profiles_match(self, geometric_3_1):
+        scalar = ratio_profile(
+            geometric_3_1, horizon=300.0, points_per_ray=150, engine="scalar"
+        )
+        vectorized = ratio_profile(
+            geometric_3_1, horizon=300.0, points_per_ray=150, engine="vectorized"
+        )
+        assert len(scalar) == len(vectorized)
+        for s, v in zip(scalar, vectorized):
+            assert s.target == v.target
+            assert v.detection_time == pytest.approx(s.detection_time, abs=AGREEMENT) or (
+                math.isinf(s.detection_time) and math.isinf(v.detection_time)
+            )
+            assert s.faulty_robots == v.faulty_robots
+            assert s.confirming_robot == v.confirming_robot
+            assert len(s.visits) == len(v.visits)
+            for sv, vv in zip(s.visits, v.visits):
+                assert sv.robot == vv.robot
+                assert vv.time == pytest.approx(sv.time, abs=AGREEMENT)
+
+
+class TestCandidateDedup:
+    def test_identical_radii_not_multiplied(self):
+        # Three robots sweeping the exact same radii must not triple the
+        # candidate count.
+        one = excursion_trajectory([(0, 2.0), (0, 5.0)])
+        candidates_one = candidate_distances([one], 0, min_distance=1.0)
+        trajectories = [excursion_trajectory([(0, 2.0), (0, 5.0)]) for _ in range(3)]
+        candidates_three = candidate_distances(trajectories, 0, min_distance=1.0)
+        assert candidates_three == candidates_one
+
+    def test_ulp_level_duplicates_merged(self):
+        radius = 2.0
+        jittered = radius * (1.0 + 1e-15)
+        trajectories = [
+            excursion_trajectory([(0, radius), (0, 5.0)]),
+            excursion_trajectory([(0, jittered), (0, 5.0)]),
+        ]
+        candidates = candidate_distances(trajectories, 0, min_distance=1.0)
+        near_two = [d for d in candidates if abs(d - 2.0) < 1e-6]
+        assert len(near_two) == 1
+
+    def test_distinct_breakpoints_survive(self):
+        trajectories = [
+            excursion_trajectory([(0, 2.0), (0, 5.0)]),
+            excursion_trajectory([(0, 3.0), (0, 5.0)]),
+        ]
+        candidates = candidate_distances(trajectories, 0, min_distance=1.0)
+        assert any(abs(d - 2.0) < 1e-6 for d in candidates)
+        assert any(abs(d - 3.0) < 1e-6 for d in candidates)
+
+    def test_sub_unit_breakpoints_not_swallowed(self):
+        # Below distance 1 the dedup tolerance must stay relative: two
+        # distinct breakpoints 6e-13 apart at radius 5e-4 are further apart
+        # than their 1e-9 relative nudges and must both survive.
+        b1 = 5e-4
+        b2 = 5e-4 + 6e-13
+        trajectories = [
+            excursion_trajectory([(0, b1), (0, 1.0)]),
+            excursion_trajectory([(0, b2), (0, 1.0)]),
+        ]
+        candidates = candidate_distances(trajectories, 0, min_distance=1e-5)
+        past_b2 = [d for d in candidates if b2 < d < 2 * b2]
+        assert past_b2, "no candidate strictly past the second breakpoint"
+
+    def test_candidate_targets_still_covers_all_rays(self):
+        trajectories = [straight_trajectory(0, 10.0)]
+        targets = candidate_targets(trajectories, num_rays=2, min_distance=1.0)
+        assert {t.ray for t in targets} == {0, 1}
