@@ -1,0 +1,161 @@
+"""Perf — scalar Monte-Carlo trial loops versus the batched engine.
+
+Times both stochastic workloads under both engines on identical seeded
+draws:
+
+* random crash-fault injection (pre-sampled trial batch, engine evaluation
+  only — sampling is shared by both paths);
+* the randomized-offset ray search (the scalar path materialises one
+  trajectory per offset, which *is* its trial loop; the batched path
+  evaluates the closed-form schedule).
+
+The measured times and speedups land in ``extra_info`` so the BENCH JSON
+tracks the Monte-Carlo engine's advantage over time; the test asserts the
+>= 10x acceptance floor for both workloads, differential agreement to
+1e-9, and — at 10^5 samples — that the batched estimator sits within 3
+standard errors of the closed-form ``expected_randomized_ratio``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.problem import line_problem
+from repro.simulation.competitive import grid_targets
+from repro.simulation.monte_carlo import (
+    as_generator,
+    fault_detection_times,
+    sample_fault_trials,
+)
+from repro.strategies.geometric import RoundRobinGeometricStrategy
+from repro.strategies.randomized import (
+    RandomizedSingleRobotRayStrategy,
+    monte_carlo_ratio_report,
+)
+
+HORIZON = 1e3
+FAULT_TRIALS = 20_000
+OFFSET_TIMING_SAMPLES = 1_000
+OFFSET_ACCEPTANCE_SAMPLES = 100_000
+SEED = 20260726
+RANDOMIZED_TARGETS = [(0, 17.3), (1, 42.0)]
+
+
+def _time(callable_, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_perf_mc_engine(benchmark):
+    # ------------------------------------------------------------------
+    # Workload 1: random crash-fault injection.
+    # ------------------------------------------------------------------
+    strategy = RoundRobinGeometricStrategy(line_problem(3, 1))
+    trajectories = strategy.materialise(HORIZON)
+    targets = grid_targets(2, 1.0, HORIZON, points_per_ray=32)
+    batch = sample_fault_trials(
+        as_generator(SEED), FAULT_TRIALS, 3, 1, targets,
+        crash_model="uniform", horizon=HORIZON,
+    )
+
+    # Warm both paths (compiled arrival arrays are built lazily and shared).
+    scalar_times = fault_detection_times(trajectories, batch, engine="scalar")
+    batched_times = fault_detection_times(trajectories, batch, engine="vectorized")
+    finite = np.isfinite(scalar_times)
+    assert np.array_equal(finite, np.isfinite(batched_times))
+    assert np.allclose(scalar_times[finite], batched_times[finite], atol=1e-9, rtol=0)
+
+    fault_scalar_seconds = _time(
+        lambda: fault_detection_times(trajectories, batch, engine="scalar")
+    )
+    fault_batched_seconds = _time(
+        lambda: fault_detection_times(trajectories, batch, engine="vectorized")
+    )
+    fault_speedup = fault_scalar_seconds / fault_batched_seconds
+
+    # ------------------------------------------------------------------
+    # Workload 2: randomized-offset ray search.
+    # ------------------------------------------------------------------
+    randomized = RandomizedSingleRobotRayStrategy(2)
+    scalar_report = monte_carlo_ratio_report(
+        randomized, RANDOMIZED_TARGETS,
+        num_samples=OFFSET_TIMING_SAMPLES, seed=SEED, engine="scalar",
+    )
+    batched_report = monte_carlo_ratio_report(
+        randomized, RANDOMIZED_TARGETS,
+        num_samples=OFFSET_TIMING_SAMPLES, seed=SEED, engine="vectorized",
+    )
+    assert abs(scalar_report.estimate - batched_report.estimate) <= 1e-9
+
+    offset_scalar_seconds = _time(
+        lambda: monte_carlo_ratio_report(
+            randomized, RANDOMIZED_TARGETS,
+            num_samples=OFFSET_TIMING_SAMPLES, seed=SEED, engine="scalar",
+        ),
+        rounds=2,
+    )
+    offset_batched_seconds = _time(
+        lambda: monte_carlo_ratio_report(
+            randomized, RANDOMIZED_TARGETS,
+            num_samples=OFFSET_TIMING_SAMPLES, seed=SEED, engine="vectorized",
+        ),
+        rounds=2,
+    )
+    offset_speedup = offset_scalar_seconds / offset_batched_seconds
+
+    # Acceptance: at 10^5 samples the batched estimator reproduces the
+    # closed form within 3 standard errors, on every target.
+    acceptance = monte_carlo_ratio_report(
+        randomized, RANDOMIZED_TARGETS,
+        num_samples=OFFSET_ACCEPTANCE_SAMPLES, seed=SEED, engine="vectorized",
+    )
+    z = abs(acceptance.estimate - acceptance.closed_form) / acceptance.std_error
+    assert acceptance.within_standard_errors(3.0), (
+        f"estimate {acceptance.estimate} vs closed form {acceptance.closed_form} "
+        f"({z:.2f} standard errors)"
+    )
+
+    benchmark.extra_info["experiment"] = "PERF-MC-ENGINE"
+    benchmark.extra_info["seed"] = SEED
+    benchmark.extra_info["fault_trials"] = FAULT_TRIALS
+    benchmark.extra_info["fault_scalar_seconds"] = round(fault_scalar_seconds, 6)
+    benchmark.extra_info["fault_batched_seconds"] = round(fault_batched_seconds, 6)
+    benchmark.extra_info["fault_speedup"] = round(fault_speedup, 2)
+    benchmark.extra_info["offset_timing_samples"] = OFFSET_TIMING_SAMPLES
+    benchmark.extra_info["offset_scalar_seconds"] = round(offset_scalar_seconds, 6)
+    benchmark.extra_info["offset_batched_seconds"] = round(offset_batched_seconds, 6)
+    benchmark.extra_info["offset_speedup"] = round(offset_speedup, 2)
+    benchmark.extra_info["acceptance_samples"] = OFFSET_ACCEPTANCE_SAMPLES
+    benchmark.extra_info["mc_estimate"] = round(acceptance.estimate, 6)
+    benchmark.extra_info["closed_form"] = round(acceptance.closed_form, 6)
+    benchmark.extra_info["std_error"] = round(acceptance.std_error, 6)
+    benchmark.extra_info["z_score"] = round(z, 3)
+    print(
+        f"\nMC fault workload @ {FAULT_TRIALS} trials: "
+        f"scalar {fault_scalar_seconds * 1e3:.1f} ms, "
+        f"batched {fault_batched_seconds * 1e3:.1f} ms, {fault_speedup:.1f}x\n"
+        f"MC offset workload @ {OFFSET_TIMING_SAMPLES} samples: "
+        f"scalar {offset_scalar_seconds * 1e3:.1f} ms, "
+        f"batched {offset_batched_seconds * 1e3:.1f} ms, {offset_speedup:.1f}x\n"
+        f"acceptance @ {OFFSET_ACCEPTANCE_SAMPLES} samples: "
+        f"estimate {acceptance.estimate:.4f} vs closed form "
+        f"{acceptance.closed_form:.4f} ({z:.2f} sigma)"
+    )
+
+    benchmark.pedantic(
+        lambda: fault_detection_times(trajectories, batch, engine="vectorized"),
+        rounds=3,
+        iterations=1,
+    )
+    assert fault_speedup >= 10.0, (
+        f"batched fault engine only {fault_speedup:.1f}x faster than the scalar loop"
+    )
+    assert offset_speedup >= 10.0, (
+        f"batched offset engine only {offset_speedup:.1f}x faster than the scalar loop"
+    )

@@ -2,9 +2,11 @@
 
 from .convergence import ConvergencePoint, ConvergenceStudy, horizon_convergence
 from .sweep import (
+    StochasticSweepRow,
     SweepRow,
     interesting_grid,
     sweep_optimal_strategies,
+    sweep_random_faults,
     sweep_strategy_family,
 )
 from .tables import (
@@ -28,9 +30,11 @@ __all__ = [
     "ConvergencePoint",
     "ConvergenceStudy",
     "horizon_convergence",
+    "StochasticSweepRow",
     "SweepRow",
     "interesting_grid",
     "sweep_optimal_strategies",
+    "sweep_random_faults",
     "sweep_strategy_family",
     "ExperimentTable",
     "all_experiments",

@@ -21,16 +21,26 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..core.bounds import crash_ray_ratio
 from ..core.problem import ray_problem
 from ..simulation.competitive import evaluate_strategy
 from ..simulation.engine import DEFAULT_ENGINE
+from ..simulation.monte_carlo import SeedLike, spawn_seeds
 from ..strategies.base import Strategy
 from ..strategies.optimal import optimal_strategy
 
-__all__ = ["SweepRow", "sweep_optimal_strategies", "sweep_strategy_family", "interesting_grid"]
+_RowT = TypeVar("_RowT")
+
+__all__ = [
+    "SweepRow",
+    "StochasticSweepRow",
+    "sweep_optimal_strategies",
+    "sweep_strategy_family",
+    "sweep_random_faults",
+    "interesting_grid",
+]
 
 
 @dataclass(frozen=True)
@@ -56,6 +66,36 @@ class SweepRow:
         if not math.isfinite(self.theoretical) or self.theoretical == 0:
             return math.nan
         return (self.theoretical - self.measured) / self.theoretical
+
+
+@dataclass(frozen=True)
+class StochasticSweepRow:
+    """One row of a Monte-Carlo fault-injection sweep.
+
+    ``adversarial`` is the worst-case ratio over the campaign's target pool
+    with the adversarial fault assignment; the stochastic columns summarise
+    the same strategy under uniformly random fault sets.  ``seed`` is the
+    per-row child seed (derived deterministically from the sweep seed), so
+    any row can be reproduced in isolation.
+    """
+
+    num_rays: int
+    num_robots: int
+    num_faulty: int
+    strategy_name: str
+    adversarial: float
+    mean_ratio: float
+    std_error: float
+    quantile_95: float
+    max_ratio: float
+    num_trials: int
+    horizon: float
+    seed: int
+
+    @property
+    def slack(self) -> float:
+        """Head-room the adversarial bound leaves over the random-fault mean."""
+        return self.adversarial - self.mean_ratio
 
 
 def interesting_grid(
@@ -106,6 +146,32 @@ def _family_row(args: Tuple[Strategy, float, str]) -> SweepRow:
     )
 
 
+def _stochastic_row(args: Tuple[int, int, int, float, int, int, str]) -> StochasticSweepRow:
+    m, k, f, horizon, num_trials, seed, engine = args
+    from ..faults.injection import simulate_random_faults
+
+    problem = ray_problem(m, k, f)
+    strategy = optimal_strategy(problem)
+    report = simulate_random_faults(
+        strategy, horizon, num_trials=num_trials, seed=seed, engine=engine
+    )
+    statistics = report.statistics
+    return StochasticSweepRow(
+        num_rays=m,
+        num_robots=k,
+        num_faulty=f,
+        strategy_name=strategy.name,
+        adversarial=report.adversarial_ratio,
+        mean_ratio=statistics.mean,
+        std_error=statistics.std_error,
+        quantile_95=statistics.quantile(0.95),
+        max_ratio=statistics.maximum,
+        num_trials=statistics.num_trials,
+        horizon=horizon,
+        seed=seed,
+    )
+
+
 def _resolve_workers(max_workers: Optional[int], num_tasks: int) -> int:
     if num_tasks <= 1:
         return 1
@@ -115,10 +181,10 @@ def _resolve_workers(max_workers: Optional[int], num_tasks: int) -> int:
 
 
 def _map_rows(
-    worker: Callable[[tuple], SweepRow],
+    worker: Callable[[tuple], "_RowT"],
     tasks: List[tuple],
     max_workers: Optional[int],
-) -> List[SweepRow]:
+) -> List["_RowT"]:
     """Map ``worker`` over ``tasks``, in parallel when it pays off.
 
     Row order always matches task order.  Any pool-level failure (a worker
@@ -170,3 +236,30 @@ def sweep_strategy_family(
     """
     tasks = [(strategy, horizon, engine) for strategy in strategies]
     return _map_rows(_family_row, tasks, max_workers)
+
+
+def sweep_random_faults(
+    parameters: Iterable[Tuple[int, int, int]],
+    horizon: float = 1e3,
+    num_trials: int = 256,
+    seed: SeedLike = 0,
+    engine: str = DEFAULT_ENGINE,
+    max_workers: Optional[int] = None,
+) -> List[StochasticSweepRow]:
+    """Monte-Carlo fault-injection campaign for every ``(m, k, f)`` triple.
+
+    The stochastic member of the sweep family: each row runs
+    :func:`repro.faults.injection.simulate_random_faults` against the
+    optimal strategy and summarises the trial statistics next to the
+    adversarial reference.  Rows get independent child seeds derived from
+    ``seed`` via :func:`repro.simulation.monte_carlo.spawn_seeds`, so the
+    sweep is reproducible row-by-row and independent of worker scheduling;
+    parallelised like :func:`sweep_optimal_strategies`.
+    """
+    parameters = list(parameters)
+    seeds = spawn_seeds(seed, len(parameters))
+    tasks = [
+        (m, k, f, horizon, num_trials, row_seed, engine)
+        for (m, k, f), row_seed in zip(parameters, seeds)
+    ]
+    return _map_rows(_stochastic_row, tasks, max_workers)

@@ -9,7 +9,10 @@ without writing any Python:
 * ``experiments`` — regenerate one or all experiment tables of
   EXPERIMENTS.md;
 * ``timeline`` — print the event timeline of a search execution against a
-  chosen target.
+  chosen target;
+* ``montecarlo`` — run a seeded Monte-Carlo campaign (random crash faults,
+  or the randomized-offset ray search) through the batched engine and
+  report trial statistics.
 """
 
 from __future__ import annotations
@@ -86,6 +89,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the larger horizons reported in EXPERIMENTS.md",
     )
 
+    montecarlo_parser = subparsers.add_parser(
+        "montecarlo",
+        help="seeded Monte-Carlo campaign (batched engine) with trial statistics",
+    )
+    montecarlo_parser.add_argument(
+        "--workload",
+        choices=["faults", "randomized"],
+        default="faults",
+        help="random crash-fault injection, or randomized-offset ray search",
+    )
+    montecarlo_parser.add_argument("--rays", "-m", type=int, default=2)
+    montecarlo_parser.add_argument("--robots", "-k", type=int, default=1)
+    montecarlo_parser.add_argument("--faulty", "-f", type=int, default=0)
+    montecarlo_parser.add_argument("--trials", type=int, default=2000)
+    montecarlo_parser.add_argument("--seed", type=int, default=0)
+    montecarlo_parser.add_argument("--horizon", type=float, default=1e3)
+    montecarlo_parser.add_argument(
+        "--engine", choices=["vectorized", "scalar"], default="vectorized"
+    )
+
     timeline_parser = subparsers.add_parser(
         "timeline", help="print the event timeline of one search execution"
     )
@@ -138,6 +161,72 @@ def _command_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_montecarlo(args: argparse.Namespace) -> int:
+    if args.workload == "randomized":
+        from .strategies.randomized import (
+            RandomizedSingleRobotRayStrategy,
+            monte_carlo_ratio_report,
+        )
+
+        strategy = RandomizedSingleRobotRayStrategy(args.rays)
+        distances = [d for d in (1.7, 13.0, 97.0) if d <= args.horizon] or [
+            min(1.5, args.horizon)
+        ]
+        targets = [(index % args.rays, d) for index, d in enumerate(distances)]
+        report = monte_carlo_ratio_report(
+            strategy,
+            targets,
+            num_samples=args.trials,
+            seed=args.seed,
+            horizon=args.horizon,
+            engine=args.engine,
+        )
+        rows = [
+            ["workload", "randomized offset search"],
+            ["rays", args.rays],
+            ["base", format_value(strategy.base, 6)],
+            ["samples", report.num_samples],
+            ["closed-form expected ratio", format_value(report.closed_form, 6)],
+            ["monte-carlo estimate", format_value(report.estimate, 6)],
+            ["std error", format_value(report.std_error, 6)],
+            ["within 3 std errors", report.within_standard_errors()],
+            ["engine", report.engine],
+            ["seed", args.seed],
+        ]
+        print(render_table(["quantity", "value"], rows))
+        return 0
+
+    from .faults.injection import simulate_random_faults
+
+    problem = ray_problem(args.rays, args.robots, args.faulty)
+    strategy = optimal_strategy(problem)
+    report = simulate_random_faults(
+        strategy,
+        args.horizon,
+        num_trials=args.trials,
+        seed=args.seed,
+        engine=args.engine,
+    )
+    statistics = report.statistics
+    rows = [
+        ["workload", "random crash faults"],
+        ["strategy", strategy.name],
+        ["trials", statistics.num_trials],
+        ["adversarial ratio", format_value(report.adversarial_ratio)],
+        ["mean ratio", format_value(statistics.mean)],
+        ["std error", format_value(statistics.std_error, 6)],
+        ["median ratio", format_value(statistics.quantile(0.5))],
+        ["95% quantile", format_value(statistics.quantile(0.95))],
+        ["max ratio", format_value(statistics.maximum)],
+        ["slack vs adversary", format_value(report.slack)],
+        ["engine", report.engine],
+        ["seed", args.seed],
+    ]
+    print(problem.describe())
+    print(render_table(["quantity", "value"], rows))
+    return 0
+
+
 def _command_timeline(args: argparse.Namespace) -> int:
     problem = ray_problem(args.rays, args.robots, args.faulty)
     strategy = optimal_strategy(problem)
@@ -160,6 +249,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bounds": _command_bounds,
         "simulate": _command_simulate,
         "experiments": _command_experiments,
+        "montecarlo": _command_montecarlo,
         "timeline": _command_timeline,
     }
     return handlers[args.command](args)

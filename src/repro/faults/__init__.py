@@ -14,7 +14,9 @@ from .byzantine import (
 from .injection import (
     FaultInjectionReport,
     RandomFaultTrial,
+    detection_time_with_crash_times,
     detection_time_with_faults,
+    sample_spread_targets,
     simulate_random_faults,
 )
 from .models import (
@@ -40,6 +42,8 @@ __all__ = [
     "fault_model_for",
     "FaultInjectionReport",
     "RandomFaultTrial",
+    "detection_time_with_crash_times",
     "detection_time_with_faults",
+    "sample_spread_targets",
     "simulate_random_faults",
 ]

@@ -13,26 +13,52 @@ the adversarial guarantee:
 * the mean over fault sets is typically well below the bound — quantified
   by :func:`simulate_random_faults` and asserted in the failure-injection
   tests.
+
+Seeding and reproducibility
+---------------------------
+All randomness flows through an explicit :class:`numpy.random.Generator`
+(built from the ``seed`` argument by
+:func:`repro.simulation.monte_carlo.as_generator`); a fixed seed yields a
+bit-identical report.  Trials are sampled *once* as matrices
+(:func:`repro.simulation.monte_carlo.sample_fault_trials`) and then
+evaluated by either engine — ``engine="vectorized"`` (default, one batched
+pass over the compiled arrival arrays) or ``engine="scalar"`` (the
+per-trial reference loop) — so the two engines see identical draws and are
+differentially testable.
 """
 
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
+from functools import cached_property
 from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.problem import SearchProblem
 from ..exceptions import InvalidProblemError
 from ..geometry.rays import RayPoint
 from ..geometry.trajectory import Trajectory
 from ..geometry.visits import first_visits
+from ..simulation.engine import DEFAULT_ENGINE
+from ..simulation.monte_carlo import (
+    FaultTrialBatch,
+    SeedLike,
+    TrialStatistics,
+    as_generator,
+    fault_detection_times,
+    sample_fault_trials,
+    trial_detection_time,
+)
 from ..strategies.base import Strategy
 
 __all__ = [
     "RandomFaultTrial",
     "FaultInjectionReport",
     "detection_time_with_faults",
+    "detection_time_with_crash_times",
+    "sample_spread_targets",
     "simulate_random_faults",
 ]
 
@@ -54,6 +80,27 @@ def detection_time_with_faults(
     return math.inf
 
 
+def detection_time_with_crash_times(
+    trajectories: Sequence[Trajectory],
+    target: RayPoint,
+    crash_times: Sequence[float],
+) -> float:
+    """Detection time when each robot reports visits only up to a cut-off.
+
+    ``crash_times[r]`` is robot ``r``'s report cut-off: its visit counts
+    when the arrival is no later than the cut-off (``inf`` for a healthy
+    robot, 0 for a classically silent crash fault).  This is the scalar
+    reference semantics of the ``"uniform"`` crash model of
+    :func:`repro.simulation.monte_carlo.sample_fault_trials`.
+    """
+    if len(crash_times) != len(trajectories):
+        raise InvalidProblemError(
+            f"need one crash time per robot: got {len(crash_times)} "
+            f"for {len(trajectories)} trajectories"
+        )
+    return trial_detection_time(trajectories, target, crash_times)
+
+
 @dataclass(frozen=True)
 class RandomFaultTrial:
     """One fault-injection trial: the sampled fault set, target and outcome."""
@@ -69,11 +116,13 @@ class FaultInjectionReport:
     """Aggregate of a fault-injection campaign.
 
     ``adversarial_ratio`` is the worst-case ratio over the same targets with
-    the adversarial fault assignment, for comparison.
+    the adversarial fault assignment, for comparison.  ``engine`` records
+    which evaluation path produced the detection times.
     """
 
     trials: List[RandomFaultTrial]
     adversarial_ratio: float
+    engine: str = DEFAULT_ENGINE
 
     @property
     def mean_ratio(self) -> float:
@@ -94,6 +143,20 @@ class FaultInjectionReport:
         """How much head-room the adversarial bound leaves on average."""
         return self.adversarial_ratio - self.mean_ratio
 
+    @cached_property
+    def statistics(self) -> TrialStatistics:
+        """Rich trial statistics (mean, standard error, quantiles, batches).
+
+        Computed once and cached on the report — the trial list is treated
+        as immutable after construction.
+        """
+        return TrialStatistics.from_sample([trial.ratio for trial in self.trials])
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the mean ratio."""
+        return self.statistics.std_error
+
     def quantile(self, q: float) -> float:
         """Empirical ``q``-quantile of the trial ratios (0 <= q <= 1)."""
         if not 0.0 <= q <= 1.0:
@@ -105,36 +168,60 @@ class FaultInjectionReport:
         return ordered[index]
 
 
+def sample_spread_targets(
+    rng: np.random.Generator,
+    num_rays: int,
+    horizon: float,
+    count: int = 32,
+) -> List[RayPoint]:
+    """Sample targets geometrically spread over ``[1, horizon]`` on random rays.
+
+    The distance exponent is uniform, so target magnitudes cover every
+    decade of the horizon equally — the spread the default fault-injection
+    campaign draws its target pool from.
+    """
+    if count < 1:
+        raise InvalidProblemError("need at least one target")
+    targets: List[RayPoint] = []
+    for _ in range(count):
+        exponent = rng.uniform(0.0, math.log10(max(horizon, 10.0)))
+        targets.append(
+            RayPoint(
+                ray=int(rng.integers(0, num_rays)),
+                distance=min(horizon, max(1.0, 10.0**exponent)),
+            )
+        )
+    return targets
+
+
 def simulate_random_faults(
     strategy: Strategy,
     horizon: float,
     num_trials: int = 200,
-    seed: int = 0,
+    seed: SeedLike = 0,
     targets: Optional[Sequence[RayPoint]] = None,
+    engine: str = DEFAULT_ENGINE,
+    crash_model: str = "silent",
 ) -> FaultInjectionReport:
     """Run a random fault-injection campaign against a strategy.
 
     Each trial samples a uniformly random set of ``f`` faulty robots and a
     target (uniformly among the provided targets, or geometrically spread
     over ``[1, horizon]`` on random rays when none are given), then records
-    the detection ratio with that fixed fault set.
+    the detection ratio with that fixed fault set.  ``engine`` selects the
+    batched (``"vectorized"``, default) or per-trial (``"scalar"``)
+    evaluation path over the *same* seeded draws; ``crash_model`` is
+    ``"silent"`` (faulty robots never report) or ``"uniform"`` (faulty
+    robots report visits up to a uniform random cut-off).
     """
     problem: SearchProblem = strategy.problem
     if num_trials < 1:
         raise InvalidProblemError("need at least one trial")
-    rng = random.Random(seed)
-    trajectories = strategy.trajectories(horizon)
+    rng = as_generator(seed)
+    trajectories = strategy.materialise(horizon)
 
     if targets is None:
-        targets = []
-        for _ in range(32):
-            exponent = rng.uniform(0.0, math.log10(max(horizon, 10.0)))
-            targets.append(
-                RayPoint(
-                    ray=rng.randrange(problem.num_rays),
-                    distance=min(horizon, max(1.0, 10.0**exponent)),
-                )
-            )
+        targets = sample_spread_targets(rng, problem.num_rays, horizon)
 
     # Adversarial reference over the same targets.
     from .adversary import Adversary
@@ -144,19 +231,29 @@ def simulate_random_faults(
         adversary.response_at(trajectories, target).ratio for target in targets
     )
 
+    batch: FaultTrialBatch = sample_fault_trials(
+        rng,
+        num_trials=num_trials,
+        num_robots=problem.num_robots,
+        num_faulty=problem.num_faulty,
+        targets=targets,
+        crash_model=crash_model,
+        horizon=horizon,
+    )
+    detection_times = fault_detection_times(trajectories, batch, engine=engine)
+
     trials: List[RandomFaultTrial] = []
-    robots = list(range(problem.num_robots))
-    for _ in range(num_trials):
-        target = targets[rng.randrange(len(targets))]
-        faulty = tuple(sorted(rng.sample(robots, problem.num_faulty)))
-        detection_time = detection_time_with_faults(trajectories, target, faulty)
-        ratio = detection_time / target.distance
+    for trial in range(batch.num_trials):
+        target = batch.target(trial)
+        detection_time = float(detection_times[trial])
         trials.append(
             RandomFaultTrial(
                 target=target,
-                faulty_robots=faulty,
+                faulty_robots=batch.faulty_robots(trial),
                 detection_time=detection_time,
-                ratio=ratio,
+                ratio=detection_time / target.distance,
             )
         )
-    return FaultInjectionReport(trials=trials, adversarial_ratio=adversarial_ratio)
+    return FaultInjectionReport(
+        trials=trials, adversarial_ratio=adversarial_ratio, engine=engine
+    )

@@ -17,6 +17,18 @@ from .engine import (
     supports_vectorized,
     validate_engine,
 )
+from .monte_carlo import (
+    DEFAULT_TRIALS_PER_BATCH,
+    CyclicOffsetSchedule,
+    FaultTrialBatch,
+    TrialStatistics,
+    as_generator,
+    cyclic_schedule_indices,
+    fault_detection_times,
+    sample_fault_trials,
+    spawn_seeds,
+    target_arrival_matrix,
+)
 from .distance import (
     DedicatedRayStrategy,
     DistanceRatioResult,
@@ -41,6 +53,16 @@ __all__ = [
     "detection_outcomes",
     "supports_vectorized",
     "validate_engine",
+    "DEFAULT_TRIALS_PER_BATCH",
+    "CyclicOffsetSchedule",
+    "FaultTrialBatch",
+    "TrialStatistics",
+    "as_generator",
+    "cyclic_schedule_indices",
+    "fault_detection_times",
+    "sample_fault_trials",
+    "spawn_seeds",
+    "target_arrival_matrix",
     "DedicatedRayStrategy",
     "DistanceRatioResult",
     "distance_ratio_at",

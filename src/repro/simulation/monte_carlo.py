@@ -1,0 +1,540 @@
+"""Batched Monte-Carlo engine: seeded RNG streams + vectorized trial evaluation.
+
+The deterministic engine (:mod:`repro.simulation.engine`) batches the
+adversary's best response; this module does the same for the library's two
+*stochastic* workloads:
+
+1. **Random fault injection** (:mod:`repro.faults.injection`) — sample whole
+   matrices of fault subsets, per-robot crash times and target indices from
+   one :class:`numpy.random.Generator`, then evaluate every trial's
+   detection time in a single vectorized pass over the compiled per-ray
+   arrival arrays (:mod:`repro.geometry.compiled`).
+2. **Randomized cyclic ray search** (:mod:`repro.strategies.randomized`,
+   the Kao–Reif–Tate / Schuierer related-work track) — sample a vector of
+   geometric offsets and evaluate all (offset, target) arrival times with a
+   closed-form batched schedule instead of materialising one trajectory per
+   coin flip.
+
+Seeding and reproducibility
+---------------------------
+Every public entry point threads an explicit seed (or a ready-made
+:class:`numpy.random.Generator`) through :func:`as_generator`; module-level
+RNG state is never touched.  A fixed seed therefore yields a bit-identical
+report — the sampled fault matrices, crash times, target indices and
+offsets are all drawn from the same seeded stream regardless of the
+evaluation engine, which is what makes the scalar-versus-batched
+differential tests (:mod:`tests.test_mc_engine_equivalence`) meaningful:
+both engines consume *identical* trial draws and must agree to 1e-9.
+Independent parallel streams (one per sweep row, say) come from
+:func:`spawn_seeds`, which derives children via
+:class:`numpy.random.SeedSequence` so the per-row results do not depend on
+worker scheduling.
+
+Memory layout
+-------------
+Trials are evaluated in chunks of ``trials_per_batch`` rows so peak memory
+stays bounded: the fault workload materialises a ``(chunk, robots)`` slice
+of the ``(robots, targets)`` arrival matrix, the offset workload a
+``(chunk, excursions)`` radius/prefix-time matrix.  See PERFORMANCE.md for
+the trade-off curve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import InvalidProblemError
+from ..geometry.rays import RayPoint
+from ..geometry.trajectory import _EPS, Trajectory
+from ..geometry.visits import first_arrival_matrix
+from .engine import DEFAULT_ENGINE, SCALAR_ENGINE, validate_engine
+
+__all__ = [
+    "SeedLike",
+    "as_generator",
+    "spawn_seeds",
+    "TrialStatistics",
+    "FaultTrialBatch",
+    "sample_fault_trials",
+    "target_arrival_matrix",
+    "trial_detection_time",
+    "fault_detection_times",
+    "cyclic_schedule_indices",
+    "CyclicOffsetSchedule",
+    "DEFAULT_TRIALS_PER_BATCH",
+]
+
+#: Anything acceptable as a reproducible randomness source: an integer seed,
+#: a ready-made Generator/SeedSequence, or None for OS entropy.
+SeedLike = Union[int, np.integer, np.random.Generator, np.random.SeedSequence, None]
+
+#: Default number of trials evaluated per chunk; bounds peak memory at a few
+#: megabytes without sacrificing vectorization (see PERFORMANCE.md).
+DEFAULT_TRIALS_PER_BATCH = 8192
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Normalise a seed-like value into a :class:`numpy.random.Generator`.
+
+    Generators pass through untouched (so callers can share one stream
+    across several sampling steps); everything else goes through
+    :func:`numpy.random.default_rng`.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: SeedLike, count: int) -> List[int]:
+    """Derive ``count`` independent child seeds from one root seed.
+
+    Children are spawned through :class:`numpy.random.SeedSequence`, so the
+    streams are statistically independent and — crucially for parallel
+    sweeps — depend only on ``(seed, index)``, never on worker scheduling.
+    Passing a Generator uses its own bit stream to derive the root entropy.
+    """
+    if count < 0:
+        raise InvalidProblemError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    elif isinstance(seed, np.random.Generator):
+        root = np.random.SeedSequence(int(seed.integers(0, 2**63)))
+    else:
+        root = np.random.SeedSequence(seed)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in root.spawn(count)]
+
+
+# ----------------------------------------------------------------------
+# Trial statistics
+# ----------------------------------------------------------------------
+_QUANTILE_LEVELS = (0.5, 0.9, 0.95, 0.99)
+
+
+def _linear_quantile(ordered: np.ndarray, q: float) -> float:
+    """np.quantile's default linear interpolation, but inf-safe.
+
+    NumPy's lerp turns a finite/inf bracket into nan; here a quantile is
+    inf exactly when its position falls strictly inside the infinite tail,
+    and finite quantiles below the tail stay finite.
+    """
+    position = q * (ordered.size - 1)
+    lower = int(math.floor(position))
+    fraction = position - lower
+    a = float(ordered[lower])
+    if fraction == 0.0:
+        return a
+    b = float(ordered[min(lower + 1, ordered.size - 1)])
+    if not math.isfinite(a) or not math.isfinite(b):
+        return b
+    return a + (b - a) * fraction
+
+
+@dataclass(frozen=True)
+class TrialStatistics:
+    """Summary statistics of one Monte-Carlo sample of ratios.
+
+    ``std_error`` is the standard error of the mean (unbiased sample
+    standard deviation over ``sqrt(n)``); ``batch_means`` are the means of
+    consecutive equal-size sub-batches — their spread is a cheap
+    convergence diagnostic (a drifting estimator shows up as a spread much
+    larger than a few standard errors).
+    """
+
+    num_trials: int
+    mean: float
+    std_error: float
+    minimum: float
+    maximum: float
+    quantiles: Tuple[Tuple[float, float], ...]
+    batch_means: Tuple[float, ...]
+
+    @classmethod
+    def from_sample(cls, values: Sequence[float], num_batches: int = 8) -> "TrialStatistics":
+        """Compute the statistics of a flat sample of trial ratios."""
+        sample = np.asarray(values, dtype=float).reshape(-1)
+        if sample.size == 0:
+            raise InvalidProblemError("need at least one trial to summarise")
+        finite = np.isfinite(sample)
+        with np.errstate(invalid="ignore"):
+            mean = float(sample.mean())
+            if sample.size > 1 and bool(finite.all()):
+                std_error = float(sample.std(ddof=1) / math.sqrt(sample.size))
+            else:
+                std_error = math.nan if not bool(finite.all()) else 0.0
+        ordered = np.sort(sample)
+        quantiles = tuple((q, _linear_quantile(ordered, q)) for q in _QUANTILE_LEVELS)
+        num_batches = max(1, min(num_batches, sample.size))
+        batch_means = tuple(
+            float(chunk.mean()) for chunk in np.array_split(sample, num_batches)
+        )
+        return cls(
+            num_trials=int(sample.size),
+            mean=mean,
+            std_error=std_error,
+            minimum=float(sample.min()),
+            maximum=float(sample.max()),
+            quantiles=quantiles,
+            batch_means=batch_means,
+        )
+
+    def quantile(self, q: float) -> float:
+        """One of the precomputed quantiles (0.5, 0.9, 0.95, 0.99)."""
+        for level, value in self.quantiles:
+            if abs(level - q) < 1e-12:
+                return value
+        raise InvalidProblemError(
+            f"quantile {q} not precomputed; available: {[lv for lv, _ in self.quantiles]}"
+        )
+
+    @property
+    def half_width_95(self) -> float:
+        """Half-width of the normal-approximation 95% confidence interval."""
+        return 1.96 * self.std_error
+
+    @property
+    def batch_mean_spread(self) -> float:
+        """Max minus min of the consecutive batch means (convergence check)."""
+        return max(self.batch_means) - min(self.batch_means)
+
+    def compatible_with(self, reference: float, num_sigmas: float = 3.0) -> bool:
+        """True when ``reference`` lies within ``num_sigmas`` standard errors."""
+        if not math.isfinite(self.std_error):
+            return False
+        return abs(self.mean - reference) <= num_sigmas * max(self.std_error, 1e-15)
+
+
+# ----------------------------------------------------------------------
+# Fault-injection workload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultTrialBatch:
+    """One seeded batch of random-fault trials, as matrices.
+
+    Attributes
+    ----------
+    targets:
+        The distinct target pool trials draw from.
+    target_indices:
+        ``(trials,)`` integer indices into ``targets``.
+    fault_matrix:
+        ``(trials, robots)`` boolean matrix, True where the robot is faulty
+        in that trial.
+    crash_times:
+        ``(trials, robots)`` report cut-offs: a robot's visit only counts
+        when its arrival time is at most its cut-off.  Healthy robots have
+        ``inf``; classic silent crash faults have 0 (they never report);
+        the ``"uniform"`` crash model draws the cut-off uniformly in
+        ``[0, horizon]`` so a faulty robot may still report early visits.
+    """
+
+    targets: Tuple[RayPoint, ...]
+    target_indices: np.ndarray
+    fault_matrix: np.ndarray
+    crash_times: np.ndarray
+
+    @property
+    def num_trials(self) -> int:
+        """Number of trials in the batch."""
+        return int(self.target_indices.size)
+
+    @property
+    def num_robots(self) -> int:
+        """Number of robots each trial assigns faults over."""
+        return int(self.fault_matrix.shape[1])
+
+    def faulty_robots(self, trial: int) -> Tuple[int, ...]:
+        """Sorted indices of the faulty robots in one trial."""
+        return tuple(int(r) for r in np.flatnonzero(self.fault_matrix[trial]))
+
+    def target(self, trial: int) -> RayPoint:
+        """The target sampled for one trial."""
+        return self.targets[int(self.target_indices[trial])]
+
+
+def sample_fault_trials(
+    rng: np.random.Generator,
+    num_trials: int,
+    num_robots: int,
+    num_faulty: int,
+    targets: Sequence[RayPoint],
+    crash_model: str = "silent",
+    horizon: Optional[float] = None,
+) -> FaultTrialBatch:
+    """Sample a whole batch of fault-injection trials from one stream.
+
+    Fault subsets are uniform over the ``C(num_robots, num_faulty)``
+    possibilities (drawn as the first ``f`` entries of a random
+    permutation); targets are uniform over the pool.  ``crash_model`` is
+    ``"silent"`` (faulty robots never report — the classic crash model) or
+    ``"uniform"`` (each faulty robot reports visits up to a cut-off drawn
+    uniformly in ``[0, horizon]``).
+    """
+    if num_trials < 1:
+        raise InvalidProblemError("need at least one trial")
+    if not targets:
+        raise InvalidProblemError("need at least one target to sample from")
+    if num_faulty < 0 or num_faulty > num_robots:
+        raise InvalidProblemError(
+            f"invalid fault count {num_faulty} for {num_robots} robots"
+        )
+    if crash_model not in ("silent", "uniform"):
+        raise InvalidProblemError(
+            f"unknown crash model {crash_model!r}; expected 'silent' or 'uniform'"
+        )
+    if crash_model == "uniform" and (horizon is None or horizon <= 0):
+        raise InvalidProblemError("the uniform crash model needs a positive horizon")
+
+    target_indices = rng.integers(0, len(targets), size=num_trials)
+    fault_matrix = np.zeros((num_trials, num_robots), dtype=bool)
+    if num_faulty > 0:
+        # First f entries of a random permutation per row: argsort of iid
+        # uniforms is a uniform permutation, so every f-subset is equally
+        # likely.
+        scores = rng.random((num_trials, num_robots))
+        faulty = np.argsort(scores, axis=1, kind="stable")[:, :num_faulty]
+        np.put_along_axis(fault_matrix, faulty, True, axis=1)
+    if crash_model == "uniform":
+        cutoffs = rng.uniform(0.0, float(horizon), size=(num_trials, num_robots))
+        crash_times = np.where(fault_matrix, cutoffs, math.inf)
+    else:
+        crash_times = np.where(fault_matrix, 0.0, math.inf)
+    return FaultTrialBatch(
+        targets=tuple(targets),
+        target_indices=target_indices,
+        fault_matrix=fault_matrix,
+        crash_times=crash_times,
+    )
+
+
+def target_arrival_matrix(
+    trajectories: Sequence[Trajectory], targets: Sequence[RayPoint]
+) -> np.ndarray:
+    """The ``(robots, targets)`` first-arrival matrix over a mixed-ray pool.
+
+    Groups the pool by ray and delegates each group to
+    :func:`repro.geometry.visits.first_arrival_matrix` (one
+    ``np.searchsorted`` per robot per ray over the compiled arrival
+    arrays), then scatters the columns back into pool order.
+    """
+    out = np.full((len(trajectories), len(targets)), math.inf)
+    by_ray: Dict[int, List[int]] = {}
+    for position, target in enumerate(targets):
+        by_ray.setdefault(target.ray, []).append(position)
+    for ray, positions in sorted(by_ray.items()):
+        distances = np.asarray([targets[i].distance for i in positions], dtype=float)
+        out[:, positions] = first_arrival_matrix(trajectories, ray, distances)
+    return out
+
+
+def fault_detection_times(
+    trajectories: Sequence[Trajectory],
+    batch: FaultTrialBatch,
+    engine: str = DEFAULT_ENGINE,
+    trials_per_batch: int = DEFAULT_TRIALS_PER_BATCH,
+) -> np.ndarray:
+    """Detection time of every trial in a batch (``inf`` when never confirmed).
+
+    A trial's target is confirmed at the earliest arrival that *counts*: a
+    healthy robot's first visit, or a crash-faulty robot's first visit when
+    it happens no later than the robot's sampled report cut-off.  The
+    vectorized engine evaluates all trials against the shared
+    ``(robots, targets)`` compiled arrival matrix in ``trials_per_batch``
+    chunks; the scalar engine walks the per-trial reference loop.
+    """
+    engine = validate_engine(engine)
+    if len(trajectories) != batch.num_robots:
+        raise InvalidProblemError(
+            f"batch was sampled for {batch.num_robots} robots, "
+            f"got {len(trajectories)} trajectories"
+        )
+    if engine == SCALAR_ENGINE:
+        return _fault_detection_times_scalar(trajectories, batch)
+    return _fault_detection_times_vectorized(trajectories, batch, trials_per_batch)
+
+
+def trial_detection_time(
+    trajectories: Sequence[Trajectory], target: RayPoint, cutoffs: Sequence[float]
+) -> float:
+    """Reference detection semantics for one trial: earliest counting visit.
+
+    A visit counts when the robot's first arrival is no later than its
+    report cut-off (``inf`` for a healthy robot, 0 for a silent crash
+    fault).  This single implementation backs both the scalar engine and
+    :func:`repro.faults.injection.detection_time_with_crash_times`.
+    """
+    best = math.inf
+    for robot, trajectory in enumerate(trajectories):
+        arrival = trajectory.first_arrival_time(target.ray, target.distance)
+        if arrival <= cutoffs[robot] and arrival < best:
+            best = arrival
+    return best
+
+
+def _fault_detection_times_scalar(
+    trajectories: Sequence[Trajectory], batch: FaultTrialBatch
+) -> np.ndarray:
+    out = np.empty(batch.num_trials)
+    for trial in range(batch.num_trials):
+        out[trial] = trial_detection_time(
+            trajectories, batch.target(trial), batch.crash_times[trial]
+        )
+    return out
+
+
+def _fault_detection_times_vectorized(
+    trajectories: Sequence[Trajectory],
+    batch: FaultTrialBatch,
+    trials_per_batch: int,
+) -> np.ndarray:
+    if trials_per_batch < 1:
+        raise InvalidProblemError(
+            f"trials_per_batch must be positive, got {trials_per_batch}"
+        )
+    arrivals = target_arrival_matrix(trajectories, batch.targets)
+    out = np.empty(batch.num_trials)
+    for lo in range(0, batch.num_trials, trials_per_batch):
+        hi = min(lo + trials_per_batch, batch.num_trials)
+        chunk = arrivals[:, batch.target_indices[lo:hi]].T  # (chunk, robots)
+        counted = np.where(chunk <= batch.crash_times[lo:hi], chunk, math.inf)
+        out[lo:hi] = counted.min(axis=1)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Randomized cyclic-offset workload
+# ----------------------------------------------------------------------
+def cyclic_schedule_indices(num_rays: int, base: float, horizon: float) -> np.ndarray:
+    """Excursion indices of the randomized cyclic schedule covering ``horizon``.
+
+    Excursion ``n`` visits ray ``n mod m`` to radius ``base**(n + offset)``.
+    The start index is low enough that every ray is swept below distance 1
+    for any offset in ``[0, m]``; the end index covers ``horizon`` likewise.
+    This is the single source of truth shared by the scalar sampler
+    (:meth:`repro.strategies.randomized.RandomizedSingleRobotRayStrategy.sample`)
+    and the batched evaluator below, so both materialise exactly the same
+    excursion sequence.
+    """
+    if num_rays < 2:
+        raise InvalidProblemError(f"need at least 2 rays, got {num_rays}")
+    if base <= 1.0:
+        raise InvalidProblemError(f"base must exceed 1, got {base}")
+    if horizon < 1.0:
+        raise InvalidProblemError(f"horizon must be at least 1, got {horizon}")
+    m, b = num_rays, base
+    start = -int(math.ceil(m + m / math.log(b, 2) + 4))
+    end = int(math.ceil(math.log(horizon, b))) + m + 1
+    return np.arange(start, end + 1)
+
+
+@dataclass(frozen=True)
+class CyclicOffsetSchedule:
+    """Closed-form batched arrival times of the randomized cyclic strategy.
+
+    One sampled offset ``U`` turns the schedule into a concrete trajectory
+    whose first arrival at ``(ray, d)`` is *prefix time of the first
+    excursion on that ray reaching d* plus ``d``.  Because all offsets
+    share the same excursion index range, a whole vector of offsets is
+    evaluated as matrices: radii ``base**(n + U)`` (offsets x excursions),
+    prefix times as a row-wise cumulative sum (the same left-to-right
+    float64 accumulation as the scalar trajectory builder, so both paths
+    agree to the last few ulps), and the first-covering excursion per
+    (offset, target) via an exponent formula corrected against the actual
+    radius values — replicating the scalar path's ``distance - 1e-12``
+    coverage tolerance.
+    """
+
+    num_rays: int
+    base: float
+    horizon: float
+    indices: np.ndarray
+
+    @classmethod
+    def plan(cls, num_rays: int, base: float, horizon: float) -> "CyclicOffsetSchedule":
+        """Build the schedule for a strategy's ``(m, base)`` and a horizon."""
+        return cls(
+            num_rays=num_rays,
+            base=float(base),
+            horizon=float(horizon),
+            indices=cyclic_schedule_indices(num_rays, base, horizon),
+        )
+
+    def arrival_times(
+        self,
+        offsets: np.ndarray,
+        targets: Sequence[Tuple[int, float]],
+        trials_per_batch: int = DEFAULT_TRIALS_PER_BATCH,
+    ) -> np.ndarray:
+        """The ``(offsets, targets)`` matrix of first arrival times.
+
+        Entry ``(s, j)`` is the first arrival of the schedule with offset
+        ``offsets[s]`` at target ``targets[j] = (ray, distance)`` — equal
+        (to 1e-9) to materialising the sampled trajectory and querying
+        :meth:`~repro.geometry.trajectory.Trajectory.first_arrival_time`.
+        """
+        if trials_per_batch < 1:
+            raise InvalidProblemError(
+                f"trials_per_batch must be positive, got {trials_per_batch}"
+            )
+        offsets = np.asarray(offsets, dtype=float).reshape(-1)
+        if offsets.size and (offsets.min() < 0.0 or offsets.max() > self.num_rays):
+            raise InvalidProblemError(
+                f"offsets must lie in [0, {self.num_rays}]"
+            )
+        for ray, distance in targets:
+            if not 0 <= ray < self.num_rays:
+                raise InvalidProblemError(
+                    f"target ray {ray} outside [0, {self.num_rays})"
+                )
+            if distance > self.horizon:
+                raise InvalidProblemError(
+                    f"target distance {distance} beyond planned horizon {self.horizon}"
+                )
+        out = np.empty((offsets.size, len(targets)))
+        for lo in range(0, offsets.size, trials_per_batch):
+            hi = min(lo + trials_per_batch, offsets.size)
+            out[lo:hi] = self._arrival_chunk(offsets[lo:hi], targets)
+        return out
+
+    def _arrival_chunk(
+        self, offsets: np.ndarray, targets: Sequence[Tuple[int, float]]
+    ) -> np.ndarray:
+        m, b = self.num_rays, self.base
+        n = self.indices
+        start = int(n[0])
+        # Radii and prefix times, (chunk, excursions).  The cumulative sum
+        # accumulates 2*radius left to right exactly like the scalar
+        # excursion builder's running clock.
+        radii = b ** (n[None, :] + offsets[:, None])
+        prefix = np.zeros_like(radii)
+        np.cumsum(2.0 * radii[:, :-1], axis=1, out=prefix[:, 1:])
+        log_b = math.log(b)
+        out = np.empty((offsets.size, len(targets)))
+        for j, (ray, distance) in enumerate(targets):
+            if distance <= _EPS:
+                out[:, j] = 0.0
+                continue
+            covered = distance - _EPS  # the scalar path's coverage tolerance
+            # Smallest excursion index on the ray whose radius covers the
+            # target: guess from the exponent, then correct by comparing
+            # the actual (identically computed) radii.
+            guess = np.floor(math.log(covered) / log_b - offsets).astype(int)
+            n0 = guess + 1 + (ray - (guess + 1)) % m
+            first_on_ray = start + (ray - start) % m
+            for _ in range(2):  # the log guess is off by at most one ulp-step
+                lower = n0 - m
+                step_down = (lower >= first_on_ray) & (b ** (lower + offsets) >= covered)
+                n0 = np.where(step_down, lower, n0)
+            for _ in range(2):
+                step_up = b ** (n0 + offsets) < covered
+                n0 = np.where(step_up, n0 + m, n0)
+            n0 = np.maximum(n0, first_on_ray)
+            piece = n0 - start
+            in_range = piece < n.size
+            piece = np.minimum(piece, n.size - 1)
+            arrivals = prefix[np.arange(offsets.size), piece] + distance
+            out[:, j] = np.where(in_range, arrivals, math.inf)
+        return out

@@ -11,9 +11,11 @@ from .naive import (
 )
 from .optimal import optimal_strategy
 from .randomized import (
+    RandomizedSearchReport,
     RandomizedSingleRobotRayStrategy,
     expected_randomized_ratio,
     monte_carlo_expected_ratio,
+    monte_carlo_ratio_report,
     optimal_randomized_base,
     randomized_ray_ratio,
 )
@@ -38,9 +40,11 @@ __all__ = [
     "ReplicationStrategy",
     "TrivialStraightStrategy",
     "optimal_strategy",
+    "RandomizedSearchReport",
     "RandomizedSingleRobotRayStrategy",
     "expected_randomized_ratio",
     "monte_carlo_expected_ratio",
+    "monte_carlo_ratio_report",
     "optimal_randomized_base",
     "randomized_ray_ratio",
     "DoublingLineStrategy",

@@ -23,24 +23,50 @@ This module provides the closed-form expected ratio, the numerically
 optimal base, a sampling strategy class whose concrete samples plug into the
 ordinary deterministic simulator, and a Monte-Carlo estimator used by the
 tests to confirm the formula.
+
+Seeding and reproducibility
+---------------------------
+Offsets are drawn from an explicit seeded stream — either a
+:class:`numpy.random.Generator` built from the ``seed`` argument
+(:func:`repro.simulation.monte_carlo.as_generator`) or, for backwards
+compatibility of :meth:`RandomizedSingleRobotRayStrategy.sample`, any
+object with a ``uniform(a, b)`` method (``random.Random`` included).  The
+Monte-Carlo estimator draws the full offset vector once and evaluates it
+under the selected engine — ``"vectorized"`` (default, the closed-form
+batched schedule of :class:`repro.simulation.monte_carlo.CyclicOffsetSchedule`)
+or ``"scalar"`` (materialise a trajectory per offset) — so a fixed seed
+yields identical draws for both engines and a bit-identical report per
+engine.
 """
 
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..core.bounds import single_robot_ray_ratio
 from ..exceptions import InvalidProblemError, InvalidStrategyError
 from ..geometry.trajectory import Trajectory, excursion_trajectory
+from ..simulation.engine import DEFAULT_ENGINE, SCALAR_ENGINE, validate_engine
+from ..simulation.monte_carlo import (
+    DEFAULT_TRIALS_PER_BATCH,
+    CyclicOffsetSchedule,
+    SeedLike,
+    TrialStatistics,
+    as_generator,
+    cyclic_schedule_indices,
+)
 
 __all__ = [
     "expected_randomized_ratio",
     "optimal_randomized_base",
     "randomized_ray_ratio",
     "RandomizedSingleRobotRayStrategy",
+    "RandomizedSearchReport",
+    "monte_carlo_ratio_report",
     "monte_carlo_expected_ratio",
 ]
 
@@ -112,13 +138,31 @@ class _SampledSchedule:
         return excursion_trajectory(list(self.excursions))
 
 
+#: Randomness sources :meth:`RandomizedSingleRobotRayStrategy.sample` accepts:
+#: a numpy Generator, any object with ``uniform(a, b)`` (``random.Random``),
+#: an integer seed, or None.
+OffsetSource = Union[SeedLike, "_HasUniform"]
+
+
+class _HasUniform:  # pragma: no cover - typing helper only
+    def uniform(self, low: float, high: float) -> float: ...
+
+
+def _draw_offset(rng: OffsetSource, num_rays: int) -> float:
+    """Draw one offset uniform on ``[0, m)`` from any supported source."""
+    if hasattr(rng, "uniform"):
+        return float(rng.uniform(0.0, float(num_rays)))  # type: ignore[union-attr]
+    return float(as_generator(rng).uniform(0.0, float(num_rays)))
+
+
 class RandomizedSingleRobotRayStrategy:
     """Randomized cyclic search of ``m`` rays by a single fault-free robot.
 
     The strategy is a *distribution* over deterministic schedules: a single
     offset ``U ~ Uniform[0, m)`` shifts every excursion exponent.  Use
     :meth:`sample` to draw concrete schedules (each one can be fed to the
-    deterministic simulator) and :meth:`expected_ratio` for the closed form.
+    deterministic simulator), :meth:`sample_offsets` for a whole seeded
+    offset vector, and :meth:`expected_ratio` for the closed form.
 
     Parameters
     ----------
@@ -149,62 +193,167 @@ class RandomizedSingleRobotRayStrategy:
         """The deterministic optimum for the same number of rays (for comparison)."""
         return single_robot_ray_ratio(self.num_rays)
 
+    def sample_offsets(self, num_samples: int, seed: SeedLike = 0) -> np.ndarray:
+        """Draw a seeded vector of offsets, uniform on ``[0, m)``."""
+        if num_samples < 1:
+            raise InvalidProblemError("need at least one sample")
+        return as_generator(seed).uniform(
+            0.0, float(self.num_rays), size=num_samples
+        )
+
     def sample(
-        self, rng: random.Random, horizon: float, offset: Optional[float] = None
+        self,
+        rng: OffsetSource,
+        horizon: float,
+        offset: Optional[float] = None,
     ) -> _SampledSchedule:
         """Draw one concrete schedule covering targets up to ``horizon``.
 
         The excursion with index ``n`` (from a warm-up start below distance
         1) visits ray ``n mod m`` to radius ``base^(n + offset)`` with the
-        sampled ``offset``.
+        sampled ``offset``.  ``rng`` may be a :class:`numpy.random.Generator`,
+        a ``random.Random``, an integer seed, or None; it is ignored when
+        ``offset`` is given explicitly.
         """
         if horizon < 1.0:
             raise InvalidProblemError(f"horizon must be at least 1, got {horizon}")
         if offset is None:
-            offset = rng.uniform(0.0, float(self.num_rays))
+            offset = _draw_offset(rng, self.num_rays)
         if not 0.0 <= offset <= float(self.num_rays):
             raise InvalidStrategyError(
                 f"offset must lie in [0, {self.num_rays}], got {offset}"
             )
         m, b = self.num_rays, self.base
-        # Start low enough that every ray is swept below distance 1 first
-        # even with the largest possible offset.
-        start = -int(math.ceil(m + m / math.log(b, 2) + 4))
-        end = int(math.ceil(math.log(horizon, b))) + m + 1
         excursions = []
-        for n in range(start, end + 1):
-            excursions.append((n % m, b ** (n + offset)))
-        return _SampledSchedule(offset=offset, excursions=tuple(excursions))
+        for n in cyclic_schedule_indices(m, b, horizon):
+            index = int(n)
+            excursions.append((index % m, b ** (index + offset)))
+        return _SampledSchedule(offset=float(offset), excursions=tuple(excursions))
+
+    def schedule_plan(self, horizon: float) -> CyclicOffsetSchedule:
+        """The batched closed-form evaluator for this strategy and horizon."""
+        return CyclicOffsetSchedule.plan(self.num_rays, self.base, horizon)
+
+
+@dataclass(frozen=True)
+class RandomizedSearchReport:
+    """Monte-Carlo estimate of the randomized strategy's competitive ratio.
+
+    The oblivious adversary picks the worst target *before* the coins are
+    flipped, so the estimator is the maximum over targets of the per-target
+    mean ratio.  ``per_target`` keeps the full statistics of every target
+    (the expectation is provably target-independent, which makes the
+    per-target means a built-in consistency check).
+    """
+
+    targets: Tuple[Tuple[int, float], ...]
+    per_target: Tuple[TrialStatistics, ...]
+    closed_form: float
+    engine: str
+    seed: Optional[int]
+
+    @property
+    def estimate(self) -> float:
+        """Maximum per-target mean ratio (the oblivious worst case)."""
+        return max(stats.mean for stats in self.per_target)
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the worst target's mean."""
+        worst = max(self.per_target, key=lambda stats: stats.mean)
+        return worst.std_error
+
+    @property
+    def num_samples(self) -> int:
+        """Sampled offsets per target."""
+        return self.per_target[0].num_trials
+
+    def within_standard_errors(self, num_sigmas: float = 3.0) -> bool:
+        """True when every target's mean is compatible with the closed form."""
+        return all(
+            stats.compatible_with(self.closed_form, num_sigmas)
+            for stats in self.per_target
+        )
+
+
+def monte_carlo_ratio_report(
+    strategy: RandomizedSingleRobotRayStrategy,
+    targets: Sequence[Tuple[int, float]],
+    num_samples: int = 200,
+    seed: SeedLike = 0,
+    horizon: Optional[float] = None,
+    engine: str = DEFAULT_ENGINE,
+    trials_per_batch: int = DEFAULT_TRIALS_PER_BATCH,
+) -> RandomizedSearchReport:
+    """Estimate the expected competitive ratio by sampling offsets.
+
+    For every target ``(ray, distance)`` the first-arrival ratio is averaged
+    over ``num_samples`` sampled offsets.  ``engine="vectorized"`` (default)
+    evaluates all (offset, target) pairs through the closed-form batched
+    schedule in ``trials_per_batch`` chunks; ``engine="scalar"``
+    materialises one trajectory per offset and queries it per target.  Both
+    consume the same seeded offset vector and agree to 1e-9.
+    """
+    if not targets:
+        raise InvalidProblemError("need at least one target")
+    if num_samples < 1:
+        raise InvalidProblemError("need at least one sample")
+    engine = validate_engine(engine)
+    if horizon is None:
+        horizon = max(distance for _ray, distance in targets) * 2.0
+    offsets = strategy.sample_offsets(num_samples, seed)
+    targets = tuple((int(ray), float(distance)) for ray, distance in targets)
+
+    if engine == SCALAR_ENGINE:
+        ratios = np.empty((num_samples, len(targets)))
+        for row, offset in enumerate(offsets):
+            trajectory = strategy.sample(
+                None, horizon=horizon, offset=float(offset)
+            ).trajectory()
+            for column, (ray, distance) in enumerate(targets):
+                ratios[row, column] = (
+                    trajectory.first_arrival_time(ray, distance) / distance
+                )
+    else:
+        arrivals = strategy.schedule_plan(horizon).arrival_times(
+            offsets, targets, trials_per_batch=trials_per_batch
+        )
+        ratios = arrivals / np.asarray([d for _r, d in targets])
+
+    return RandomizedSearchReport(
+        targets=targets,
+        per_target=tuple(
+            TrialStatistics.from_sample(ratios[:, j]) for j in range(len(targets))
+        ),
+        closed_form=strategy.expected_ratio(),
+        engine=engine,
+        seed=seed if isinstance(seed, int) else None,
+    )
 
 
 def monte_carlo_expected_ratio(
     strategy: RandomizedSingleRobotRayStrategy,
     targets: Sequence[Tuple[int, float]],
     num_samples: int = 200,
-    seed: int = 0,
+    seed: SeedLike = 0,
     horizon: Optional[float] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> float:
     """Estimate the expected competitive ratio by sampling offsets.
 
-    For every target ``(ray, distance)`` the first-arrival ratio is averaged
-    over ``num_samples`` sampled offsets; the estimator returns the maximum
-    of those per-target averages (the oblivious adversary picks the worst
-    target, then the coins are flipped).  With enough samples this converges
-    to :meth:`RandomizedSingleRobotRayStrategy.expected_ratio` for every
+    Thin wrapper over :func:`monte_carlo_ratio_report` returning only the
+    point estimate: the maximum of the per-target average ratios (the
+    oblivious adversary picks the worst target, then the coins are
+    flipped).  With enough samples this converges to
+    :meth:`RandomizedSingleRobotRayStrategy.expected_ratio` for every
     target, which the property tests check.
     """
-    if not targets:
-        raise InvalidProblemError("need at least one target")
-    if num_samples < 1:
-        raise InvalidProblemError("need at least one sample")
-    if horizon is None:
-        horizon = max(distance for _ray, distance in targets) * 2.0
-    rng = random.Random(seed)
-    per_target_totals = [0.0 for _ in targets]
-    for _ in range(num_samples):
-        schedule = strategy.sample(rng, horizon=horizon)
-        trajectory = schedule.trajectory()
-        for index, (ray, distance) in enumerate(targets):
-            arrival = trajectory.first_arrival_time(ray, distance)
-            per_target_totals[index] += arrival / distance
-    return max(total / num_samples for total in per_target_totals)
+    report = monte_carlo_ratio_report(
+        strategy,
+        targets,
+        num_samples=num_samples,
+        seed=seed,
+        horizon=horizon,
+        engine=engine,
+    )
+    return report.estimate

@@ -10,6 +10,7 @@ from repro.analysis.convergence import horizon_convergence
 from repro.analysis.sweep import (
     interesting_grid,
     sweep_optimal_strategies,
+    sweep_random_faults,
     sweep_strategy_family,
 )
 from repro.analysis import tables
@@ -53,6 +54,32 @@ class TestSweeps:
         rows = sweep_strategy_family(strategies, horizon=200.0)
         assert len(rows) == 2
         assert all(math.isfinite(row.measured) for row in rows)
+
+    def test_random_fault_sweep_rows(self):
+        rows = sweep_random_faults(
+            [(2, 3, 1), (3, 2, 0)], horizon=150.0, num_trials=64, seed=5
+        )
+        assert len(rows) == 2
+        for row in rows:
+            # Random faults can never beat the adversarial assignment.
+            assert row.max_ratio <= row.adversarial + 1e-9
+            assert row.mean_ratio <= row.max_ratio + 1e-9
+            assert row.slack > 0.0
+            assert row.std_error > 0.0
+            assert row.mean_ratio <= row.quantile_95 + 1e-9 or row.num_trials < 20
+            assert row.num_trials == 64
+
+    def test_random_fault_sweep_deterministic_across_workers(self):
+        grid = [(2, 3, 1), (2, 5, 2), (3, 4, 1)]
+        serial = sweep_random_faults(
+            grid, horizon=120.0, num_trials=32, seed=0, max_workers=1
+        )
+        parallel = sweep_random_faults(
+            grid, horizon=120.0, num_trials=32, seed=0, max_workers=3
+        )
+        assert serial == parallel
+        # Per-row child seeds are distinct, so rows are independent streams.
+        assert len({row.seed for row in serial}) == len(grid)
 
     def test_relative_gap_nan_for_unknown_theoretical(self):
         from repro.analysis.sweep import SweepRow

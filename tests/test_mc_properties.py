@@ -1,0 +1,304 @@
+"""Property-based tests of the Monte-Carlo engine (randomized in-suite).
+
+No external property-testing dependency: the generators are plain seeded
+``random``/NumPy draws over arbitrary valid trajectories, fault subsets
+and offsets.  The properties are the invariants the paper's model forces:
+
+* a unit-speed robot cannot reach a target before time ``|target|``, so
+  every detection time is at least the target distance and every
+  competitive ratio is at least 1;
+* first-arrival (and hence detection, for a fixed fault set) is monotone
+  non-decreasing in the target distance along a ray;
+* fixed seed => bit-identical reports; distinct seeds => distinct draws.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.problem import line_problem
+from repro.exceptions import InvalidProblemError
+from repro.faults.injection import simulate_random_faults
+from repro.geometry.rays import RayPoint
+from repro.geometry.trajectory import (
+    Trajectory,
+    excursion_trajectory,
+    zigzag_trajectory,
+)
+from repro.simulation.monte_carlo import (
+    TrialStatistics,
+    as_generator,
+    fault_detection_times,
+    sample_fault_trials,
+    spawn_seeds,
+)
+from repro.strategies.geometric import RoundRobinGeometricStrategy
+from repro.strategies.randomized import (
+    RandomizedSingleRobotRayStrategy,
+    monte_carlo_ratio_report,
+)
+
+
+def _random_trajectory(rng: random.Random, num_rays: int) -> Trajectory:
+    """An arbitrary valid multi-excursion or zigzag trajectory."""
+    if num_rays == 2 and rng.random() < 0.3:
+        points = []
+        radius = rng.uniform(0.1, 1.0)
+        for _ in range(rng.randint(1, 12)):
+            radius *= rng.uniform(1.05, 2.5)
+            points.append(radius)
+        return zigzag_trajectory(points, start_positive=rng.random() < 0.5)
+    excursions = []
+    for _ in range(rng.randint(1, 15)):
+        excursions.append((rng.randrange(num_rays), rng.uniform(0.05, 50.0)))
+    return excursion_trajectory(excursions)
+
+
+class TestDetectionTimeProperties:
+    def test_detection_never_below_target_distance(self):
+        rng = random.Random(101)
+        for trial in range(25):
+            num_rays = rng.choice([2, 3, 4])
+            num_robots = rng.randint(1, 5)
+            trajectories = [_random_trajectory(rng, num_rays) for _ in range(num_robots)]
+            num_faulty = rng.randint(0, num_robots)
+            targets = [
+                RayPoint(rng.randrange(num_rays), rng.uniform(0.1, 60.0))
+                for _ in range(6)
+            ]
+            batch = sample_fault_trials(
+                as_generator(trial), 40, num_robots, num_faulty, targets
+            )
+            times = fault_detection_times(trajectories, batch)
+            for i in range(batch.num_trials):
+                assert times[i] >= batch.target(i).distance - 1e-9
+
+    def test_ratio_at_least_one_for_arbitrary_fault_subsets(self):
+        rng = random.Random(77)
+        for trial in range(25):
+            num_rays = rng.choice([2, 3])
+            num_robots = rng.randint(1, 4)
+            trajectories = [_random_trajectory(rng, num_rays) for _ in range(num_robots)]
+            num_faulty = rng.randint(0, num_robots)
+            targets = [
+                RayPoint(rng.randrange(num_rays), rng.uniform(0.5, 40.0))
+                for _ in range(4)
+            ]
+            batch = sample_fault_trials(
+                as_generator(1000 + trial), 30, num_robots, num_faulty, targets
+            )
+            times = fault_detection_times(trajectories, batch)
+            distances = np.array([batch.target(i).distance for i in range(30)])
+            ratios = times / distances
+            assert np.all(ratios >= 1.0 - 1e-12)
+
+    def test_detection_monotone_in_target_distance(self):
+        # For a fixed trajectory set and fixed fault subset, detection time
+        # never decreases as the target moves outward on a ray.
+        rng = random.Random(55)
+        for trial in range(20):
+            num_rays = rng.choice([2, 3])
+            num_robots = rng.randint(1, 4)
+            trajectories = [_random_trajectory(rng, num_rays) for _ in range(num_robots)]
+            num_faulty = rng.randint(0, num_robots)
+            ray = rng.randrange(num_rays)
+            distances = sorted(rng.uniform(0.1, 80.0) for _ in range(12))
+            targets = [RayPoint(ray, d) for d in distances]
+            # One fixed fault subset replicated across all targets: sample a
+            # single-trial batch and tile it over the distance ladder.
+            proto = sample_fault_trials(
+                as_generator(trial), 1, num_robots, num_faulty, targets
+            )
+            batch = type(proto)(
+                targets=proto.targets,
+                target_indices=np.arange(len(targets)),
+                fault_matrix=np.repeat(proto.fault_matrix, len(targets), axis=0),
+                crash_times=np.repeat(proto.crash_times, len(targets), axis=0),
+            )
+            times = fault_detection_times(trajectories, batch)
+            for earlier, later in zip(times, times[1:]):
+                assert later >= earlier - 1e-9 or math.isinf(later)
+
+    def test_randomized_offset_arrivals_monotone_and_ratio_at_least_one(self):
+        rng = np.random.default_rng(9)
+        for m in (2, 3, 4):
+            strategy = RandomizedSingleRobotRayStrategy(m)
+            plan = strategy.schedule_plan(200.0)
+            offsets = rng.uniform(0.0, m, size=40)
+            for ray in range(m):
+                distances = np.sort(rng.uniform(0.2, 199.0, size=10))
+                arrivals = plan.arrival_times(offsets, [(ray, float(d)) for d in distances])
+                # Ratio >= 1 everywhere (unit speed).
+                assert np.all(arrivals >= distances[None, :] - 1e-9)
+                # Monotone along the ray, per offset.
+                assert np.all(np.diff(arrivals, axis=1) >= -1e-9)
+
+
+class TestSeededReproducibility:
+    def test_fault_report_bit_identical_for_fixed_seed(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        first = simulate_random_faults(strategy, 200.0, num_trials=64, seed=42)
+        second = simulate_random_faults(strategy, 200.0, num_trials=64, seed=42)
+        assert first.trials == second.trials
+        assert first.adversarial_ratio == second.adversarial_ratio
+
+    def test_different_seeds_differ(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        first = simulate_random_faults(strategy, 200.0, num_trials=64, seed=1)
+        second = simulate_random_faults(strategy, 200.0, num_trials=64, seed=2)
+        assert [t.ratio for t in first.trials] != [t.ratio for t in second.trials]
+
+    def test_generator_can_be_passed_directly(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        first = simulate_random_faults(
+            strategy, 200.0, num_trials=32, seed=np.random.default_rng(7)
+        )
+        second = simulate_random_faults(
+            strategy, 200.0, num_trials=32, seed=np.random.default_rng(7)
+        )
+        assert first.trials == second.trials
+
+    def test_randomized_report_bit_identical_for_fixed_seed(self):
+        strategy = RandomizedSingleRobotRayStrategy(2)
+        targets = [(0, 9.0), (1, 33.0)]
+        first = monte_carlo_ratio_report(strategy, targets, num_samples=128, seed=6)
+        second = monte_carlo_ratio_report(strategy, targets, num_samples=128, seed=6)
+        assert first.per_target == second.per_target
+        assert first.estimate == second.estimate
+
+    def test_spawned_seeds_are_deterministic_and_distinct(self):
+        first = spawn_seeds(123, 8)
+        second = spawn_seeds(123, 8)
+        assert first == second
+        assert len(set(first)) == 8
+        assert spawn_seeds(124, 8) != first
+
+    def test_spawn_validation(self):
+        with pytest.raises(InvalidProblemError):
+            spawn_seeds(0, -1)
+        assert spawn_seeds(0, 0) == []
+
+    def test_sample_accepts_legacy_random_and_seeds(self):
+        strategy = RandomizedSingleRobotRayStrategy(3)
+        legacy = strategy.sample(random.Random(5), horizon=50.0)
+        seeded = strategy.sample(5, horizon=50.0)
+        fresh = strategy.sample(None, horizon=50.0, offset=1.0)
+        for schedule in (legacy, seeded, fresh):
+            assert 0.0 <= schedule.offset <= 3.0
+            assert schedule.excursions
+
+
+class TestTrialStatistics:
+    def test_summary_of_known_sample(self):
+        stats = TrialStatistics.from_sample([1.0, 2.0, 3.0, 4.0])
+        assert stats.num_trials == 4
+        assert stats.mean == pytest.approx(2.5)
+        # Unbiased sample std of [1,2,3,4] is ~1.2910; SE divides by sqrt(4).
+        assert stats.std_error == pytest.approx(
+            np.std([1.0, 2.0, 3.0, 4.0], ddof=1) / 2.0
+        )
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.quantile(0.5) == pytest.approx(2.5)
+
+    def test_quantile_ordering_and_lookup(self):
+        rng = np.random.default_rng(3)
+        stats = TrialStatistics.from_sample(rng.uniform(1.0, 9.0, size=500))
+        assert stats.quantile(0.5) <= stats.quantile(0.9) <= stats.quantile(0.95)
+        with pytest.raises(InvalidProblemError):
+            stats.quantile(0.25)
+
+    def test_standard_error_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(11)
+        small = TrialStatistics.from_sample(rng.normal(5.0, 1.0, size=100))
+        large = TrialStatistics.from_sample(rng.normal(5.0, 1.0, size=10_000))
+        assert large.std_error < small.std_error
+
+    def test_infinite_trials_poison_mean_not_crash(self):
+        stats = TrialStatistics.from_sample([1.0, math.inf, 2.0])
+        assert math.isinf(stats.mean)
+        assert math.isnan(stats.std_error)
+        assert not stats.compatible_with(1.5)
+
+    def test_quantiles_stay_finite_below_the_infinite_tail(self):
+        # A few never-detected trials must not drag every quantile to inf:
+        # the median of [1, 2, 3, inf] is finite, only the tail quantiles
+        # land in the infinite mass.
+        stats = TrialStatistics.from_sample([1.0, 2.0, 3.0, math.inf])
+        assert stats.quantile(0.5) == pytest.approx(2.5)
+        assert math.isinf(stats.quantile(0.99))
+        assert math.isinf(stats.maximum)
+
+    def test_batch_means_diagnostic(self):
+        rng = np.random.default_rng(21)
+        stats = TrialStatistics.from_sample(rng.normal(3.0, 0.5, size=800))
+        assert len(stats.batch_means) == 8
+        # Stationary iid sample: batch means hug the global mean.
+        assert stats.batch_mean_spread < 10 * stats.half_width_95
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            TrialStatistics.from_sample([])
+
+    def test_compatible_with(self):
+        stats = TrialStatistics.from_sample(np.linspace(1.0, 2.0, 50))
+        assert stats.compatible_with(stats.mean)
+        assert not stats.compatible_with(stats.mean + 100.0)
+
+
+class TestSamplingDistributions:
+    def test_fault_subsets_have_exact_size(self):
+        rng = as_generator(0)
+        targets = [RayPoint(0, 1.0)]
+        batch = sample_fault_trials(rng, 200, 6, 2, targets)
+        assert np.all(batch.fault_matrix.sum(axis=1) == 2)
+
+    def test_zero_faults_yield_empty_subsets(self):
+        batch = sample_fault_trials(as_generator(0), 50, 4, 0, [RayPoint(0, 1.0)])
+        assert not batch.fault_matrix.any()
+        assert np.all(np.isinf(batch.crash_times))
+
+    def test_all_subsets_reachable(self):
+        # 3 robots, 1 fault: all three singletons should appear in a modest
+        # sample (probability of a miss is (2/3)^200, i.e. never).
+        batch = sample_fault_trials(as_generator(1), 200, 3, 1, [RayPoint(0, 1.0)])
+        seen = {batch.faulty_robots(i) for i in range(200)}
+        assert seen == {(0,), (1,), (2,)}
+
+    def test_uniform_crash_times_bounded_by_horizon(self):
+        batch = sample_fault_trials(
+            as_generator(2), 100, 3, 2, [RayPoint(0, 1.0)],
+            crash_model="uniform", horizon=50.0,
+        )
+        faulty_cutoffs = batch.crash_times[batch.fault_matrix]
+        assert np.all((0.0 <= faulty_cutoffs) & (faulty_cutoffs <= 50.0))
+        assert np.all(np.isinf(batch.crash_times[~batch.fault_matrix]))
+
+    def test_sampling_validation(self):
+        rng = as_generator(0)
+        targets = [RayPoint(0, 1.0)]
+        with pytest.raises(InvalidProblemError):
+            sample_fault_trials(rng, 0, 3, 1, targets)
+        with pytest.raises(InvalidProblemError):
+            sample_fault_trials(rng, 5, 3, 4, targets)
+        with pytest.raises(InvalidProblemError):
+            sample_fault_trials(rng, 5, 3, 1, [])
+        with pytest.raises(InvalidProblemError):
+            sample_fault_trials(rng, 5, 3, 1, targets, crash_model="nope")
+        with pytest.raises(InvalidProblemError):
+            sample_fault_trials(rng, 5, 3, 1, targets, crash_model="uniform")
+
+    def test_crash_model_threads_through_report(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        silent = simulate_random_faults(
+            strategy, 150.0, num_trials=128, seed=3, crash_model="silent"
+        )
+        lenient = simulate_random_faults(
+            strategy, 150.0, num_trials=128, seed=3, crash_model="uniform"
+        )
+        # A faulty robot that may still report early visits can only help.
+        assert lenient.mean_ratio <= silent.mean_ratio + 1e-9

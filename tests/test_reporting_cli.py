@@ -93,6 +93,96 @@ class TestCliCommands:
         assert "[E3]" in output
         assert "5.2331" in output
 
+    def test_montecarlo_faults_command(self, capsys):
+        assert (
+            main(
+                [
+                    "montecarlo",
+                    "-k",
+                    "3",
+                    "-f",
+                    "1",
+                    "--trials",
+                    "200",
+                    "--seed",
+                    "3",
+                    "--horizon",
+                    "200",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "mean ratio" in output
+        assert "std error" in output
+        assert "adversarial ratio" in output
+        assert "vectorized" in output
+
+    def test_montecarlo_faults_seeded_runs_identical(self, capsys):
+        argv = ["montecarlo", "-k", "3", "-f", "1", "--trials", "100", "--seed", "9",
+                "--horizon", "150"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_montecarlo_randomized_command(self, capsys):
+        assert (
+            main(
+                [
+                    "montecarlo",
+                    "--workload",
+                    "randomized",
+                    "-m",
+                    "2",
+                    "--trials",
+                    "2000",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "closed-form expected ratio" in output
+        assert "monte-carlo estimate" in output
+        assert "within 3 std errors" in output
+        assert "yes" in output
+
+    def test_montecarlo_scalar_engine(self, capsys):
+        assert (
+            main(
+                [
+                    "montecarlo",
+                    "-k",
+                    "2",
+                    "-f",
+                    "1",
+                    "--trials",
+                    "20",
+                    "--engine",
+                    "scalar",
+                    "--horizon",
+                    "50",
+                ]
+            )
+            == 0
+        )
+        assert "scalar" in capsys.readouterr().out
+
+    def test_montecarlo_randomized_tiny_horizon(self, capsys):
+        # Horizons below the smallest stock target must clamp the fallback
+        # target instead of crashing on the plan's horizon validation.
+        argv = ["montecarlo", "--workload", "randomized", "-m", "2",
+                "--trials", "50", "--horizon", "1.2"]
+        assert main(argv) == 0
+        assert "monte-carlo estimate" in capsys.readouterr().out
+
+    def test_montecarlo_engine_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["montecarlo", "--engine", "quantum"])
+
     def test_timeline_command(self, capsys):
         assert (
             main(
