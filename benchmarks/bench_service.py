@@ -1,0 +1,104 @@
+"""Perf — the service layer: cache hit-rate, dedup and batch throughput.
+
+Three measurements on the acceptance grid (200 scenarios, 50% duplicate
+specs):
+
+1. **Cold batch** — empty cache: dedup alone must hold the engine-
+   evaluation count to the number of unique specs (<= 100);
+2. **Warm batch** — the identical batch resubmitted: zero engine
+   evaluations, every unique spec served from the in-memory LRU.  The
+   acceptance floor is a >= 5x wall-clock speedup over the cold run;
+3. **Single-evaluation cache hit** — `ScenarioScheduler.evaluate` on a
+   cached spec, the `POST /evaluate` fast path.
+
+The measured times land in ``extra_info`` so the bench JSON tracks the
+serving layer over time (PERFORMANCE.md, "Serving layer").
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.service.cache import ResultCache
+from repro.service.scheduler import ScenarioScheduler
+from repro.service.spec import SimulateSpec
+
+TRIPLES = [(2, 1, 0), (2, 3, 1)]
+HORIZONS = range(10, 60)
+WORKERS = 4
+
+
+def _acceptance_scenarios():
+    unique = [
+        SimulateSpec(num_rays=m, num_robots=k, num_faulty=f, horizon=float(horizon))
+        for m, k, f in TRIPLES
+        for horizon in HORIZONS
+    ]
+    return unique + list(reversed(unique))  # 200 scenarios, 50% duplicates
+
+
+def test_perf_service_batch(benchmark):
+    scenarios = _acceptance_scenarios()
+    assert len(scenarios) == 200
+
+    scheduler = ScenarioScheduler(cache=ResultCache(max_entries=4096))
+
+    start = time.perf_counter()
+    cold = scheduler.run_batch(scenarios, max_workers=WORKERS)
+    cold_seconds = time.perf_counter() - start
+
+    assert cold.num_unique == 100
+    assert cold.evaluated <= 100, (
+        f"dedup failed: {cold.evaluated} engine evaluations for "
+        f"{cold.num_unique} unique specs"
+    )
+
+    start = time.perf_counter()
+    warm = scheduler.run_batch(scenarios, max_workers=WORKERS)
+    warm_seconds = time.perf_counter() - start
+
+    assert warm.evaluated == 0
+    assert warm.cache_hits == 100
+    assert list(warm.results) == list(cold.results)
+    warm_speedup = cold_seconds / warm_seconds
+
+    # The POST /evaluate fast path: one cached single evaluation.
+    spec = scenarios[0]
+    scheduler.evaluate(spec)
+    start = time.perf_counter()
+    for _ in range(100):
+        _payload, cached = scheduler.evaluate(spec)
+        assert cached
+    hit_seconds = (time.perf_counter() - start) / 100
+
+    stats = scheduler.cache.stats()
+    benchmark.extra_info["experiment"] = "PERF-SERVICE"
+    benchmark.extra_info["num_scenarios"] = len(scenarios)
+    benchmark.extra_info["num_unique"] = cold.num_unique
+    benchmark.extra_info["cold_evaluated"] = cold.evaluated
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 4)
+    benchmark.extra_info["warm_seconds"] = round(warm_seconds, 4)
+    benchmark.extra_info["warm_speedup"] = round(warm_speedup, 1)
+    benchmark.extra_info["warm_throughput_per_s"] = round(
+        len(scenarios) / warm_seconds, 1
+    )
+    benchmark.extra_info["cache_hit_seconds"] = round(hit_seconds, 6)
+    benchmark.extra_info["cache_hit_rate"] = round(stats.hit_rate, 4)
+    print(
+        f"\nservice batch @ {len(scenarios)} scenarios (50% duplicates): "
+        f"cold {cold_seconds * 1e3:.0f} ms ({cold.evaluated} engine evals), "
+        f"warm {warm_seconds * 1e3:.0f} ms ({warm.evaluated} evals), "
+        f"{warm_speedup:.0f}x\n"
+        f"warm throughput {len(scenarios) / warm_seconds:.0f} scenarios/s; "
+        f"single cache hit {hit_seconds * 1e6:.0f} us; "
+        f"cache hit rate {stats.hit_rate:.2%}"
+    )
+
+    benchmark.pedantic(
+        lambda: scheduler.run_batch(scenarios, max_workers=WORKERS),
+        rounds=3,
+        iterations=1,
+    )
+    assert warm_speedup >= 5.0, (
+        f"warm cache only {warm_speedup:.1f}x faster than cold evaluation"
+    )

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""CI smoke test for the HTTP evaluation server.
+
+Starts ``repro serve`` on an ephemeral port as a subprocess, POSTs one
+deterministic scenario and one seeded Monte-Carlo scenario, and asserts
+
+* the deterministic line golden (theoretical competitive ratio exactly 9);
+* the randomized-search golden (closed form 4.5911 +- 5e-5, seeded
+  estimate within 3 standard errors);
+* that the second identical request is served from the cache (visible both
+  in the ``cached`` flag and in ``GET /cache/stats``).
+
+Run from the repository root:  ``python scripts/service_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import urllib.request
+
+SIMULATE = {"kind": "simulate", "num_rays": 2, "num_robots": 1,
+            "num_faulty": 0, "horizon": 200.0}
+MONTECARLO = {"kind": "montecarlo_randomized", "num_rays": 2,
+              "num_samples": 4000, "seed": 7, "horizon": 1000.0}
+
+
+def _request(base: str, path: str, payload=None):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return json.loads(response.read())
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in ("src", env.get("PYTHONPATH")) if part
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        banner = process.stdout.readline().strip()
+        assert banner.startswith("serving on http://"), f"unexpected banner: {banner!r}"
+        base = banner.split()[-1]
+        print(f"server up at {base}")
+
+        health = _request(base, "/healthz")
+        assert health["status"] == "ok", health
+
+        # Golden 1: deterministic single-robot line search, ratio exactly 9.
+        first = _request(base, "/evaluate", SIMULATE)
+        assert first["cached"] is False, first
+        theoretical = first["result"]["theoretical"]
+        assert theoretical == 9.0, f"line golden broken: {theoretical!r} != 9.0"
+        assert first["result"]["measured"] <= 9.0
+
+        # Golden 2: seeded randomized-offset search, closed form 4.5911.
+        randomized = _request(base, "/evaluate", MONTECARLO)["result"]
+        closed_form = randomized["closed_form"]
+        assert abs(closed_form - 4.5911) <= 5e-5, (
+            f"randomized golden broken: {closed_form!r} != 4.5911"
+        )
+        assert randomized["within_3_std_errors"] is True, randomized
+
+        # Cache: the second identical request must be a hit.
+        second = _request(base, "/evaluate", SIMULATE)
+        assert second["cached"] is True, second
+        assert second["result"] == first["result"]
+        stats = _request(base, "/cache/stats")
+        assert stats["hits"] >= 1, stats
+
+        print(
+            f"service smoke OK: line ratio {theoretical}, randomized closed "
+            f"form {closed_form:.4f}, cache hits {stats['hits']}"
+        )
+        return 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@ import math
 import multiprocessing
 import os
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -36,6 +37,7 @@ _RowT = TypeVar("_RowT")
 __all__ = [
     "SweepRow",
     "StochasticSweepRow",
+    "map_rows",
     "sweep_optimal_strategies",
     "sweep_strategy_family",
     "sweep_random_faults",
@@ -67,6 +69,19 @@ class SweepRow:
             return math.nan
         return (self.theoretical - self.measured) / self.theoretical
 
+    def to_dict(self) -> dict:
+        """Plain-dict form of the row (for JSON rendering and the service)."""
+        return {
+            "num_rays": self.num_rays,
+            "num_robots": self.num_robots,
+            "num_faulty": self.num_faulty,
+            "strategy_name": self.strategy_name,
+            "theoretical": self.theoretical,
+            "measured": self.measured,
+            "horizon": self.horizon,
+            "relative_gap": self.relative_gap,
+        }
+
 
 @dataclass(frozen=True)
 class StochasticSweepRow:
@@ -96,6 +111,24 @@ class StochasticSweepRow:
     def slack(self) -> float:
         """Head-room the adversarial bound leaves over the random-fault mean."""
         return self.adversarial - self.mean_ratio
+
+    def to_dict(self) -> dict:
+        """Plain-dict form of the row (for JSON rendering and the service)."""
+        return {
+            "num_rays": self.num_rays,
+            "num_robots": self.num_robots,
+            "num_faulty": self.num_faulty,
+            "strategy_name": self.strategy_name,
+            "adversarial": self.adversarial,
+            "mean_ratio": self.mean_ratio,
+            "std_error": self.std_error,
+            "quantile_95": self.quantile_95,
+            "max_ratio": self.max_ratio,
+            "num_trials": self.num_trials,
+            "horizon": self.horizon,
+            "seed": self.seed,
+            "slack": self.slack,
+        }
 
 
 def interesting_grid(
@@ -180,22 +213,35 @@ def _resolve_workers(max_workers: Optional[int], num_tasks: int) -> int:
     return max(1, min(max_workers, num_tasks))
 
 
-def _map_rows(
+def map_rows(
     worker: Callable[[tuple], "_RowT"],
     tasks: List[tuple],
-    max_workers: Optional[int],
+    max_workers: Optional[int] = None,
 ) -> List["_RowT"]:
     """Map ``worker`` over ``tasks``, in parallel when it pays off.
 
-    Row order always matches task order.  Any pool-level failure (a worker
-    machine without fork, unpicklable strategies, a broken pool) degrades
-    to the serial path rather than surfacing an infrastructure error.
+    This is the single process-pool fan-out shared by every sweep function
+    *and* by the service batch scheduler
+    (:mod:`repro.service.scheduler`); ``worker`` must be a picklable
+    top-level callable.  Row order always matches task order.  Any
+    pool-level failure (a worker machine without fork, unpicklable
+    strategies, a broken pool) degrades to the serial path rather than
+    surfacing an infrastructure error; pass ``max_workers=1`` to force
+    serial evaluation.
     """
     workers = _resolve_workers(max_workers, len(tasks))
     if workers > 1:
         try:
             context = None
-            if "fork" in multiprocessing.get_all_start_methods():
+            methods = multiprocessing.get_all_start_methods()
+            # fork is the fastest start method but is unsafe once other
+            # threads are alive (the HTTP service calls map_rows from
+            # handler threads while sibling threads run engine work —
+            # forked children would inherit held allocator/BLAS locks and
+            # can deadlock).  Prefer forkserver in that case.
+            if threading.active_count() > 1 and "forkserver" in methods:
+                context = multiprocessing.get_context("forkserver")
+            elif "fork" in methods:
                 context = multiprocessing.get_context("fork")
             with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
                 return list(pool.map(worker, tasks))
@@ -220,7 +266,7 @@ def sweep_optimal_strategies(
     for serial evaluation.
     """
     tasks = [(m, k, f, horizon, engine) for m, k, f in parameters]
-    return _map_rows(_optimal_row, tasks, max_workers)
+    return map_rows(_optimal_row, tasks, max_workers)
 
 
 def sweep_strategy_family(
@@ -235,7 +281,7 @@ def sweep_strategy_family(
     not pickle are evaluated serially in-process.
     """
     tasks = [(strategy, horizon, engine) for strategy in strategies]
-    return _map_rows(_family_row, tasks, max_workers)
+    return map_rows(_family_row, tasks, max_workers)
 
 
 def sweep_random_faults(
@@ -262,4 +308,4 @@ def sweep_random_faults(
         (m, k, f, horizon, num_trials, row_seed, engine)
         for (m, k, f), row_seed in zip(parameters, seeds)
     ]
-    return _map_rows(_stochastic_row, tasks, max_workers)
+    return map_rows(_stochastic_row, tasks, max_workers)

@@ -12,7 +12,14 @@ without writing any Python:
   chosen target;
 * ``montecarlo`` — run a seeded Monte-Carlo campaign (random crash faults,
   or the randomized-offset ray search) through the batched engine and
-  report trial statistics.
+  report trial statistics;
+* ``serve`` — start the HTTP evaluation server (:mod:`repro.service`);
+* ``batch`` — evaluate a JSON file of scenario specs through the batch
+  scheduler (dedup + cache + process-pool shards).
+
+Every query subcommand accepts ``--json``, which emits exactly the payload
+the HTTP server returns for the equivalent scenario — scripts and the
+service share one serialisation path.
 """
 
 from __future__ import annotations
@@ -24,8 +31,9 @@ from typing import List, Optional
 from .analysis import tables as experiment_tables
 from .core.bounds import crash_ray_ratio, optimal_geometric_base
 from .core.problem import ray_problem
+from .exceptions import ReproError
 from .geometry.rays import RayPoint
-from .reporting import format_value, render_experiment, render_table
+from .reporting import format_value, render_experiment, render_json, render_table
 from .simulation.competitive import evaluate_strategy
 from .simulation.timeline import build_timeline
 from .strategies.optimal import optimal_strategy
@@ -59,12 +67,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_json_flag(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--json",
+            action="store_true",
+            help="emit the HTTP-service JSON payload instead of a table",
+        )
+
     bounds_parser = subparsers.add_parser(
         "bounds", help="print the tight competitive-ratio bound A(m, k, f)"
     )
     bounds_parser.add_argument("--rays", "-m", type=int, default=2)
     bounds_parser.add_argument("--robots", "-k", type=int, required=True)
     bounds_parser.add_argument("--faulty", "-f", type=int, default=0)
+    add_json_flag(bounds_parser)
 
     simulate_parser = subparsers.add_parser(
         "simulate", help="measure the optimal strategy against the closed form"
@@ -73,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--robots", "-k", type=int, required=True)
     simulate_parser.add_argument("--faulty", "-f", type=int, default=0)
     simulate_parser.add_argument("--horizon", type=float, default=1e4)
+    add_json_flag(simulate_parser)
 
     experiments_parser = subparsers.add_parser(
         "experiments", help="regenerate experiment tables (EXPERIMENTS.md)"
@@ -88,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the larger horizons reported in EXPERIMENTS.md",
     )
+    add_json_flag(experiments_parser)
 
     montecarlo_parser = subparsers.add_parser(
         "montecarlo",
@@ -108,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     montecarlo_parser.add_argument(
         "--engine", choices=["vectorized", "scalar"], default="vectorized"
     )
+    add_json_flag(montecarlo_parser)
 
     timeline_parser = subparsers.add_parser(
         "timeline", help="print the event timeline of one search execution"
@@ -118,10 +137,61 @@ def build_parser() -> argparse.ArgumentParser:
     timeline_parser.add_argument("--target-ray", type=int, default=0)
     timeline_parser.add_argument("--target-distance", type=float, default=10.0)
     timeline_parser.add_argument("--limit", type=int, default=40)
+    add_json_flag(timeline_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="start the HTTP evaluation server (repro.service)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765, help="0 binds an ephemeral port"
+    )
+    serve_parser.add_argument(
+        "--cache-size", type=int, default=1024, help="in-memory LRU capacity"
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None, help="optional on-disk cache directory"
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log one line per request"
+    )
+
+    batch_parser = subparsers.add_parser(
+        "batch",
+        help="evaluate a JSON scenario list through the batch scheduler",
+    )
+    batch_parser.add_argument(
+        "--file",
+        required=True,
+        help="JSON file with a list of scenario specs (or '-' for stdin); "
+        "a {'scenarios': [...]} object is accepted too",
+    )
+    batch_parser.add_argument("--max-workers", type=int, default=None)
+    batch_parser.add_argument("--shard-size", type=int, default=None)
+    batch_parser.add_argument(
+        "--cache-dir", default=None, help="optional on-disk cache directory"
+    )
+    add_json_flag(batch_parser)
     return parser
 
 
+def _print_spec_json(spec) -> int:
+    """Evaluate ``spec`` and print the HTTP-service payload for it."""
+    from .service.execute import execute_spec
+
+    print(render_json(execute_spec(spec)))
+    return 0
+
+
 def _command_bounds(args: argparse.Namespace) -> int:
+    if args.json:
+        from .service.spec import BoundsSpec
+
+        return _print_spec_json(
+            BoundsSpec(
+                num_rays=args.rays, num_robots=args.robots, num_faulty=args.faulty
+            )
+        )
     problem = ray_problem(args.rays, args.robots, args.faulty)
     ratio = crash_ray_ratio(args.rays, args.robots, args.faulty)
     print(problem.describe())
@@ -133,6 +203,17 @@ def _command_bounds(args: argparse.Namespace) -> int:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
+    if args.json:
+        from .service.spec import SimulateSpec
+
+        return _print_spec_json(
+            SimulateSpec(
+                num_rays=args.rays,
+                num_robots=args.robots,
+                num_faulty=args.faulty,
+                horizon=args.horizon,
+            )
+        )
     problem = ray_problem(args.rays, args.robots, args.faulty)
     strategy = optimal_strategy(problem)
     result = evaluate_strategy(strategy, args.horizon)
@@ -155,6 +236,21 @@ def _command_experiments(args: argparse.Namespace) -> int:
         tables = [_EXPERIMENTS[args.only]()]
     else:
         tables = experiment_tables.all_experiments(fast=not args.full)
+    if args.json:
+        print(
+            render_json(
+                [
+                    {
+                        "experiment_id": table.experiment_id,
+                        "title": table.title,
+                        "headers": table.headers,
+                        "rows": table.rows,
+                    }
+                    for table in tables
+                ]
+            )
+        )
+        return 0
     for table in tables:
         print(render_experiment(table))
         print()
@@ -162,17 +258,42 @@ def _command_experiments(args: argparse.Namespace) -> int:
 
 
 def _command_montecarlo(args: argparse.Namespace) -> int:
+    if args.json:
+        from .service.spec import MonteCarloFaultsSpec, MonteCarloRandomizedSpec
+
+        if args.workload == "randomized":
+            spec = MonteCarloRandomizedSpec(
+                num_rays=args.rays,
+                num_samples=args.trials,
+                seed=args.seed,
+                horizon=args.horizon,
+                engine=args.engine,
+            )
+        else:
+            spec = MonteCarloFaultsSpec(
+                num_rays=args.rays,
+                num_robots=args.robots,
+                num_faulty=args.faulty,
+                num_trials=args.trials,
+                seed=args.seed,
+                horizon=args.horizon,
+                engine=args.engine,
+            )
+        return _print_spec_json(spec)
     if args.workload == "randomized":
         from .strategies.randomized import (
             RandomizedSingleRobotRayStrategy,
             monte_carlo_ratio_report,
         )
 
+        from .service.spec import MonteCarloRandomizedSpec
+
         strategy = RandomizedSingleRobotRayStrategy(args.rays)
-        distances = [d for d in (1.7, 13.0, 97.0) if d <= args.horizon] or [
-            min(1.5, args.horizon)
-        ]
-        targets = [(index % args.rays, d) for index, d in enumerate(distances)]
+        # One definition of the default target pool: the spec's (so the
+        # table path and the --json/HTTP path evaluate identical targets).
+        targets = MonteCarloRandomizedSpec(
+            num_rays=args.rays, horizon=args.horizon
+        ).resolved_targets()
         report = monte_carlo_ratio_report(
             strategy,
             targets,
@@ -228,6 +349,18 @@ def _command_montecarlo(args: argparse.Namespace) -> int:
 
 
 def _command_timeline(args: argparse.Namespace) -> int:
+    if args.json:
+        from .service.spec import TimelineSpec
+
+        return _print_spec_json(
+            TimelineSpec(
+                num_rays=args.rays,
+                num_robots=args.robots,
+                num_faulty=args.faulty,
+                target_ray=args.target_ray,
+                target_distance=args.target_distance,
+            )
+        )
     problem = ray_problem(args.rays, args.robots, args.faulty)
     strategy = optimal_strategy(problem)
     horizon = max(args.target_distance * 4.0, 10.0)
@@ -241,6 +374,70 @@ def _command_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service.cache import ResultCache
+    from .service.server import create_server, run_server
+
+    cache = ResultCache(max_entries=args.cache_size, disk_path=args.cache_dir)
+    server = create_server(
+        host=args.host, port=args.port, cache=cache, verbose=args.verbose
+    )
+    # The exact line scripted smoke tests wait for (port 0 binds ephemerally).
+    print(f"serving on {server.url}", flush=True)
+    run_server(server)
+    return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service.cache import ResultCache
+    from .service.scheduler import ScenarioScheduler
+    from .service.spec import spec_from_dict
+
+    try:
+        if args.file == "-":
+            body = _json.load(sys.stdin)
+        else:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                body = _json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read scenarios from {args.file!r}: {error}",
+              file=sys.stderr)
+        return 2
+    if isinstance(body, dict):
+        body = body.get("scenarios")
+    if not isinstance(body, list) or not body:
+        print("error: expected a non-empty JSON list of scenario specs",
+              file=sys.stderr)
+        return 2
+    try:
+        specs = [spec_from_dict(item) for item in body]
+        scheduler = ScenarioScheduler(cache=ResultCache(disk_path=args.cache_dir))
+        batch = scheduler.run_batch(
+            specs, max_workers=args.max_workers, shard_size=args.shard_size
+        )
+    except ReproError as error:
+        print(f"error: invalid scenario or batch parameters: {error}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(
+            render_json(
+                {
+                    "results": list(batch.results),
+                    "stats": batch.to_dict(),
+                    "cache": scheduler.cache.stats().to_dict(),
+                }
+            )
+        )
+        return 0
+    stats = batch.to_dict()
+    stats.update(cache_hit_rate=scheduler.cache.stats().hit_rate)
+    print(render_table(["quantity", "value"], sorted(stats.items())))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -251,6 +448,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments": _command_experiments,
         "montecarlo": _command_montecarlo,
         "timeline": _command_timeline,
+        "serve": _command_serve,
+        "batch": _command_batch,
     }
     return handlers[args.command](args)
 

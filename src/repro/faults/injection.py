@@ -157,6 +157,26 @@ class FaultInjectionReport:
         """Standard error of the mean ratio."""
         return self.statistics.std_error
 
+    def to_dict(self) -> dict:
+        """Summary dict (trial statistics, not the raw trial list).
+
+        The stochastic columns mirror
+        :class:`repro.analysis.sweep.StochasticSweepRow`, so a serialised
+        report is directly comparable to a serial sweep row.
+        """
+        statistics = self.statistics
+        return {
+            "num_trials": statistics.num_trials,
+            "adversarial_ratio": self.adversarial_ratio,
+            "mean_ratio": statistics.mean,
+            "std_error": statistics.std_error,
+            "quantile_95": statistics.quantile(0.95),
+            "max_ratio": statistics.maximum,
+            "slack": self.adversarial_ratio - statistics.mean,
+            "engine": self.engine,
+            "statistics": statistics.to_dict(),
+        }
+
     def quantile(self, q: float) -> float:
         """Empirical ``q``-quantile of the trial ratios (0 <= q <= 1)."""
         if not 0.0 <= q <= 1.0:

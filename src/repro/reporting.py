@@ -1,20 +1,47 @@
-"""Plain-text rendering of experiment tables and results.
+"""Plain-text and JSON rendering of experiment tables and results.
 
 The library has no plotting dependency by design (the paper has no figures
 to redraw); instead every experiment is reported as an aligned plain-text
 table that benches print and EXPERIMENTS.md embeds.
+
+The service layer (:mod:`repro.service`) and the CLI ``--json`` flags share
+the JSON path: :func:`to_jsonable` converts any result payload into strict
+JSON (``inf``/``nan`` become the strings ``"inf"``/``"-inf"``/``"nan"``,
+numpy scalars become plain Python numbers) and :func:`decode_float` parses
+those strings back, so cached payloads round-trip losslessly even when
+they contain infinite quantiles.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import json
 import math
-from typing import Iterable, List, Optional, Sequence
+from typing import Any, Iterable, List, Sequence
 
-__all__ = ["format_value", "render_table", "render_experiment"]
+import numpy as np
+
+__all__ = [
+    "format_value",
+    "render_table",
+    "render_experiment",
+    "to_jsonable",
+    "encode_float",
+    "decode_float",
+    "render_json",
+]
 
 
 def format_value(value: object, precision: int = 4) -> str:
-    """Render a single cell: floats rounded, infinities spelled out."""
+    """Render a single cell: floats rounded, infinities spelled out.
+
+    NumPy scalars are unwrapped first, so ``np.float64(inf)`` renders as
+    ``"inf"``, ``np.int64(42)`` as ``"42"`` and ``np.bool_(True)`` as
+    ``"yes"`` — identical to their plain Python counterparts.
+    """
+    if isinstance(value, np.generic):
+        value = value.item()
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):
@@ -24,6 +51,68 @@ def format_value(value: object, precision: int = 4) -> str:
             return "nan"
         return f"{value:.{precision}f}"
     return str(value)
+
+
+def encode_float(value: float) -> object:
+    """Encode one float for strict JSON: finite values pass through unchanged,
+    non-finite ones become the strings ``"inf"``, ``"-inf"`` or ``"nan"``."""
+    value = float(value)
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if math.isnan(value):
+        return "nan"
+    return value
+
+_FLOAT_STRINGS = {"inf": math.inf, "-inf": -math.inf, "nan": math.nan}
+
+
+def decode_float(value: object) -> float:
+    """Inverse of :func:`encode_float`: accept a number or an inf/nan string."""
+    if isinstance(value, str):
+        try:
+            return _FLOAT_STRINGS[value]
+        except KeyError:
+            raise ValueError(f"not an encoded float: {value!r}") from None
+    return float(value)  # type: ignore[arg-type]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert an arbitrary result payload into strict-JSON-safe data.
+
+    Handles nested dicts/lists/tuples, dataclasses, enums, numpy scalars and
+    arrays; floats go through :func:`encode_float` so the output serialises
+    with ``json.dumps(..., allow_nan=False)``.  Finite numbers are preserved
+    exactly (no rounding), which is what lets cached payloads stay
+    bit-identical to freshly computed ones.
+    """
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, enum.Enum):
+        return to_jsonable(value.value)
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return encode_float(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        to_dict = getattr(value, "to_dict", None)
+        if callable(to_dict):
+            return to_jsonable(to_dict())
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    return str(value)
+
+
+def render_json(payload: Any, indent: int = 2) -> str:
+    """Render a payload as deterministic strict JSON (sorted keys, inf-safe)."""
+    return json.dumps(to_jsonable(payload), sort_keys=True, indent=indent, allow_nan=False)
 
 
 def render_table(

@@ -1,0 +1,71 @@
+"""Scenario service layer: specs, result cache, batch scheduler, HTTP server.
+
+The serving subsystem that turns the fast evaluation engines into a
+reusable service (see PERFORMANCE.md, "Serving layer"):
+
+* :mod:`repro.service.spec` — frozen, JSON-round-trippable
+  :class:`ScenarioSpec` types for every workload, with a canonical
+  serialisation and content-addressed cache keys;
+* :mod:`repro.service.cache` — :class:`ResultCache`, an in-memory LRU with
+  an optional on-disk JSON backend and hit/miss/eviction statistics;
+* :mod:`repro.service.scheduler` — :class:`ScenarioScheduler`, which
+  dedups a batch, consults the cache and fans the remaining shards out
+  over the shared process-pool executor;
+* :mod:`repro.service.server` — a stdlib-only JSON HTTP API
+  (``repro serve``), plus ``repro batch`` for offline grids.
+
+Quickstart
+----------
+>>> from repro.service import ScenarioScheduler, SimulateSpec
+>>> scheduler = ScenarioScheduler()
+>>> payload, cached = scheduler.evaluate(SimulateSpec(num_robots=1, horizon=100.0))
+>>> (round(payload["theoretical"], 1), cached)
+(9.0, False)
+>>> scheduler.evaluate(SimulateSpec(num_robots=1, horizon=100.0))[1]
+True
+"""
+
+from .cache import CacheStats, ResultCache
+from .execute import execute_spec
+from .scheduler import (
+    BatchResult,
+    ScenarioScheduler,
+    montecarlo_grid_specs,
+    simulate_grid_specs,
+)
+from .server import ScenarioServer, create_server, run_server
+from .spec import (
+    ENGINE_VERSION,
+    BoundsSpec,
+    FamilySpec,
+    MonteCarloFaultsSpec,
+    MonteCarloRandomizedSpec,
+    ScenarioSpec,
+    SimulateSpec,
+    TimelineSpec,
+    spec_from_dict,
+    spec_kinds,
+)
+
+__all__ = [
+    "ENGINE_VERSION",
+    "ScenarioSpec",
+    "BoundsSpec",
+    "SimulateSpec",
+    "FamilySpec",
+    "MonteCarloFaultsSpec",
+    "MonteCarloRandomizedSpec",
+    "TimelineSpec",
+    "spec_from_dict",
+    "spec_kinds",
+    "execute_spec",
+    "CacheStats",
+    "ResultCache",
+    "BatchResult",
+    "ScenarioScheduler",
+    "simulate_grid_specs",
+    "montecarlo_grid_specs",
+    "ScenarioServer",
+    "create_server",
+    "run_server",
+]

@@ -1,0 +1,222 @@
+"""Content-addressed result cache: in-memory LRU front, optional disk backend.
+
+Results are keyed by :meth:`repro.service.spec.ScenarioSpec.cache_key` —
+the SHA-256 of the spec's canonical JSON plus the engine version — so a
+cache entry can never be served for a semantically different scenario, and
+bumping :data:`repro.service.spec.ENGINE_VERSION` invalidates every stale
+entry without any explicit flush.
+
+The in-memory front is a bounded LRU (thread-safe; the HTTP server is a
+``ThreadingHTTPServer``).  The optional disk backend writes one JSON file
+per key under ``disk_path``; on a memory miss the disk is consulted and a
+hit is promoted back into memory.  Payloads are deep-copied on both ``get``
+and ``put`` so callers can never mutate a cached value in place.
+
+:class:`CacheStats` counts hits, misses, stores and evictions; the server
+exposes a snapshot at ``GET /cache/stats``.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..exceptions import InvalidProblemError
+
+__all__ = ["CacheStats", "ResultCache"]
+
+_KEY_CHARS = frozenset("0123456789abcdef")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of cache counters (cumulative since construction/clear)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_stores: int = 0
+    entries: int = 0
+    max_entries: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups (hits plus misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    def to_dict(self) -> dict:
+        """Plain-dict form served by ``GET /cache/stats``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_stores": self.disk_stores,
+            "entries": self.entries,
+            "max_entries": self.max_entries,
+            "requests": self.requests,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """Bounded LRU of result payloads with an optional on-disk JSON backend.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity of the in-memory LRU front; the least recently used entry
+        is evicted on overflow (the disk copy, when any, is kept).
+    disk_path:
+        Directory for the persistent backend; created on first store.
+        ``None`` (default) keeps the cache purely in memory.
+    """
+
+    def __init__(self, max_entries: int = 1024, disk_path: Optional[str] = None) -> None:
+        if max_entries < 1:
+            raise InvalidProblemError(
+                f"max_entries must be positive, got {max_entries}"
+            )
+        self._max_entries = int(max_entries)
+        self._disk_path = disk_path
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._evictions = 0
+        self._disk_hits = 0
+        self._disk_stores = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def max_entries(self) -> int:
+        """Capacity of the in-memory LRU front."""
+        return self._max_entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: str) -> Optional[dict]:
+        """Look up a payload; memory first, then disk (promoting hits)."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return copy.deepcopy(payload)
+        payload = self._disk_get(key)
+        with self._lock:
+            if payload is not None:
+                self._hits += 1
+                self._disk_hits += 1
+                self._store_in_memory(key, payload)
+                return copy.deepcopy(payload)
+            self._misses += 1
+            return None
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store a payload under its content key (memory and disk)."""
+        payload = copy.deepcopy(payload)
+        with self._lock:
+            self._stores += 1
+            self._store_in_memory(key, payload)
+        if self._disk_path is not None and self._disk_put(key, payload):
+            with self._lock:
+                self._disk_stores += 1
+
+    def clear(self) -> None:
+        """Drop the in-memory entries and reset the counters (disk kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._stores = 0
+            self._evictions = self._disk_hits = self._disk_stores = 0
+
+    def stats(self) -> CacheStats:
+        """Consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                stores=self._stores,
+                evictions=self._evictions,
+                disk_hits=self._disk_hits,
+                disk_stores=self._disk_stores,
+                entries=len(self._entries),
+                max_entries=self._max_entries,
+            )
+
+    # ------------------------------------------------------------------
+    def _store_in_memory(self, key: str, payload: dict) -> None:
+        # Caller holds the lock.
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = payload
+            return
+        while len(self._entries) >= self._max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        self._entries[key] = payload
+
+    def _disk_file(self, key: str) -> str:
+        if not key or not set(key) <= _KEY_CHARS:
+            # Keys are SHA-256 hex digests; anything else would allow path
+            # tricks through a crafted HTTP payload.
+            raise InvalidProblemError(f"malformed cache key {key!r}")
+        return os.path.join(self._disk_path, f"{key}.json")  # type: ignore[arg-type]
+
+    def _disk_get(self, key: str) -> Optional[dict]:
+        if self._disk_path is None:
+            return None
+        try:
+            with open(self._disk_file(key), "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("key") != key:
+            return None
+        payload = record.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def _disk_put(self, key: str, payload: dict) -> bool:
+        path = self._disk_file(key)
+        temp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        record: Dict[str, object] = {"key": key, "payload": payload}
+        try:
+            os.makedirs(self._disk_path, exist_ok=True)  # type: ignore[arg-type]
+            with open(temp, "w", encoding="utf-8") as handle:
+                # ValueError/TypeError cover payloads that are not strict
+                # JSON (raw non-finite floats, exotic objects) — encode
+                # them with repro.reporting.to_jsonable before storing.
+                json.dump(record, handle, sort_keys=True, allow_nan=False)
+            os.replace(temp, path)
+            return True
+        except (OSError, ValueError, TypeError):
+            # Persistence is best-effort: a read-only or full disk (or an
+            # unencodable payload) degrades the cache to memory-only
+            # instead of failing the evaluation.
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+            return False

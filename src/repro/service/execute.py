@@ -1,0 +1,207 @@
+"""Execute a :class:`~repro.service.spec.ScenarioSpec` into a JSON payload.
+
+This is the single place where specs meet the engines.  Every handler
+returns a strict-JSON-safe dict (via :func:`repro.reporting.to_jsonable`):
+finite floats pass through bit-exactly, so a payload computed here, cached
+to disk and served over HTTP carries exactly the numbers a direct call to
+the underlying engine (or to :mod:`repro.analysis.sweep`) produces.
+
+The module is import-light at the top level and every handler is a plain
+top-level function, so :func:`execute_spec` pickles cleanly into the
+process-pool fan-out used by :mod:`repro.service.scheduler`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+from ..core.bounds import crash_ray_ratio, optimal_geometric_base
+from ..core.problem import ray_problem
+from ..exceptions import InvalidProblemError
+from ..geometry.rays import RayPoint
+from ..reporting import to_jsonable
+from ..simulation.competitive import evaluate_strategy
+from ..simulation.timeline import build_timeline
+from ..strategies.optimal import optimal_strategy
+from .spec import (
+    BoundsSpec,
+    FamilySpec,
+    MonteCarloFaultsSpec,
+    MonteCarloRandomizedSpec,
+    ScenarioSpec,
+    SimulateSpec,
+    TimelineSpec,
+)
+
+__all__ = ["execute_spec"]
+
+
+def _problem_payload(problem) -> dict:
+    return {
+        "num_rays": problem.num_rays,
+        "num_robots": problem.num_robots,
+        "num_faulty": problem.num_faulty,
+        "regime": problem.regime.value,
+        "description": problem.describe(),
+    }
+
+
+def _execute_bounds(spec: BoundsSpec) -> dict:
+    problem = ray_problem(spec.num_rays, spec.num_robots, spec.num_faulty)
+    ratio = crash_ray_ratio(spec.num_rays, spec.num_robots, spec.num_faulty)
+    payload = {
+        "problem": _problem_payload(problem),
+        "ratio": ratio,
+    }
+    if problem.regime.value == "interesting":
+        payload["alpha_star"] = optimal_geometric_base(
+            spec.num_rays, spec.num_robots, spec.num_faulty
+        )
+    return payload
+
+
+def _build_family_strategy(spec: FamilySpec):
+    problem = ray_problem(spec.num_rays, spec.num_robots, spec.num_faulty)
+    if spec.family == "optimal":
+        return optimal_strategy(problem)
+    from ..strategies.naive import (
+        PartitionStrategy,
+        ReplicationStrategy,
+        TrivialStraightStrategy,
+    )
+
+    builders = {
+        "trivial": TrivialStraightStrategy,
+        "replication": ReplicationStrategy,
+        "partition": PartitionStrategy,
+    }
+    return builders[spec.family](problem)
+
+
+def _evaluation_payload(spec, strategy, theoretical: float) -> dict:
+    result = evaluate_strategy(strategy, spec.horizon, engine=spec.engine)
+    payload = result.to_dict()
+    payload.update(
+        {
+            "problem": _problem_payload(strategy.problem),
+            "strategy_name": strategy.name,
+            "theoretical": theoretical,
+            "measured": result.ratio,
+            "engine": spec.engine,
+        }
+    )
+    return payload
+
+
+def _execute_simulate(spec: SimulateSpec) -> dict:
+    problem = ray_problem(spec.num_rays, spec.num_robots, spec.num_faulty)
+    strategy = optimal_strategy(problem)
+    return _evaluation_payload(
+        spec, strategy, crash_ray_ratio(spec.num_rays, spec.num_robots, spec.num_faulty)
+    )
+
+
+def _execute_family(spec: FamilySpec) -> dict:
+    strategy = _build_family_strategy(spec)
+    theoretical = strategy.theoretical_ratio()
+    payload = _evaluation_payload(
+        spec, strategy, theoretical if theoretical is not None else math.nan
+    )
+    payload["family"] = spec.family
+    return payload
+
+
+def _execute_montecarlo_faults(spec: MonteCarloFaultsSpec) -> dict:
+    from ..faults.injection import simulate_random_faults
+
+    problem = ray_problem(spec.num_rays, spec.num_robots, spec.num_faulty)
+    strategy = optimal_strategy(problem)
+    report = simulate_random_faults(
+        strategy,
+        spec.horizon,
+        num_trials=spec.num_trials,
+        seed=spec.seed,
+        engine=spec.engine,
+        crash_model=spec.crash_model,
+    )
+    payload = report.to_dict()
+    payload.update(
+        {
+            "problem": _problem_payload(problem),
+            "strategy_name": strategy.name,
+            "horizon": spec.horizon,
+            "seed": spec.seed,
+        }
+    )
+    return payload
+
+
+def _execute_montecarlo_randomized(spec: MonteCarloRandomizedSpec) -> dict:
+    from ..strategies.randomized import (
+        RandomizedSingleRobotRayStrategy,
+        monte_carlo_ratio_report,
+    )
+
+    strategy = RandomizedSingleRobotRayStrategy(spec.num_rays, base=spec.base)
+    report = monte_carlo_ratio_report(
+        strategy,
+        spec.resolved_targets(),
+        num_samples=spec.num_samples,
+        seed=spec.seed,
+        horizon=spec.horizon,
+        engine=spec.engine,
+    )
+    payload = report.to_dict()
+    payload.update(
+        {
+            "num_rays": spec.num_rays,
+            "base": strategy.base,
+            "deterministic_ratio": strategy.deterministic_ratio(),
+            "horizon": spec.horizon,
+        }
+    )
+    return payload
+
+
+def _execute_timeline(spec: TimelineSpec) -> dict:
+    problem = ray_problem(spec.num_rays, spec.num_robots, spec.num_faulty)
+    strategy = optimal_strategy(problem)
+    horizon = max(spec.target_distance * 4.0, 10.0)
+    trajectories = strategy.trajectories(horizon)
+    target = RayPoint(ray=spec.target_ray, distance=spec.target_distance)
+    timeline = build_timeline(trajectories, target, problem)
+    payload = timeline.to_dict()
+    payload.update(
+        {
+            "problem": _problem_payload(problem),
+            "strategy_name": strategy.name,
+            "target": {"ray": target.ray, "distance": target.distance},
+        }
+    )
+    return payload
+
+
+_HANDLERS: Dict[str, Callable[[ScenarioSpec], dict]] = {
+    BoundsSpec.kind: _execute_bounds,
+    SimulateSpec.kind: _execute_simulate,
+    FamilySpec.kind: _execute_family,
+    MonteCarloFaultsSpec.kind: _execute_montecarlo_faults,
+    MonteCarloRandomizedSpec.kind: _execute_montecarlo_randomized,
+    TimelineSpec.kind: _execute_timeline,
+}
+
+
+def execute_spec(spec: ScenarioSpec) -> dict:
+    """Evaluate one scenario and return its strict-JSON-safe result payload.
+
+    The payload always carries ``kind`` and the canonical ``spec`` dict, so
+    a cached result is self-describing.
+    """
+    handler = _HANDLERS.get(spec.kind)
+    if handler is None:
+        raise InvalidProblemError(f"no handler for scenario kind {spec.kind!r}")
+    payload = handler(spec)
+    payload["kind"] = spec.kind
+    payload["spec"] = spec.to_dict()
+    return to_jsonable(payload)

@@ -1,0 +1,271 @@
+"""Sharded batch scheduler: dedup, cache consultation, process-pool fan-out.
+
+The scheduler turns a heterogeneous list of
+:class:`~repro.service.spec.ScenarioSpec` into result payloads while doing
+as little engine work as possible:
+
+1. **Dedup** — scenarios are content-addressed, so identical specs inside a
+   batch (whatever their construction order) collapse onto one cache key
+   and are evaluated at most once;
+2. **Cache** — each unique key is looked up in the
+   :class:`~repro.service.cache.ResultCache` before any compute;
+3. **Shard + fan out** — the remaining unique specs are split into shards
+   and dispatched through :func:`repro.analysis.sweep.map_rows`, the same
+   process-pool fan-out (with its serial pickle-fallback) the parameter
+   sweeps use.
+
+Determinism: every stochastic spec carries its own explicit seed, so batch
+results are bit-identical to evaluating the specs serially, whatever the
+sharding or worker count.  The grid helpers
+(:func:`montecarlo_grid_specs`, :func:`simulate_grid_specs`) derive
+per-scenario seeds from one root seed via
+:func:`repro.simulation.monte_carlo.spawn_seeds` with exactly the
+derivation :func:`repro.analysis.sweep.sweep_random_faults` uses, so a
+scheduled grid reproduces the serial sweep bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.sweep import map_rows
+from ..exceptions import InvalidProblemError
+from ..simulation.engine import DEFAULT_ENGINE
+from ..simulation.monte_carlo import SeedLike, spawn_seeds
+from .cache import ResultCache
+from .execute import execute_spec
+from .spec import ENGINE_VERSION, MonteCarloFaultsSpec, ScenarioSpec, SimulateSpec
+
+__all__ = [
+    "BatchResult",
+    "ScenarioScheduler",
+    "simulate_grid_specs",
+    "montecarlo_grid_specs",
+]
+
+
+def _shard_worker(task: tuple) -> List[dict]:
+    """Evaluate one shard of specs (top-level, so it pickles into the pool)."""
+    return [execute_spec(spec) for spec in task]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one scheduled batch.
+
+    ``results`` is in scenario order (duplicates included — they share the
+    payload of their first occurrence).  The counters make the dedup and
+    cache savings auditable: ``evaluated`` is the number of *engine*
+    evaluations actually performed, at most ``num_unique`` and often far
+    below ``num_scenarios``.
+    """
+
+    results: Tuple[dict, ...]
+    num_scenarios: int
+    num_unique: int
+    cache_hits: int
+    evaluated: int
+    num_shards: int
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the ``stats`` block of ``POST /batch``)."""
+        return {
+            "num_scenarios": self.num_scenarios,
+            "num_unique": self.num_unique,
+            "num_duplicates": self.num_scenarios - self.num_unique,
+            "cache_hits": self.cache_hits,
+            "evaluated": self.evaluated,
+            "num_shards": self.num_shards,
+        }
+
+
+class ScenarioScheduler:
+    """Evaluate scenario specs through the cache and the process pool.
+
+    Parameters
+    ----------
+    cache:
+        The :class:`~repro.service.cache.ResultCache` consulted before any
+        computation; a private in-memory cache is created when omitted.
+    engine_version:
+        Version string folded into every cache key (see
+        :data:`repro.service.spec.ENGINE_VERSION`).
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        engine_version: str = ENGINE_VERSION,
+    ) -> None:
+        self.cache = cache if cache is not None else ResultCache()
+        self.engine_version = engine_version
+
+    # ------------------------------------------------------------------
+    def evaluate(self, spec: ScenarioSpec) -> Tuple[dict, bool]:
+        """Evaluate one scenario; returns ``(payload, was_cached)``."""
+        key = spec.cache_key(self.engine_version)
+        payload = self.cache.get(key)
+        if payload is not None:
+            return payload, True
+        payload = execute_spec(spec)
+        self.cache.put(key, payload)
+        return payload, False
+
+    def run_batch(
+        self,
+        specs: Iterable[ScenarioSpec],
+        max_workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
+    ) -> BatchResult:
+        """Evaluate a heterogeneous scenario list with dedup + cache + shards.
+
+        ``max_workers`` is forwarded to the shared fan-out
+        (:func:`repro.analysis.sweep.map_rows`; ``1`` forces serial
+        evaluation).  ``shard_size`` is the number of specs grouped into
+        one pool task; ``None`` picks a size that gives every worker a few
+        shards.  Neither parameter affects the numeric results.
+        """
+        specs = list(specs)
+        keys = [spec.cache_key(self.engine_version) for spec in specs]
+
+        # Dedup: first occurrence of each key owns the evaluation.
+        unique_keys: List[str] = []
+        unique_specs: List[ScenarioSpec] = []
+        seen: Dict[str, int] = {}
+        for key, spec in zip(keys, specs):
+            if key not in seen:
+                seen[key] = len(unique_keys)
+                unique_keys.append(key)
+                unique_specs.append(spec)
+
+        # Cache consultation, one lookup per unique key.
+        payload_by_key: Dict[str, dict] = {}
+        pending: List[Tuple[str, ScenarioSpec]] = []
+        cache_hits = 0
+        for key, spec in zip(unique_keys, unique_specs):
+            payload = self.cache.get(key)
+            if payload is not None:
+                payload_by_key[key] = payload
+                cache_hits += 1
+            else:
+                pending.append((key, spec))
+
+        # Shard the remaining work and fan out over the shared executor.
+        shards = _split_shards([spec for _key, spec in pending], shard_size, max_workers)
+        shard_payloads = map_rows(_shard_worker, shards, max_workers)
+        computed = [payload for shard in shard_payloads for payload in shard]
+        for (key, _spec), payload in zip(pending, computed):
+            self.cache.put(key, payload)
+            payload_by_key[key] = payload
+
+        return BatchResult(
+            results=tuple(payload_by_key[key] for key in keys),
+            num_scenarios=len(specs),
+            num_unique=len(unique_keys),
+            cache_hits=cache_hits,
+            evaluated=len(pending),
+            num_shards=len(shards),
+        )
+
+    def submit_batch(
+        self,
+        specs: Iterable[ScenarioSpec],
+        max_workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
+    ) -> "Future[BatchResult]":
+        """Asynchronous :meth:`run_batch`: returns a future immediately.
+
+        The batch runs on a background thread (the heavy lifting still
+        happens in the process pool), so callers can overlap scheduling
+        with other work and collect the :class:`BatchResult` later.
+        """
+        specs = list(specs)
+        future: "Future[BatchResult]" = Future()
+
+        def _run() -> None:
+            if not future.set_running_or_notify_cancel():
+                return
+            try:
+                future.set_result(self.run_batch(specs, max_workers, shard_size))
+            except BaseException as error:  # propagate through the future
+                future.set_exception(error)
+
+        thread = threading.Thread(target=_run, name="repro-batch", daemon=True)
+        thread.start()
+        return future
+
+
+def _split_shards(
+    specs: Sequence[ScenarioSpec],
+    shard_size: Optional[int],
+    max_workers: Optional[int],
+) -> List[tuple]:
+    if not specs:
+        return []
+    if shard_size is None:
+        workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        # A few shards per worker amortises process startup while keeping
+        # the pool busy even when shards are heterogeneous in cost.
+        shard_size = max(1, math.ceil(len(specs) / max(1, 4 * workers)))
+    if shard_size < 1:
+        raise InvalidProblemError(f"shard_size must be positive, got {shard_size}")
+    return [
+        tuple(specs[lo : lo + shard_size]) for lo in range(0, len(specs), shard_size)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Grid helpers: canonical spec lists matching the serial sweeps
+# ----------------------------------------------------------------------
+def simulate_grid_specs(
+    parameters: Iterable[Tuple[int, int, int]],
+    horizon: float = 1e4,
+    engine: str = DEFAULT_ENGINE,
+) -> List[SimulateSpec]:
+    """One :class:`SimulateSpec` per ``(m, k, f)`` triple.
+
+    A batch of these evaluates to exactly the rows of
+    :func:`repro.analysis.sweep.sweep_optimal_strategies` for the same
+    grid, horizon and engine.
+    """
+    return [
+        SimulateSpec(
+            num_rays=m, num_robots=k, num_faulty=f, horizon=horizon, engine=engine
+        )
+        for m, k, f in parameters
+    ]
+
+
+def montecarlo_grid_specs(
+    parameters: Iterable[Tuple[int, int, int]],
+    horizon: float = 1e3,
+    num_trials: int = 256,
+    seed: SeedLike = 0,
+    engine: str = DEFAULT_ENGINE,
+) -> List[MonteCarloFaultsSpec]:
+    """One seeded :class:`MonteCarloFaultsSpec` per ``(m, k, f)`` triple.
+
+    Per-scenario seeds are spawned from ``seed`` with the same
+    ``SeedSequence`` derivation as
+    :func:`repro.analysis.sweep.sweep_random_faults`, so the scheduled
+    batch is bit-identical to the serial sweep row for row.
+    """
+    parameters = list(parameters)
+    seeds = spawn_seeds(seed, len(parameters))
+    return [
+        MonteCarloFaultsSpec(
+            num_rays=m,
+            num_robots=k,
+            num_faulty=f,
+            num_trials=num_trials,
+            seed=row_seed,
+            horizon=horizon,
+            engine=engine,
+        )
+        for (m, k, f), row_seed in zip(parameters, seeds)
+    ]

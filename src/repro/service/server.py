@@ -1,0 +1,199 @@
+"""Stdlib-only HTTP evaluation server.
+
+A thin JSON facade over the :class:`~repro.service.scheduler.ScenarioScheduler`
+built on :class:`http.server.ThreadingHTTPServer` — no third-party web
+framework, matching the library's no-extra-dependencies rule.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness probe: version, engine version and the servable scenario
+    kinds.
+``GET /cache/stats``
+    Snapshot of the result cache counters (hits, misses, evictions, ...).
+``POST /evaluate``
+    Body: one scenario spec dict (see :mod:`repro.service.spec`).
+    Response: ``{"cached": bool, "key": sha256, "result": payload}``.
+``POST /batch``
+    Body: ``{"scenarios": [spec, ...], "max_workers"?: int,
+    "shard_size"?: int}`` (or a bare JSON list of specs).
+    Response: ``{"results": [...], "stats": batch counters,
+    "cache": cache counters}``.
+
+Malformed scenarios return ``400`` with ``{"error": message}``; unknown
+paths ``404``.  All responses are strict JSON (non-finite floats are
+encoded as the strings ``"inf"``/``"-inf"``/``"nan"``, exactly as the CLI
+``--json`` flags emit them).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .. import __version__
+from ..exceptions import ReproError
+from ..reporting import to_jsonable
+from .cache import ResultCache
+from .scheduler import ScenarioScheduler
+from .spec import ENGINE_VERSION, spec_from_dict, spec_kinds
+
+__all__ = ["ScenarioServer", "create_server", "run_server"]
+
+#: Upper bound on accepted request bodies; far above any realistic batch,
+#: mostly a guard against unbounded reads on a public port.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    server_version = f"repro-service/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(
+            to_jsonable(payload), sort_keys=True, allow_nan=False
+        ).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        return json.loads(raw.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        scheduler: ScenarioScheduler = self.server.scheduler
+        if self.path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "version": __version__,
+                    "engine_version": scheduler.engine_version,
+                    "kinds": list(spec_kinds()),
+                },
+            )
+        elif self.path == "/cache/stats":
+            self._send_json(200, scheduler.cache.stats().to_dict())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        scheduler: ScenarioScheduler = self.server.scheduler
+        try:
+            body = self._read_json_body()
+        except (ValueError, UnicodeDecodeError) as error:
+            # The body may be partially (or not at all) consumed; keeping
+            # the HTTP/1.1 connection alive would let the unread bytes be
+            # parsed as the next request line.
+            self.close_connection = True
+            self._send_json(400, {"error": f"invalid JSON body: {error}"})
+            return
+        try:
+            if self.path == "/evaluate":
+                spec = spec_from_dict(body)
+                payload, cached = scheduler.evaluate(spec)
+                self._send_json(
+                    200,
+                    {
+                        "cached": cached,
+                        "key": spec.cache_key(scheduler.engine_version),
+                        "result": payload,
+                    },
+                )
+            elif self.path == "/batch":
+                if isinstance(body, list):
+                    body = {"scenarios": body}
+                if not isinstance(body, dict):
+                    raise ValueError(
+                        "batch body must be a JSON object or a list of scenarios"
+                    )
+                scenarios = body.get("scenarios")
+                if not isinstance(scenarios, list) or not scenarios:
+                    raise ValueError("'scenarios' must be a non-empty list")
+                specs = [spec_from_dict(item) for item in scenarios]
+                batch = scheduler.run_batch(
+                    specs,
+                    max_workers=body.get("max_workers"),
+                    shard_size=body.get("shard_size"),
+                )
+                self._send_json(
+                    200,
+                    {
+                        "results": list(batch.results),
+                        "stats": batch.to_dict(),
+                        "cache": scheduler.cache.stats().to_dict(),
+                    },
+                )
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except (ReproError, ValueError, KeyError, TypeError) as error:
+            self._send_json(400, {"error": str(error)})
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"internal error: {error}"})
+
+
+class ScenarioServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`ScenarioScheduler`.
+
+    Thread-per-request on top of a process-pool scheduler: request handling
+    is I/O-light, the heavy evaluation happens in worker processes, and the
+    shared :class:`~repro.service.cache.ResultCache` is thread-safe.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        scheduler: ScenarioScheduler,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _ServiceHandler)
+        self.scheduler = scheduler
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket (the OS picks the port for 0)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    scheduler: Optional[ScenarioScheduler] = None,
+    cache: Optional[ResultCache] = None,
+    verbose: bool = False,
+) -> ScenarioServer:
+    """Build a :class:`ScenarioServer` (``port=0`` binds an ephemeral port)."""
+    if scheduler is None:
+        scheduler = ScenarioScheduler(cache=cache)
+    return ScenarioServer((host, port), scheduler, verbose=verbose)
+
+
+def run_server(server: ScenarioServer) -> None:
+    """Serve forever (until KeyboardInterrupt), then close the socket."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()

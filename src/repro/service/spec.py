@@ -1,0 +1,433 @@
+"""Canonical scenario specifications.
+
+A :class:`ScenarioSpec` is a frozen, validated, JSON-round-trippable
+description of one evaluation the library can perform.  Every existing
+workload has a spec type:
+
+==============================  ==========================================
+:class:`BoundsSpec`             closed-form bound ``A(m, k, f)`` (+ alpha*)
+:class:`SimulateSpec`           deterministic optimal-strategy measurement
+:class:`FamilySpec`             a named baseline/ablation strategy
+:class:`MonteCarloFaultsSpec`   seeded random crash-fault campaign
+:class:`MonteCarloRandomizedSpec`  seeded randomized-offset ray search
+:class:`TimelineSpec`           event timeline of one execution
+==============================  ==========================================
+
+Canonical serialisation
+-----------------------
+``to_dict`` normalises every field (ints coerced with ``int``, floats with
+``float``, target lists to sorted-shape tuples) and ``canonical_json``
+dumps the dict with sorted keys and no whitespace, so two specs describing
+the same scenario — however they were constructed (keyword order, JSON key
+order, ``3`` versus ``3.0`` horizons) — produce byte-identical JSON.
+:meth:`ScenarioSpec.cache_key` hashes that JSON together with the engine
+version string, giving the content-addressed key used by
+:mod:`repro.service.cache`; any semantic field change or an engine bump
+changes the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, FrozenSet, Mapping, Optional, Tuple, Type
+
+from .. import __version__
+from ..exceptions import InvalidProblemError
+from ..simulation.engine import DEFAULT_ENGINE, validate_engine
+
+__all__ = [
+    "ENGINE_VERSION",
+    "ScenarioSpec",
+    "BoundsSpec",
+    "SimulateSpec",
+    "FamilySpec",
+    "MonteCarloFaultsSpec",
+    "MonteCarloRandomizedSpec",
+    "TimelineSpec",
+    "spec_from_dict",
+    "spec_kinds",
+]
+
+#: Version string folded into every cache key.  Bump the suffix whenever an
+#: engine change may alter numeric results for an unchanged spec — every
+#: previously cached entry is then invalidated automatically.
+ENGINE_VERSION = f"repro/{__version__}+engine.1"
+
+_SPEC_KINDS: Dict[str, Type["ScenarioSpec"]] = {}
+
+
+def _register(cls: Type["ScenarioSpec"]) -> Type["ScenarioSpec"]:
+    _SPEC_KINDS[cls.kind] = cls
+    return cls
+
+
+def spec_kinds() -> Tuple[str, ...]:
+    """The registered scenario kinds, sorted."""
+    return tuple(sorted(_SPEC_KINDS))
+
+
+def _require_positive_int(name: str, value: object, minimum: int = 1) -> None:
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise InvalidProblemError(
+            f"{name} must be an integer >= {minimum}, got {value!r}"
+        )
+
+
+def _require_finite(name: str, value: object, minimum: float) -> None:
+    if not isinstance(value, float) or not math.isfinite(value) or value < minimum:
+        raise InvalidProblemError(
+            f"{name} must be a finite number >= {minimum}, got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Base class: canonicalisation, validation and content addressing.
+
+    Subclasses declare ``_INT_FIELDS`` / ``_FLOAT_FIELDS`` so construction
+    normalises numeric types before hashing (``horizon=100`` and
+    ``horizon=100.0`` are the same scenario), then implement
+    :meth:`validate`.
+    """
+
+    kind: ClassVar[str] = "abstract"
+    _INT_FIELDS: ClassVar[FrozenSet[str]] = frozenset()
+    _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset()
+
+    def __post_init__(self) -> None:
+        for name in self._INT_FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                if isinstance(value, bool) or (
+                    isinstance(value, float) and not value.is_integer()
+                ):
+                    raise InvalidProblemError(
+                        f"{self.kind}.{name} must be an integer, got {value!r}"
+                    )
+                try:
+                    object.__setattr__(self, name, int(value))
+                except (TypeError, ValueError):
+                    raise InvalidProblemError(
+                        f"{self.kind}.{name} must be an integer, got {value!r}"
+                    ) from None
+        for name in self._FLOAT_FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                try:
+                    object.__setattr__(self, name, float(value))
+                except (TypeError, ValueError):
+                    raise InvalidProblemError(
+                        f"{self.kind}.{name} must be a number, got {value!r}"
+                    ) from None
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.exceptions.InvalidProblemError` when invalid."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Normalised plain-dict form, including the ``kind`` discriminator."""
+        payload: Dict[str, Any] = {"kind": self.kind}
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, tuple):
+                value = [list(item) if isinstance(item, tuple) else item for item in value]
+            payload[field.name] = value
+        return payload
+
+    def canonical_json(self) -> str:
+        """Deterministic compact JSON: sorted keys, normalised numbers."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+
+    def cache_key(self, engine_version: str = ENGINE_VERSION) -> str:
+        """SHA-256 of the canonical JSON plus the engine version."""
+        digest = hashlib.sha256()
+        digest.update(engine_version.encode("utf-8"))
+        digest.update(b"\n")
+        digest.update(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    def _validate_problem(self) -> None:
+        _require_positive_int(f"{self.kind}.num_rays", self.num_rays, 1)
+        _require_positive_int(f"{self.kind}.num_robots", self.num_robots, 1)
+        _require_positive_int(f"{self.kind}.num_faulty", self.num_faulty, 0)
+        if self.num_faulty > self.num_robots:  # type: ignore[operator]
+            raise InvalidProblemError(
+                f"{self.kind}: num_faulty {self.num_faulty} exceeds "
+                f"num_robots {self.num_robots}"
+            )
+
+
+@_register
+@dataclass(frozen=True)
+class BoundsSpec(ScenarioSpec):
+    """The closed-form tight bound ``A(m, k, f)`` (and alpha* when defined)."""
+
+    kind: ClassVar[str] = "bounds"
+    _INT_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"num_rays", "num_robots", "num_faulty"}
+    )
+
+    num_robots: int = 1
+    num_rays: int = 2
+    num_faulty: int = 0
+
+    def validate(self) -> None:
+        self._validate_problem()
+
+
+@dataclass(frozen=True)
+class _EvaluationSpec(ScenarioSpec):
+    """Shared shape of the deterministic evaluation workloads."""
+
+    num_robots: int = 1
+    num_rays: int = 2
+    num_faulty: int = 0
+    horizon: float = 1e4
+    engine: str = DEFAULT_ENGINE
+
+    def validate(self) -> None:
+        self._validate_problem()
+        _require_finite(f"{self.kind}.horizon", self.horizon, 1.0)
+        object.__setattr__(self, "engine", validate_engine(self.engine))
+        if self.num_robots == self.num_faulty:
+            raise InvalidProblemError(
+                f"{self.kind}: all robots faulty (k == f == {self.num_robots}) "
+                "— the target can never be confirmed"
+            )
+
+
+@_register
+@dataclass(frozen=True)
+class SimulateSpec(_EvaluationSpec):
+    """Measure the optimal strategy against the closed form on a horizon."""
+
+    kind: ClassVar[str] = "simulate"
+    _INT_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"num_rays", "num_robots", "num_faulty"}
+    )
+    _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"horizon"})
+
+
+#: Strategy families servable by :class:`FamilySpec`; resolved lazily in
+#: :mod:`repro.service.execute` to avoid import cycles.
+FAMILY_NAMES = ("optimal", "trivial", "replication", "partition")
+
+
+@_register
+@dataclass(frozen=True)
+class FamilySpec(_EvaluationSpec):
+    """Measure a named baseline/ablation strategy family member."""
+
+    kind: ClassVar[str] = "family"
+    _INT_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"num_rays", "num_robots", "num_faulty"}
+    )
+    _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"horizon"})
+
+    family: str = "optimal"
+
+    def validate(self) -> None:
+        super().validate()
+        if self.family not in FAMILY_NAMES:
+            raise InvalidProblemError(
+                f"unknown strategy family {self.family!r}; "
+                f"expected one of {sorted(FAMILY_NAMES)}"
+            )
+
+
+@_register
+@dataclass(frozen=True)
+class MonteCarloFaultsSpec(ScenarioSpec):
+    """Seeded Monte-Carlo campaign of uniformly random crash faults."""
+
+    kind: ClassVar[str] = "montecarlo_faults"
+    _INT_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"num_rays", "num_robots", "num_faulty", "num_trials", "seed"}
+    )
+    _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"horizon"})
+
+    num_robots: int = 1
+    num_rays: int = 2
+    num_faulty: int = 0
+    num_trials: int = 200
+    seed: int = 0
+    horizon: float = 1e3
+    engine: str = DEFAULT_ENGINE
+    crash_model: str = "silent"
+
+    def validate(self) -> None:
+        self._validate_problem()
+        _require_positive_int(f"{self.kind}.num_trials", self.num_trials, 1)
+        _require_positive_int(f"{self.kind}.seed", self.seed, 0)
+        _require_finite(f"{self.kind}.horizon", self.horizon, 1.0)
+        object.__setattr__(self, "engine", validate_engine(self.engine))
+        if self.crash_model not in ("silent", "uniform"):
+            raise InvalidProblemError(
+                f"unknown crash model {self.crash_model!r}; "
+                "expected 'silent' or 'uniform'"
+            )
+        if self.num_robots == self.num_faulty:
+            raise InvalidProblemError(
+                f"{self.kind}: all robots faulty (k == f == {self.num_robots})"
+            )
+
+
+@_register
+@dataclass(frozen=True)
+class MonteCarloRandomizedSpec(ScenarioSpec):
+    """Seeded Monte-Carlo estimate of the randomized cyclic ray search.
+
+    ``targets`` is a tuple of ``(ray, distance)`` pairs; ``None`` derives
+    the same default pool the CLI uses (geometric spread clipped to the
+    horizon).  ``base=None`` selects the optimal randomized base.
+    """
+
+    kind: ClassVar[str] = "montecarlo_randomized"
+    _INT_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"num_rays", "num_samples", "seed"}
+    )
+    _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"horizon", "base"})
+
+    num_rays: int = 2
+    num_samples: int = 200
+    seed: int = 0
+    horizon: float = 1e3
+    base: Optional[float] = None
+    engine: str = DEFAULT_ENGINE
+    targets: Optional[Tuple[Tuple[int, float], ...]] = None
+
+    def validate(self) -> None:
+        if not isinstance(self.num_rays, int) or self.num_rays < 2:
+            raise InvalidProblemError(
+                f"{self.kind}.num_rays must be an integer >= 2, got {self.num_rays!r}"
+            )
+        _require_positive_int(f"{self.kind}.num_samples", self.num_samples, 1)
+        _require_positive_int(f"{self.kind}.seed", self.seed, 0)
+        _require_finite(f"{self.kind}.horizon", self.horizon, 1.0)
+        if self.base is not None and self.base <= 1.0:
+            raise InvalidProblemError(
+                f"{self.kind}.base must exceed 1, got {self.base!r}"
+            )
+        object.__setattr__(self, "engine", validate_engine(self.engine))
+        if self.targets is not None:
+            normalised = []
+            for pair in self.targets:
+                try:
+                    ray, distance = pair
+                    ray, distance = int(ray), float(distance)
+                except (TypeError, ValueError):
+                    raise InvalidProblemError(
+                        f"{self.kind}: each target must be a (ray, distance) "
+                        f"pair of numbers, got {pair!r}"
+                    ) from None
+                if not 0 <= ray < self.num_rays:
+                    raise InvalidProblemError(
+                        f"{self.kind}: target ray {ray} outside [0, {self.num_rays})"
+                    )
+                if not math.isfinite(distance) or distance <= 0:
+                    raise InvalidProblemError(
+                        f"{self.kind}: target distance must be positive and "
+                        f"finite, got {distance!r}"
+                    )
+                normalised.append((ray, distance))
+            object.__setattr__(self, "targets", tuple(normalised))
+
+    def resolved_targets(self) -> Tuple[Tuple[int, float], ...]:
+        """The explicit targets, or the CLI's default horizon-clipped pool."""
+        if self.targets is not None:
+            return self.targets
+        distances = [d for d in (1.7, 13.0, 97.0) if d <= self.horizon] or [
+            min(1.5, self.horizon)
+        ]
+        return tuple(
+            (index % self.num_rays, float(d)) for index, d in enumerate(distances)
+        )
+
+
+@_register
+@dataclass(frozen=True)
+class TimelineSpec(ScenarioSpec):
+    """The event timeline of the optimal strategy against one target."""
+
+    kind: ClassVar[str] = "timeline"
+    _INT_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"num_rays", "num_robots", "num_faulty", "target_ray"}
+    )
+    _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"target_distance"})
+
+    num_robots: int = 1
+    num_rays: int = 2
+    num_faulty: int = 0
+    target_ray: int = 0
+    target_distance: float = 10.0
+
+    def validate(self) -> None:
+        self._validate_problem()
+        _require_positive_int(f"{self.kind}.target_ray", self.target_ray, 0)
+        if self.target_ray >= self.num_rays:
+            raise InvalidProblemError(
+                f"{self.kind}: target ray {self.target_ray} outside "
+                f"[0, {self.num_rays})"
+            )
+        # The timeline engine handles targets below the paper's unit
+        # normalisation, and the plain CLI accepts them — so does the spec.
+        if (
+            not isinstance(self.target_distance, float)
+            or not math.isfinite(self.target_distance)
+            or self.target_distance <= 0.0
+        ):
+            raise InvalidProblemError(
+                f"{self.kind}.target_distance must be a positive finite "
+                f"number, got {self.target_distance!r}"
+            )
+        if self.num_robots == self.num_faulty:
+            raise InvalidProblemError(
+                f"{self.kind}: all robots faulty (k == f == {self.num_robots})"
+            )
+
+
+def spec_from_dict(payload: Mapping[str, Any]) -> ScenarioSpec:
+    """Rebuild a :class:`ScenarioSpec` from its dict/JSON form.
+
+    The inverse of :meth:`ScenarioSpec.to_dict`; key order does not matter,
+    unknown kinds and unknown fields raise
+    :class:`~repro.exceptions.InvalidProblemError` (they would otherwise
+    silently change what the cache key means).
+    """
+    if not isinstance(payload, Mapping):
+        raise InvalidProblemError(
+            f"scenario must be a JSON object, got {type(payload).__name__}"
+        )
+    kind = payload.get("kind")
+    if not isinstance(kind, str) or kind not in _SPEC_KINDS:
+        raise InvalidProblemError(
+            f"unknown scenario kind {kind!r}; expected one of {list(spec_kinds())}"
+        )
+    cls = _SPEC_KINDS[kind]
+    known = {field.name for field in fields(cls)}
+    kwargs: Dict[str, Any] = {}
+    for key, value in payload.items():
+        if key == "kind":
+            continue
+        if key not in known:
+            raise InvalidProblemError(
+                f"unknown field {key!r} for scenario kind {kind!r}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        if key == "targets" and value is not None:
+            try:
+                value = tuple(tuple(pair) for pair in value)
+            except TypeError:
+                raise InvalidProblemError(
+                    f"targets must be a list of (ray, distance) pairs, "
+                    f"got {value!r}"
+                ) from None
+        kwargs[key] = value
+    return cls(**kwargs)

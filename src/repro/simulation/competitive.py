@@ -92,6 +92,25 @@ class CompetitiveRatioResult:
             return None
         return self.ratio <= self.theoretical_ratio * (1.0 + 1e-6)
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (for JSON rendering and the service layer)."""
+        return {
+            "ratio": self.ratio,
+            "horizon": self.horizon,
+            "num_targets_evaluated": self.num_targets_evaluated,
+            "theoretical_ratio": self.theoretical_ratio,
+            "within_guarantee": self.within_guarantee,
+            "worst_case": {
+                "target": {
+                    "ray": self.worst_case.target.ray,
+                    "distance": self.worst_case.target.distance,
+                },
+                "faulty_robots": list(self.worst_case.faulty_robots),
+                "detection_time": self.worst_case.detection_time,
+                "ratio": self.worst_case.ratio,
+            },
+        }
+
 
 def grid_targets(
     num_rays: int,

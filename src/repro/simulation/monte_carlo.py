@@ -181,6 +181,43 @@ class TrialStatistics:
             batch_means=batch_means,
         )
 
+    def to_dict(self) -> dict:
+        """Strict-JSON-safe dict form; inf/nan floats become strings.
+
+        Quantiles of heavy-tailed samples are routinely infinite (a trial
+        whose target is never confirmed), so every float goes through
+        :func:`repro.reporting.encode_float` and :meth:`from_dict` restores
+        it exactly — the round-trip is lossless including ``inf`` tails.
+        """
+        from ..reporting import encode_float
+
+        return {
+            "num_trials": self.num_trials,
+            "mean": encode_float(self.mean),
+            "std_error": encode_float(self.std_error),
+            "minimum": encode_float(self.minimum),
+            "maximum": encode_float(self.maximum),
+            "quantiles": [[q, encode_float(v)] for q, v in self.quantiles],
+            "batch_means": [encode_float(v) for v in self.batch_means],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrialStatistics":
+        """Inverse of :meth:`to_dict` (bit-exact, inf/nan included)."""
+        from ..reporting import decode_float
+
+        return cls(
+            num_trials=int(payload["num_trials"]),
+            mean=decode_float(payload["mean"]),
+            std_error=decode_float(payload["std_error"]),
+            minimum=decode_float(payload["minimum"]),
+            maximum=decode_float(payload["maximum"]),
+            quantiles=tuple(
+                (float(q), decode_float(v)) for q, v in payload["quantiles"]
+            ),
+            batch_means=tuple(decode_float(v) for v in payload["batch_means"]),
+        )
+
     def quantile(self, q: float) -> float:
         """One of the precomputed quantiles (0.5, 0.9, 0.95, 0.99)."""
         for level, value in self.quantiles:

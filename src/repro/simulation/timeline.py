@@ -51,6 +51,16 @@ class Event:
             where = f" at ray {self.ray}, distance {self.distance:.4g}"
         return f"t={self.time:10.4f}  {self.kind:<8s} {who}{where}"
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (for JSON rendering and the service layer)."""
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "robot": self.robot,
+            "ray": self.ray,
+            "distance": self.distance,
+        }
+
 
 @dataclass
 class Timeline:
@@ -75,6 +85,15 @@ class Timeline:
             omitted = len(rows) - limit
             rows = rows[:limit] + [f"... ({omitted} more events)"]
         return "\n".join(rows)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (for JSON rendering and the service layer)."""
+        return {
+            "detected": self.detected,
+            "detection_time": self.detection_time,
+            "num_events": len(self.events),
+            "events": [event.to_dict() for event in self.events],
+        }
 
 
 def build_timeline(

@@ -275,6 +275,20 @@ class RandomizedSearchReport:
             for stats in self.per_target
         )
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (for JSON rendering and the service layer)."""
+        return {
+            "targets": [list(target) for target in self.targets],
+            "closed_form": self.closed_form,
+            "estimate": self.estimate,
+            "std_error": self.std_error,
+            "num_samples": self.num_samples,
+            "within_3_std_errors": self.within_standard_errors(),
+            "engine": self.engine,
+            "seed": self.seed,
+            "per_target": [stats.to_dict() for stats in self.per_target],
+        }
+
 
 def monte_carlo_ratio_report(
     strategy: RandomizedSingleRobotRayStrategy,

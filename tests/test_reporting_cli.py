@@ -2,13 +2,23 @@
 
 from __future__ import annotations
 
+import json
 import math
 
+import numpy as np
 import pytest
 
 from repro.analysis.tables import ExperimentTable
 from repro.cli import build_parser, main
-from repro.reporting import format_value, render_experiment, render_table
+from repro.reporting import (
+    decode_float,
+    encode_float,
+    format_value,
+    render_experiment,
+    render_json,
+    render_table,
+    to_jsonable,
+)
 
 
 class TestFormatValue:
@@ -29,6 +39,65 @@ class TestFormatValue:
     def test_strings_and_ints(self):
         assert format_value("abc") == "abc"
         assert format_value(42) == "42"
+
+    def test_numpy_scalars_match_python_scalars(self):
+        # Regression: numpy scalars used to fall through to str(), skipping
+        # the inf/nan spelling and the float rounding entirely.
+        assert format_value(np.float64(math.inf)) == "inf"
+        assert format_value(np.float64(-math.inf)) == "-inf"
+        assert format_value(np.float32(math.nan)) == "nan"
+        assert format_value(np.float32(3.14159), precision=2) == "3.14"
+        assert format_value(np.float64(3.14159)) == format_value(3.14159)
+        assert format_value(np.int64(42)) == "42"
+        assert format_value(np.bool_(True)) == "yes"
+        assert format_value(np.bool_(False)) == "no"
+
+    def test_numpy_values_render_in_tables(self):
+        text = render_table(["x"], [[np.float64(math.inf)], [np.int32(7)]])
+        assert "inf" in text and "7" in text
+
+
+class TestJsonHelpers:
+    def test_encode_decode_floats(self):
+        assert encode_float(1.5) == 1.5
+        assert encode_float(math.inf) == "inf"
+        assert encode_float(-math.inf) == "-inf"
+        assert encode_float(math.nan) == "nan"
+        assert decode_float("inf") == math.inf
+        assert decode_float("-inf") == -math.inf
+        assert math.isnan(decode_float("nan"))
+        assert decode_float(2.25) == 2.25
+        with pytest.raises(ValueError):
+            decode_float("three")
+
+    def test_to_jsonable_handles_numpy_and_inf(self):
+        payload = {
+            "ratio": np.float64(math.inf),
+            "count": np.int64(3),
+            "flag": np.bool_(True),
+            "values": np.array([1.0, math.nan]),
+            "nested": ({"q": math.inf},),
+        }
+        converted = to_jsonable(payload)
+        assert converted == {
+            "ratio": "inf",
+            "count": 3,
+            "flag": True,
+            "values": [1.0, "nan"],
+            "nested": [{"q": "inf"}],
+        }
+        # Strict JSON: serialisable with allow_nan=False.
+        json.dumps(converted, allow_nan=False)
+
+    def test_to_jsonable_preserves_finite_floats_exactly(self):
+        value = 0.1 + 0.2
+        assert to_jsonable(value) == value
+
+    def test_render_json_is_sorted_and_parses(self):
+        text = render_json({"b": math.inf, "a": 1})
+        parsed = json.loads(text)
+        assert parsed == {"a": 1, "b": "inf"}
+        assert text.index('"a"') < text.index('"b"')
 
 
 class TestRenderTable:
@@ -182,6 +251,136 @@ class TestCliCommands:
     def test_montecarlo_engine_choice_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["montecarlo", "--engine", "quantum"])
+
+    def test_bounds_json(self, capsys):
+        assert main(["bounds", "-k", "3", "-f", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "bounds"
+        assert payload["ratio"] == pytest.approx(5.2331, abs=5e-5)
+        assert payload["spec"] == {
+            "kind": "bounds", "num_rays": 2, "num_robots": 3, "num_faulty": 1,
+        }
+
+    def test_simulate_json(self, capsys):
+        assert (
+            main(["simulate", "-k", "3", "-f", "1", "--horizon", "100", "--json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "simulate"
+        assert payload["theoretical"] == pytest.approx(5.2331, abs=5e-5)
+        assert payload["measured"] <= payload["theoretical"]
+        assert payload["within_guarantee"] is True
+
+    def test_experiments_json(self, capsys):
+        assert main(["experiments", "--only", "E3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["experiment_id"] == "E3"
+        assert payload[0]["headers"]
+
+    def test_montecarlo_faults_json_is_seeded(self, capsys):
+        argv = ["montecarlo", "-k", "3", "-f", "1", "--trials", "100",
+                "--seed", "9", "--horizon", "150", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert first["kind"] == "montecarlo_faults"
+        assert first["statistics"]["num_trials"] == 100
+
+    def test_montecarlo_randomized_json(self, capsys):
+        argv = ["montecarlo", "--workload", "randomized", "-m", "2",
+                "--trials", "500", "--seed", "1", "--json"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "montecarlo_randomized"
+        assert payload["closed_form"] == pytest.approx(4.5911, abs=5e-5)
+
+    def test_timeline_json(self, capsys):
+        argv = ["timeline", "-k", "2", "-m", "3", "--target-distance", "5",
+                "--json"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "timeline"
+        assert payload["detected"] is True
+        assert payload["events"][-1]["kind"] == "confirm"
+        assert payload["num_events"] == len(payload["events"])
+
+    def test_batch_command(self, tmp_path, capsys):
+        scenarios = [
+            {"kind": "bounds", "num_robots": 3, "num_faulty": 1},
+            {"kind": "bounds", "num_robots": 3, "num_faulty": 1},
+            {"kind": "bounds", "num_robots": 1},
+        ]
+        path = tmp_path / "scenarios.json"
+        path.write_text(json.dumps(scenarios))
+        assert main(["batch", "--file", str(path), "--max-workers", "1",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["num_scenarios"] == 3
+        assert payload["stats"]["num_unique"] == 2
+        assert payload["results"][0]["ratio"] == pytest.approx(5.2331, abs=5e-5)
+        assert payload["results"][2]["ratio"] == 9.0
+
+    def test_batch_command_table_output(self, tmp_path, capsys):
+        path = tmp_path / "scenarios.json"
+        path.write_text(json.dumps({"scenarios": [{"kind": "bounds",
+                                                   "num_robots": 1}]}))
+        assert main(["batch", "--file", str(path), "--max-workers", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "num_scenarios" in output and "evaluated" in output
+
+    def test_batch_command_rejects_empty(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        assert main(["batch", "--file", str(path)]) == 2
+
+    def test_batch_command_missing_file_is_clean_error(self, tmp_path, capsys):
+        assert main(["batch", "--file", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read scenarios" in capsys.readouterr().err
+
+    def test_batch_command_invalid_spec_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"kind": "bounds", "num_robots": 0}]))
+        assert main(["batch", "--file", str(path)]) == 2
+        assert "invalid scenario" in capsys.readouterr().err
+
+    def test_batch_command_malformed_targets_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad_targets.json"
+        path.write_text(
+            json.dumps([{"kind": "montecarlo_randomized", "targets": [[0]]}])
+        )
+        assert main(["batch", "--file", str(path)]) == 2
+        assert "target" in capsys.readouterr().err
+
+    def test_batch_command_bad_shard_size_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "ok.json"
+        path.write_text(json.dumps([{"kind": "bounds", "num_robots": 1}]))
+        assert main(["batch", "--file", str(path), "--shard-size", "0"]) == 2
+        assert "shard_size" in capsys.readouterr().err
+
+    def test_timeline_json_accepts_sub_unit_distance(self, capsys):
+        # The --json path must accept everything the table path accepts.
+        argv = ["timeline", "-k", "1", "--target-distance", "0.5", "--json"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["detected"] is True
+
+    def test_serve_command_binds_and_prints_banner(self, monkeypatch, capsys):
+        import repro.service.server as server_module
+
+        captured = {}
+
+        def fake_run_server(server):
+            captured["url"] = server.url
+            server.server_close()
+
+        monkeypatch.setattr(server_module, "run_server", fake_run_server)
+        assert main(["serve", "--port", "0"]) == 0
+        banner = capsys.readouterr().out.strip()
+        assert banner == f"serving on {captured['url']}"
+        assert banner.startswith("serving on http://127.0.0.1:")
 
     def test_timeline_command(self, capsys):
         assert (

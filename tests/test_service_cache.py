@@ -1,0 +1,133 @@
+"""Tests for :mod:`repro.service.cache` (LRU front + disk backend)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.service.cache import ResultCache
+from repro.simulation.monte_carlo import TrialStatistics
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+class TestMemoryCache:
+    def test_get_miss_then_hit(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get(KEY_A) is None
+        cache.put(KEY_A, {"x": 1})
+        assert cache.get(KEY_A) == {"x": 1}
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(KEY_A, {"v": "a"})
+        cache.put(KEY_B, {"v": "b"})
+        assert cache.get(KEY_A) is not None  # A is now most recently used
+        cache.put(KEY_C, {"v": "c"})  # evicts B, the least recently used
+        assert KEY_B not in cache
+        assert KEY_A in cache and KEY_C in cache
+        assert cache.stats().evictions == 1
+
+    def test_payloads_are_isolated_copies(self):
+        cache = ResultCache()
+        payload = {"nested": {"value": 1}}
+        cache.put(KEY_A, payload)
+        payload["nested"]["value"] = 999
+        fetched = cache.get(KEY_A)
+        assert fetched["nested"]["value"] == 1
+        fetched["nested"]["value"] = 777
+        assert cache.get(KEY_A)["nested"]["value"] == 1
+
+    def test_clear_resets_counters(self):
+        cache = ResultCache()
+        cache.put(KEY_A, {})
+        cache.get(KEY_A)
+        cache.clear()
+        stats = cache.stats()
+        assert stats.requests == 0 and stats.entries == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            ResultCache(max_entries=0)
+
+
+class TestDiskBackend:
+    def test_round_trip_through_fresh_instance(self, tmp_path):
+        first = ResultCache(disk_path=str(tmp_path))
+        first.put(KEY_A, {"answer": 42})
+        assert first.stats().disk_stores == 1
+
+        second = ResultCache(disk_path=str(tmp_path))
+        assert second.get(KEY_A) == {"answer": 42}
+        stats = second.stats()
+        assert stats.disk_hits == 1 and stats.hits == 1
+        # Promoted into memory: the next get does not touch the disk again.
+        assert second.get(KEY_A) == {"answer": 42}
+        assert second.stats().disk_hits == 1
+
+    def test_eviction_keeps_disk_copy(self, tmp_path):
+        cache = ResultCache(max_entries=1, disk_path=str(tmp_path))
+        cache.put(KEY_A, {"v": "a"})
+        cache.put(KEY_B, {"v": "b"})  # evicts A from memory only
+        assert cache.stats().evictions == 1
+        assert cache.get(KEY_A) == {"v": "a"}  # served from disk
+        assert cache.stats().disk_hits == 1
+
+    def test_disk_files_are_strict_json(self, tmp_path):
+        cache = ResultCache(disk_path=str(tmp_path))
+        cache.put(KEY_A, {"quantile": "inf", "mean": 3.5})
+        record = json.loads((tmp_path / f"{KEY_A}.json").read_text())
+        assert record["key"] == KEY_A
+        assert record["payload"] == {"quantile": "inf", "mean": 3.5}
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        (tmp_path / f"{KEY_A}.json").write_text("{not json")
+        cache = ResultCache(disk_path=str(tmp_path))
+        assert cache.get(KEY_A) is None
+
+    def test_malformed_key_rejected(self, tmp_path):
+        cache = ResultCache(disk_path=str(tmp_path))
+        with pytest.raises(InvalidProblemError, match="malformed cache key"):
+            cache.put("../escape", {})
+
+    def test_unencodable_payload_degrades_to_memory_only(self, tmp_path):
+        # Raw non-finite floats are not strict JSON; the disk write must
+        # fail softly (no exception, no counted store, no leaked temp
+        # file) while the memory copy still serves.
+        cache = ResultCache(disk_path=str(tmp_path))
+        cache.put(KEY_A, {"ratio": math.inf})
+        assert cache.stats().disk_stores == 0
+        assert cache.get(KEY_A) == {"ratio": math.inf}
+        assert list(tmp_path.iterdir()) == []
+
+    def test_trial_statistics_round_trip_with_inf_quantiles(self, tmp_path):
+        # A heavy-tailed sample: undetected trials have infinite ratios, so
+        # the upper quantiles and the maximum are inf; the store must
+        # round-trip them exactly (satellite: on-disk TrialStatistics).
+        sample = [1.0, 2.0, 3.0, 4.0] * 4 + [math.inf] * 4
+        statistics = TrialStatistics.from_sample(sample)
+        assert math.isinf(statistics.maximum)
+        assert math.isinf(statistics.quantile(0.99))
+        assert math.isnan(statistics.std_error)
+
+        cache = ResultCache(disk_path=str(tmp_path))
+        cache.put(KEY_A, {"statistics": statistics.to_dict()})
+        fresh = ResultCache(disk_path=str(tmp_path))
+        restored = TrialStatistics.from_dict(fresh.get(KEY_A)["statistics"])
+        assert restored.num_trials == statistics.num_trials
+        assert restored.mean == statistics.mean or (
+            math.isinf(restored.mean) and math.isinf(statistics.mean)
+        )
+        assert math.isnan(restored.std_error)
+        assert restored.quantiles == statistics.quantiles
+        assert restored.minimum == statistics.minimum
+        assert math.isinf(restored.maximum)
+        assert restored.batch_means == statistics.batch_means

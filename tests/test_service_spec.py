@@ -1,0 +1,200 @@
+"""Cache-key stability and round-trip tests for :mod:`repro.service.spec`."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.service.spec import (
+    ENGINE_VERSION,
+    BoundsSpec,
+    FamilySpec,
+    MonteCarloFaultsSpec,
+    MonteCarloRandomizedSpec,
+    SimulateSpec,
+    TimelineSpec,
+    spec_from_dict,
+    spec_kinds,
+)
+
+
+class TestCanonicalisation:
+    def test_keyword_order_does_not_change_key(self):
+        a = SimulateSpec(num_rays=3, num_robots=4, num_faulty=1, horizon=500.0)
+        b = SimulateSpec(horizon=500.0, num_faulty=1, num_robots=4, num_rays=3)
+        assert a == b
+        assert a.canonical_json() == b.canonical_json()
+        assert a.cache_key() == b.cache_key()
+
+    def test_json_key_order_does_not_change_key(self):
+        payload = {"kind": "simulate", "num_rays": 3, "num_robots": 4,
+                   "num_faulty": 1, "horizon": 500.0}
+        shuffled = {key: payload[key] for key in reversed(list(payload))}
+        assert spec_from_dict(payload).cache_key() == spec_from_dict(shuffled).cache_key()
+
+    def test_integer_horizon_normalises_to_float(self):
+        assert (
+            SimulateSpec(num_robots=1, horizon=100).cache_key()
+            == SimulateSpec(num_robots=1, horizon=100.0).cache_key()
+        )
+        assert isinstance(SimulateSpec(num_robots=1, horizon=100).horizon, float)
+
+    def test_defaults_and_explicit_defaults_hash_identically(self):
+        assert (
+            MonteCarloFaultsSpec(num_robots=3, num_faulty=1).cache_key()
+            == MonteCarloFaultsSpec(
+                num_robots=3,
+                num_faulty=1,
+                num_rays=2,
+                num_trials=200,
+                seed=0,
+                horizon=1e3,
+                engine="vectorized",
+                crash_model="silent",
+            ).cache_key()
+        )
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = BoundsSpec(num_robots=3, num_faulty=1).canonical_json()
+        assert ": " not in text and ", " not in text
+        keys = list(json.loads(text))
+        assert keys == sorted(keys)
+
+    def test_targets_normalise_to_tuples(self):
+        spec = MonteCarloRandomizedSpec(targets=[[0, 1.5], (1, 7)])
+        assert spec.targets == ((0, 1.5), (1, 7.0))
+        assert spec_from_dict(spec.to_dict()) == spec
+
+
+class TestSemanticFieldsChangeKey:
+    BASE = dict(num_rays=3, num_robots=4, num_faulty=1, horizon=500.0)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"num_rays": 4},
+            {"num_robots": 5},
+            {"num_faulty": 2},
+            {"horizon": 501.0},
+            {"engine": "scalar"},
+        ],
+    )
+    def test_simulate_fields(self, change):
+        base = SimulateSpec(**self.BASE)
+        assert SimulateSpec(**{**self.BASE, **change}).cache_key() != base.cache_key()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 1},
+            {"num_trials": 201},
+            {"crash_model": "uniform"},
+            {"horizon": 999.0},
+            {"engine": "scalar"},
+        ],
+    )
+    def test_montecarlo_fields(self, change):
+        base = dict(num_robots=3, num_faulty=1)
+        assert (
+            MonteCarloFaultsSpec(**{**base, **change}).cache_key()
+            != MonteCarloFaultsSpec(**base).cache_key()
+        )
+
+    def test_engine_version_changes_key(self):
+        spec = SimulateSpec(**self.BASE)
+        assert spec.cache_key(ENGINE_VERSION) != spec.cache_key("repro/999+engine.2")
+
+    def test_kinds_never_collide(self):
+        # Same parameter values under different kinds must never share a key.
+        keys = {
+            BoundsSpec(num_robots=3, num_faulty=1).cache_key(),
+            SimulateSpec(num_robots=3, num_faulty=1).cache_key(),
+            FamilySpec(num_robots=3, num_faulty=1).cache_key(),
+            MonteCarloFaultsSpec(num_robots=3, num_faulty=1).cache_key(),
+            TimelineSpec(num_robots=3, num_faulty=1).cache_key(),
+        }
+        assert len(keys) == 5
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            BoundsSpec(num_robots=3, num_faulty=1, num_rays=2),
+            SimulateSpec(num_robots=4, num_rays=3, num_faulty=1, horizon=250.0),
+            FamilySpec(num_robots=4, num_faulty=1, family="replication"),
+            MonteCarloFaultsSpec(num_robots=3, num_faulty=1, seed=7,
+                                 crash_model="uniform"),
+            MonteCarloRandomizedSpec(num_rays=3, num_samples=50, seed=2,
+                                     targets=((0, 5.0), (2, 9.0))),
+            TimelineSpec(num_robots=2, num_rays=3, target_ray=2,
+                         target_distance=5.0),
+        ],
+    )
+    def test_dict_round_trip_preserves_identity(self, spec):
+        clone = spec_from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.cache_key() == spec.cache_key()
+
+    def test_all_kinds_registered(self):
+        assert spec_kinds() == (
+            "bounds",
+            "family",
+            "montecarlo_faults",
+            "montecarlo_randomized",
+            "simulate",
+            "timeline",
+        )
+
+    def test_specs_are_frozen(self):
+        spec = SimulateSpec(num_robots=1)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.horizon = 5.0
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidProblemError, match="unknown scenario kind"):
+            spec_from_dict({"kind": "quantum"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(InvalidProblemError, match="unknown field"):
+            spec_from_dict({"kind": "bounds", "num_robots": 3, "warp": 9})
+
+    def test_more_faults_than_robots_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            BoundsSpec(num_robots=2, num_faulty=3)
+
+    def test_all_faulty_rejected_for_simulation(self):
+        with pytest.raises(InvalidProblemError):
+            SimulateSpec(num_robots=2, num_faulty=2)
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            SimulateSpec(num_robots=1, engine="quantum")
+
+    def test_bad_family_rejected(self):
+        with pytest.raises(InvalidProblemError, match="unknown strategy family"):
+            FamilySpec(num_robots=1, family="teleport")
+
+    def test_non_integer_robots_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            SimulateSpec(num_robots=1.5)
+
+    def test_target_ray_out_of_range_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            TimelineSpec(num_robots=1, num_rays=2, target_ray=2)
+
+    def test_timeline_accepts_sub_unit_target_distance(self):
+        # The timeline engine (and the plain CLI) support targets below
+        # the paper's unit normalisation; the spec must too.
+        assert TimelineSpec(num_robots=1, target_distance=0.5).target_distance == 0.5
+        with pytest.raises(InvalidProblemError):
+            TimelineSpec(num_robots=1, target_distance=0.0)
+
+    def test_randomized_target_outside_rays_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            MonteCarloRandomizedSpec(num_rays=2, targets=((5, 3.0),))
