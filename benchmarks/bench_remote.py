@@ -1,0 +1,128 @@
+"""Perf — distributed dispatch: remote shard round-trips and failover cost.
+
+Two in-process ``repro serve`` workers back a distributed scheduler run of
+the acceptance grid.  Three measurements:
+
+1. **Serial baseline** — the same unique specs evaluated serially in
+   process (no shards, no HTTP);
+2. **Distributed cold batch** — shards round-robined across the two
+   workers and the local pool; asserts the results are bit-identical to
+   the serial baseline and derives the per-spec dispatch overhead;
+3. **Failover batch** — one worker is killed between the health handshake
+   and dispatch, so every shard it owned fails over to the local pool;
+   asserts bit-identity again and measures the recovery cost.
+
+In-process workers share this machine's cores, so the distributed wall
+clock measures *overhead*, not speedup — the win appears when workers are
+separate machines.  The numbers land in ``extra_info`` so the bench JSON
+tracks the dispatch layer over time (PERFORMANCE.md, "Distributed
+dispatch").
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.service.remote import RemoteWorker, RemoteWorkerPool
+from repro.service.scheduler import ScenarioScheduler
+from repro.service.server import create_server
+from repro.service.spec import SimulateSpec
+
+TRIPLES = [(2, 1, 0), (2, 3, 1)]
+HORIZONS = range(10, 60)
+SHARD_SIZE = 5
+
+
+def _unique_scenarios():
+    return [
+        SimulateSpec(num_rays=m, num_robots=k, num_faulty=f, horizon=float(horizon))
+        for m, k, f in TRIPLES
+        for horizon in HORIZONS
+    ]
+
+
+def _start_worker():
+    server = create_server(host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def test_perf_remote_dispatch(benchmark):
+    scenarios = _unique_scenarios()
+    started = [_start_worker() for _ in range(2)]
+    servers = [server for server, _thread in started]
+    try:
+        start = time.perf_counter()
+        serial = ScenarioScheduler().run_batch(scenarios, max_workers=1)
+        serial_seconds = time.perf_counter() - start
+
+        urls = [server.url for server in servers]
+        pool = RemoteWorkerPool(urls)
+        start = time.perf_counter()
+        distributed = ScenarioScheduler(workers=pool).run_batch(
+            scenarios, max_workers=1, shard_size=SHARD_SIZE
+        )
+        distributed_seconds = time.perf_counter() - start
+
+        assert list(distributed.results) == list(serial.results)  # bit-identical
+        assert distributed.num_remote_workers == 2
+        assert distributed.remote_evaluated > 0
+        assert distributed.failovers == 0
+
+        # Failover: one worker accepted the handshake, then vanished.
+        class _Vanished(RemoteWorker):
+            def check_health(self):
+                self.alive = True
+                return True
+
+        flaky_pool = RemoteWorkerPool(
+            [RemoteWorker(urls[0]), _Vanished("http://127.0.0.1:9")]
+        )
+        start = time.perf_counter()
+        failover = ScenarioScheduler(workers=flaky_pool).run_batch(
+            scenarios, max_workers=1, shard_size=SHARD_SIZE
+        )
+        failover_seconds = time.perf_counter() - start
+
+        assert list(failover.results) == list(serial.results)  # survives the death
+        assert failover.failovers >= 1
+
+        remote_shards = distributed.remote_evaluated // SHARD_SIZE
+        overhead_ms = (
+            (distributed_seconds - serial_seconds) * 1e3 / max(1, remote_shards)
+        )
+        benchmark.extra_info["experiment"] = "PERF-REMOTE"
+        benchmark.extra_info["num_scenarios"] = len(scenarios)
+        benchmark.extra_info["shard_size"] = SHARD_SIZE
+        benchmark.extra_info["serial_seconds"] = round(serial_seconds, 4)
+        benchmark.extra_info["distributed_seconds"] = round(distributed_seconds, 4)
+        benchmark.extra_info["failover_seconds"] = round(failover_seconds, 4)
+        benchmark.extra_info["remote_evaluated"] = distributed.remote_evaluated
+        benchmark.extra_info["failovers"] = failover.failovers
+        benchmark.extra_info["dispatch_overhead_ms_per_shard"] = round(overhead_ms, 2)
+        print(
+            f"\nremote dispatch @ {len(scenarios)} scenarios, shard {SHARD_SIZE}: "
+            f"serial {serial_seconds * 1e3:.0f} ms, "
+            f"distributed (2 in-process workers) {distributed_seconds * 1e3:.0f} ms "
+            f"({distributed.remote_evaluated} specs remote), "
+            f"failover run {failover_seconds * 1e3:.0f} ms "
+            f"({failover.failovers} shards failed over)\n"
+            f"per-shard dispatch overhead ~{overhead_ms:.1f} ms "
+            "(in-process workers share the CPU: this measures round-trip cost, "
+            "not multi-machine speedup)"
+        )
+
+        warmed = ScenarioScheduler(workers=pool)
+        warmed.run_batch(scenarios, max_workers=1, shard_size=SHARD_SIZE)
+        benchmark.pedantic(
+            lambda: warmed.run_batch(scenarios, max_workers=1, shard_size=SHARD_SIZE),
+            rounds=3,
+            iterations=1,
+        )
+    finally:
+        for server, thread in started:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)

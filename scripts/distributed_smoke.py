@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""CI smoke test for multi-node dispatch and async batch jobs.
+
+Spins up, as subprocesses on ephemeral ports:
+
+* two ``repro serve`` **workers**;
+* one ``repro serve --workers w1,w2`` **coordinator**.
+
+Then
+
+1. checks the coordinator's ``GET /workers`` sees both workers live;
+2. submits a deduplicated scenario grid (with the two golden scenarios
+   inside) as an **async job** (``POST /jobs``) and polls
+   ``GET /jobs/<id>`` — while the job runs, ``GET /healthz`` must keep
+   answering (the job never blocks the HTTP thread);
+3. kills one worker right after submission, so a mid-batch death is
+   likely — the job must still complete via failover;
+4. asserts the goldens (line ratio exactly 9, randomized closed form
+   4.5911 +- 5e-5) and the dedup/batch counters.
+
+Run from the repository root:  ``python scripts/distributed_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+
+GOLDEN_SIMULATE = {"kind": "simulate", "num_rays": 2, "num_robots": 1,
+                   "num_faulty": 0, "horizon": 200.0}
+GOLDEN_RANDOMIZED = {"kind": "montecarlo_randomized", "num_rays": 2,
+                     "num_samples": 4000, "seed": 7, "horizon": 1000.0}
+
+
+def _grid():
+    unique = [
+        {"kind": "montecarlo_faults", "num_rays": m, "num_robots": k,
+         "num_faulty": f, "num_trials": 64, "seed": seed, "horizon": 100.0}
+        for m, k, f in [(2, 1, 0), (2, 3, 1), (3, 2, 0), (3, 4, 1)]
+        for seed in range(12)
+    ]
+    unique += [GOLDEN_SIMULATE, GOLDEN_RANDOMIZED]
+    return unique + list(reversed(unique))  # 100 scenarios, 50% duplicates
+
+
+def _request(base: str, path: str, payload=None):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return json.loads(response.read())
+
+
+def _start(extra_args, env):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    banner = process.stdout.readline().strip()
+    assert banner.startswith("serving on http://"), f"unexpected banner: {banner!r}"
+    return process, banner.split()[-1]
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in ("src", env.get("PYTHONPATH")) if part
+    )
+    processes = []
+    try:
+        worker_a, url_a = _start([], env)
+        processes.append(worker_a)
+        worker_b, url_b = _start([], env)
+        processes.append(worker_b)
+        coordinator, url_c = _start(["--workers", f"{url_a},{url_b}"], env)
+        processes.append(coordinator)
+        print(f"workers at {url_a} and {url_b}, coordinator at {url_c}")
+
+        workers = _request(url_c, "/workers")
+        assert workers["num_workers"] == 2, workers
+
+        scenarios = _grid()
+        submitted = _request(url_c, "/jobs", {"scenarios": scenarios,
+                                              "shard_size": 4})
+        assert submitted["state"] == "running", submitted
+        job_path = submitted["path"]
+        print(f"async job {submitted['job_id']} submitted "
+              f"({submitted['num_scenarios']} scenarios)")
+
+        # Kill one worker right away: with 100 scenarios in flight this is
+        # almost surely mid-batch, and failover must absorb it either way.
+        worker_b.terminate()
+
+        deadline = time.monotonic() + 300
+        while True:
+            # The job must never block the coordinator's HTTP thread.
+            health = _request(url_c, "/healthz")
+            assert health["status"] == "ok", health
+            body = _request(url_c, job_path)
+            if body["state"] != "running":
+                break
+            assert time.monotonic() < deadline, "async job did not finish"
+            time.sleep(0.2)
+
+        assert body["state"] == "done", body.get("error", body["state"])
+        stats = body["stats"]
+        assert stats["num_scenarios"] == len(scenarios), stats
+        assert stats["num_unique"] == len(scenarios) // 2, stats
+        assert stats["evaluated"] <= stats["num_unique"], stats
+
+        results = body["results"]
+        simulate = next(r for r in results if r["kind"] == "simulate")
+        assert simulate["theoretical"] == 9.0, simulate["theoretical"]
+        randomized = next(
+            r for r in results if r["kind"] == "montecarlo_randomized"
+        )
+        assert abs(randomized["closed_form"] - 4.5911) <= 5e-5, (
+            randomized["closed_form"]
+        )
+        assert randomized["within_3_std_errors"] is True, randomized
+
+        # Duplicates share their first occurrence's payload, in order.
+        assert results == results[: len(results) // 2] + list(
+            reversed(results[: len(results) // 2])
+        )
+
+        print(
+            f"distributed smoke OK: {stats['num_unique']} unique of "
+            f"{stats['num_scenarios']} scenarios, "
+            f"{stats['remote_evaluated']} evaluated remotely, "
+            f"{stats['failovers']} shard failovers, goldens 9 / "
+            f"{randomized['closed_form']:.4f}"
+        )
+        return 0
+    finally:
+        for process in processes:
+            process.terminate()
+        for process in processes:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ import multiprocessing
 import os
 import pickle
 import threading
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
@@ -38,6 +38,7 @@ __all__ = [
     "SweepRow",
     "StochasticSweepRow",
     "map_rows",
+    "suggest_shard_size",
     "sweep_optimal_strategies",
     "sweep_strategy_family",
     "sweep_random_faults",
@@ -217,6 +218,7 @@ def map_rows(
     worker: Callable[[tuple], "_RowT"],
     tasks: List[tuple],
     max_workers: Optional[int] = None,
+    progress: Optional[Callable[[int], None]] = None,
 ) -> List["_RowT"]:
     """Map ``worker`` over ``tasks``, in parallel when it pays off.
 
@@ -228,6 +230,13 @@ def map_rows(
     strategies, a broken pool) degrades to the serial path rather than
     surfacing an infrastructure error; pass ``max_workers=1`` to force
     serial evaluation.
+
+    ``progress`` is called with the index of each task as it completes
+    (completion order, not task order) — the hook the service's async batch
+    jobs use for partial progress counts.  It runs on the coordinating
+    thread and must not raise.  When the pool breaks mid-run and the map
+    degrades to the serial path, an index may be reported twice; treat the
+    callback as monotone best-effort, not an exact ledger.
     """
     workers = _resolve_workers(max_workers, len(tasks))
     if workers > 1:
@@ -244,10 +253,45 @@ def map_rows(
             elif "fork" in methods:
                 context = multiprocessing.get_context("fork")
             with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-                return list(pool.map(worker, tasks))
+                if progress is None:
+                    return list(pool.map(worker, tasks))
+                futures = {
+                    pool.submit(worker, task): index
+                    for index, task in enumerate(tasks)
+                }
+                results: List[Optional["_RowT"]] = [None] * len(tasks)
+                for future in as_completed(futures):
+                    index = futures[future]
+                    results[index] = future.result()
+                    progress(index)
+                return results  # type: ignore[return-value]
         except (pickle.PicklingError, AttributeError, TypeError, BrokenProcessPool, OSError):
             pass
-    return [worker(task) for task in tasks]
+    results = []
+    for index, task in enumerate(tasks):
+        results.append(worker(task))
+        if progress is not None:
+            progress(index)
+    return results
+
+
+def suggest_shard_size(
+    num_tasks: int,
+    num_executors: int = 1,
+    shards_per_executor: int = 4,
+) -> int:
+    """Shard size giving every executor a few shards of comparable weight.
+
+    ``num_executors`` counts the independent executors sharing the work —
+    local process-pool workers, or (for the distributed scheduler) remote
+    workers plus the local pool.  A few shards per executor amortises the
+    per-shard overhead (process startup, one HTTP round-trip) while keeping
+    all executors busy even when shards are heterogeneous in cost.
+    """
+    if num_tasks <= 0:
+        return 1
+    denominator = max(1, num_executors) * max(1, shards_per_executor)
+    return max(1, math.ceil(num_tasks / denominator))
 
 
 def sweep_optimal_strategies(

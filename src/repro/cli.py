@@ -14,8 +14,14 @@ without writing any Python:
   or the randomized-offset ray search) through the batched engine and
   report trial statistics;
 * ``serve`` — start the HTTP evaluation server (:mod:`repro.service`);
+  ``--workers`` turns it into a coordinator that dispatches batch shards
+  to remote ``repro serve`` instances;
 * ``batch`` — evaluate a JSON file of scenario specs through the batch
-  scheduler (dedup + cache + process-pool shards).
+  scheduler (dedup + cache + process-pool shards); ``--workers`` adds
+  remote executors and ``--async`` runs the batch as a background job
+  with live progress on stderr;
+* ``cache gc`` — drop on-disk cache entries whose engine version no
+  longer matches the running ``ENGINE_VERSION``.
 
 Every query subcommand accepts ``--json``, which emits exactly the payload
 the HTTP server returns for the equivalent scenario — scripts and the
@@ -155,6 +161,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log one line per request"
     )
+    serve_parser.add_argument(
+        "--workers",
+        action="append",
+        default=None,
+        metavar="URL[,URL...]",
+        help="remote `repro serve` base URLs to dispatch batch shards to "
+        "(repeatable, comma-separated values accepted)",
+    )
 
     batch_parser = subparsers.add_parser(
         "batch",
@@ -171,8 +185,55 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument(
         "--cache-dir", default=None, help="optional on-disk cache directory"
     )
+    batch_parser.add_argument(
+        "--workers",
+        action="append",
+        default=None,
+        metavar="URL[,URL...]",
+        help="remote `repro serve` base URLs to dispatch shards to "
+        "(repeatable, comma-separated values accepted)",
+    )
+    batch_parser.add_argument(
+        "--async",
+        dest="async_mode",
+        action="store_true",
+        help="run the batch as a background job and poll its progress",
+    )
+    batch_parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        help="seconds between progress polls with --async",
+    )
     add_json_flag(batch_parser)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="result-cache maintenance (see repro.service.cache)"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    gc_parser = cache_sub.add_parser(
+        "gc",
+        help="drop on-disk entries whose engine version no longer matches "
+        "ENGINE_VERSION",
+    )
+    gc_parser.add_argument(
+        "--cache-dir", required=True, help="on-disk cache directory to sweep"
+    )
+    gc_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be dropped without deleting anything",
+    )
+    add_json_flag(gc_parser)
     return parser
+
+
+def _parse_worker_urls(values) -> Optional[List[str]]:
+    """Flatten repeated/comma-separated ``--workers`` values into URLs."""
+    if not values:
+        return None
+    urls = [url.strip() for value in values for url in value.split(",")]
+    return [url for url in urls if url] or None
 
 
 def _print_spec_json(spec) -> int:
@@ -380,7 +441,11 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     cache = ResultCache(max_entries=args.cache_size, disk_path=args.cache_dir)
     server = create_server(
-        host=args.host, port=args.port, cache=cache, verbose=args.verbose
+        host=args.host,
+        port=args.port,
+        cache=cache,
+        verbose=args.verbose,
+        workers=_parse_worker_urls(args.workers),
     )
     # The exact line scripted smoke tests wait for (port 0 binds ephemerally).
     print(f"serving on {server.url}", flush=True)
@@ -413,10 +478,28 @@ def _command_batch(args: argparse.Namespace) -> int:
         return 2
     try:
         specs = [spec_from_dict(item) for item in body]
-        scheduler = ScenarioScheduler(cache=ResultCache(disk_path=args.cache_dir))
-        batch = scheduler.run_batch(
-            specs, max_workers=args.max_workers, shard_size=args.shard_size
+        scheduler = ScenarioScheduler(
+            cache=ResultCache(disk_path=args.cache_dir),
+            workers=_parse_worker_urls(args.workers),
         )
+        if args.async_mode:
+            job = scheduler.submit_job(
+                specs, max_workers=args.max_workers, shard_size=args.shard_size
+            )
+            print(f"job {job.job_id} submitted ({len(specs)} scenarios)",
+                  file=sys.stderr)
+            while not job.wait(timeout=max(0.01, args.poll_interval)):
+                snapshot = job.to_dict(include_results=False)["progress"]
+                print(
+                    f"job {job.job_id}: {snapshot['completed']}/"
+                    f"{snapshot['total']} unique scenarios",
+                    file=sys.stderr,
+                )
+            batch = job.result()
+        else:
+            batch = scheduler.run_batch(
+                specs, max_workers=args.max_workers, shard_size=args.shard_size
+            )
     except ReproError as error:
         print(f"error: invalid scenario or batch parameters: {error}",
               file=sys.stderr)
@@ -438,6 +521,23 @@ def _command_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cache(args: argparse.Namespace) -> int:
+    from .service.cache import gc_disk_cache
+    from .service.spec import ENGINE_VERSION
+
+    # The subparser is required=True, so cache_command is always "gc" here;
+    # the dispatch keeps room for future maintenance commands.
+    report = gc_disk_cache(args.cache_dir, dry_run=args.dry_run)
+    payload = report.to_dict()
+    payload["engine_version"] = ENGINE_VERSION
+    payload["cache_dir"] = args.cache_dir
+    if args.json:
+        print(render_json(payload))
+        return 0
+    print(render_table(["quantity", "value"], sorted(payload.items())))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -450,6 +550,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "timeline": _command_timeline,
         "serve": _command_serve,
         "batch": _command_batch,
+        "cache": _command_cache,
     }
     return handlers[args.command](args)
 

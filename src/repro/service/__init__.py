@@ -10,9 +10,15 @@ reusable service (see PERFORMANCE.md, "Serving layer"):
   an optional on-disk JSON backend and hit/miss/eviction statistics;
 * :mod:`repro.service.scheduler` — :class:`ScenarioScheduler`, which
   dedups a batch, consults the cache and fans the remaining shards out
-  over the shared process-pool executor;
+  over the shared process-pool executor and (optionally) remote workers;
+  :class:`BatchJob` handles run long grids asynchronously with partial
+  progress;
+* :mod:`repro.service.remote` — :class:`RemoteWorkerPool`,
+  health-checked ``repro serve`` workers with an engine-version handshake
+  and local failover, making the scheduler horizontally scalable;
 * :mod:`repro.service.server` — a stdlib-only JSON HTTP API
-  (``repro serve``), plus ``repro batch`` for offline grids.
+  (``repro serve``), plus ``repro batch`` for offline grids and
+  ``POST /jobs`` for asynchronous ones.
 
 Quickstart
 ----------
@@ -25,9 +31,11 @@ Quickstart
 True
 """
 
-from .cache import CacheStats, ResultCache
-from .execute import execute_spec
+from .cache import CacheGCReport, CacheStats, ResultCache, gc_disk_cache
+from .execute import execute_shard, execute_spec
+from .remote import RemoteWorker, RemoteWorkerError, RemoteWorkerPool
 from .scheduler import (
+    BatchJob,
     BatchResult,
     ScenarioScheduler,
     montecarlo_grid_specs,
@@ -59,9 +67,16 @@ __all__ = [
     "spec_from_dict",
     "spec_kinds",
     "execute_spec",
+    "execute_shard",
     "CacheStats",
+    "CacheGCReport",
     "ResultCache",
+    "gc_disk_cache",
+    "RemoteWorker",
+    "RemoteWorkerError",
+    "RemoteWorkerPool",
     "BatchResult",
+    "BatchJob",
     "ScenarioScheduler",
     "simulate_grid_specs",
     "montecarlo_grid_specs",

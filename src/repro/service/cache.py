@@ -14,6 +14,12 @@ and ``put`` so callers can never mutate a cached value in place.
 
 :class:`CacheStats` counts hits, misses, stores and evictions; the server
 exposes a snapshot at ``GET /cache/stats``.
+
+Stale entries die automatically on lookup (their key folds in the engine
+version), but old disk files would otherwise accumulate forever.
+:func:`gc_disk_cache` — exposed as ``repro cache gc`` — removes every
+on-disk entry whose key no current spec can reproduce under the running
+:data:`~repro.service.spec.ENGINE_VERSION`.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ from typing import Dict, Optional
 
 from ..exceptions import InvalidProblemError
 
-__all__ = ["CacheStats", "ResultCache"]
+__all__ = ["CacheStats", "ResultCache", "CacheGCReport", "gc_disk_cache"]
 
 _KEY_CHARS = frozenset("0123456789abcdef")
 
@@ -220,3 +226,102 @@ class ResultCache:
             except OSError:
                 pass
             return False
+
+
+# ----------------------------------------------------------------------
+# Disk garbage collection (``repro cache gc``)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CacheGCReport:
+    """Outcome of one :func:`gc_disk_cache` sweep."""
+
+    scanned: int = 0
+    kept: int = 0
+    dropped: int = 0
+    freed_bytes: int = 0
+    dry_run: bool = False
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (``repro cache gc --json``)."""
+        return {
+            "scanned": self.scanned,
+            "kept": self.kept,
+            "dropped": self.dropped,
+            "freed_bytes": self.freed_bytes,
+            "dry_run": self.dry_run,
+        }
+
+
+def _is_cache_file(name: str) -> bool:
+    # One JSON file per SHA-256 key; anything else in the directory is not
+    # ours to touch.
+    stem, dot, extension = name.rpartition(".")
+    return (
+        dot == "."
+        and extension == "json"
+        and len(stem) == 64
+        and set(stem) <= _KEY_CHARS
+    )
+
+
+def gc_disk_cache(
+    disk_path: str,
+    engine_version: Optional[str] = None,
+    dry_run: bool = False,
+) -> CacheGCReport:
+    """Drop on-disk entries whose key no current spec can reproduce.
+
+    Every entry's payload is self-describing (it carries its canonical
+    ``spec`` dict), so the check is constructive: rebuild the spec, recompute
+    its cache key under ``engine_version`` (the running
+    :data:`~repro.service.spec.ENGINE_VERSION` by default) and keep the file
+    only when the stored key matches.  Entries from older engine versions,
+    corrupt records and specs that no longer validate all fail the check and
+    are removed.  ``dry_run`` reports what would be dropped without
+    unlinking anything.
+    """
+    from .spec import ENGINE_VERSION, spec_from_dict
+
+    if engine_version is None:
+        engine_version = ENGINE_VERSION
+    try:
+        names = sorted(os.listdir(disk_path))
+    except OSError:
+        return CacheGCReport(dry_run=dry_run)
+
+    scanned = kept = dropped = freed = 0
+    for name in names:
+        if not _is_cache_file(name):
+            continue
+        scanned += 1
+        path = os.path.join(disk_path, name)
+        key = name[: -len(".json")]
+        reproducible = False
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+            if isinstance(record, dict):
+                payload = record.get("payload")
+                if record.get("key") == key and isinstance(payload, dict):
+                    spec = spec_from_dict(payload["spec"])
+                    reproducible = spec.cache_key(engine_version) == key
+        except (OSError, ValueError, KeyError, TypeError, InvalidProblemError):
+            reproducible = False
+        if reproducible:
+            kept += 1
+            continue
+        dropped += 1
+        try:
+            size = os.path.getsize(path)
+            if not dry_run:
+                os.unlink(path)
+            freed += size
+        except OSError:
+            pass
+    return CacheGCReport(
+        scanned=scanned,
+        kept=kept,
+        dropped=dropped,
+        freed_bytes=freed,
+        dry_run=dry_run,
+    )

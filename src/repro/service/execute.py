@@ -34,7 +34,7 @@ from .spec import (
     TimelineSpec,
 )
 
-__all__ = ["execute_spec"]
+__all__ = ["execute_spec", "execute_shard"]
 
 
 def _problem_payload(problem) -> dict:
@@ -205,3 +205,13 @@ def execute_spec(spec: ScenarioSpec) -> dict:
     payload["kind"] = spec.kind
     payload["spec"] = spec.to_dict()
     return to_jsonable(payload)
+
+
+def execute_shard(shard) -> list:
+    """Evaluate one shard (an iterable of specs) serially, in order.
+
+    Top-level so it pickles into the scheduler's process-pool fan-out; also
+    the local fallback the remote dispatcher uses when a worker dies
+    mid-batch.
+    """
+    return [execute_spec(spec) for spec in shard]

@@ -1,0 +1,287 @@
+"""Remote worker pool: dispatch scenario shards to ``repro serve`` nodes.
+
+PR 3 made every scenario JSON-round-trippable and content-addressed, so a
+remote shard is just ``POST /batch`` against another ``repro serve``
+instance.  This module supplies the client side of that contract, stdlib
+only (:mod:`urllib`):
+
+* :class:`RemoteWorker` — one HTTP worker: health check (``GET /healthz``)
+  with an engine-version handshake against
+  :data:`repro.service.spec.ENGINE_VERSION`, shard evaluation with bounded
+  retries, and liveness bookkeeping;
+* :class:`RemoteWorkerPool` — a set of workers the scheduler round-robins
+  shards over, with failover counters.  A worker that dies mid-batch is
+  marked dead and its remaining shards run on the local pool instead, so a
+  batch always completes with bit-identical results (every stochastic spec
+  carries its own seed — *where* a shard runs never changes *what* it
+  computes).
+
+The pool never raises for infrastructure failures: an unreachable or
+version-mismatched worker is simply excluded, and an empty pool degrades
+the scheduler to the single-machine path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..exceptions import ReproError
+from .spec import ENGINE_VERSION
+
+__all__ = ["RemoteWorkerError", "RemoteWorker", "RemoteWorkerPool"]
+
+#: Wall-clock budget for one shard evaluation round-trip, seconds.
+DEFAULT_SHARD_TIMEOUT = 300.0
+#: Wall-clock budget for one health probe, seconds.
+DEFAULT_HEALTH_TIMEOUT = 5.0
+
+
+class RemoteWorkerError(ReproError):
+    """A remote worker failed to serve a request.
+
+    ``worker_dead`` distinguishes infrastructure failures (connection
+    refused, timeout, 5xx, protocol garbage — the worker should be dropped
+    from the rotation) from request-level rejections (4xx — the worker is
+    healthy, this particular shard must be re-run locally to surface the
+    real error).
+    """
+
+    def __init__(self, message: str, worker_dead: bool = True) -> None:
+        super().__init__(message)
+        self.worker_dead = worker_dead
+
+
+class RemoteWorker:
+    """One remote ``repro serve`` instance, addressed by base URL.
+
+    Instances are mutable bookkeeping objects: ``alive`` is ``None`` until
+    the first health check, then tracks the last known liveness.  A
+    coordinator server shares one pool across concurrent batches, so the
+    completion counters increment under a lock; ``alive``/``last_error``
+    are single atomic assignments (each batch makes its own failover
+    decisions from thread-local state, never from ``alive`` mid-dispatch).
+    """
+
+    def __init__(
+        self,
+        url: str,
+        engine_version: str = ENGINE_VERSION,
+        timeout: float = DEFAULT_SHARD_TIMEOUT,
+        health_timeout: float = DEFAULT_HEALTH_TIMEOUT,
+        max_retries: int = 1,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.engine_version = engine_version
+        self.timeout = float(timeout)
+        self.health_timeout = float(health_timeout)
+        self.max_retries = int(max_retries)
+        #: Forwarded as the remote batch's ``max_workers`` when set, to
+        #: bound the worker's own process fan-out per shard.
+        self.max_workers = max_workers
+        self.alive: Optional[bool] = None
+        self.last_error: Optional[str] = None
+        self.shards_completed = 0
+        self.specs_completed = 0
+        self._counter_lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteWorker({self.url!r}, alive={self.alive})"
+
+    # ------------------------------------------------------------------
+    def _request(self, path: str, payload=None, timeout: Optional[float] = None):
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + path,
+            data=data,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout if timeout is not None else self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            # 4xx means the worker is up and rejected this request; 5xx
+            # means the worker itself is broken.
+            raise RemoteWorkerError(
+                f"worker {self.url} returned HTTP {error.code} for {path}",
+                worker_dead=error.code >= 500,
+            ) from error
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            raise RemoteWorkerError(
+                f"worker {self.url} unreachable on {path}: {error}"
+            ) from error
+
+    def check_health(self) -> bool:
+        """``GET /healthz`` with the engine-version handshake.
+
+        Returns ``True`` only when the worker responds, reports ``ok`` and
+        runs exactly this client's engine version — a version-skewed worker
+        would compute under a different cache-key space, silently breaking
+        the bit-identical-results guarantee, so it is treated as dead.
+        """
+        try:
+            body = self._request("/healthz", timeout=self.health_timeout)
+        except RemoteWorkerError as error:
+            self.alive = False
+            self.last_error = str(error)
+            return False
+        if not isinstance(body, dict) or body.get("status") != "ok":
+            self.alive = False
+            self.last_error = f"worker {self.url} unhealthy: {body!r}"
+            return False
+        remote_version = body.get("engine_version")
+        if remote_version != self.engine_version:
+            self.alive = False
+            self.last_error = (
+                f"worker {self.url} engine version {remote_version!r} does not "
+                f"match local {self.engine_version!r}"
+            )
+            return False
+        self.alive = True
+        self.last_error = None
+        return True
+
+    def evaluate_shard(self, scenario_dicts: Sequence[dict]) -> List[dict]:
+        """``POST /batch`` one shard; returns the result payloads in order.
+
+        Retries transient failures up to ``max_retries`` times, then raises
+        :class:`RemoteWorkerError` so the dispatcher can fail the shard
+        over to the local pool.
+        """
+        if self.alive is False:
+            raise RemoteWorkerError(
+                f"worker {self.url} already marked dead: {self.last_error}",
+                worker_dead=False,
+            )
+        payload: Dict[str, object] = {"scenarios": list(scenario_dicts)}
+        if self.max_workers is not None:
+            payload["max_workers"] = self.max_workers
+        last: Optional[RemoteWorkerError] = None
+        for _attempt in range(self.max_retries + 1):
+            try:
+                body = self._request("/batch", payload)
+            except RemoteWorkerError as error:
+                last = error
+                if not error.worker_dead:
+                    break  # a 4xx will not improve on retry
+                continue
+            results = body.get("results") if isinstance(body, dict) else None
+            if not isinstance(results, list) or len(results) != len(scenario_dicts):
+                last = RemoteWorkerError(
+                    f"worker {self.url} returned a malformed batch response"
+                )
+                continue
+            with self._counter_lock:
+                self.shards_completed += 1
+                self.specs_completed += len(results)
+            return results
+        assert last is not None
+        raise last
+
+
+class RemoteWorkerPool:
+    """A health-checked set of :class:`RemoteWorker` with failover counters.
+
+    Construct from URLs or prebuilt workers.  :meth:`refresh` runs the
+    health handshake on every worker (concurrently, so one dead node costs
+    one health timeout, not one per node) and returns the live ones; the
+    scheduler calls it once per batch.  The counters aggregate across
+    batches and are exposed by :meth:`stats`.
+    """
+
+    def __init__(
+        self,
+        workers: Iterable[Union[str, RemoteWorker]],
+        engine_version: str = ENGINE_VERSION,
+        timeout: float = DEFAULT_SHARD_TIMEOUT,
+        health_timeout: float = DEFAULT_HEALTH_TIMEOUT,
+        max_retries: int = 1,
+    ) -> None:
+        self.workers: List[RemoteWorker] = [
+            worker
+            if isinstance(worker, RemoteWorker)
+            else RemoteWorker(
+                worker,
+                engine_version=engine_version,
+                timeout=timeout,
+                health_timeout=health_timeout,
+                max_retries=max_retries,
+            )
+            for worker in workers
+        ]
+        self.engine_version = engine_version
+        self._lock = threading.Lock()
+        self._failovers = 0
+        self._remote_shards = 0
+        self._remote_specs = 0
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> List[RemoteWorker]:
+        """Health-check every worker; returns the live, version-matched ones."""
+        if not self.workers:
+            return []
+        if len(self.workers) == 1:
+            self.workers[0].check_health()
+        else:
+            threads = [
+                threading.Thread(target=worker.check_health, daemon=True)
+                for worker in self.workers
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        return self.live_workers()
+
+    def live_workers(self) -> List[RemoteWorker]:
+        """Workers whose last health check (or dispatch) found them alive."""
+        return [worker for worker in self.workers if worker.alive]
+
+    def mark_dead(self, worker: RemoteWorker, error: Exception) -> None:
+        """Record that ``worker`` failed mid-batch; excluded until re-refreshed."""
+        worker.alive = False
+        worker.last_error = str(error)
+
+    def note_failover(self, num_shards: int = 1) -> None:
+        """Count shards that fell back from a remote worker to the local pool."""
+        with self._lock:
+            self._failovers += num_shards
+
+    def note_remote(self, num_specs: int, num_shards: int = 1) -> None:
+        """Count work actually completed on remote workers."""
+        with self._lock:
+            self._remote_shards += num_shards
+            self._remote_specs += num_specs
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate dispatch counters plus per-worker liveness."""
+        with self._lock:
+            failovers = self._failovers
+            remote_shards = self._remote_shards
+            remote_specs = self._remote_specs
+        return {
+            "num_workers": len(self.workers),
+            "num_live": len(self.live_workers()),
+            "failovers": failovers,
+            "remote_shards": remote_shards,
+            "remote_specs": remote_specs,
+            "workers": [
+                {
+                    "url": worker.url,
+                    "alive": worker.alive,
+                    "shards_completed": worker.shards_completed,
+                    "specs_completed": worker.specs_completed,
+                    "last_error": worker.last_error,
+                }
+                for worker in self.workers
+            ],
+        }

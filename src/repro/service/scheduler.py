@@ -1,4 +1,4 @@
-"""Sharded batch scheduler: dedup, cache consultation, process-pool fan-out.
+"""Sharded batch scheduler: dedup, cache, process-pool and remote fan-out.
 
 The scheduler turns a heterogeneous list of
 :class:`~repro.service.spec.ScenarioSpec` into result payloads while doing
@@ -12,46 +12,68 @@ as little engine work as possible:
 3. **Shard + fan out** — the remaining unique specs are split into shards
    and dispatched through :func:`repro.analysis.sweep.map_rows`, the same
    process-pool fan-out (with its serial pickle-fallback) the parameter
-   sweeps use.
+   sweeps use;
+4. **Remote dispatch** — given a
+   :class:`~repro.service.remote.RemoteWorkerPool` (or worker URLs),
+   shards round-robin across the live remote ``repro serve`` workers and
+   the local pool.  A worker that dies mid-batch is marked dead and its
+   shards fail over to local execution, so the batch always completes.
 
 Determinism: every stochastic spec carries its own explicit seed, so batch
 results are bit-identical to evaluating the specs serially, whatever the
-sharding or worker count.  The grid helpers
+sharding, worker count or remote/local placement.  The grid helpers
 (:func:`montecarlo_grid_specs`, :func:`simulate_grid_specs`) derive
 per-scenario seeds from one root seed via
 :func:`repro.simulation.monte_carlo.spawn_seeds` with exactly the
 derivation :func:`repro.analysis.sweep.sweep_random_faults` uses, so a
 scheduled grid reproduces the serial sweep bit for bit.
+
+Long grids need not block: :meth:`ScenarioScheduler.submit_job` runs a
+batch on a background thread and returns a :class:`BatchJob` handle with
+live partial-progress counts — the object the HTTP server exposes as
+``POST /jobs`` + ``GET /jobs/<id>``.
 """
 
 from __future__ import annotations
 
-import math
 import os
 import threading
-from concurrent.futures import Future
+import uuid
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from ..analysis.sweep import map_rows
+from ..analysis.sweep import map_rows, suggest_shard_size
 from ..exceptions import InvalidProblemError
 from ..simulation.engine import DEFAULT_ENGINE
 from ..simulation.monte_carlo import SeedLike, spawn_seeds
 from .cache import ResultCache
-from .execute import execute_spec
+from .execute import execute_shard, execute_spec
+from .remote import RemoteWorker, RemoteWorkerError, RemoteWorkerPool
 from .spec import ENGINE_VERSION, MonteCarloFaultsSpec, ScenarioSpec, SimulateSpec
 
 __all__ = [
     "BatchResult",
+    "BatchJob",
     "ScenarioScheduler",
     "simulate_grid_specs",
     "montecarlo_grid_specs",
 ]
 
+#: How many finished jobs the scheduler remembers for ``GET /jobs/<id>``.
+MAX_RETAINED_JOBS = 256
 
-def _shard_worker(task: tuple) -> List[dict]:
-    """Evaluate one shard of specs (top-level, so it pickles into the pool)."""
-    return [execute_spec(spec) for spec in task]
+WorkersLike = Union[RemoteWorkerPool, Sequence[Union[str, RemoteWorker]]]
 
 
 @dataclass(frozen=True)
@@ -59,10 +81,12 @@ class BatchResult:
     """Outcome of one scheduled batch.
 
     ``results`` is in scenario order (duplicates included — they share the
-    payload of their first occurrence).  The counters make the dedup and
-    cache savings auditable: ``evaluated`` is the number of *engine*
-    evaluations actually performed, at most ``num_unique`` and often far
-    below ``num_scenarios``.
+    payload of their first occurrence).  The counters make the dedup,
+    cache and dispatch savings auditable: ``evaluated`` is the number of
+    *engine* evaluations actually performed, at most ``num_unique`` and
+    often far below ``num_scenarios``; ``remote_evaluated`` of those ran
+    on remote workers, and ``failovers`` counts shards that fell back to
+    the local pool after a worker died mid-batch.
     """
 
     results: Tuple[dict, ...]
@@ -71,6 +95,9 @@ class BatchResult:
     cache_hits: int
     evaluated: int
     num_shards: int
+    remote_evaluated: int = 0
+    failovers: int = 0
+    num_remote_workers: int = 0
 
     def to_dict(self) -> dict:
         """Plain-dict form (the ``stats`` block of ``POST /batch``)."""
@@ -81,11 +108,101 @@ class BatchResult:
             "cache_hits": self.cache_hits,
             "evaluated": self.evaluated,
             "num_shards": self.num_shards,
+            "remote_evaluated": self.remote_evaluated,
+            "failovers": self.failovers,
+            "num_remote_workers": self.num_remote_workers,
         }
 
 
+class BatchJob:
+    """Handle to one asynchronously running batch with partial progress.
+
+    ``completed``/``total`` count *unique* scenarios resolved (cache hits
+    count immediately, evaluations as their shard completes), so pollers
+    see monotone progress even on heavily deduplicated grids.  Thread-safe:
+    the batch thread writes, any number of HTTP poller threads read.
+    """
+
+    def __init__(self, job_id: str, num_scenarios: int) -> None:
+        self.job_id = job_id
+        self.num_scenarios = num_scenarios
+        self._lock = threading.Lock()
+        self._state = "running"
+        self._completed = 0
+        self._total: Optional[int] = None
+        self._batch: Optional[BatchResult] = None
+        self._error: Optional[str] = None
+        self._done = threading.Event()
+
+    # -- written by the batch thread -----------------------------------
+    def _on_progress(self, completed: int, total: int) -> None:
+        with self._lock:
+            self._total = total
+            if completed > self._completed:
+                self._completed = completed
+
+    def _finish(self, batch: BatchResult) -> None:
+        with self._lock:
+            self._batch = batch
+            self._completed = batch.num_unique
+            self._total = batch.num_unique
+            self._state = "done"
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        with self._lock:
+            self._error = str(error)
+            self._state = "error"
+        self._done.set()
+
+    # -- read by pollers ------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``running``, ``done`` or ``error``."""
+        with self._lock:
+            return self._state
+
+    @property
+    def done(self) -> bool:
+        """True once the batch finished (successfully or not)."""
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; returns False on timeout."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> BatchResult:
+        """The finished :class:`BatchResult`; raises on failure/timeout."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"job {self.job_id} still running")
+        with self._lock:
+            if self._batch is not None:
+                return self._batch
+            raise InvalidProblemError(f"job {self.job_id} failed: {self._error}")
+
+    def to_dict(self, include_results: bool = True) -> dict:
+        """JSON form for ``GET /jobs/<id>``: state, progress, result."""
+        with self._lock:
+            payload: Dict[str, object] = {
+                "job_id": self.job_id,
+                "state": self._state,
+                "num_scenarios": self.num_scenarios,
+                "progress": {
+                    "completed": self._completed,
+                    "total": self._total,
+                },
+            }
+            if self._error is not None:
+                payload["error"] = self._error
+            if self._batch is not None:
+                payload["stats"] = self._batch.to_dict()
+                if include_results:
+                    payload["results"] = list(self._batch.results)
+        return payload
+
+
 class ScenarioScheduler:
-    """Evaluate scenario specs through the cache and the process pool.
+    """Evaluate scenario specs through the cache, the pool and remote workers.
 
     Parameters
     ----------
@@ -95,15 +212,34 @@ class ScenarioScheduler:
     engine_version:
         Version string folded into every cache key (see
         :data:`repro.service.spec.ENGINE_VERSION`).
+    workers:
+        Default remote executors for every batch: a
+        :class:`~repro.service.remote.RemoteWorkerPool` or a sequence of
+        ``repro serve`` base URLs.  ``None`` keeps the scheduler
+        single-machine; per-call ``workers=`` overrides this default.
     """
 
     def __init__(
         self,
         cache: Optional[ResultCache] = None,
         engine_version: str = ENGINE_VERSION,
+        workers: Optional[WorkersLike] = None,
     ) -> None:
         self.cache = cache if cache is not None else ResultCache()
         self.engine_version = engine_version
+        self.worker_pool = self._as_pool(workers)
+        self._jobs: "OrderedDict[str, BatchJob]" = OrderedDict()
+        self._jobs_lock = threading.Lock()
+
+    def _as_pool(self, workers: Optional[WorkersLike]) -> Optional[RemoteWorkerPool]:
+        if workers is None:
+            return None
+        if isinstance(workers, RemoteWorkerPool):
+            return workers
+        workers = list(workers)
+        if not workers:
+            return None
+        return RemoteWorkerPool(workers, engine_version=self.engine_version)
 
     # ------------------------------------------------------------------
     def evaluate(self, spec: ScenarioSpec) -> Tuple[dict, bool]:
@@ -121,14 +257,19 @@ class ScenarioScheduler:
         specs: Iterable[ScenarioSpec],
         max_workers: Optional[int] = None,
         shard_size: Optional[int] = None,
+        workers: Optional[WorkersLike] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> BatchResult:
         """Evaluate a heterogeneous scenario list with dedup + cache + shards.
 
-        ``max_workers`` is forwarded to the shared fan-out
+        ``max_workers`` is forwarded to the local fan-out
         (:func:`repro.analysis.sweep.map_rows`; ``1`` forces serial
         evaluation).  ``shard_size`` is the number of specs grouped into
-        one pool task; ``None`` picks a size that gives every worker a few
-        shards.  Neither parameter affects the numeric results.
+        one dispatch unit; ``None`` picks a size that gives every executor
+        a few shards.  ``workers`` selects remote executors for this batch
+        (defaulting to the pool given at construction).  ``progress`` is
+        called as ``progress(completed_unique, total_unique)`` while the
+        batch runs.  None of these parameters affect the numeric results.
         """
         specs = list(specs)
         keys = [spec.cache_key(self.engine_version) for spec in specs]
@@ -155,9 +296,48 @@ class ScenarioScheduler:
             else:
                 pending.append((key, spec))
 
-        # Shard the remaining work and fan out over the shared executor.
-        shards = _split_shards([spec for _key, spec in pending], shard_size, max_workers)
-        shard_payloads = map_rows(_shard_worker, shards, max_workers)
+        total_unique = len(unique_keys)
+        progress_lock = threading.Lock()
+        completed = {"specs": cache_hits}
+
+        def note(num_specs: int) -> None:
+            if progress is None:
+                return
+            with progress_lock:
+                completed["specs"] = min(total_unique, completed["specs"] + num_specs)
+                done = completed["specs"]
+            progress(done, total_unique)
+
+        if progress is not None:
+            progress(cache_hits, total_unique)
+
+        pool = self.worker_pool if workers is None else self._as_pool(workers)
+        num_executors = 1 + (len(pool) if pool is not None else 0)
+        shards = _split_shards(
+            [spec for _key, spec in pending], shard_size, max_workers, num_executors
+        )
+
+        remote_evaluated = 0
+        failovers = 0
+        num_remote_workers = 0
+        if pool is not None and shards:
+            shard_payloads, dispatch = self._dispatch_remote(
+                shards, pool, max_workers, note
+            )
+            remote_evaluated = dispatch["remote_specs"]
+            failovers = dispatch["failovers"]
+            num_remote_workers = dispatch["num_workers"]
+        else:
+            shard_payloads = map_rows(
+                execute_shard,
+                shards,
+                max_workers,
+                progress=(
+                    None
+                    if progress is None
+                    else lambda index: note(len(shards[index]))
+                ),
+            )
         computed = [payload for shard in shard_payloads for payload in shard]
         for (key, _spec), payload in zip(pending, computed):
             self.cache.put(key, payload)
@@ -166,23 +346,147 @@ class ScenarioScheduler:
         return BatchResult(
             results=tuple(payload_by_key[key] for key in keys),
             num_scenarios=len(specs),
-            num_unique=len(unique_keys),
+            num_unique=total_unique,
             cache_hits=cache_hits,
             evaluated=len(pending),
             num_shards=len(shards),
+            remote_evaluated=remote_evaluated,
+            failovers=failovers,
+            num_remote_workers=num_remote_workers,
         )
 
+    # ------------------------------------------------------------------
+    def _dispatch_remote(
+        self,
+        shards: List[tuple],
+        pool: RemoteWorkerPool,
+        max_workers: Optional[int],
+        note: Callable[[int], None],
+    ) -> Tuple[List[list], Dict[str, int]]:
+        """Round-robin shards over live remote workers plus the local pool.
+
+        Returns the per-shard payload lists (in shard order) and the
+        dispatch counters for this batch.  Shard placement follows
+        ``shard index mod (live workers + 1)`` with the last slot being the
+        local executor, so adding workers only *moves* shards, never
+        reorders or recomputes them.
+        """
+        live = pool.refresh()
+        if not live:
+            payload_lists = map_rows(
+                execute_shard,
+                shards,
+                max_workers,
+                progress=lambda index: note(len(shards[index])),
+            )
+            return payload_lists, {
+                "remote_specs": 0,
+                "failovers": 0,
+                "num_workers": 0,
+            }
+
+        num_slots = len(live) + 1  # the extra slot is the local pool
+        queues: Dict[int, List[int]] = {slot: [] for slot in range(len(live))}
+        local_indices: List[int] = []
+        for index in range(len(shards)):
+            slot = index % num_slots
+            if slot < len(live):
+                queues[slot].append(index)
+            else:
+                local_indices.append(index)
+
+        results: List[Optional[list]] = [None] * len(shards)
+        batch_counters = {"remote_specs": 0, "failovers": 0}
+        failover_indices: List[int] = []
+        counters_lock = threading.Lock()
+
+        def run_queue(worker: RemoteWorker, indices: List[int]) -> None:
+            # Death is tracked per batch, not via the shared worker.alive:
+            # a concurrent batch's health refresh may resurrect the worker,
+            # but this batch's failover decision must stay consistent.
+            dead = False
+            for shard_index in indices:
+                shard = shards[shard_index]
+                payloads = None
+                if not dead:
+                    try:
+                        payloads = worker.evaluate_shard(
+                            [spec.to_dict() for spec in shard]
+                        )
+                    except RemoteWorkerError as error:
+                        if error.worker_dead:
+                            pool.mark_dead(worker, error)
+                            dead = True
+                if payloads is None:
+                    # Collected for the local pool once the remote phase
+                    # drains: same specs, same seeds, so the payloads are
+                    # bit-identical to what the worker would have returned.
+                    pool.note_failover()
+                    with counters_lock:
+                        batch_counters["failovers"] += 1
+                        failover_indices.append(shard_index)
+                    continue
+                pool.note_remote(len(shard))
+                with counters_lock:
+                    batch_counters["remote_specs"] += len(shard)
+                results[shard_index] = payloads
+                note(len(shard))
+
+        with ThreadPoolExecutor(
+            max_workers=len(live), thread_name_prefix="repro-remote"
+        ) as dispatcher:
+            remote_futures = [
+                dispatcher.submit(run_queue, worker, queues[slot])
+                for slot, worker in enumerate(live)
+            ]
+            # The calling thread works the local slot while remote shards
+            # are in flight.
+            local_shards = [shards[index] for index in local_indices]
+            local_payloads = map_rows(
+                execute_shard,
+                local_shards,
+                max_workers,
+                progress=lambda local_pos: note(len(local_shards[local_pos])),
+            )
+            for index, payloads in zip(local_indices, local_payloads):
+                results[index] = payloads
+            for future in remote_futures:
+                future.result()  # propagate unexpected errors
+
+        if failover_indices:
+            # Shards orphaned by dead workers re-run on the local process
+            # pool (not serially on the dispatcher threads).
+            failover_indices.sort()
+            failover_shards = [shards[index] for index in failover_indices]
+            failover_payloads = map_rows(
+                execute_shard,
+                failover_shards,
+                max_workers,
+                progress=lambda pos: note(len(failover_shards[pos])),
+            )
+            for index, payloads in zip(failover_indices, failover_payloads):
+                results[index] = payloads
+
+        return results, {  # type: ignore[return-value]
+            "remote_specs": batch_counters["remote_specs"],
+            "failovers": batch_counters["failovers"],
+            "num_workers": len(live),
+        }
+
+    # ------------------------------------------------------------------
     def submit_batch(
         self,
         specs: Iterable[ScenarioSpec],
         max_workers: Optional[int] = None,
         shard_size: Optional[int] = None,
+        workers: Optional[WorkersLike] = None,
     ) -> "Future[BatchResult]":
         """Asynchronous :meth:`run_batch`: returns a future immediately.
 
         The batch runs on a background thread (the heavy lifting still
-        happens in the process pool), so callers can overlap scheduling
-        with other work and collect the :class:`BatchResult` later.
+        happens in the process pool or on remote workers), so callers can
+        overlap scheduling with other work and collect the
+        :class:`BatchResult` later.
         """
         specs = list(specs)
         future: "Future[BatchResult]" = Future()
@@ -191,7 +495,9 @@ class ScenarioScheduler:
             if not future.set_running_or_notify_cancel():
                 return
             try:
-                future.set_result(self.run_batch(specs, max_workers, shard_size))
+                future.set_result(
+                    self.run_batch(specs, max_workers, shard_size, workers)
+                )
             except BaseException as error:  # propagate through the future
                 future.set_exception(error)
 
@@ -199,19 +505,81 @@ class ScenarioScheduler:
         thread.start()
         return future
 
+    def submit_job(
+        self,
+        specs: Iterable[ScenarioSpec],
+        max_workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
+        workers: Optional[WorkersLike] = None,
+    ) -> BatchJob:
+        """Start a batch in the background and return a pollable job handle.
+
+        The HTTP layer maps this to ``POST /jobs`` (job id back
+        immediately) and ``GET /jobs/<id>`` (state + partial progress, and
+        the full results once done), so long grids never block a request
+        thread.  Finished jobs are retained up to :data:`MAX_RETAINED_JOBS`.
+        """
+        specs = list(specs)
+        job = BatchJob(job_id=uuid.uuid4().hex, num_scenarios=len(specs))
+        with self._jobs_lock:
+            self._jobs[job.job_id] = job
+            while len(self._jobs) > MAX_RETAINED_JOBS:
+                # Prefer evicting finished jobs; never drop a running one
+                # unless every retained job is still running.
+                for job_id, retained in self._jobs.items():
+                    if retained.done:
+                        del self._jobs[job_id]
+                        break
+                else:
+                    self._jobs.popitem(last=False)
+
+        def _run() -> None:
+            try:
+                job._finish(
+                    self.run_batch(
+                        specs,
+                        max_workers,
+                        shard_size,
+                        workers,
+                        progress=job._on_progress,
+                    )
+                )
+            except BaseException as error:
+                job._fail(error)
+
+        thread = threading.Thread(
+            target=_run, name=f"repro-job-{job.job_id[:8]}", daemon=True
+        )
+        thread.start()
+        return job
+
+    def get_job(self, job_id: str) -> Optional[BatchJob]:
+        """Look up a previously submitted job (``None`` when unknown)."""
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[BatchJob]:
+        """All retained jobs, oldest first."""
+        with self._jobs_lock:
+            return list(self._jobs.values())
+
 
 def _split_shards(
     specs: Sequence[ScenarioSpec],
     shard_size: Optional[int],
     max_workers: Optional[int],
+    num_executors: int = 1,
 ) -> List[tuple]:
     if not specs:
         return []
     if shard_size is None:
-        workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
-        # A few shards per worker amortises process startup while keeping
-        # the pool busy even when shards are heterogeneous in cost.
-        shard_size = max(1, math.ceil(len(specs) / max(1, 4 * workers)))
+        local_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        # Executors beyond the local pool (remote workers) each count once:
+        # a remote shard is one HTTP round-trip whatever its size, and the
+        # worker parallelises internally.
+        shard_size = suggest_shard_size(
+            len(specs), max(1, local_workers) + max(0, num_executors - 1)
+        )
     if shard_size < 1:
         raise InvalidProblemError(f"shard_size must be positive, got {shard_size}")
     return [

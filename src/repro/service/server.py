@@ -19,18 +19,35 @@ Endpoints
     "shard_size"?: int}`` (or a bare JSON list of specs).
     Response: ``{"results": [...], "stats": batch counters,
     "cache": cache counters}``.
+``POST /jobs``
+    Same body as ``POST /batch``, but the batch runs asynchronously:
+    responds ``202`` with ``{"job_id": ..., "path": "/jobs/<id>"}``
+    immediately, so long grids never block the request thread.
+``GET /jobs``
+    Summaries of the retained jobs (id, state, progress).
+``GET /jobs/<id>``
+    State plus partial progress counts while running; the full
+    ``results``/``stats`` once done.  Unknown ids return ``404``.
+``GET /workers``
+    Dispatch counters of the remote worker pool (coordinator nodes only;
+    ``404`` when the server has no pool).
 
-Malformed scenarios return ``400`` with ``{"error": message}``; unknown
-paths ``404``.  All responses are strict JSON (non-finite floats are
-encoded as the strings ``"inf"``/``"-inf"``/``"nan"``, exactly as the CLI
+Malformed JSON bodies and invalid scenarios return ``400`` with
+``{"error": message}`` (never a traceback); unknown paths and unknown job
+ids ``404``.  All responses are strict JSON (non-finite floats are encoded
+as the strings ``"inf"``/``"-inf"``/``"nan"``, exactly as the CLI
 ``--json`` flags emit them).
+
+A server given ``workers=[...]`` acts as a *coordinator*: its scheduler
+round-robins batch shards across those remote ``repro serve`` instances
+and the local pool (see :mod:`repro.service.remote`).
 """
 
 from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from .. import __version__
 from ..exceptions import ReproError
@@ -44,6 +61,24 @@ __all__ = ["ScenarioServer", "create_server", "run_server"]
 #: Upper bound on accepted request bodies; far above any realistic batch,
 #: mostly a guard against unbounded reads on a public port.
 MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+def _parse_batch_body(body):
+    """Validate a ``/batch``-shaped body into ``(specs, max_workers, shard_size)``.
+
+    Shared by the synchronous ``POST /batch`` and the asynchronous
+    ``POST /jobs`` so both reject malformed requests identically (a bare
+    JSON list of scenarios is accepted as shorthand).
+    """
+    if isinstance(body, list):
+        body = {"scenarios": body}
+    if not isinstance(body, dict):
+        raise ValueError("batch body must be a JSON object or a list of scenarios")
+    scenarios = body.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        raise ValueError("'scenarios' must be a non-empty list")
+    specs = [spec_from_dict(item) for item in scenarios]
+    return specs, body.get("max_workers"), body.get("shard_size")
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -91,6 +126,30 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             )
         elif self.path == "/cache/stats":
             self._send_json(200, scheduler.cache.stats().to_dict())
+        elif self.path == "/jobs":
+            self._send_json(
+                200,
+                {
+                    "jobs": [
+                        job.to_dict(include_results=False)
+                        for job in scheduler.jobs()
+                    ]
+                },
+            )
+        elif self.path.startswith("/jobs/"):
+            job_id = self.path[len("/jobs/") :]
+            job = scheduler.get_job(job_id)
+            if job is None:
+                self._send_json(404, {"error": f"unknown job {job_id!r}"})
+            else:
+                self._send_json(200, job.to_dict())
+        elif self.path == "/workers":
+            if scheduler.worker_pool is None:
+                self._send_json(
+                    404, {"error": "this server has no remote worker pool"}
+                )
+            else:
+                self._send_json(200, scheduler.worker_pool.stats())
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
@@ -118,20 +177,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     },
                 )
             elif self.path == "/batch":
-                if isinstance(body, list):
-                    body = {"scenarios": body}
-                if not isinstance(body, dict):
-                    raise ValueError(
-                        "batch body must be a JSON object or a list of scenarios"
-                    )
-                scenarios = body.get("scenarios")
-                if not isinstance(scenarios, list) or not scenarios:
-                    raise ValueError("'scenarios' must be a non-empty list")
-                specs = [spec_from_dict(item) for item in scenarios]
+                specs, max_workers, shard_size = _parse_batch_body(body)
                 batch = scheduler.run_batch(
-                    specs,
-                    max_workers=body.get("max_workers"),
-                    shard_size=body.get("shard_size"),
+                    specs, max_workers=max_workers, shard_size=shard_size
                 )
                 self._send_json(
                     200,
@@ -139,6 +187,20 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                         "results": list(batch.results),
                         "stats": batch.to_dict(),
                         "cache": scheduler.cache.stats().to_dict(),
+                    },
+                )
+            elif self.path == "/jobs":
+                specs, max_workers, shard_size = _parse_batch_body(body)
+                job = scheduler.submit_job(
+                    specs, max_workers=max_workers, shard_size=shard_size
+                )
+                self._send_json(
+                    202,
+                    {
+                        "job_id": job.job_id,
+                        "state": job.state,
+                        "num_scenarios": job.num_scenarios,
+                        "path": f"/jobs/{job.job_id}",
                     },
                 )
             else:
@@ -182,10 +244,17 @@ def create_server(
     scheduler: Optional[ScenarioScheduler] = None,
     cache: Optional[ResultCache] = None,
     verbose: bool = False,
+    workers: Optional[Sequence[str]] = None,
 ) -> ScenarioServer:
-    """Build a :class:`ScenarioServer` (``port=0`` binds an ephemeral port)."""
+    """Build a :class:`ScenarioServer` (``port=0`` binds an ephemeral port).
+
+    ``workers`` (a sequence of ``repro serve`` base URLs) turns the server
+    into a coordinator that dispatches batch shards across those remote
+    workers and the local pool; ignored when an explicit ``scheduler`` is
+    supplied.
+    """
     if scheduler is None:
-        scheduler = ScenarioScheduler(cache=cache)
+        scheduler = ScenarioScheduler(cache=cache, workers=workers)
     return ScenarioServer((host, port), scheduler, verbose=verbose)
 
 

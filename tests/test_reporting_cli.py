@@ -402,3 +402,90 @@ class TestCliCommands:
         output = capsys.readouterr().out
         assert "detection time" in output
         assert "confirm" in output
+
+
+class TestDistributedCli:
+    """CLI surface of the multi-node dispatch: --workers, --async, serve."""
+
+    @staticmethod
+    def _scenario_file(tmp_path, count=6):
+        scenarios = [
+            {"kind": "simulate", "num_rays": 2, "num_robots": 1,
+             "num_faulty": 0, "horizon": float(horizon)}
+            for horizon in range(20, 20 + count)
+        ]
+        path = tmp_path / "scenarios.json"
+        path.write_text(json.dumps(scenarios))
+        return path, scenarios
+
+    def test_batch_async_flag_completes_with_progress(self, tmp_path, capsys):
+        path, scenarios = self._scenario_file(tmp_path)
+        argv = ["batch", "--file", str(path), "--max-workers", "1",
+                "--async", "--json"]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["stats"]["num_scenarios"] == len(scenarios)
+        assert len(payload["results"]) == len(scenarios)
+        assert "submitted" in captured.err  # progress chatter goes to stderr
+
+    def test_batch_async_matches_sync_results(self, tmp_path, capsys):
+        path, _scenarios = self._scenario_file(tmp_path)
+        assert main(["batch", "--file", str(path), "--max-workers", "1",
+                     "--json"]) == 0
+        sync = json.loads(capsys.readouterr().out)
+        assert main(["batch", "--file", str(path), "--max-workers", "1",
+                     "--async", "--json"]) == 0
+        from_job = json.loads(capsys.readouterr().out)
+        assert from_job["results"] == sync["results"]  # bit-identical
+
+    def test_batch_workers_flag_dispatches_remotely(self, tmp_path, capsys):
+        import threading
+
+        from repro.service.server import create_server
+
+        worker = create_server(host="127.0.0.1", port=0)
+        thread = threading.Thread(target=worker.serve_forever, daemon=True)
+        thread.start()
+        try:
+            path, scenarios = self._scenario_file(tmp_path, count=8)
+            argv = ["batch", "--file", str(path), "--max-workers", "1",
+                    "--shard-size", "2", "--workers", worker.url, "--json"]
+            assert main(argv) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["stats"]["num_remote_workers"] == 1
+            assert payload["stats"]["remote_evaluated"] > 0
+            assert len(payload["results"]) == len(scenarios)
+            assert payload["results"][0]["theoretical"] == 9.0
+        finally:
+            worker.shutdown()
+            worker.server_close()
+            thread.join(timeout=10)
+
+    def test_batch_workers_unreachable_falls_back_to_local(self, tmp_path, capsys):
+        path, scenarios = self._scenario_file(tmp_path, count=3)
+        argv = ["batch", "--file", str(path), "--max-workers", "1",
+                "--workers", "http://127.0.0.1:9,", "--json"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["num_remote_workers"] == 0
+        assert len(payload["results"]) == len(scenarios)
+
+    def test_serve_workers_flag_builds_coordinator(self, monkeypatch, capsys):
+        import repro.service.server as server_module
+
+        captured = {}
+
+        def fake_run_server(server):
+            captured["pool"] = server.scheduler.worker_pool
+            server.server_close()
+
+        monkeypatch.setattr(server_module, "run_server", fake_run_server)
+        argv = ["serve", "--port", "0", "--workers",
+                "http://127.0.0.1:9001,http://127.0.0.1:9002"]
+        assert main(argv) == 0
+        pool = captured["pool"]
+        assert pool is not None and len(pool) == 2
+        assert [worker.url for worker in pool.workers] == [
+            "http://127.0.0.1:9001", "http://127.0.0.1:9002"
+        ]

@@ -131,3 +131,98 @@ class TestDiskBackend:
         assert restored.minimum == statistics.minimum
         assert math.isinf(restored.maximum)
         assert restored.batch_means == statistics.batch_means
+
+
+class TestDiskGarbageCollection:
+    """Regression tests for ``repro cache gc`` (engine-version GC)."""
+
+    @staticmethod
+    def _populate(tmp_path, engine_version, horizons):
+        from repro.service.cache import ResultCache
+        from repro.service.scheduler import ScenarioScheduler
+        from repro.service.spec import SimulateSpec
+
+        scheduler = ScenarioScheduler(
+            cache=ResultCache(disk_path=str(tmp_path)),
+            engine_version=engine_version,
+        )
+        for horizon in horizons:
+            scheduler.evaluate(SimulateSpec(num_robots=1, horizon=float(horizon)))
+
+    def test_gc_drops_stale_engine_versions_and_keeps_current(self, tmp_path):
+        from repro.service.cache import ResultCache, gc_disk_cache
+        from repro.service.spec import ENGINE_VERSION, SimulateSpec
+
+        self._populate(tmp_path, "repro/old+engine.0", [50, 60, 70])
+        self._populate(tmp_path, ENGINE_VERSION, [50, 80])
+        assert len(list(tmp_path.glob("*.json"))) == 5
+
+        report = gc_disk_cache(str(tmp_path))
+        assert report.scanned == 5
+        assert report.dropped == 3  # exactly the stale engine's entries
+        assert report.kept == 2
+        assert report.freed_bytes > 0
+        assert not report.dry_run
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+        # The surviving entries are still servable under the current engine.
+        fresh = ResultCache(disk_path=str(tmp_path))
+        for horizon in (50.0, 80.0):
+            key = SimulateSpec(num_robots=1, horizon=horizon).cache_key()
+            assert fresh.get(key) is not None
+
+    def test_gc_dry_run_deletes_nothing(self, tmp_path):
+        from repro.service.cache import gc_disk_cache
+
+        self._populate(tmp_path, "repro/old+engine.0", [50])
+        report = gc_disk_cache(str(tmp_path), dry_run=True)
+        assert report.dropped == 1 and report.dry_run
+        assert len(list(tmp_path.glob("*.json"))) == 1  # still on disk
+
+    def test_gc_drops_corrupt_records_and_ignores_foreign_files(self, tmp_path):
+        from repro.service.cache import gc_disk_cache
+
+        (tmp_path / f"{KEY_A}.json").write_text("{not json")
+        (tmp_path / f"{KEY_B}.json").write_text(json.dumps({"key": KEY_B}))
+        (tmp_path / "README.txt").write_text("not a cache entry")
+        (tmp_path / "short.json").write_text("{}")
+
+        report = gc_disk_cache(str(tmp_path))
+        assert report.scanned == 2  # only the two well-named cache files
+        assert report.dropped == 2
+        remaining = {path.name for path in tmp_path.iterdir()}
+        assert remaining == {"README.txt", "short.json"}
+
+    def test_gc_on_missing_directory_is_a_noop(self, tmp_path):
+        from repro.service.cache import gc_disk_cache
+
+        report = gc_disk_cache(str(tmp_path / "nope"))
+        assert report.scanned == 0 and report.dropped == 0
+
+    def test_gc_cli_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.service.spec import ENGINE_VERSION
+
+        self._populate(tmp_path, "repro/old+engine.0", [50, 60])
+        self._populate(tmp_path, ENGINE_VERSION, [50])
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["dropped"] == 2 and report["kept"] == 1
+        assert report["engine_version"] == ENGINE_VERSION
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+        # The table form runs too (and a second gc has nothing to drop).
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        assert "dropped" in capsys.readouterr().out
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_gc_drops_non_dict_records_without_crashing(self, tmp_path):
+        # Regression: a cache-named file whose top-level JSON is not an
+        # object (truncated/foreign write) must be dropped, not raise.
+        from repro.service.cache import gc_disk_cache
+
+        (tmp_path / f"{KEY_A}.json").write_text("[1, 2, 3]")
+        (tmp_path / f"{KEY_B}.json").write_text('"just a string"')
+        report = gc_disk_cache(str(tmp_path))
+        assert report.scanned == 2 and report.dropped == 2
+        assert list(tmp_path.glob("*.json")) == []

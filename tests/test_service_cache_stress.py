@@ -1,0 +1,149 @@
+"""Concurrency stress test for :class:`repro.service.cache.ResultCache`.
+
+N threads hammer ``get``/``put`` on overlapping keys against a small LRU
+(so evictions fire constantly) with the disk backend enabled.  Afterwards
+the counters must balance exactly, every returned payload must be the
+payload stored for that key, and every on-disk entry must still parse as a
+valid record — the backend never serves or persists a corrupt value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import threading
+
+from repro.service.cache import ResultCache
+
+NUM_THREADS = 8
+OPS_PER_THREAD = 400
+NUM_KEYS = 48  # > max_entries, so puts evict constantly
+MAX_ENTRIES = 16
+
+
+def _key(index: int) -> str:
+    return hashlib.sha256(f"stress-{index}".encode()).hexdigest()
+
+
+def _payload(index: int) -> dict:
+    # Deterministic per key, so any served value is verifiable.
+    return {"index": index, "nested": {"values": [index, index * 2]},
+            "quantile": "inf" if index % 7 == 0 else float(index)}
+
+
+KEYS = [_key(index) for index in range(NUM_KEYS)]
+PAYLOADS = {KEYS[index]: _payload(index) for index in range(NUM_KEYS)}
+
+
+def _hammer(cache, seed, counts, errors, barrier):
+    rng = random.Random(seed)
+    gets = puts = 0
+    barrier.wait()
+    try:
+        for _ in range(OPS_PER_THREAD):
+            index = rng.randrange(NUM_KEYS)
+            key = KEYS[index]
+            if rng.random() < 0.5:
+                value = cache.get(key)
+                gets += 1
+                if value is not None and value != PAYLOADS[key]:
+                    errors.append(f"corrupt payload served for {key}: {value!r}")
+            else:
+                cache.put(key, PAYLOADS[key])
+                puts += 1
+    except BaseException as error:  # pragma: no cover - failure reporting
+        errors.append(f"thread raised: {error!r}")
+    counts.append((gets, puts))
+
+
+class TestCacheStress:
+    def test_threads_hammering_shared_cache_keep_stats_consistent(self, tmp_path):
+        cache = ResultCache(max_entries=MAX_ENTRIES, disk_path=str(tmp_path))
+        counts, errors = [], []
+        barrier = threading.Barrier(NUM_THREADS)
+        threads = [
+            threading.Thread(
+                target=_hammer, args=(cache, 1000 + index, counts, errors, barrier)
+            )
+            for index in range(NUM_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive(), "stress thread deadlocked"
+
+        assert errors == []
+        total_gets = sum(gets for gets, _puts in counts)
+        total_puts = sum(puts for _gets, puts in counts)
+        assert total_gets + total_puts == NUM_THREADS * OPS_PER_THREAD
+
+        stats = cache.stats()
+        # Counter consistency: every get is exactly one hit or one miss,
+        # every put is exactly one store, and the LRU never overflows.
+        assert stats.hits + stats.misses == stats.requests == total_gets
+        assert stats.stores == total_puts
+        assert stats.entries == len(cache) <= MAX_ENTRIES
+        # Every memory insertion comes from a put or a disk-hit promotion,
+        # and each inserts (hence evicts) at most one entry.
+        assert stats.evictions <= stats.stores + stats.disk_hits
+        assert stats.disk_hits <= stats.hits
+        assert stats.disk_stores <= stats.stores
+        # With 48 keys racing through 16 slots, evictions must have fired.
+        assert stats.evictions > 0
+
+        # Disk backend integrity: every persisted entry still parses and
+        # carries exactly the payload stored under its key; no temp files
+        # leaked.
+        files = sorted(tmp_path.iterdir())
+        assert files, "disk backend wrote nothing"
+        for path in files:
+            assert path.suffix == ".json", f"leaked temp file {path.name}"
+            record = json.loads(path.read_text())
+            key = path.name[: -len(".json")]
+            assert record["key"] == key
+            assert record["payload"] == PAYLOADS[key]
+
+        # And a fresh instance can serve every persisted key from disk.
+        fresh = ResultCache(max_entries=MAX_ENTRIES, disk_path=str(tmp_path))
+        for path in files:
+            key = path.name[: -len(".json")]
+            assert fresh.get(key) == PAYLOADS[key]
+
+    def test_concurrent_put_same_key_never_tears(self, tmp_path):
+        # All threads write the *same* key with different (valid) payloads;
+        # readers must only ever observe one of the complete payloads.
+        cache = ResultCache(max_entries=4, disk_path=str(tmp_path))
+        key = _key(999)
+        versions = [
+            {"version": index, "blob": [index] * 8} for index in range(NUM_THREADS)
+        ]
+        errors = []
+        barrier = threading.Barrier(NUM_THREADS * 2)
+
+        def writer(index):
+            barrier.wait()
+            for _ in range(200):
+                cache.put(key, versions[index])
+
+        def reader():
+            barrier.wait()
+            for _ in range(200):
+                value = cache.get(key)
+                if value is not None and value not in versions:
+                    errors.append(f"torn read: {value!r}")
+
+        threads = [
+            threading.Thread(target=writer, args=(index,))
+            for index in range(NUM_THREADS)
+        ] + [threading.Thread(target=reader) for _ in range(NUM_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+
+        assert errors == []
+        record = json.loads((tmp_path / f"{key}.json").read_text())
+        assert record["payload"] in versions  # disk holds a complete version

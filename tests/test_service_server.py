@@ -149,3 +149,96 @@ class TestGoldenScenarios:
         )
         assert status == 400
         assert "target" in body["error"]
+
+
+class TestRobustness:
+    """Regression tests: structured errors, never tracebacks or 500s."""
+
+    def test_malformed_json_body_returns_structured_400(self, server_url):
+        for path in ("/evaluate", "/batch", "/jobs"):
+            request = urllib.request.Request(
+                server_url + path,
+                data=b'{"scenarios": [}',
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=60)
+            assert excinfo.value.code == 400
+            body = json.loads(excinfo.value.read())
+            assert "invalid JSON body" in body["error"]
+
+    def test_unknown_spec_kind_returns_structured_400(self, server_url):
+        for path in ("/evaluate", "/batch", "/jobs"):
+            payload = {"kind": "quantum"}
+            if path != "/evaluate":
+                payload = {"scenarios": [payload]}
+            status, body = _post(server_url + path, payload)
+            assert status == 400
+            assert "unknown scenario kind" in body["error"]
+
+    def test_non_object_scenario_returns_400(self, server_url):
+        status, body = _post(server_url + "/evaluate", [1, 2, 3])
+        assert status == 400
+        status, body = _post(server_url + "/batch", {"scenarios": [42]})
+        assert status == 400
+        assert "error" in body
+
+    def test_empty_body_returns_400(self, server_url):
+        request = urllib.request.Request(
+            server_url + "/evaluate", data=b"", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=60)
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read())
+
+    def test_unknown_job_returns_404(self, server_url):
+        status, body = _get(server_url + "/jobs/deadbeef")
+        assert status == 404
+        assert "unknown job" in body["error"]
+
+    def test_workers_endpoint_404_without_pool(self, server_url):
+        status, body = _get(server_url + "/workers")
+        assert status == 404
+        assert "worker pool" in body["error"]
+
+
+class TestJobsEndpoint:
+    def test_submit_poll_and_list(self, server_url):
+        scenarios = [
+            {"kind": "simulate", "num_rays": 2, "num_robots": 1,
+             "num_faulty": 0, "horizon": float(horizon)}
+            for horizon in range(300, 310)
+        ]
+        status, submitted = _post(
+            server_url + "/jobs", {"scenarios": scenarios, "max_workers": 1}
+        )
+        assert status == 202
+        assert submitted["num_scenarios"] == len(scenarios)
+
+        import time
+
+        deadline = time.monotonic() + 60
+        while True:
+            status, body = _get(server_url + submitted["path"])
+            assert status == 200
+            if body["state"] != "running":
+                break
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+
+        assert body["state"] == "done"
+        assert body["progress"] == {"completed": len(scenarios),
+                                    "total": len(scenarios)}
+        assert body["stats"]["num_scenarios"] == len(scenarios)
+        assert len(body["results"]) == len(scenarios)
+        assert body["results"][0]["theoretical"] == 9.0
+
+        status, listing = _get(server_url + "/jobs")
+        assert status == 200
+        assert submitted["job_id"] in {job["job_id"] for job in listing["jobs"]}
+
+    def test_jobs_rejects_empty_scenarios(self, server_url):
+        status, body = _post(server_url + "/jobs", {"scenarios": []})
+        assert status == 400
+        assert "non-empty" in body["error"]

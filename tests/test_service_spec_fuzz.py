@@ -1,0 +1,251 @@
+"""Seeded property/fuzz tests for :mod:`repro.service.spec`.
+
+A random-spec generator over all six spec kinds asserts, for every sample:
+
+* ``spec → to_dict → from_dict → spec`` identity (also through JSON text);
+* cache-key stability across the round trip and across re-serialisation;
+* that perturbing any single semantic field changes the cache key (the
+  content address really is a function of the full spec).
+
+Everything derives from one seeded ``random.Random``, so a failure
+reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.service.spec import (
+    FAMILY_NAMES,
+    BoundsSpec,
+    FamilySpec,
+    MonteCarloFaultsSpec,
+    MonteCarloRandomizedSpec,
+    SimulateSpec,
+    TimelineSpec,
+    spec_from_dict,
+    spec_kinds,
+)
+
+NUM_SAMPLES_PER_KIND = 40
+SEED = 20260726
+
+
+def _problem_triple(rng, min_rays=1):
+    num_rays = rng.randint(min_rays, 6)
+    num_robots = rng.randint(1, 8)
+    num_faulty = rng.randint(0, max(0, num_robots - 1))
+    return num_rays, num_robots, num_faulty
+
+
+def _horizon(rng):
+    return round(rng.uniform(1.0, 1e5), rng.randint(0, 6))
+
+
+def _engine(rng):
+    return rng.choice(["vectorized", "scalar"])
+
+
+def _gen_bounds(rng):
+    m, k, f = _problem_triple(rng)
+    # bounds allows k == f (the regime is just "unsearchable").
+    if rng.random() < 0.2:
+        f = k
+    return BoundsSpec(num_rays=m, num_robots=k, num_faulty=f)
+
+
+def _gen_simulate(rng):
+    m, k, f = _problem_triple(rng)
+    return SimulateSpec(
+        num_rays=m,
+        num_robots=k,
+        num_faulty=f,
+        horizon=_horizon(rng),
+        engine=_engine(rng),
+    )
+
+
+def _gen_family(rng):
+    m, k, f = _problem_triple(rng)
+    return FamilySpec(
+        num_rays=m,
+        num_robots=k,
+        num_faulty=f,
+        horizon=_horizon(rng),
+        engine=_engine(rng),
+        family=rng.choice(FAMILY_NAMES),
+    )
+
+
+def _gen_montecarlo_faults(rng):
+    m, k, f = _problem_triple(rng)
+    return MonteCarloFaultsSpec(
+        num_rays=m,
+        num_robots=k,
+        num_faulty=f,
+        num_trials=rng.randint(1, 512),
+        seed=rng.randint(0, 2**31),
+        horizon=_horizon(rng),
+        engine=_engine(rng),
+        crash_model=rng.choice(["silent", "uniform"]),
+    )
+
+
+def _gen_montecarlo_randomized(rng):
+    num_rays = rng.randint(2, 6)
+    horizon = _horizon(rng)
+    targets = None
+    if rng.random() < 0.5:
+        targets = tuple(
+            (rng.randrange(num_rays), round(rng.uniform(0.1, horizon), 3))
+            for _ in range(rng.randint(1, 5))
+        )
+    return MonteCarloRandomizedSpec(
+        num_rays=num_rays,
+        num_samples=rng.randint(1, 512),
+        seed=rng.randint(0, 2**31),
+        horizon=horizon,
+        base=None if rng.random() < 0.5 else round(rng.uniform(1.01, 5.0), 4),
+        engine=_engine(rng),
+        targets=targets,
+    )
+
+
+def _gen_timeline(rng):
+    m, k, f = _problem_triple(rng)
+    return TimelineSpec(
+        num_rays=m,
+        num_robots=k,
+        num_faulty=f,
+        target_ray=rng.randrange(m),
+        target_distance=round(rng.uniform(0.1, 500.0), 4),
+    )
+
+
+_GENERATORS = {
+    "bounds": _gen_bounds,
+    "simulate": _gen_simulate,
+    "family": _gen_family,
+    "montecarlo_faults": _gen_montecarlo_faults,
+    "montecarlo_randomized": _gen_montecarlo_randomized,
+    "timeline": _gen_timeline,
+}
+
+
+def _generate(rng, kind):
+    # bounds is the only kind allowing k == f; the others resample until
+    # the generated problem is simulatable.
+    from repro.exceptions import InvalidProblemError
+
+    for _ in range(100):
+        try:
+            return _GENERATORS[kind](rng)
+        except InvalidProblemError:
+            continue
+    raise AssertionError(f"could not generate a valid {kind} spec")
+
+
+def _corpus():
+    rng = random.Random(SEED)
+    specs = []
+    for kind in spec_kinds():
+        for _ in range(NUM_SAMPLES_PER_KIND):
+            specs.append(_generate(rng, kind))
+    return specs
+
+
+class TestFuzzRoundTrip:
+    @pytest.mark.parametrize("kind", spec_kinds())
+    def test_round_trip_identity_and_key_stability(self, kind):
+        rng = random.Random(f"{SEED}-{kind}")
+        for _ in range(NUM_SAMPLES_PER_KIND):
+            spec = _generate(rng, kind)
+            payload = spec.to_dict()
+            assert payload["kind"] == kind
+
+            clone = spec_from_dict(payload)
+            assert clone == spec  # spec -> to_dict -> from_dict -> spec
+            assert clone.cache_key() == spec.cache_key()
+            assert clone.canonical_json() == spec.canonical_json()
+
+            # Through actual JSON text, with shuffled key order.
+            text = json.dumps(payload)
+            reloaded = json.loads(text)
+            shuffled = {
+                key: reloaded[key]
+                for key in rng.sample(list(reloaded), len(reloaded))
+            }
+            assert spec_from_dict(shuffled) == spec
+            assert spec_from_dict(shuffled).cache_key() == spec.cache_key()
+
+    def test_distinct_specs_never_collide(self):
+        # Content addressing: across the whole random corpus, two specs
+        # share a key iff they are equal.
+        by_key = {}
+        for spec in _corpus():
+            key = spec.cache_key()
+            if key in by_key:
+                assert by_key[key] == spec
+            by_key[key] = spec
+        # Sanity: the corpus is genuinely diverse.
+        assert len(by_key) > 5 * NUM_SAMPLES_PER_KIND
+
+
+class TestFuzzPerturbation:
+    @staticmethod
+    def _perturb(rng, spec, field, value):
+        """A same-type, validity-preserving change to one field (or None)."""
+        if field == "kind":
+            return None
+        if isinstance(value, bool):
+            return None
+        if field == "engine":
+            return {"vectorized": "scalar", "scalar": "vectorized"}[value]
+        if field == "crash_model":
+            return {"silent": "uniform", "uniform": "silent"}[value]
+        if field == "family":
+            choices = [name for name in FAMILY_NAMES if name != value]
+            return rng.choice(choices)
+        if field == "targets":
+            if value is None:
+                return [[0, 1.5]]
+            return list(value) + [[0, 97531.5]]
+        if field == "base":
+            return 1.5 if value is None else float(value) + 0.25
+        if isinstance(value, int):
+            return value + 1
+        if isinstance(value, float):
+            return value + 1.0
+        return None
+
+    @pytest.mark.parametrize("kind", spec_kinds())
+    def test_any_field_perturbation_changes_key(self, kind):
+        from dataclasses import fields
+
+        from repro.exceptions import InvalidProblemError
+
+        rng = random.Random(f"{SEED}-perturb-{kind}")
+        perturbed_fields = set()
+        for _ in range(NUM_SAMPLES_PER_KIND):
+            spec = _generate(rng, kind)
+            payload = spec.to_dict()
+            for field in fields(spec):
+                candidate = self._perturb(rng, spec, field.name, payload[field.name])
+                if candidate is None:
+                    continue
+                changed = dict(payload)
+                changed[field.name] = candidate
+                try:
+                    other = spec_from_dict(changed)
+                except InvalidProblemError:
+                    continue  # the perturbation left the valid domain
+                assert other.cache_key() != spec.cache_key(), (
+                    f"perturbing {kind}.{field.name} did not change the key"
+                )
+                perturbed_fields.add(field.name)
+        # Every dataclass field was successfully perturbed at least once
+        # somewhere in the corpus.
+        assert perturbed_fields == {field.name for field in fields(spec)}
