@@ -9,8 +9,16 @@ the acceptance grid.  Three measurements:
    workers and the local pool; asserts the results are bit-identical to
    the serial baseline and derives the per-spec dispatch overhead;
 3. **Failover batch** — one worker is killed between the health handshake
-   and dispatch, so every shard it owned fails over to the local pool;
-   asserts bit-identity again and measures the recovery cost.
+   and dispatch, so the shard it holds goes back on the pull queue; asserts
+   bit-identity again and measures the recovery cost;
+4. **Backpressure split** — one fast and one artificially slow worker pull
+   from the same queue; records how many shards each ended up taking (the
+   slow one must take fewer — placement follows throughput, not index
+   arithmetic);
+5. **Supervisor recovery** — a worker is stopped, marked dead, restarted
+   on its old port, and the time for a 50 ms-interval
+   :class:`~repro.service.remote.WorkerSupervisor` to re-probe it back to
+   live is measured.
 
 In-process workers share this machine's cores, so the distributed wall
 clock measures *overhead*, not speedup — the win appears when workers are
@@ -29,6 +37,16 @@ from repro.service.scheduler import ScenarioScheduler
 from repro.service.server import create_server
 from repro.service.spec import SimulateSpec
 
+
+class _SlowWorker(RemoteWorker):
+    """A correct worker with added per-shard latency (heterogeneous node)."""
+
+    DELAY = 0.05
+
+    def evaluate_shard(self, scenario_dicts):
+        time.sleep(self.DELAY)
+        return super().evaluate_shard(scenario_dicts)
+
 TRIPLES = [(2, 1, 0), (2, 3, 1)]
 HORIZONS = range(10, 60)
 SHARD_SIZE = 5
@@ -43,7 +61,11 @@ def _unique_scenarios():
 
 
 def _start_worker():
-    server = create_server(host="127.0.0.1", port=0)
+    return _start_worker_on(0)
+
+
+def _start_worker_on(port):
+    server = create_server(host="127.0.0.1", port=port)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server, thread
@@ -89,6 +111,42 @@ def test_perf_remote_dispatch(benchmark):
         assert list(failover.results) == list(serial.results)  # survives the death
         assert failover.failovers >= 1
 
+        # Backpressure: one fast and one slow worker pull from the same
+        # queue; the slow one must end the batch with fewer shards.
+        fast = RemoteWorker(urls[0])
+        slow = _SlowWorker(urls[1])
+        start = time.perf_counter()
+        backpressure = ScenarioScheduler(
+            workers=RemoteWorkerPool([fast, slow])
+        ).run_batch(scenarios, max_workers=1, shard_size=1)
+        backpressure_seconds = time.perf_counter() - start
+        assert list(backpressure.results) == list(serial.results)
+        assert slow.shards_completed < fast.shards_completed
+
+        # Supervisor recovery: dead worker, 50 ms re-probe interval; time
+        # from process restart to the pool seeing it live again.
+        victim, victim_thread = _start_worker()
+        victim_port = victim.server_address[1]
+        victim_url = victim.url
+        victim.shutdown()
+        victim.server_close()
+        victim_thread.join(timeout=10)
+        recovery_pool = RemoteWorkerPool([victim_url], health_timeout=2.0)
+        recovery_pool.refresh()
+        assert recovery_pool.workers[0].alive is False
+        supervisor = recovery_pool.start_supervisor(reprobe_interval=0.05)
+        revived, revived_thread = _start_worker_on(victim_port)
+        start = time.perf_counter()
+        deadline = start + 60
+        while recovery_pool.workers[0].alive is not True:
+            assert time.perf_counter() < deadline, supervisor.stats()
+            time.sleep(0.005)
+        recovery_seconds = time.perf_counter() - start
+        recovery_pool.stop_supervisor()
+        revived.shutdown()
+        revived.server_close()
+        revived_thread.join(timeout=10)
+
         remote_shards = distributed.remote_evaluated // SHARD_SIZE
         overhead_ms = (
             (distributed_seconds - serial_seconds) * 1e3 / max(1, remote_shards)
@@ -102,6 +160,13 @@ def test_perf_remote_dispatch(benchmark):
         benchmark.extra_info["remote_evaluated"] = distributed.remote_evaluated
         benchmark.extra_info["failovers"] = failover.failovers
         benchmark.extra_info["dispatch_overhead_ms_per_shard"] = round(overhead_ms, 2)
+        benchmark.extra_info["backpressure_seconds"] = round(backpressure_seconds, 4)
+        benchmark.extra_info["backpressure_fast_shards"] = fast.shards_completed
+        benchmark.extra_info["backpressure_slow_shards"] = slow.shards_completed
+        benchmark.extra_info["slow_worker_delay_ms"] = _SlowWorker.DELAY * 1e3
+        benchmark.extra_info["supervisor_recovery_seconds"] = round(
+            recovery_seconds, 4
+        )
         print(
             f"\nremote dispatch @ {len(scenarios)} scenarios, shard {SHARD_SIZE}: "
             f"serial {serial_seconds * 1e3:.0f} ms, "
@@ -111,7 +176,12 @@ def test_perf_remote_dispatch(benchmark):
             f"({failover.failovers} shards failed over)\n"
             f"per-shard dispatch overhead ~{overhead_ms:.1f} ms "
             "(in-process workers share the CPU: this measures round-trip cost, "
-            "not multi-machine speedup)"
+            "not multi-machine speedup)\n"
+            f"backpressure @ shard 1, slow worker +{_SlowWorker.DELAY * 1e3:.0f} ms: "
+            f"fast took {fast.shards_completed} shards, slow "
+            f"{slow.shards_completed} ({backpressure_seconds * 1e3:.0f} ms); "
+            f"supervisor re-probe @ 50 ms interval revived a restarted worker "
+            f"in {recovery_seconds * 1e3:.0f} ms"
         )
 
         warmed = ScenarioScheduler(workers=pool)

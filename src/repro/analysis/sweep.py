@@ -38,6 +38,7 @@ __all__ = [
     "SweepRow",
     "StochasticSweepRow",
     "map_rows",
+    "make_row_pool",
     "suggest_shard_size",
     "sweep_optimal_strategies",
     "sweep_strategy_family",
@@ -214,6 +215,44 @@ def _resolve_workers(max_workers: Optional[int], num_tasks: int) -> int:
     return max(1, min(max_workers, num_tasks))
 
 
+def _pool_context():
+    """The multiprocessing start-method context :func:`map_rows` uses.
+
+    fork is the fastest start method but is unsafe once other threads are
+    alive (the HTTP service calls the fan-out from handler threads while
+    sibling threads run engine work — forked children would inherit held
+    allocator/BLAS locks and can deadlock).  Prefer forkserver in that
+    case.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if threading.active_count() > 1 and "forkserver" in methods:
+        return multiprocessing.get_context("forkserver")
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def make_row_pool(
+    max_workers: Optional[int], num_tasks: int
+) -> Optional[ProcessPoolExecutor]:
+    """A process pool configured exactly like :func:`map_rows`' internal one.
+
+    For callers that dispatch many *small* work units over time (the
+    service's pull-based local slot) and would pay one pool spin-up per
+    :func:`map_rows` call otherwise.  Returns ``None`` when parallelism
+    would not pay (one worker, one task) or the pool cannot be built —
+    callers then run serially, matching :func:`map_rows`' degradation.
+    The caller owns the pool and must ``shutdown()`` it.
+    """
+    workers = _resolve_workers(max_workers, num_tasks)
+    if workers <= 1:
+        return None
+    try:
+        return ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context())
+    except OSError:
+        return None
+
+
 def map_rows(
     worker: Callable[[tuple], "_RowT"],
     tasks: List[tuple],
@@ -241,18 +280,9 @@ def map_rows(
     workers = _resolve_workers(max_workers, len(tasks))
     if workers > 1:
         try:
-            context = None
-            methods = multiprocessing.get_all_start_methods()
-            # fork is the fastest start method but is unsafe once other
-            # threads are alive (the HTTP service calls map_rows from
-            # handler threads while sibling threads run engine work —
-            # forked children would inherit held allocator/BLAS locks and
-            # can deadlock).  Prefer forkserver in that case.
-            if threading.active_count() > 1 and "forkserver" in methods:
-                context = multiprocessing.get_context("forkserver")
-            elif "fork" in methods:
-                context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context()
+            ) as pool:
                 if progress is None:
                     return list(pool.map(worker, tasks))
                 futures = {

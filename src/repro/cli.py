@@ -14,12 +14,15 @@ without writing any Python:
   or the randomized-offset ray search) through the batched engine and
   report trial statistics;
 * ``serve`` — start the HTTP evaluation server (:mod:`repro.service`);
-  ``--workers`` turns it into a coordinator that dispatches batch shards
-  to remote ``repro serve`` instances;
+  ``--workers`` turns it into a coordinator that pull-dispatches batch
+  shards to remote ``repro serve`` instances, with ``--reprobe-interval``
+  controlling the background supervisor that heals dead workers and
+  ``--worker-timeout``/``--worker-connect-timeout`` bounding one shard's
+  read and the TCP dial separately;
 * ``batch`` — evaluate a JSON file of scenario specs through the batch
   scheduler (dedup + cache + process-pool shards); ``--workers`` adds
-  remote executors and ``--async`` runs the batch as a background job
-  with live progress on stderr;
+  remote executors (same tuning flags as ``serve``) and ``--async`` runs
+  the batch as a background job with live progress on stderr;
 * ``cache gc`` — drop on-disk cache entries whose engine version no
   longer matches the running ``ENGINE_VERSION``.
 
@@ -169,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="remote `repro serve` base URLs to dispatch batch shards to "
         "(repeatable, comma-separated values accepted)",
     )
+    _add_worker_tuning_flags(serve_parser)
 
     batch_parser = subparsers.add_parser(
         "batch",
@@ -193,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="remote `repro serve` base URLs to dispatch shards to "
         "(repeatable, comma-separated values accepted)",
     )
+    _add_worker_tuning_flags(batch_parser)
     batch_parser.add_argument(
         "--async",
         dest="async_mode",
@@ -226,6 +231,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_json_flag(gc_parser)
     return parser
+
+
+def _add_worker_tuning_flags(subparser: argparse.ArgumentParser) -> None:
+    """Shared ``--workers`` tuning knobs for ``serve`` and ``batch``."""
+    subparser.add_argument(
+        "--reprobe-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="re-probe dead workers in the background with exponential "
+        "backoff starting at this interval (0 disables the supervisor)",
+    )
+    subparser.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="budget for reading one shard response from a worker",
+    )
+    subparser.add_argument(
+        "--worker-connect-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="budget for dialing a worker (kept far below --worker-timeout "
+        "so a vanished worker fails over in seconds)",
+    )
+
+
+def _build_worker_pool(args: argparse.Namespace):
+    """Build a tuned RemoteWorkerPool from ``--workers`` (None without URLs)."""
+    urls = _parse_worker_urls(args.workers)
+    if not urls:
+        return None
+    from .service.remote import RemoteWorkerPool
+
+    return RemoteWorkerPool(
+        urls,
+        timeout=args.worker_timeout,
+        connect_timeout=args.worker_connect_timeout,
+    )
 
 
 def _parse_worker_urls(values) -> Optional[List[str]]:
@@ -446,6 +492,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         cache=cache,
         verbose=args.verbose,
         workers=_parse_worker_urls(args.workers),
+        reprobe_interval=args.reprobe_interval,
+        worker_timeout=args.worker_timeout,
+        worker_connect_timeout=args.worker_connect_timeout,
     )
     # The exact line scripted smoke tests wait for (port 0 binds ephemerally).
     print(f"serving on {server.url}", flush=True)
@@ -476,12 +525,18 @@ def _command_batch(args: argparse.Namespace) -> int:
         print("error: expected a non-empty JSON list of scenario specs",
               file=sys.stderr)
         return 2
+    pool = _build_worker_pool(args)
     try:
         specs = [spec_from_dict(item) for item in body]
         scheduler = ScenarioScheduler(
             cache=ResultCache(disk_path=args.cache_dir),
-            workers=_parse_worker_urls(args.workers),
+            workers=pool,
         )
+        if pool is not None and args.reprobe_interval > 0:
+            # Long batches heal mid-run restarts: a worker that comes back
+            # is re-probed by the supervisor and the dispatch loop admits
+            # it a fresh dispatcher thread while shards remain queued.
+            pool.start_supervisor(reprobe_interval=args.reprobe_interval)
         if args.async_mode:
             job = scheduler.submit_job(
                 specs, max_workers=args.max_workers, shard_size=args.shard_size
@@ -489,6 +544,10 @@ def _command_batch(args: argparse.Namespace) -> int:
             print(f"job {job.job_id} submitted ({len(specs)} scenarios)",
                   file=sys.stderr)
             while not job.wait(timeout=max(0.01, args.poll_interval)):
+                # ``total`` is the unique-scenario count once dedup has
+                # run; until then BatchJob.to_dict reports the submitted
+                # count, so the poll line is well-formed from the first
+                # tick.
                 snapshot = job.to_dict(include_results=False)["progress"]
                 print(
                     f"job {job.job_id}: {snapshot['completed']}/"
@@ -504,6 +563,9 @@ def _command_batch(args: argparse.Namespace) -> int:
         print(f"error: invalid scenario or batch parameters: {error}",
               file=sys.stderr)
         return 2
+    finally:
+        if pool is not None:
+            pool.stop_supervisor()
     if args.json:
         print(
             render_json(

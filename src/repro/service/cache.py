@@ -115,6 +115,11 @@ class ResultCache:
         """Capacity of the in-memory LRU front."""
         return self._max_entries
 
+    @property
+    def persistent(self) -> bool:
+        """True when a disk backend is configured (disk entries never evict)."""
+        return self._disk_path is not None
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -150,6 +155,25 @@ class ResultCache:
         if self._disk_path is not None and self._disk_put(key, payload):
             with self._lock:
                 self._disk_stores += 1
+
+    def ensure(self, key: str, payload: dict) -> bool:
+        """Store ``payload`` only when ``key`` is absent from every tier.
+
+        Counter-neutral presence check (no hit/miss is recorded): the job
+        result spill uses this to guarantee a finished batch's payloads are
+        cached without inflating the request statistics or rewriting disk
+        entries that already exist.  Returns ``True`` when a store
+        happened.  Content-addressed keys make the check/store race benign:
+        two writers can only ever store the same payload.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return False
+        if self._disk_get(key) is not None:
+            return False
+        self.put(key, payload)
+        return True
 
     def clear(self) -> None:
         """Drop the in-memory entries and reset the counters (disk kept)."""

@@ -3,18 +3,27 @@
 PR 3 made every scenario JSON-round-trippable and content-addressed, so a
 remote shard is just ``POST /batch`` against another ``repro serve``
 instance.  This module supplies the client side of that contract, stdlib
-only (:mod:`urllib`):
+only (:mod:`http.client`):
 
 * :class:`RemoteWorker` — one HTTP worker: health check (``GET /healthz``)
   with an engine-version handshake against
   :data:`repro.service.spec.ENGINE_VERSION`, shard evaluation with bounded
-  retries, and liveness bookkeeping;
-* :class:`RemoteWorkerPool` — a set of workers the scheduler round-robins
-  shards over, with failover counters.  A worker that dies mid-batch is
-  marked dead and its remaining shards run on the local pool instead, so a
+  retries and exponential backoff, separate connect-vs-read timeouts (a
+  hung or vanished worker costs seconds, not a full read timeout, before
+  failover), and liveness bookkeeping;
+* :class:`RemoteWorkerPool` — a set of workers the scheduler's pull-based
+  dispatch loop draws from, with failover counters and live queue-depth
+  probes.  A worker that dies mid-batch is marked dead and the shard it
+  held goes back onto the shared work queue for another executor, so a
   batch always completes with bit-identical results (every stochastic spec
   carries its own seed — *where* a shard runs never changes *what* it
-  computes).
+  computes);
+* :class:`WorkerSupervisor` — a background thread that re-probes dead
+  workers with exponential backoff, so a long-running coordinator heals
+  when a crashed worker is restarted, without a coordinator restart.  A
+  recovered worker rejoins at the next batch's health refresh — or
+  mid-batch: the scheduler's dispatch loop admits revived workers while
+  shards are still queued.
 
 The pool never raises for infrastructure failures: an unreachable or
 version-mismatched worker is simply excluded, and an empty pool degrades
@@ -23,21 +32,37 @@ the scheduler to the single-machine path.
 
 from __future__ import annotations
 
+import http.client
 import json
 import threading
-import urllib.error
-import urllib.request
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+import time
+import urllib.parse
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..exceptions import ReproError
 from .spec import ENGINE_VERSION
 
-__all__ = ["RemoteWorkerError", "RemoteWorker", "RemoteWorkerPool"]
+__all__ = [
+    "RemoteWorkerError",
+    "RemoteWorker",
+    "RemoteWorkerPool",
+    "WorkerSupervisor",
+]
 
-#: Wall-clock budget for one shard evaluation round-trip, seconds.
+#: Wall-clock budget for reading one shard-evaluation response, seconds.
 DEFAULT_SHARD_TIMEOUT = 300.0
-#: Wall-clock budget for one health probe, seconds.
+#: Wall-clock budget for establishing a TCP connection, seconds.  Kept far
+#: below the read timeout: a vanished worker fails the *connect*, so it
+#: must not cost a full shard-read budget before failover.
+DEFAULT_CONNECT_TIMEOUT = 5.0
+#: Wall-clock budget for one health probe (connect and read), seconds.
 DEFAULT_HEALTH_TIMEOUT = 5.0
+#: Base sleep between shard-evaluation retries, seconds (doubles per retry).
+DEFAULT_RETRY_BACKOFF = 0.25
+#: Base interval between supervisor re-probes of a dead worker, seconds.
+DEFAULT_REPROBE_INTERVAL = 5.0
+#: Upper bound on the supervisor's per-worker probe backoff, seconds.
+DEFAULT_REPROBE_MAX_BACKOFF = 60.0
 
 
 class RemoteWorkerError(ReproError):
@@ -72,14 +97,18 @@ class RemoteWorker:
         engine_version: str = ENGINE_VERSION,
         timeout: float = DEFAULT_SHARD_TIMEOUT,
         health_timeout: float = DEFAULT_HEALTH_TIMEOUT,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
         max_retries: int = 1,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
         max_workers: Optional[int] = None,
     ) -> None:
         self.url = url.rstrip("/")
         self.engine_version = engine_version
         self.timeout = float(timeout)
         self.health_timeout = float(health_timeout)
+        self.connect_timeout = float(connect_timeout)
         self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
         #: Forwarded as the remote batch's ``max_workers`` when set, to
         #: bound the worker's own process fan-out per shard.
         self.max_workers = max_workers
@@ -87,35 +116,90 @@ class RemoteWorker:
         self.last_error: Optional[str] = None
         self.shards_completed = 0
         self.specs_completed = 0
+        self.retries = 0
         self._counter_lock = threading.Lock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RemoteWorker({self.url!r}, alive={self.alive})"
 
     # ------------------------------------------------------------------
-    def _request(self, path: str, payload=None, timeout: Optional[float] = None):
-        data = None if payload is None else json.dumps(payload).encode("utf-8")
-        request = urllib.request.Request(
-            self.url + path,
-            data=data,
-            headers={"Content-Type": "application/json"},
+    def _request(
+        self,
+        path: str,
+        payload=None,
+        timeout: Optional[float] = None,
+        connect_timeout: Optional[float] = None,
+    ):
+        """One HTTP round-trip with separate connect and read budgets.
+
+        :mod:`urllib` applies a single socket timeout to connect *and*
+        every read, so a hung worker would cost the full shard budget just
+        to notice it never answers the dial.  Driving
+        :class:`http.client.HTTPConnection` directly lets the connect fail
+        within ``connect_timeout`` while the response read keeps the long
+        shard budget.
+        """
+        read_timeout = self.timeout if timeout is None else timeout
+        dial_timeout = (
+            self.connect_timeout if connect_timeout is None else connect_timeout
         )
         try:
-            with urllib.request.urlopen(
-                request, timeout=timeout if timeout is not None else self.timeout
-            ) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as error:
-            # 4xx means the worker is up and rejected this request; 5xx
-            # means the worker itself is broken.
-            raise RemoteWorkerError(
-                f"worker {self.url} returned HTTP {error.code} for {path}",
-                worker_dead=error.code >= 500,
-            ) from error
-        except (urllib.error.URLError, OSError, ValueError) as error:
+            # Inside the conversion try: a malformed URL (bad port digits,
+            # missing scheme/host) must mark the worker dead with a
+            # readable last_error, exactly like an unreachable one — never
+            # escape as a raw ValueError.
+            parsed = urllib.parse.urlsplit(self.url)
+            if parsed.scheme not in ("http", "https") or not parsed.hostname:
+                raise ValueError(f"unsupported worker URL {self.url!r}")
+            connection_class = (
+                http.client.HTTPSConnection
+                if parsed.scheme == "https"
+                else http.client.HTTPConnection
+            )
+            connection = connection_class(
+                parsed.hostname, parsed.port, timeout=dial_timeout
+            )
+        except (OSError, http.client.HTTPException, ValueError) as error:
             raise RemoteWorkerError(
                 f"worker {self.url} unreachable on {path}: {error}"
             ) from error
+        try:
+            try:
+                connection.connect()
+                if connection.sock is not None:
+                    connection.sock.settimeout(read_timeout)
+                body = None if payload is None else json.dumps(payload).encode("utf-8")
+                connection.request(
+                    "GET" if body is None else "POST",
+                    (parsed.path + path) or path,
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                raw = response.read()
+                status = response.status
+            except (OSError, http.client.HTTPException, ValueError) as error:
+                # socket.timeout is an OSError: connect and read timeouts
+                # both land here, as do refused connections and protocol
+                # garbage.
+                raise RemoteWorkerError(
+                    f"worker {self.url} unreachable on {path}: {error}"
+                ) from error
+            if status >= 400:
+                # 4xx means the worker is up and rejected this request; 5xx
+                # means the worker itself is broken.
+                raise RemoteWorkerError(
+                    f"worker {self.url} returned HTTP {status} for {path}",
+                    worker_dead=status >= 500,
+                )
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as error:
+                raise RemoteWorkerError(
+                    f"worker {self.url} returned non-JSON for {path}: {error}"
+                ) from error
+        finally:
+            connection.close()
 
     def check_health(self) -> bool:
         """``GET /healthz`` with the engine-version handshake.
@@ -126,7 +210,11 @@ class RemoteWorker:
         the bit-identical-results guarantee, so it is treated as dead.
         """
         try:
-            body = self._request("/healthz", timeout=self.health_timeout)
+            body = self._request(
+                "/healthz",
+                timeout=self.health_timeout,
+                connect_timeout=min(self.health_timeout, self.connect_timeout),
+            )
         except RemoteWorkerError as error:
             self.alive = False
             self.last_error = str(error)
@@ -150,9 +238,10 @@ class RemoteWorker:
     def evaluate_shard(self, scenario_dicts: Sequence[dict]) -> List[dict]:
         """``POST /batch`` one shard; returns the result payloads in order.
 
-        Retries transient failures up to ``max_retries`` times, then raises
-        :class:`RemoteWorkerError` so the dispatcher can fail the shard
-        over to the local pool.
+        Retries transient failures up to ``max_retries`` times with
+        exponential backoff (``retry_backoff``, doubling per attempt), then
+        raises :class:`RemoteWorkerError` so the dispatcher can put the
+        shard back on the work queue for another executor.
         """
         if self.alive is False:
             raise RemoteWorkerError(
@@ -163,7 +252,14 @@ class RemoteWorker:
         if self.max_workers is not None:
             payload["max_workers"] = self.max_workers
         last: Optional[RemoteWorkerError] = None
-        for _attempt in range(self.max_retries + 1):
+        for attempt in range(self.max_retries + 1):
+            if attempt > 0:
+                with self._counter_lock:
+                    self.retries += 1
+                if self.retry_backoff > 0:
+                    time.sleep(
+                        min(self.retry_backoff * (2 ** (attempt - 1)), 30.0)
+                    )
             try:
                 body = self._request("/batch", payload)
             except RemoteWorkerError as error:
@@ -185,6 +281,157 @@ class RemoteWorker:
         raise last
 
 
+class WorkerSupervisor:
+    """Background re-prober that heals a pool's dead workers over time.
+
+    Without a supervisor, a worker marked dead stays out of the rotation
+    until some batch's health refresh happens to probe it — a long-running
+    coordinator with no traffic never heals.  The supervisor thread wakes
+    on its own schedule and re-runs the health handshake on dead workers
+    with exponential backoff: the first re-probe comes ``reprobe_interval``
+    seconds after a death is noticed, then the per-worker interval doubles
+    up to ``max_backoff`` while the worker stays down.  A successful probe
+    flips ``worker.alive`` back to ``True``, so the next batch's refresh —
+    or the running batch's mid-batch admission check — hands it shards
+    again.
+
+    The thread is a daemon and idles cheaply (one monotonic-clock
+    comparison per tick); :meth:`stop` shuts it down deterministically —
+    the pool calls it from ``stop_supervisor``/server close.
+    """
+
+    def __init__(
+        self,
+        pool: "RemoteWorkerPool",
+        reprobe_interval: float = DEFAULT_REPROBE_INTERVAL,
+        max_backoff: float = DEFAULT_REPROBE_MAX_BACKOFF,
+    ) -> None:
+        if reprobe_interval <= 0:
+            raise ValueError(
+                f"reprobe_interval must be positive, got {reprobe_interval}"
+            )
+        self.pool = pool
+        self.reprobe_interval = float(reprobe_interval)
+        self.max_backoff = max(float(max_backoff), self.reprobe_interval)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        #: id(worker) -> (next probe deadline on the monotonic clock,
+        #: current backoff).  Keyed by identity, not URL: a pool may hold
+        #: several worker objects for one URL (duplicate --workers entries,
+        #: tuned subclasses), and a live sibling must not clear a dead
+        #: worker's schedule.
+        self._schedule: Dict[int, tuple] = {}
+        self._probes = 0
+        self._recoveries = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """True while the supervisor thread is alive."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def start(self) -> "WorkerSupervisor":
+        """Start the background thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-worker-supervisor", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Signal the thread to exit and wait for it (bounded)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._next_wait()):
+            self.probe_once()
+
+    def _next_wait(self) -> float:
+        """Seconds until the earliest scheduled probe (or one base interval)."""
+        now = time.monotonic()
+        with self._lock:
+            deadlines = [deadline for deadline, _backoff in self._schedule.values()]
+        if not deadlines:
+            # Nothing known-dead yet: wake once per base interval to notice
+            # new deaths promptly even for large backoff settings.
+            return self.reprobe_interval
+        return max(0.01, min(min(deadlines) - now, self.reprobe_interval))
+
+    # ------------------------------------------------------------------
+    def probe_once(self) -> List[RemoteWorker]:
+        """One supervision pass; returns the workers revived by it.
+
+        Exposed separately from the thread loop so tests (and impatient
+        callers) can drive supervision synchronously.
+        """
+        now = time.monotonic()
+        revived: List[RemoteWorker] = []
+        for worker in self.pool.workers:
+            key = id(worker)
+            if worker.alive is not False:
+                # Healthy (or never probed): forget any pending schedule so
+                # a future death restarts from the base interval.
+                with self._lock:
+                    self._schedule.pop(key, None)
+                continue
+            with self._lock:
+                deadline, backoff = self._schedule.get(
+                    key, (now + self.reprobe_interval, self.reprobe_interval)
+                )
+                if key not in self._schedule:
+                    # First time this worker is seen dead: schedule the
+                    # initial re-probe one base interval out.
+                    self._schedule[key] = (deadline, backoff)
+                    continue
+            if deadline > now:
+                continue
+            with self._lock:
+                self._probes += 1
+            if worker.check_health():
+                revived.append(worker)
+                with self._lock:
+                    self._recoveries += 1
+                    self._schedule.pop(key, None)
+            else:
+                next_backoff = min(backoff * 2.0, self.max_backoff)
+                with self._lock:
+                    self._schedule[key] = (now + next_backoff, next_backoff)
+        return revived
+
+    def stats(self) -> Dict[str, object]:
+        """Counters plus the per-worker re-probe schedule."""
+        now = time.monotonic()
+        with self._lock:
+            schedule = dict(self._schedule)
+            probes = self._probes
+            recoveries = self._recoveries
+        return {
+            "running": self.running,
+            "reprobe_interval": self.reprobe_interval,
+            "max_backoff": self.max_backoff,
+            "probes": probes,
+            "recoveries": recoveries,
+            "pending": [
+                {
+                    "url": worker.url,
+                    "next_probe_in": round(
+                        max(0.0, schedule[id(worker)][0] - now), 3
+                    ),
+                    "backoff": schedule[id(worker)][1],
+                }
+                for worker in self.pool.workers
+                if id(worker) in schedule
+            ],
+        }
+
+
 class RemoteWorkerPool:
     """A health-checked set of :class:`RemoteWorker` with failover counters.
 
@@ -192,7 +439,10 @@ class RemoteWorkerPool:
     health handshake on every worker (concurrently, so one dead node costs
     one health timeout, not one per node) and returns the live ones; the
     scheduler calls it once per batch.  The counters aggregate across
-    batches and are exposed by :meth:`stats`.
+    batches and are exposed by :meth:`stats`, together with the live queue
+    depth of any batch currently pulling shards and, when
+    :meth:`start_supervisor` has been called, the supervisor's re-probe
+    schedule.
     """
 
     def __init__(
@@ -201,7 +451,9 @@ class RemoteWorkerPool:
         engine_version: str = ENGINE_VERSION,
         timeout: float = DEFAULT_SHARD_TIMEOUT,
         health_timeout: float = DEFAULT_HEALTH_TIMEOUT,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
         max_retries: int = 1,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
     ) -> None:
         self.workers: List[RemoteWorker] = [
             worker
@@ -211,15 +463,19 @@ class RemoteWorkerPool:
                 engine_version=engine_version,
                 timeout=timeout,
                 health_timeout=health_timeout,
+                connect_timeout=connect_timeout,
                 max_retries=max_retries,
+                retry_backoff=retry_backoff,
             )
             for worker in workers
         ]
         self.engine_version = engine_version
+        self.supervisor: Optional[WorkerSupervisor] = None
         self._lock = threading.Lock()
         self._failovers = 0
         self._remote_shards = 0
         self._remote_specs = 0
+        self._queue_probes: List[Callable[[], int]] = []
 
     def __len__(self) -> int:
         return len(self.workers)
@@ -247,12 +503,45 @@ class RemoteWorkerPool:
         return [worker for worker in self.workers if worker.alive]
 
     def mark_dead(self, worker: RemoteWorker, error: Exception) -> None:
-        """Record that ``worker`` failed mid-batch; excluded until re-refreshed."""
+        """Record that ``worker`` failed mid-batch; excluded until re-probed."""
         worker.alive = False
         worker.last_error = str(error)
 
+    # ------------------------------------------------------------------
+    def start_supervisor(
+        self,
+        reprobe_interval: float = DEFAULT_REPROBE_INTERVAL,
+        max_backoff: float = DEFAULT_REPROBE_MAX_BACKOFF,
+    ) -> WorkerSupervisor:
+        """Start (or return) the background re-prober for this pool."""
+        if self.supervisor is None:
+            self.supervisor = WorkerSupervisor(
+                self, reprobe_interval=reprobe_interval, max_backoff=max_backoff
+            )
+        self.supervisor.start()
+        return self.supervisor
+
+    def stop_supervisor(self) -> None:
+        """Stop the supervisor thread, if one is running (idempotent)."""
+        if self.supervisor is not None:
+            self.supervisor.stop()
+
+    # ------------------------------------------------------------------
+    def attach_queue_probe(self, probe: Callable[[], int]) -> None:
+        """Register a live queue-depth gauge for an in-flight batch."""
+        with self._lock:
+            self._queue_probes.append(probe)
+
+    def detach_queue_probe(self, probe: Callable[[], int]) -> None:
+        """Remove a gauge registered by :meth:`attach_queue_probe`."""
+        with self._lock:
+            try:
+                self._queue_probes.remove(probe)
+            except ValueError:
+                pass
+
     def note_failover(self, num_shards: int = 1) -> None:
-        """Count shards that fell back from a remote worker to the local pool."""
+        """Count shards re-dispatched after a worker failure."""
         with self._lock:
             self._failovers += num_shards
 
@@ -263,25 +552,39 @@ class RemoteWorkerPool:
             self._remote_specs += num_specs
 
     def stats(self) -> Dict[str, object]:
-        """Aggregate dispatch counters plus per-worker liveness."""
+        """Aggregate dispatch counters plus per-worker liveness.
+
+        ``queue_depth`` is the number of shards currently waiting on the
+        work queues of in-flight batches (0 when idle) and
+        ``active_batches`` how many batches are pulling right now — the
+        backpressure signal ``GET /workers`` exposes.  ``supervisor`` is
+        present once :meth:`start_supervisor` has been called.
+        """
         with self._lock:
             failovers = self._failovers
             remote_shards = self._remote_shards
             remote_specs = self._remote_specs
-        return {
+            probes = list(self._queue_probes)
+        payload: Dict[str, object] = {
             "num_workers": len(self.workers),
             "num_live": len(self.live_workers()),
             "failovers": failovers,
             "remote_shards": remote_shards,
             "remote_specs": remote_specs,
+            "queue_depth": sum(probe() for probe in probes),
+            "active_batches": len(probes),
             "workers": [
                 {
                     "url": worker.url,
                     "alive": worker.alive,
                     "shards_completed": worker.shards_completed,
                     "specs_completed": worker.specs_completed,
+                    "retries": worker.retries,
                     "last_error": worker.last_error,
                 }
                 for worker in self.workers
             ],
         }
+        if self.supervisor is not None:
+            payload["supervisor"] = self.supervisor.stats()
+        return payload

@@ -15,15 +15,22 @@ as little engine work as possible:
    sweeps use;
 4. **Remote dispatch** — given a
    :class:`~repro.service.remote.RemoteWorkerPool` (or worker URLs),
-   shards round-robin across the live remote ``repro serve`` workers and
-   the local pool.  A worker that dies mid-batch is marked dead and its
-   shards fail over to local execution, so the batch always completes.
+   shards go onto one shared work queue and every executor *pulls* the
+   next shard when it is free: one dispatcher thread per live remote
+   ``repro serve`` worker, plus the local process pool working the same
+   queue.  A slow or loaded worker therefore naturally takes fewer shards
+   (backpressure-aware placement), a worker that dies mid-batch is marked
+   dead while the shard it held goes back on the queue for another
+   executor — the batch always completes — and a worker revived mid-batch
+   (by the pool's :class:`~repro.service.remote.WorkerSupervisor` or a
+   concurrent batch's refresh) is admitted back while shards remain.
 
 Determinism: every stochastic spec carries its own explicit seed, so batch
 results are bit-identical to evaluating the specs serially, whatever the
-sharding, worker count or remote/local placement.  The grid helpers
-(:func:`montecarlo_grid_specs`, :func:`simulate_grid_specs`) derive
-per-scenario seeds from one root seed via
+sharding, worker count or remote/local placement — pull-based placement
+changes *where* a shard runs, never *what* a seeded spec computes.  The
+grid helpers (:func:`montecarlo_grid_specs`, :func:`simulate_grid_specs`)
+derive per-scenario seeds from one root seed via
 :func:`repro.simulation.monte_carlo.spawn_seeds` with exactly the
 derivation :func:`repro.analysis.sweep.sweep_random_faults` uses, so a
 scheduled grid reproduces the serial sweep bit for bit.
@@ -31,17 +38,24 @@ scheduled grid reproduces the serial sweep bit for bit.
 Long grids need not block: :meth:`ScenarioScheduler.submit_job` runs a
 batch on a background thread and returns a :class:`BatchJob` handle with
 live partial-progress counts — the object the HTTP server exposes as
-``POST /jobs`` + ``GET /jobs/<id>``.
+``POST /jobs`` + ``GET /jobs/<id>``.  A finished job **spills** its result
+payloads into the content-addressed cache and retains only the keys (plus
+the canonical spec dicts as a recompute fallback), so
+:data:`MAX_RETAINED_JOBS` of large grids never pin full payload copies in
+coordinator memory; ``GET /jobs/<id>`` rehydrates bit-identically on
+demand.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import threading
 import uuid
-from collections import OrderedDict
-from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from collections import OrderedDict, deque
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
 from typing import (
     Callable,
     Dict,
@@ -53,14 +67,20 @@ from typing import (
     Union,
 )
 
-from ..analysis.sweep import map_rows, suggest_shard_size
+from ..analysis.sweep import make_row_pool, map_rows, suggest_shard_size
 from ..exceptions import InvalidProblemError
 from ..simulation.engine import DEFAULT_ENGINE
 from ..simulation.monte_carlo import SeedLike, spawn_seeds
 from .cache import ResultCache
 from .execute import execute_shard, execute_spec
 from .remote import RemoteWorker, RemoteWorkerError, RemoteWorkerPool
-from .spec import ENGINE_VERSION, MonteCarloFaultsSpec, ScenarioSpec, SimulateSpec
+from .spec import (
+    ENGINE_VERSION,
+    MonteCarloFaultsSpec,
+    ScenarioSpec,
+    SimulateSpec,
+    spec_from_dict,
+)
 
 __all__ = [
     "BatchResult",
@@ -72,6 +92,13 @@ __all__ = [
 
 #: How many finished jobs the scheduler remembers for ``GET /jobs/<id>``.
 MAX_RETAINED_JOBS = 256
+
+#: Request-level (4xx/malformed) rejections in a row after which a batch
+#: retires a worker's dispatcher thread for the rest of the batch.  The
+#: worker stays alive (single rejections are shard-specific), but a worker
+#: rejecting everything must not claim the whole queue.
+_MAX_CONSECUTIVE_REJECTS = 3
+
 
 WorkersLike = Union[RemoteWorkerPool, Sequence[Union[str, RemoteWorker]]]
 
@@ -85,8 +112,9 @@ class BatchResult:
     cache and dispatch savings auditable: ``evaluated`` is the number of
     *engine* evaluations actually performed, at most ``num_unique`` and
     often far below ``num_scenarios``; ``remote_evaluated`` of those ran
-    on remote workers, and ``failovers`` counts shards that fell back to
-    the local pool after a worker died mid-batch.
+    on remote workers, and ``failovers`` counts shards that had to be
+    re-dispatched (back onto the work queue, or onto the local pool) after
+    a worker failed.
     """
 
     results: Tuple[dict, ...]
@@ -119,18 +147,42 @@ class BatchJob:
 
     ``completed``/``total`` count *unique* scenarios resolved (cache hits
     count immediately, evaluations as their shard completes), so pollers
-    see monotone progress even on heavily deduplicated grids.  Thread-safe:
-    the batch thread writes, any number of HTTP poller threads read.
+    see monotone progress even on heavily deduplicated grids.  Until the
+    batch has deduplicated its input the exact unique total is unknown;
+    :meth:`to_dict` then reports ``num_scenarios`` (an upper bound) so the
+    progress block is always well-formed.  Thread-safe: the batch thread
+    writes, any number of HTTP poller threads read.
+
+    When constructed with a ``cache`` (the scheduler always passes its
+    own), a finished job *spills*: payloads go into the content-addressed
+    cache and the job retains only the ordered cache keys plus each unique
+    scenario's canonical spec dict.  :meth:`to_dict` and :meth:`result`
+    rehydrate from the cache on demand, recomputing any evicted entry from
+    its retained spec — bit-identical either way, since specs are
+    deterministic under their embedded seeds.  A job whose unique result
+    count exceeds the cache's in-memory capacity (with no disk tier to
+    fall back on) declines to spill and keeps its payloads: rehydrating it
+    would recompute most of the grid on every poll.
     """
 
-    def __init__(self, job_id: str, num_scenarios: int) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        num_scenarios: int,
+        cache: Optional[ResultCache] = None,
+        spill_results: bool = True,
+    ) -> None:
         self.job_id = job_id
         self.num_scenarios = num_scenarios
+        self._cache = cache
+        self._spill = bool(spill_results) and cache is not None
         self._lock = threading.Lock()
         self._state = "running"
         self._completed = 0
         self._total: Optional[int] = None
         self._batch: Optional[BatchResult] = None
+        self._result_keys: Optional[Tuple[str, ...]] = None
+        self._spec_by_key: Optional[Dict[str, dict]] = None
         self._error: Optional[str] = None
         self._done = threading.Event()
 
@@ -141,9 +193,46 @@ class BatchJob:
             if completed > self._completed:
                 self._completed = completed
 
-    def _finish(self, batch: BatchResult) -> None:
+    def _finish(
+        self,
+        batch: BatchResult,
+        keys: Optional[Sequence[str]] = None,
+        specs: Optional[Sequence[ScenarioSpec]] = None,
+    ) -> None:
+        spill = self._spill and keys is not None and specs is not None
+        result_keys: Optional[Tuple[str, ...]] = None
+        spec_by_key: Optional[Dict[str, dict]] = None
+        if spill:
+            first_payload: Dict[str, dict] = {}
+            spec_by_key = {}
+            for key, spec, payload in zip(keys, specs, batch.results):
+                if key not in first_payload:
+                    first_payload[key] = payload
+                    spec_by_key[key] = spec.to_dict()
+            # Spill only when the cache can actually retain the result
+            # set: the in-memory LRU fits it, or a disk tier (which never
+            # evicts) is configured.  Otherwise rehydration would recompute
+            # most of the grid on *every* poll — each put() evicting an
+            # earlier key — so an oversized job keeps its payloads instead.
+            if (
+                len(first_payload) > self._cache.max_entries
+                and not self._cache.persistent
+            ):
+                spill = False
+                spec_by_key = None
+        if spill:
+            # Make sure every payload is in the cache before dropping it
+            # from the job (run_batch already stored computed entries; this
+            # covers a churned LRU at the cost of one lookup per unique
+            # key).
+            for key, payload in first_payload.items():
+                self._cache.ensure(key, payload)
+            result_keys = tuple(keys)
+            batch = replace(batch, results=())
         with self._lock:
             self._batch = batch
+            self._result_keys = result_keys
+            self._spec_by_key = spec_by_key
             self._completed = batch.num_unique
             self._total = batch.num_unique
             self._state = "done"
@@ -167,38 +256,115 @@ class BatchJob:
         """True once the batch finished (successfully or not)."""
         return self._done.is_set()
 
+    @property
+    def spilled(self) -> bool:
+        """True once the finished results live in the cache, not the job."""
+        with self._lock:
+            return self._result_keys is not None
+
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job finishes; returns False on timeout."""
         return self._done.wait(timeout)
 
+    def _rehydrated_results(self) -> List[dict]:
+        """Rebuild the ordered results list from the cache.
+
+        An entry evicted from every cache tier is recomputed from its
+        retained canonical spec — deterministic seeds make the recomputed
+        payload bit-identical — and stored back for the next poller.  Runs
+        without the job lock so a recompute never blocks progress polls.
+        """
+        with self._lock:
+            keys = self._result_keys
+            cache = self._cache
+            spec_by_key = dict(self._spec_by_key or {})
+        assert keys is not None and cache is not None
+        payload_by_key: Dict[str, dict] = {}
+        for key in keys:
+            if key in payload_by_key:
+                continue
+            payload = cache.get(key)
+            if payload is None:
+                payload = execute_spec(spec_from_dict(spec_by_key[key]))
+                cache.put(key, payload)
+            payload_by_key[key] = payload
+        return [payload_by_key[key] for key in keys]
+
     def result(self, timeout: Optional[float] = None) -> BatchResult:
-        """The finished :class:`BatchResult`; raises on failure/timeout."""
+        """The finished :class:`BatchResult`; raises on failure/timeout.
+
+        For a spilled job the ``results`` tuple is rehydrated from the
+        cache on each call.
+        """
         if not self._done.wait(timeout):
             raise TimeoutError(f"job {self.job_id} still running")
         with self._lock:
-            if self._batch is not None:
-                return self._batch
-            raise InvalidProblemError(f"job {self.job_id} failed: {self._error}")
+            batch = self._batch
+            spilled = self._result_keys is not None
+            error = self._error
+        if batch is None:
+            raise InvalidProblemError(f"job {self.job_id} failed: {error}")
+        if not spilled:
+            return batch
+        return replace(batch, results=tuple(self._rehydrated_results()))
 
     def to_dict(self, include_results: bool = True) -> dict:
         """JSON form for ``GET /jobs/<id>``: state, progress, result."""
         with self._lock:
+            total = self._total if self._total is not None else self.num_scenarios
             payload: Dict[str, object] = {
                 "job_id": self.job_id,
                 "state": self._state,
                 "num_scenarios": self.num_scenarios,
                 "progress": {
                     "completed": self._completed,
-                    "total": self._total,
+                    "total": total,
                 },
             }
             if self._error is not None:
                 payload["error"] = self._error
-            if self._batch is not None:
-                payload["stats"] = self._batch.to_dict()
-                if include_results:
-                    payload["results"] = list(self._batch.results)
+            batch = self._batch
+            spilled = self._result_keys is not None
+            if batch is not None:
+                payload["stats"] = batch.to_dict()
+                payload["spilled"] = spilled
+                if include_results and not spilled:
+                    payload["results"] = list(batch.results)
+        if batch is not None and include_results and spilled:
+            payload["results"] = self._rehydrated_results()
         return payload
+
+
+class _ShardQueue:
+    """Thread-safe pull queue of shard indices for one batch.
+
+    ``pop`` hands work to whichever executor asks first — that is the
+    whole backpressure mechanism.  ``push_front`` returns the shard a
+    dying worker held so the next puller takes it immediately, preserving
+    approximate ordering.
+    """
+
+    def __init__(self, indices: Iterable[int]) -> None:
+        self._items = deque(indices)
+        self._lock = threading.Lock()
+
+    def pop(self) -> Optional[int]:
+        with self._lock:
+            return self._items.popleft() if self._items else None
+
+    def push_front(self, index: int) -> None:
+        with self._lock:
+            self._items.appendleft(index)
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def drain(self) -> List[int]:
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            return items
 
 
 class ScenarioScheduler:
@@ -259,6 +425,7 @@ class ScenarioScheduler:
         shard_size: Optional[int] = None,
         workers: Optional[WorkersLike] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        _keys: Optional[Sequence[str]] = None,
     ) -> BatchResult:
         """Evaluate a heterogeneous scenario list with dedup + cache + shards.
 
@@ -269,10 +436,20 @@ class ScenarioScheduler:
         a few shards.  ``workers`` selects remote executors for this batch
         (defaulting to the pool given at construction).  ``progress`` is
         called as ``progress(completed_unique, total_unique)`` while the
-        batch runs.  None of these parameters affect the numeric results.
+        batch runs; invocations are serialised under the batch's progress
+        lock, so consecutive calls never report a lower count after a
+        higher one — keep the callback fast and never let it raise.  None
+        of these parameters affect the numeric results.
         """
         specs = list(specs)
-        keys = [spec.cache_key(self.engine_version) for spec in specs]
+        # ``_keys`` lets submit_job hand down the cache keys it already
+        # computed for the result spill instead of hashing every spec a
+        # second time; it must be spec-for-spec aligned.
+        keys = (
+            list(_keys)
+            if _keys is not None
+            else [spec.cache_key(self.engine_version) for spec in specs]
+        )
 
         # Dedup: first occurrence of each key owns the evaluation.
         unique_keys: List[str] = []
@@ -303,13 +480,17 @@ class ScenarioScheduler:
         def note(num_specs: int) -> None:
             if progress is None:
                 return
+            # The callback fires while the lock is held: concurrent
+            # dispatcher threads would otherwise race between computing
+            # ``done`` and reporting it, letting a lower count land after a
+            # higher one.
             with progress_lock:
                 completed["specs"] = min(total_unique, completed["specs"] + num_specs)
-                done = completed["specs"]
-            progress(done, total_unique)
+                progress(completed["specs"], total_unique)
 
         if progress is not None:
-            progress(cache_hits, total_unique)
+            with progress_lock:
+                progress(cache_hits, total_unique)
 
         pool = self.worker_pool if workers is None else self._as_pool(workers)
         num_executors = 1 + (len(pool) if pool is not None else 0)
@@ -363,109 +544,239 @@ class ScenarioScheduler:
         max_workers: Optional[int],
         note: Callable[[int], None],
     ) -> Tuple[List[list], Dict[str, int]]:
-        """Round-robin shards over live remote workers plus the local pool.
+        """Pull-based dispatch over live remote workers plus the local pool.
 
-        Returns the per-shard payload lists (in shard order) and the
-        dispatch counters for this batch.  Shard placement follows
-        ``shard index mod (live workers + 1)`` with the last slot being the
-        local executor, so adding workers only *moves* shards, never
-        reorders or recomputes them.
+        All shard indices go onto one shared :class:`_ShardQueue`.  One
+        dispatcher thread per live worker pulls the next index whenever its
+        worker is free, and the calling thread pulls for the local process
+        pool (submitting one shard per free process slot and refilling as
+        each completes — no round barrier, one pool per batch), so
+        placement follows each executor's actual throughput: a slow or
+        loaded worker simply pulls less often (backpressure-aware), while
+        results stay bit-identical because placement never changes what a
+        seeded spec computes.
+
+        A worker that fails fatally is marked dead, its in-flight shard
+        goes back on the queue and its dispatcher thread exits; a
+        request-level 4xx leaves the worker in rotation and sends just
+        that shard to the local drain pass, which re-runs anything still
+        missing once the queue empties.  Conversely a worker that comes
+        *back* — revived by the pool's supervisor or a concurrent batch's
+        refresh — is admitted mid-batch: the local slot spawns it a fresh
+        dispatcher thread while work remains on the queue.
         """
         live = pool.refresh()
-        if not live:
-            payload_lists = map_rows(
-                execute_shard,
-                shards,
-                max_workers,
-                progress=lambda index: note(len(shards[index])),
-            )
-            return payload_lists, {
-                "remote_specs": 0,
-                "failovers": 0,
-                "num_workers": 0,
-            }
 
-        num_slots = len(live) + 1  # the extra slot is the local pool
-        queues: Dict[int, List[int]] = {slot: [] for slot in range(len(live))}
-        local_indices: List[int] = []
-        for index in range(len(shards)):
-            slot = index % num_slots
-            if slot < len(live):
-                queues[slot].append(index)
-            else:
-                local_indices.append(index)
-
+        queue = _ShardQueue(range(len(shards)))
         results: List[Optional[list]] = [None] * len(shards)
         batch_counters = {"remote_specs": 0, "failovers": 0}
-        failover_indices: List[int] = []
         counters_lock = threading.Lock()
+        admit_lock = threading.Lock()
+        dispatching: set = set()
+        # Workers retired for rejecting too many shards in a row: still
+        # alive (4xx is request-level), but never re-admitted this batch —
+        # without this, maybe_admit would hand a reject-everything worker
+        # a fresh dispatcher as soon as its old one retired.
+        retired: set = set()
+        threads: List[threading.Thread] = []
+        worker_errors: List[BaseException] = []
 
-        def run_queue(worker: RemoteWorker, indices: List[int]) -> None:
-            # Death is tracked per batch, not via the shared worker.alive:
-            # a concurrent batch's health refresh may resurrect the worker,
-            # but this batch's failover decision must stay consistent.
-            dead = False
-            for shard_index in indices:
-                shard = shards[shard_index]
-                payloads = None
-                if not dead:
+        def run_worker(worker: RemoteWorker) -> None:
+            # Pull until the queue is dry or this worker dies.  Death is a
+            # thread-local decision: a concurrent supervisor probe may
+            # resurrect worker.alive, but this dispatcher stays retired
+            # (re-admission spawns a fresh thread).
+            try:
+                consecutive_rejects = 0
+                while True:
+                    shard_index = queue.pop()
+                    if shard_index is None:
+                        return
+                    shard = shards[shard_index]
                     try:
                         payloads = worker.evaluate_shard(
                             [spec.to_dict() for spec in shard]
                         )
                     except RemoteWorkerError as error:
-                        if error.worker_dead:
+                        pool.note_failover()
+                        with counters_lock:
+                            batch_counters["failovers"] += 1
+                        if error.worker_dead or worker.alive is False:
+                            # Fatal failure — or the worker was marked dead
+                            # externally (another batch, the supervisor)
+                            # and evaluate_shard refuses it.  Either way
+                            # this dispatcher retires instead of draining
+                            # the whole queue into the local fallback.
                             pool.mark_dead(worker, error)
-                            dead = True
-                if payloads is None:
-                    # Collected for the local pool once the remote phase
-                    # drains: same specs, same seeds, so the payloads are
-                    # bit-identical to what the worker would have returned.
-                    pool.note_failover()
+                            # Hand the shard to the next free executor.
+                            queue.push_front(shard_index)
+                            return
+                        # 4xx: the worker is healthy but rejected this
+                        # shard — leave it for the local drain pass to
+                        # surface the real error.  A rejection round-trip
+                        # is far cheaper than an evaluation, so a worker
+                        # that rejects *everything* would race the healthy
+                        # executors to the queue and push the whole batch
+                        # into the serial drain; retire its dispatcher
+                        # (worker stays alive) after a few rejections in a
+                        # row.
+                        consecutive_rejects += 1
+                        if consecutive_rejects >= _MAX_CONSECUTIVE_REJECTS:
+                            with admit_lock:
+                                retired.add(id(worker))
+                            return
+                        continue
+                    consecutive_rejects = 0
+                    pool.note_remote(len(shard))
                     with counters_lock:
-                        batch_counters["failovers"] += 1
-                        failover_indices.append(shard_index)
-                    continue
-                pool.note_remote(len(shard))
-                with counters_lock:
-                    batch_counters["remote_specs"] += len(shard)
-                results[shard_index] = payloads
-                note(len(shard))
+                        batch_counters["remote_specs"] += len(shard)
+                    results[shard_index] = payloads
+                    note(len(shard))
+            except BaseException as error:  # surfaced after the joins
+                worker_errors.append(error)
+            finally:
+                with admit_lock:
+                    dispatching.discard(id(worker))
 
-        with ThreadPoolExecutor(
-            max_workers=len(live), thread_name_prefix="repro-remote"
-        ) as dispatcher:
-            remote_futures = [
-                dispatcher.submit(run_queue, worker, queues[slot])
-                for slot, worker in enumerate(live)
-            ]
+        def spawn(worker: RemoteWorker) -> None:
+            # Only ever called from the calling thread (initial live set,
+            # then maybe_admit inside run_local), so `threads` needs no
+            # lock.
+            thread = threading.Thread(
+                target=run_worker,
+                args=(worker,),
+                name=f"repro-remote-{len(threads)}",
+                daemon=True,
+            )
+            threads.append(thread)
+            thread.start()
+
+        def maybe_admit() -> None:
+            # Mid-batch rejoin: a worker that flipped back to live gets a
+            # dispatcher thread while shards are still waiting.
+            if queue.depth() == 0:
+                return
+            for worker in pool.live_workers():
+                with admit_lock:
+                    if id(worker) in dispatching or id(worker) in retired:
+                        continue
+                    dispatching.add(id(worker))
+                spawn(worker)
+
+        local_slots = max(
+            1, max_workers if max_workers is not None else (os.cpu_count() or 1)
+        )
+        local_pool = make_row_pool(max_workers, len(shards))
+        # Holder rather than a bare nonlocal: once the pool breaks, every
+        # later run_local pass (the drain loop reuses it) must go serial
+        # instead of re-raising on the same broken pool.
+        local_state = {"pool": local_pool}
+
+        def run_serial(admit: bool) -> None:
+            while True:
+                if admit:
+                    maybe_admit()
+                index = queue.pop()
+                if index is None:
+                    return
+                results[index] = execute_shard(shards[index])
+                note(len(shards[index]))
+
+        def run_local(admit: bool = True) -> None:
+            # The local slot keeps one shard in flight per free process
+            # slot, refilling as each completes, so it competes with the
+            # remote workers for queue items instead of owning a fixed
+            # share.
+            pool_now = local_state["pool"]
+            if pool_now is None:
+                run_serial(admit)
+                return
+            inflight: Dict["Future[list]", int] = {}
+            try:
+                while True:
+                    if admit:
+                        maybe_admit()
+                    while len(inflight) < local_slots:
+                        index = queue.pop()
+                        if index is None:
+                            break
+                        try:
+                            future = pool_now.submit(execute_shard, shards[index])
+                        except BaseException:
+                            # The popped index must never be lost: put it
+                            # back before the failure propagates to the
+                            # serial fallback below.
+                            queue.push_front(index)
+                            raise
+                        inflight[future] = index
+                    if not inflight:
+                        return
+                    finished, _pending = wait(inflight, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        # Read the result before dropping the future from
+                        # inflight: if it raises (broken pool), the
+                        # fallback below still knows about this index.
+                        results[inflight[future]] = future.result()
+                        index = inflight.pop(future)
+                        note(len(shards[index]))
+            except (
+                pickle.PicklingError,
+                AttributeError,
+                TypeError,
+                BrokenProcessPool,
+                OSError,
+            ):
+                # Same degradation contract as map_rows: a broken pool
+                # falls back to serial, never surfaces as an
+                # infrastructure error.  Shards the pool may have dropped
+                # are recomputed (deterministic, so at worst repeated
+                # work), and the pool is retired for the rest of the
+                # batch.
+                local_state["pool"] = None
+                for index in inflight.values():
+                    results[index] = execute_shard(shards[index])
+                    note(len(shards[index]))
+                run_serial(admit)
+
+        pool.attach_queue_probe(queue.depth)
+        try:
+            for worker in live:
+                with admit_lock:
+                    dispatching.add(id(worker))
+                spawn(worker)
             # The calling thread works the local slot while remote shards
             # are in flight.
-            local_shards = [shards[index] for index in local_indices]
-            local_payloads = map_rows(
-                execute_shard,
-                local_shards,
-                max_workers,
-                progress=lambda local_pos: note(len(local_shards[local_pos])),
-            )
-            for index, payloads in zip(local_indices, local_payloads):
-                results[index] = payloads
-            for future in remote_futures:
-                future.result()  # propagate unexpected errors
-
-        if failover_indices:
-            # Shards orphaned by dead workers re-run on the local process
-            # pool (not serially on the dispatcher threads).
-            failover_indices.sort()
-            failover_shards = [shards[index] for index in failover_indices]
-            failover_payloads = map_rows(
-                execute_shard,
-                failover_shards,
-                max_workers,
-                progress=lambda pos: note(len(failover_shards[pos])),
-            )
-            for index, payloads in zip(failover_indices, failover_payloads):
-                results[index] = payloads
+            run_local()
+            while True:
+                for thread in threads:
+                    thread.join()
+                if worker_errors:
+                    raise worker_errors[0]  # propagate unexpected errors
+                # Anything still missing: shards requeued by a worker that
+                # died after the local slot finished, plus 4xx-rejected
+                # shards.  Drain them locally (no new admissions, so this
+                # terminates); payloads are bit-identical to what the
+                # worker would have returned.
+                missing = [
+                    index
+                    for index, payloads in enumerate(results)
+                    if payloads is None
+                ]
+                if not missing:
+                    break
+                # A worker that died after the local slot drained the
+                # queue left its requeued shard sitting there — and that
+                # same index is in `missing`.  Drop the residue before
+                # re-pushing so no shard runs twice (and note() never
+                # double-counts).
+                queue.drain()
+                for index in reversed(missing):
+                    queue.push_front(index)
+                run_local(admit=False)
+        finally:
+            pool.detach_queue_probe(queue.depth)
+            if local_pool is not None:
+                local_pool.shutdown()
 
         return results, {  # type: ignore[return-value]
             "remote_specs": batch_counters["remote_specs"],
@@ -511,16 +822,25 @@ class ScenarioScheduler:
         max_workers: Optional[int] = None,
         shard_size: Optional[int] = None,
         workers: Optional[WorkersLike] = None,
+        spill_results: bool = True,
     ) -> BatchJob:
         """Start a batch in the background and return a pollable job handle.
 
         The HTTP layer maps this to ``POST /jobs`` (job id back
         immediately) and ``GET /jobs/<id>`` (state + partial progress, and
         the full results once done), so long grids never block a request
-        thread.  Finished jobs are retained up to :data:`MAX_RETAINED_JOBS`.
+        thread.  Finished jobs are retained up to :data:`MAX_RETAINED_JOBS`;
+        with ``spill_results`` (the default) a finished job's payloads live
+        in the scheduler's content-addressed cache and the job keeps only
+        their keys, rehydrating on access.
         """
         specs = list(specs)
-        job = BatchJob(job_id=uuid.uuid4().hex, num_scenarios=len(specs))
+        job = BatchJob(
+            job_id=uuid.uuid4().hex,
+            num_scenarios=len(specs),
+            cache=self.cache,
+            spill_results=spill_results,
+        )
         with self._jobs_lock:
             self._jobs[job.job_id] = job
             while len(self._jobs) > MAX_RETAINED_JOBS:
@@ -535,15 +855,16 @@ class ScenarioScheduler:
 
         def _run() -> None:
             try:
-                job._finish(
-                    self.run_batch(
-                        specs,
-                        max_workers,
-                        shard_size,
-                        workers,
-                        progress=job._on_progress,
-                    )
+                keys = [spec.cache_key(self.engine_version) for spec in specs]
+                batch = self.run_batch(
+                    specs,
+                    max_workers,
+                    shard_size,
+                    workers,
+                    progress=job._on_progress,
+                    _keys=keys,
                 )
+                job._finish(batch, keys=keys, specs=specs)
             except BaseException as error:
                 job._fail(error)
 

@@ -30,7 +30,10 @@ Endpoints
     ``results``/``stats`` once done.  Unknown ids return ``404``.
 ``GET /workers``
     Dispatch counters of the remote worker pool (coordinator nodes only;
-    ``404`` when the server has no pool).
+    ``404`` when the server has no pool): per-worker liveness and
+    completion counts, the live ``queue_depth`` of in-flight batches
+    (backpressure signal) and, when a supervisor is running, its re-probe
+    schedule.
 
 Malformed JSON bodies and invalid scenarios return ``400`` with
 ``{"error": message}`` (never a traceback); unknown paths and unknown job
@@ -53,6 +56,7 @@ from .. import __version__
 from ..exceptions import ReproError
 from ..reporting import to_jsonable
 from .cache import ResultCache
+from .remote import RemoteWorkerPool
 from .scheduler import ScenarioScheduler
 from .spec import ENGINE_VERSION, spec_from_dict, spec_kinds
 
@@ -61,6 +65,28 @@ __all__ = ["ScenarioServer", "create_server", "run_server"]
 #: Upper bound on accepted request bodies; far above any realistic batch,
 #: mostly a guard against unbounded reads on a public port.
 MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+def _optional_positive_int(body: dict, name: str):
+    """Fetch an optional integer field, rejecting every other JSON type.
+
+    ``POST /jobs`` runs its batch on a background thread, so a bad
+    ``max_workers``/``shard_size`` that slips through here would 202 first
+    and then kill the job with a raw ``TypeError`` — validation must happen
+    at parse time, identically for ``/batch`` and ``/jobs``.  ``bool`` is
+    explicitly excluded (it is an ``int`` subclass in Python but a
+    different JSON type).
+    """
+    value = body.get(name)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(
+            f"'{name}' must be an integer, got {type(value).__name__}"
+        )
+    if value < 1:
+        raise ValueError(f"'{name}' must be positive, got {value}")
+    return value
 
 
 def _parse_batch_body(body):
@@ -78,7 +104,11 @@ def _parse_batch_body(body):
     if not isinstance(scenarios, list) or not scenarios:
         raise ValueError("'scenarios' must be a non-empty list")
     specs = [spec_from_dict(item) for item in scenarios]
-    return specs, body.get("max_workers"), body.get("shard_size")
+    return (
+        specs,
+        _optional_positive_int(body, "max_workers"),
+        _optional_positive_int(body, "shard_size"),
+    )
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -233,9 +263,29 @@ class ScenarioServer(ThreadingHTTPServer):
 
     @property
     def url(self) -> str:
-        """Base URL of the bound socket (the OS picks the port for 0)."""
+        """A *dialable* base URL of the bound socket.
+
+        A wildcard bind (``0.0.0.0``, ``::``) is a listen address, not a
+        destination — printing it verbatim produced URLs that cannot be
+        copy-pasted into ``--workers``.  Substitute the matching loopback
+        host (and bracket IPv6 literals).  ``port=0`` reflects the
+        OS-assigned ephemeral port.
+        """
         host, port = self.server_address[:2]
+        if host in ("0.0.0.0", ""):
+            host = "127.0.0.1"
+        elif host in ("::", "::0"):
+            host = "::1"
+        if ":" in host:
+            host = f"[{host}]"
         return f"http://{host}:{port}"
+
+    def server_close(self) -> None:
+        """Close the socket and stop the worker pool's supervisor thread."""
+        super().server_close()
+        pool = getattr(self.scheduler, "worker_pool", None)
+        if pool is not None:
+            pool.stop_supervisor()
 
 
 def create_server(
@@ -245,17 +295,40 @@ def create_server(
     cache: Optional[ResultCache] = None,
     verbose: bool = False,
     workers: Optional[Sequence[str]] = None,
+    reprobe_interval: Optional[float] = None,
+    worker_timeout: Optional[float] = None,
+    worker_connect_timeout: Optional[float] = None,
 ) -> ScenarioServer:
     """Build a :class:`ScenarioServer` (``port=0`` binds an ephemeral port).
 
     ``workers`` (a sequence of ``repro serve`` base URLs) turns the server
     into a coordinator that dispatches batch shards across those remote
     workers and the local pool; ignored when an explicit ``scheduler`` is
-    supplied.
+    supplied.  ``worker_timeout``/``worker_connect_timeout`` bound one
+    shard's response read and the TCP dial separately (a hung worker costs
+    the connect budget, not the full read budget, before failover).
+    ``reprobe_interval`` (> 0) starts a
+    :class:`~repro.service.remote.WorkerSupervisor` that re-probes dead
+    workers in the background with exponential backoff, so a long-running
+    coordinator heals restarted workers without a restart of its own; the
+    supervisor also attaches to an explicitly supplied ``scheduler``'s
+    pool.  It stops with :meth:`ScenarioServer.server_close`.
     """
     if scheduler is None:
-        scheduler = ScenarioScheduler(cache=cache, workers=workers)
-    return ScenarioServer((host, port), scheduler, verbose=verbose)
+        pool = None
+        if workers:
+            pool_kwargs = {}
+            if worker_timeout is not None:
+                pool_kwargs["timeout"] = worker_timeout
+            if worker_connect_timeout is not None:
+                pool_kwargs["connect_timeout"] = worker_connect_timeout
+            pool = RemoteWorkerPool(list(workers), **pool_kwargs)
+        scheduler = ScenarioScheduler(cache=cache, workers=pool)
+    server = ScenarioServer((host, port), scheduler, verbose=verbose)
+    pool = scheduler.worker_pool
+    if pool is not None and reprobe_interval is not None and reprobe_interval > 0:
+        pool.start_supervisor(reprobe_interval=reprobe_interval)
+    return server
 
 
 def run_server(server: ScenarioServer) -> None:

@@ -1,0 +1,94 @@
+"""Shared in-process worker doubles for the service test suites.
+
+Both ``test_service_remote.py`` and ``test_service_recovery.py`` need
+misbehaving ``repro serve`` stand-ins; they live here once so a change to
+the ``/batch`` payload shape or the ``/healthz`` handshake is mirrored in
+one place.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.execute import execute_shard
+from repro.service.spec import ENGINE_VERSION, spec_from_dict
+
+
+class WorkerDoubleHandler(BaseHTTPRequestHandler):
+    """Healthy ``/healthz`` handshake; ``do_POST`` is the double's knob."""
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        pass
+
+    def _reply(self, status, payload):
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):
+        if self.path == "/healthz":
+            self._reply(
+                200, {"status": "ok", "engine_version": ENGINE_VERSION, "kinds": []}
+            )
+        else:
+            self._reply(404, {"error": "unknown"})
+
+
+class _WorkerDoubleServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, handler_class):
+        self._lock = threading.Lock()
+        super().__init__(("127.0.0.1", 0), handler_class)
+
+    @property
+    def url(self):
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _FlakyHandler(WorkerDoubleHandler):
+    def do_POST(self):
+        server: "FlakyWorkerServer" = self.server
+        with server._lock:
+            server.batches_served += 1
+            alive = server.batches_served <= server.max_batches
+        if not alive:
+            self._reply(500, {"error": "worker crashed mid-batch"})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        body = json.loads(self.rfile.read(length))
+        specs = [spec_from_dict(item) for item in body["scenarios"]]
+        self._reply(200, {"results": execute_shard(specs)})
+
+
+class FlakyWorkerServer(_WorkerDoubleServer):
+    """A worker that passes the health handshake, serves ``max_batches``
+    shard requests with *correct* results, then dies (HTTP 500) — the
+    deterministic stand-in for a node crashing mid-batch.
+    """
+
+    def __init__(self, max_batches: int):
+        self.max_batches = max_batches
+        self.batches_served = 0
+        super().__init__(_FlakyHandler)
+
+
+class _RejectingHandler(WorkerDoubleHandler):
+    def do_POST(self):
+        with self.server._lock:
+            self.server.batches_seen += 1
+        self._reply(400, {"error": "this worker rejects every shard"})
+
+
+class RejectingWorkerServer(_WorkerDoubleServer):
+    """Healthy handshake, but every shard request is rejected with a 400."""
+
+    def __init__(self):
+        self.batches_seen = 0
+        super().__init__(_RejectingHandler)

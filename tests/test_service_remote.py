@@ -12,12 +12,12 @@ import json
 import threading
 import time
 import urllib.request
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import pytest
 
+from service_helpers import FlakyWorkerServer
+
 from repro.analysis.sweep import interesting_grid, sweep_random_faults
-from repro.service.execute import execute_shard
 from repro.service.remote import RemoteWorker, RemoteWorkerError, RemoteWorkerPool
 from repro.service.scheduler import (
     ScenarioScheduler,
@@ -25,12 +25,7 @@ from repro.service.scheduler import (
     simulate_grid_specs,
 )
 from repro.service.server import create_server
-from repro.service.spec import (
-    ENGINE_VERSION,
-    MonteCarloRandomizedSpec,
-    SimulateSpec,
-    spec_from_dict,
-)
+from repro.service.spec import MonteCarloRandomizedSpec, SimulateSpec
 
 GOLDEN_SIMULATE = SimulateSpec(num_rays=2, num_robots=1, num_faulty=0, horizon=200.0)
 GOLDEN_RANDOMIZED = MonteCarloRandomizedSpec(
@@ -66,60 +61,6 @@ def _acceptance_grid():
     ]
     unique += [GOLDEN_SIMULATE, GOLDEN_RANDOMIZED]
     return unique + list(reversed(unique))
-
-
-class _FlakyWorkerServer(ThreadingHTTPServer):
-    """A worker that passes the health handshake, serves ``max_batches``
-    shard requests with *correct* results, then dies (HTTP 500) — the
-    deterministic stand-in for a node crashing mid-batch.
-    """
-
-    daemon_threads = True
-
-    def __init__(self, max_batches: int) -> None:
-        self.max_batches = max_batches
-        self.batches_served = 0
-        self._lock = threading.Lock()
-        super().__init__(("127.0.0.1", 0), _FlakyHandler)
-
-    @property
-    def url(self) -> str:
-        host, port = self.server_address[:2]
-        return f"http://{host}:{port}"
-
-
-class _FlakyHandler(BaseHTTPRequestHandler):
-    def log_message(self, format, *args):  # noqa: A002 - http.server API
-        pass
-
-    def _reply(self, status, payload):
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def do_GET(self):
-        if self.path == "/healthz":
-            self._reply(
-                200, {"status": "ok", "engine_version": ENGINE_VERSION, "kinds": []}
-            )
-        else:
-            self._reply(404, {"error": "unknown"})
-
-    def do_POST(self):
-        server: _FlakyWorkerServer = self.server
-        with server._lock:
-            server.batches_served += 1
-            alive = server.batches_served <= server.max_batches
-        if not alive:
-            self._reply(500, {"error": "worker crashed mid-batch"})
-            return
-        length = int(self.headers.get("Content-Length") or 0)
-        body = json.loads(self.rfile.read(length))
-        specs = [spec_from_dict(item) for item in body["scenarios"]]
-        self._reply(200, {"results": execute_shard(specs)})
 
 
 class TestMultiWorkerBitIdentity:
@@ -188,13 +129,20 @@ class TestMultiWorkerBitIdentity:
 class TestFailover:
     def test_worker_dying_mid_batch_fails_over_bit_identically(self, workers):
         # Worker 1 is real; worker 2 passes the handshake, serves one shard
-        # correctly, then crashes — the remaining shards it was assigned
-        # must fail over to the local pool with identical payloads.
-        flaky = _FlakyWorkerServer(max_batches=1)
+        # correctly, then crashes — the shard it holds goes back on the
+        # work queue and the batch completes with identical payloads.  The
+        # queue is kept long (200 one-spec shards) so the crash lands
+        # deterministically mid-batch: the flaky worker's second pull
+        # happens milliseconds in, long before the other executors can
+        # drain the queue.
+        flaky = FlakyWorkerServer(max_batches=1)
         flaky_thread = threading.Thread(target=flaky.serve_forever, daemon=True)
         flaky_thread.start()
         try:
-            specs = simulate_grid_specs(interesting_grid(3, 5, 1), horizon=60.0)
+            specs = [
+                SimulateSpec(num_rays=2, num_robots=1, horizon=10.0 + 0.5 * i)
+                for i in range(200)
+            ]
             serial = ScenarioScheduler().run_batch(specs, max_workers=1)
             pool = RemoteWorkerPool([workers[0].url, flaky.url])
             scheduler = ScenarioScheduler(workers=pool)
