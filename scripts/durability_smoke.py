@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""CI smoke test for coordinator durability and the cluster-shared cache.
+
+Exercises the crash-recovery path end to end, across real process
+boundaries:
+
+1. starts a ``repro serve --journal J --cache-dir D`` coordinator and
+   submits an async job (``POST /jobs``): the two golden scenarios plus a
+   grid of heavy seeded Monte-Carlo specs, ``shard_size=1`` so completions
+   are journaled one scenario at a time;
+2. waits until at least one shard is journaled, then ``SIGKILL``s the
+   coordinator mid-job — no flush, no handler, the worst case;
+3. restarts the coordinator on the same journal + disk cache and asserts
+   the job is listed ``recovered: true``, *resumes* (only unjournaled
+   shards re-run: ``evaluated < num_unique``) and finishes with the
+   goldens (line ratio exactly 9, randomized closed form 4.5911 ± 5e-5);
+4. asserts two polls of the finished job return identical payloads, and
+   that a pristine coordinator given the same body computes bit-identical
+   results — the crash changed nothing;
+5. starts a second node with ``--cache-peers`` pointing at the restarted
+   coordinator and submits the same grid: **zero local evaluations**,
+   every payload served from the peer's cache (``peer_hits`` counted);
+6. stops the second node with ``SIGTERM`` and requires a clean exit
+   (code 0 — the handler checkpoints the journal and closes the socket).
+
+Run from the repository root:  ``python scripts/durability_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+GOLDEN_SIMULATE = {"kind": "simulate", "num_rays": 2, "num_robots": 1,
+                   "num_faulty": 0, "horizon": 200.0}
+GOLDEN_RANDOMIZED = {"kind": "montecarlo_randomized", "num_rays": 2,
+                     "num_samples": 4000, "seed": 7, "horizon": 1000.0}
+
+
+def _job_body():
+    heavy = [
+        {"kind": "montecarlo_faults", "num_rays": m, "num_robots": k,
+         "num_faulty": f, "num_trials": 30000, "seed": 40 + i,
+         "horizon": 100.0}
+        for i, (m, k, f) in enumerate(
+            [(2, 1, 0), (2, 2, 1), (2, 3, 1), (3, 2, 0), (3, 3, 0),
+             (3, 4, 1), (4, 2, 0), (4, 3, 1)]
+        )
+    ]
+    return {"scenarios": [GOLDEN_SIMULATE, GOLDEN_RANDOMIZED] + heavy,
+            "max_workers": 1, "shard_size": 1}
+
+
+def _request(base: str, path: str, payload=None):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=300) as response:
+        return json.loads(response.read())
+
+
+def _start(extra_args, env):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    banner = process.stdout.readline().strip()
+    assert banner.startswith("serving on http://"), f"unexpected banner: {banner!r}"
+    return process, banner.split()[-1]
+
+
+def _stop(process):
+    if process.poll() is None:
+        process.kill()
+    process.wait(timeout=30)
+    if process.stdout is not None:
+        process.stdout.close()
+
+
+def _poll_until_done(url, job_id, timeout=300.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = _request(url, f"/jobs/{job_id}")
+        if job["state"] != "running":
+            return job
+        time.sleep(0.1)
+    raise AssertionError(f"job {job_id} did not finish within {timeout}s")
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in ("src", env.get("PYTHONPATH")) if part
+    )
+    body = _job_body()
+    total = len(body["scenarios"])
+    processes = []
+    with tempfile.TemporaryDirectory(prefix="repro-durability-") as tmp:
+        journal = os.path.join(tmp, "journal.sqlite")
+        cache_dir = os.path.join(tmp, "cache")
+        durable_args = ["--journal", journal, "--cache-dir", cache_dir]
+        try:
+            # -- 1. submit, 2. SIGKILL mid-job -------------------------
+            coordinator, url = _start(durable_args, env)
+            processes.append(coordinator)
+            job_id = _request(url, "/jobs", body)["job_id"]
+            deadline = time.monotonic() + 120
+            while True:
+                assert time.monotonic() < deadline, "no shard completed in time"
+                snapshot = _request(url, f"/jobs/{job_id}")
+                assert snapshot["state"] == "running", (
+                    "job finished before the crash could be injected — "
+                    "raise num_trials"
+                )
+                if snapshot["progress"]["completed"] >= 1:
+                    break
+                time.sleep(0.02)
+            killed_at = snapshot["progress"]["completed"]
+            assert killed_at < total
+            coordinator.send_signal(signal.SIGKILL)
+            coordinator.wait(timeout=30)
+            print(f"killed coordinator at {killed_at}/{total} shards [ok]")
+
+            # -- 3./4. restart, resume, goldens, bit-identity ----------
+            coordinator, url = _start(durable_args, env)
+            processes.append(coordinator)
+            listing = _request(url, "/jobs")
+            (entry,) = [j for j in listing["jobs"] if j["job_id"] == job_id]
+            assert entry["recovered"] is True, entry
+            job = _poll_until_done(url, job_id)
+            assert job["state"] == "done", job.get("error")
+            assert job["recovered"] is True
+            stats = job["stats"]
+            assert stats["cache_hits"] >= 1, stats
+            assert stats["evaluated"] < stats["num_unique"], stats
+            results = job["results"]
+            assert results[0]["theoretical"] == 9.0
+            assert abs(results[1]["closed_form"] - 4.5911) <= 5e-5
+            again = _request(url, f"/jobs/{job_id}")["results"]
+            assert again == results, "rehydrated payloads changed between polls"
+            print(
+                f"resumed: re-ran {stats['evaluated']}/{stats['num_unique']} "
+                "unique scenarios, goldens intact [ok]"
+            )
+
+            reference, ref_url = _start([], env)
+            processes.append(reference)
+            ref_results = _request(ref_url, "/batch", body)["results"]
+            assert results == ref_results, (
+                "resumed payloads differ from an uninterrupted run"
+            )
+            _stop(reference)
+            print("bit-identical to an uninterrupted run [ok]")
+
+            # -- 5. cluster-shared cache -------------------------------
+            peer_node, peer_url = _start(["--cache-peers", url], env)
+            processes.append(peer_node)
+            shared = _request(peer_url, "/batch", body)
+            assert shared["stats"]["evaluated"] == 0, shared["stats"]
+            assert shared["cache"]["peer_hits"] == shared["stats"]["num_unique"]
+            assert shared["results"] == results
+            print(
+                f"peer served {shared['stats']['num_unique']} unique "
+                "scenarios with zero local evaluations [ok]"
+            )
+
+            # -- 6. SIGTERM is a clean shutdown ------------------------
+            peer_node.send_signal(signal.SIGTERM)
+            assert peer_node.wait(timeout=30) == 0, "SIGTERM exit was unclean"
+            print("SIGTERM shut the peer down cleanly [ok]")
+        finally:
+            for process in processes:
+                _stop(process)
+    print("durability smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,13 +18,19 @@ without writing any Python:
   shards to remote ``repro serve`` instances, with ``--reprobe-interval``
   controlling the background supervisor that heals dead workers and
   ``--worker-timeout``/``--worker-connect-timeout`` bounding one shard's
-  read and the TCP dial separately;
+  read and the TCP dial separately; ``--journal`` makes the coordinator
+  durable (jobs journaled to SQLite, replayed and resumed on restart)
+  and ``--cache-peers`` lets cache misses consult other nodes'
+  ``GET /cache/<key>`` before recomputing;
 * ``batch`` — evaluate a JSON file of scenario specs through the batch
   scheduler (dedup + cache + process-pool shards); ``--workers`` adds
-  remote executors (same tuning flags as ``serve``) and ``--async`` runs
-  the batch as a background job with live progress on stderr;
+  remote executors (same tuning flags as ``serve``), ``--cache-peers``
+  consults a running cluster's caches, and ``--async`` runs the batch as
+  a background job with live progress on stderr;
 * ``cache gc`` — drop on-disk cache entries whose engine version no
-  longer matches the running ``ENGINE_VERSION``.
+  longer matches the running ``ENGINE_VERSION``, and/or compact a job
+  journal (``--journal``), dropping rows no current engine can
+  reproduce.
 
 Every query subcommand accepts ``--json``, which emits exactly the payload
 the HTTP server returns for the equivalent scenario — scripts and the
@@ -162,6 +168,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, help="optional on-disk cache directory"
     )
     serve_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="SQLite job journal: jobs are recorded as they run and "
+        "replayed on restart (finished jobs rehydrated, interrupted "
+        "jobs resumed)",
+    )
+    serve_parser.add_argument(
         "--verbose", action="store_true", help="log one line per request"
     )
     serve_parser.add_argument(
@@ -172,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="remote `repro serve` base URLs to dispatch batch shards to "
         "(repeatable, comma-separated values accepted)",
     )
+    _add_cache_peer_flag(serve_parser)
     _add_worker_tuning_flags(serve_parser)
 
     batch_parser = subparsers.add_parser(
@@ -197,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="remote `repro serve` base URLs to dispatch shards to "
         "(repeatable, comma-separated values accepted)",
     )
+    _add_cache_peer_flag(batch_parser)
     _add_worker_tuning_flags(batch_parser)
     batch_parser.add_argument(
         "--async",
@@ -219,10 +235,17 @@ def build_parser() -> argparse.ArgumentParser:
     gc_parser = cache_sub.add_parser(
         "gc",
         help="drop on-disk entries whose engine version no longer matches "
-        "ENGINE_VERSION",
+        "ENGINE_VERSION; --journal compacts a job journal the same way",
     )
     gc_parser.add_argument(
-        "--cache-dir", required=True, help="on-disk cache directory to sweep"
+        "--cache-dir", default=None, help="on-disk cache directory to sweep"
+    )
+    gc_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="job journal to compact (drops jobs no current engine version "
+        "can reproduce, then VACUUMs the file)",
     )
     gc_parser.add_argument(
         "--dry-run",
@@ -231,6 +254,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_json_flag(gc_parser)
     return parser
+
+
+def _add_cache_peer_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--cache-peers",
+        action="append",
+        default=None,
+        metavar="URL[,URL...]",
+        help="base URLs of other `repro serve` nodes whose GET /cache/<key> "
+        "is consulted on a local cache miss before recomputing "
+        "(repeatable, comma-separated values accepted)",
+    )
 
 
 def _add_worker_tuning_flags(subparser: argparse.ArgumentParser) -> None:
@@ -485,7 +520,11 @@ def _command_serve(args: argparse.Namespace) -> int:
     from .service.cache import ResultCache
     from .service.server import create_server, run_server
 
-    cache = ResultCache(max_entries=args.cache_size, disk_path=args.cache_dir)
+    cache = ResultCache(
+        max_entries=args.cache_size,
+        disk_path=args.cache_dir,
+        peers=_parse_worker_urls(args.cache_peers),
+    )
     server = create_server(
         host=args.host,
         port=args.port,
@@ -495,7 +534,15 @@ def _command_serve(args: argparse.Namespace) -> int:
         reprobe_interval=args.reprobe_interval,
         worker_timeout=args.worker_timeout,
         worker_connect_timeout=args.worker_connect_timeout,
+        journal_path=args.journal,
     )
+    if server.recovery is not None:
+        # Stderr, so the banner below stays the first stdout line the
+        # scripted smoke tests wait for.
+        summary = ", ".join(
+            f"{name}={count}" for name, count in sorted(server.recovery.items())
+        )
+        print(f"journal {args.journal}: {summary}", file=sys.stderr, flush=True)
     # The exact line scripted smoke tests wait for (port 0 binds ephemerally).
     print(f"serving on {server.url}", flush=True)
     run_server(server)
@@ -529,7 +576,10 @@ def _command_batch(args: argparse.Namespace) -> int:
     try:
         specs = [spec_from_dict(item) for item in body]
         scheduler = ScenarioScheduler(
-            cache=ResultCache(disk_path=args.cache_dir),
+            cache=ResultCache(
+                disk_path=args.cache_dir,
+                peers=_parse_worker_urls(args.cache_peers),
+            ),
             workers=pool,
         )
         if pool is not None and args.reprobe_interval > 0:
@@ -585,18 +635,35 @@ def _command_batch(args: argparse.Namespace) -> int:
 
 def _command_cache(args: argparse.Namespace) -> int:
     from .service.cache import gc_disk_cache
+    from .service.journal import gc_journal
     from .service.spec import ENGINE_VERSION
 
     # The subparser is required=True, so cache_command is always "gc" here;
     # the dispatch keeps room for future maintenance commands.
-    report = gc_disk_cache(args.cache_dir, dry_run=args.dry_run)
-    payload = report.to_dict()
-    payload["engine_version"] = ENGINE_VERSION
-    payload["cache_dir"] = args.cache_dir
+    if args.cache_dir is None and args.journal is None:
+        print("error: nothing to sweep — pass --cache-dir and/or --journal",
+              file=sys.stderr)
+        return 2
+    payload = {"engine_version": ENGINE_VERSION}
+    if args.cache_dir is not None:
+        report = gc_disk_cache(args.cache_dir, dry_run=args.dry_run)
+        payload.update(report.to_dict())
+        payload["cache_dir"] = args.cache_dir
+    if args.journal is not None:
+        journal_report = gc_journal(args.journal, dry_run=args.dry_run)
+        payload["journal"] = dict(journal_report.to_dict(), path=args.journal)
     if args.json:
         print(render_json(payload))
         return 0
-    print(render_table(["quantity", "value"], sorted(payload.items())))
+    rows = sorted(
+        (name, value) for name, value in payload.items() if name != "journal"
+    )
+    if "journal" in payload:
+        rows.extend(
+            (f"journal {name}", value)
+            for name, value in sorted(payload["journal"].items())
+        )
+    print(render_table(["quantity", "value"], rows))
     return 0
 
 

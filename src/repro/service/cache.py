@@ -12,6 +12,17 @@ per key under ``disk_path``; on a memory miss the disk is consulted and a
 hit is promoted back into memory.  Payloads are deep-copied on both ``get``
 and ``put`` so callers can never mutate a cached value in place.
 
+Caches can also be **cluster-shared**: given ``peers`` (base URLs of other
+``repro serve`` nodes), a miss in both local tiers asks each peer's
+``GET /cache/<key>`` endpoint before giving up, and a peer hit is promoted
+into the local tiers — a grid computed once anywhere in the cluster is
+warm everywhere.  Content keys are salted by
+:data:`~repro.service.spec.ENGINE_VERSION`, so a peer can never serve a
+stale-engine payload under a current key.  Peer lookups are strictly
+best-effort: an unreachable peer is a miss, never an error, and the
+endpoint itself only consults *local* tiers (:meth:`ResultCache.get_local`)
+so two nodes peered at each other cannot recurse.
+
 :class:`CacheStats` counts hits, misses, stores and evictions; the server
 exposes a snapshot at ``GET /cache/stats``.
 
@@ -28,9 +39,10 @@ import copy
 import json
 import os
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..exceptions import InvalidProblemError
 
@@ -51,6 +63,8 @@ class CacheStats:
     disk_stores: int = 0
     entries: int = 0
     max_entries: int = 0
+    peer_hits: int = 0
+    disk_corrupt: int = 0
 
     @property
     def requests(self) -> int:
@@ -75,6 +89,8 @@ class CacheStats:
             "disk_stores": self.disk_stores,
             "entries": self.entries,
             "max_entries": self.max_entries,
+            "peer_hits": self.peer_hits,
+            "disk_corrupt": self.disk_corrupt,
             "requests": self.requests,
             "hit_rate": self.hit_rate,
         }
@@ -91,9 +107,23 @@ class ResultCache:
     disk_path:
         Directory for the persistent backend; created on first store.
         ``None`` (default) keeps the cache purely in memory.
+    peers:
+        Base URLs of other ``repro serve`` nodes whose ``GET /cache/<key>``
+        endpoint is consulted (in order) after a miss in both local tiers.
+        Peer hits are promoted into memory and, when configured, disk.
+    peer_timeout / peer_connect_timeout:
+        Per-peer read and dial budgets in seconds; a slow or vanished peer
+        costs at most these before the lookup falls through to compute.
     """
 
-    def __init__(self, max_entries: int = 1024, disk_path: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        disk_path: Optional[str] = None,
+        peers: Optional[Sequence[str]] = None,
+        peer_timeout: Optional[float] = None,
+        peer_connect_timeout: Optional[float] = None,
+    ) -> None:
         if max_entries < 1:
             raise InvalidProblemError(
                 f"max_entries must be positive, got {max_entries}"
@@ -108,6 +138,18 @@ class ResultCache:
         self._evictions = 0
         self._disk_hits = 0
         self._disk_stores = 0
+        self._peer_hits = 0
+        self._disk_corrupt = 0
+        self._peers: List[object] = []
+        if peers:
+            from .remote import CachePeer
+
+            kwargs = {}
+            if peer_timeout is not None:
+                kwargs["timeout"] = peer_timeout
+            if peer_connect_timeout is not None:
+                kwargs["connect_timeout"] = peer_connect_timeout
+            self._peers = [CachePeer(url, **kwargs) for url in peers]
 
     # ------------------------------------------------------------------
     @property
@@ -128,23 +170,63 @@ class ResultCache:
         with self._lock:
             return key in self._entries
 
+    @property
+    def peers(self) -> List[object]:
+        """The configured :class:`~repro.service.remote.CachePeer` clients."""
+        return list(self._peers)
+
     def get(self, key: str) -> Optional[dict]:
-        """Look up a payload; memory first, then disk (promoting hits)."""
+        """Look up a payload: memory, then disk, then peers (promoting hits)."""
+        found, payload = self._get_local_tiers(key)
+        if found:
+            return payload
+        # Peer consultation happens outside the lock: it is a network
+        # round-trip, and a slow peer must never block concurrent lookups.
+        payload = None
+        for peer in self._peers:
+            payload = peer.fetch(key)
+            if payload is not None:
+                break
+        with self._lock:
+            if payload is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._peer_hits += 1
+            self._store_in_memory(key, copy.deepcopy(payload))
+        # A peer hit also lands on the local disk tier, so it survives a
+        # restart and this node can in turn serve it to *its* peers.
+        if self._disk_path is not None and self._disk_put(key, payload):
+            with self._lock:
+                self._disk_stores += 1
+        return payload
+
+    def get_local(self, key: str) -> Optional[dict]:
+        """Like :meth:`get` but never asks peers — what ``GET /cache/<key>``
+        serves, so two nodes peered at each other cannot recurse."""
+        _found, payload = self._get_local_tiers(key)
+        if payload is None:
+            with self._lock:
+                self._misses += 1
+        return payload
+
+    def _get_local_tiers(self, key: str):
+        """Memory-then-disk lookup; returns ``(hit, payload)`` without
+        counting a miss (the callers decide whether peers come next)."""
         with self._lock:
             payload = self._entries.get(key)
             if payload is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
-                return copy.deepcopy(payload)
+                return True, copy.deepcopy(payload)
         payload = self._disk_get(key)
-        with self._lock:
-            if payload is not None:
+        if payload is not None:
+            with self._lock:
                 self._hits += 1
                 self._disk_hits += 1
                 self._store_in_memory(key, payload)
-                return copy.deepcopy(payload)
-            self._misses += 1
-            return None
+                return True, copy.deepcopy(payload)
+        return False, None
 
     def put(self, key: str, payload: dict) -> None:
         """Store a payload under its content key (memory and disk)."""
@@ -181,6 +263,7 @@ class ResultCache:
             self._entries.clear()
             self._hits = self._misses = self._stores = 0
             self._evictions = self._disk_hits = self._disk_stores = 0
+            self._peer_hits = self._disk_corrupt = 0
 
     def stats(self) -> CacheStats:
         """Consistent snapshot of the counters."""
@@ -194,6 +277,8 @@ class ResultCache:
                 disk_stores=self._disk_stores,
                 entries=len(self._entries),
                 max_entries=self._max_entries,
+                peer_hits=self._peer_hits,
+                disk_corrupt=self._disk_corrupt,
             )
 
     # ------------------------------------------------------------------
@@ -215,18 +300,36 @@ class ResultCache:
             raise InvalidProblemError(f"malformed cache key {key!r}")
         return os.path.join(self._disk_path, f"{key}.json")  # type: ignore[arg-type]
 
+    def _note_disk_corrupt(self, key: str, reason: str) -> None:
+        # A disk entry that exists but cannot be served is a degraded state
+        # worth surfacing (the payload will be recomputed or peer-fetched),
+        # but it must never fail the lookup.
+        with self._lock:
+            self._disk_corrupt += 1
+        warnings.warn(f"unreadable disk cache entry {key!r} skipped: {reason}")
+
     def _disk_get(self, key: str) -> Optional[dict]:
         if self._disk_path is None:
             return None
         try:
             with open(self._disk_file(key), "r", encoding="utf-8") as handle:
                 record = json.load(handle)
-        except (OSError, ValueError):
+        except FileNotFoundError:
             return None
-        if not isinstance(record, dict) or record.get("key") != key:
+        except (OSError, ValueError) as error:
+            # The file is there but truncated, garbled or unreadable —
+            # count it, unlike the plain not-cached miss above.
+            self._note_disk_corrupt(key, str(error))
             return None
-        payload = record.get("payload")
-        return payload if isinstance(payload, dict) else None
+        payload = record.get("payload") if isinstance(record, dict) else None
+        if (
+            not isinstance(record, dict)
+            or record.get("key") != key
+            or not isinstance(payload, dict)
+        ):
+            self._note_disk_corrupt(key, "malformed cache record")
+            return None
+        return payload
 
     def _disk_put(self, key: str, payload: dict) -> bool:
         path = self._disk_file(key)

@@ -47,6 +47,7 @@ __all__ = [
     "RemoteWorker",
     "RemoteWorkerPool",
     "WorkerSupervisor",
+    "CachePeer",
 ]
 
 #: Wall-clock budget for reading one shard-evaluation response, seconds.
@@ -63,6 +64,12 @@ DEFAULT_RETRY_BACKOFF = 0.25
 DEFAULT_REPROBE_INTERVAL = 5.0
 #: Upper bound on the supervisor's per-worker probe backoff, seconds.
 DEFAULT_REPROBE_MAX_BACKOFF = 60.0
+#: Wall-clock budget for reading one peer cache lookup, seconds.  A peer
+#: fetch races recomputation, so it must stay far below a typical
+#: evaluation-from-scratch; a slow peer degrades to a miss.
+DEFAULT_PEER_TIMEOUT = 10.0
+#: Wall-clock budget for dialing a cache peer, seconds.
+DEFAULT_PEER_CONNECT_TIMEOUT = 2.0
 
 
 class RemoteWorkerError(ReproError):
@@ -279,6 +286,66 @@ class RemoteWorker:
             return results
         assert last is not None
         raise last
+
+
+class CachePeer:
+    """Read-only client for another node's ``GET /cache/<key>`` endpoint.
+
+    The cluster-shared result store: a :class:`~repro.service.cache.ResultCache`
+    configured with ``peers`` asks each of these after a local miss, so a
+    grid computed once anywhere in the cluster is warm everywhere.  Every
+    failure mode — unreachable peer, 404 (key absent), malformed body — is
+    a *miss*, never an error: a degraded peer can slow a cold lookup by at
+    most its timeouts, but it can never break local computation.  The
+    remote endpoint serves only its own local tiers, so peer graphs with
+    cycles (two coordinators pointing at each other) terminate trivially.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = DEFAULT_PEER_TIMEOUT,
+        connect_timeout: float = DEFAULT_PEER_CONNECT_TIMEOUT,
+    ) -> None:
+        self._worker = RemoteWorker(url, timeout=timeout, connect_timeout=connect_timeout)
+        self.url = self._worker.url
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CachePeer({self.url!r}, hits={self.hits})"
+
+    def fetch(self, key: str) -> Optional[dict]:
+        """The payload stored under ``key`` on the peer, or ``None``."""
+        try:
+            body = self._worker._request(f"/cache/{key}")
+        except RemoteWorkerError as error:
+            with self._lock:
+                if error.worker_dead:
+                    self.errors += 1
+                else:
+                    self.misses += 1  # 404: the peer is fine, the key absent
+            return None
+        payload = body.get("result") if isinstance(body, dict) else None
+        if not isinstance(payload, dict) or body.get("key") != key:
+            with self._lock:
+                self.errors += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return payload
+
+    def stats(self) -> Dict[str, object]:
+        """Per-peer lookup counters."""
+        with self._lock:
+            return {
+                "url": self.url,
+                "hits": self.hits,
+                "misses": self.misses,
+                "errors": self.errors,
+            }
 
 
 class WorkerSupervisor:

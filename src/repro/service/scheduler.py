@@ -10,9 +10,10 @@ as little engine work as possible:
 2. **Cache** — each unique key is looked up in the
    :class:`~repro.service.cache.ResultCache` before any compute;
 3. **Shard + fan out** — the remaining unique specs are split into shards
-   and dispatched through :func:`repro.analysis.sweep.map_rows`, the same
-   process-pool fan-out (with its serial pickle-fallback) the parameter
-   sweeps use;
+   and dispatched onto the same process-pool fan-out (with its serial
+   pickle-fallback) the parameter sweeps use, with each shard's payloads
+   stored into the cache — and journaled, when a journal is attached —
+   the moment the shard completes;
 4. **Remote dispatch** — given a
    :class:`~repro.service.remote.RemoteWorkerPool` (or worker URLs),
    shards go onto one shared work queue and every executor *pulls* the
@@ -44,6 +45,13 @@ the canonical spec dicts as a recompute fallback), so
 :data:`MAX_RETAINED_JOBS` of large grids never pin full payload copies in
 coordinator memory; ``GET /jobs/<id>`` rehydrates bit-identically on
 demand.
+
+Durability: constructed with a :class:`~repro.service.journal.JobJournal`,
+the scheduler journals every submission, per-shard completion and terminal
+state; :meth:`ScenarioScheduler.recover_jobs` replays that journal on
+startup — finished jobs come back as spilled handles, interrupted jobs are
+*resumed* with only their unjournaled shards re-run (completed payloads
+are read back from the disk cache under their journaled keys).
 """
 
 from __future__ import annotations
@@ -52,6 +60,7 @@ import os
 import pickle
 import threading
 import uuid
+import warnings
 from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -61,18 +70,20 @@ from typing import (
     Dict,
     Iterable,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
     Union,
 )
 
-from ..analysis.sweep import make_row_pool, map_rows, suggest_shard_size
+from ..analysis.sweep import make_row_pool, suggest_shard_size
 from ..exceptions import InvalidProblemError
 from ..simulation.engine import DEFAULT_ENGINE
 from ..simulation.monte_carlo import SeedLike, spawn_seeds
 from .cache import ResultCache
 from .execute import execute_shard, execute_spec
+from .journal import JobJournal, JournalJobRecord
 from .remote import RemoteWorker, RemoteWorkerError, RemoteWorkerPool
 from .spec import (
     ENGINE_VERSION,
@@ -141,6 +152,40 @@ class BatchResult:
             "num_remote_workers": self.num_remote_workers,
         }
 
+    @classmethod
+    def from_stats(
+        cls,
+        stats: Optional[Mapping[str, object]] = None,
+        num_scenarios: int = 0,
+        num_unique: int = 0,
+    ) -> "BatchResult":
+        """Inverse of :meth:`to_dict` for journal rehydration.
+
+        The results tuple is empty (a recovered job rehydrates payloads
+        from the cache by key); missing or non-numeric counters fall back
+        to the given defaults so a partially journaled stats block still
+        yields a well-formed result.
+        """
+        block = dict(stats or {})
+
+        def counter(name: str, default: int = 0) -> int:
+            value = block.get(name, default)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                return default
+            return int(value)
+
+        return cls(
+            results=(),
+            num_scenarios=counter("num_scenarios", num_scenarios),
+            num_unique=counter("num_unique", num_unique),
+            cache_hits=counter("cache_hits"),
+            evaluated=counter("evaluated"),
+            num_shards=counter("num_shards"),
+            remote_evaluated=counter("remote_evaluated"),
+            failovers=counter("failovers"),
+            num_remote_workers=counter("num_remote_workers"),
+        )
+
 
 class BatchJob:
     """Handle to one asynchronously running batch with partial progress.
@@ -171,9 +216,13 @@ class BatchJob:
         num_scenarios: int,
         cache: Optional[ResultCache] = None,
         spill_results: bool = True,
+        recovered: bool = False,
     ) -> None:
         self.job_id = job_id
         self.num_scenarios = num_scenarios
+        #: True when this handle was rebuilt (or its batch resumed) from a
+        #: journal after a coordinator restart rather than submitted live.
+        self.recovered = bool(recovered)
         self._cache = cache
         self._spill = bool(spill_results) and cache is not None
         self._lock = threading.Lock()
@@ -321,6 +370,8 @@ class BatchJob:
                     "total": total,
                 },
             }
+            if self.recovered:
+                payload["recovered"] = True
             if self._error is not None:
                 payload["error"] = self._error
             batch = self._batch
@@ -383,6 +434,12 @@ class ScenarioScheduler:
         :class:`~repro.service.remote.RemoteWorkerPool` or a sequence of
         ``repro serve`` base URLs.  ``None`` keeps the scheduler
         single-machine; per-call ``workers=`` overrides this default.
+    journal:
+        Optional :class:`~repro.service.journal.JobJournal`.  When given,
+        every :meth:`submit_job` submission, per-shard completion and
+        terminal state is journaled (best-effort — a failing journal warns,
+        it never fails a batch), and :meth:`recover_jobs` can rebuild the
+        job table after a restart.
     """
 
     def __init__(
@@ -390,12 +447,15 @@ class ScenarioScheduler:
         cache: Optional[ResultCache] = None,
         engine_version: str = ENGINE_VERSION,
         workers: Optional[WorkersLike] = None,
+        journal: Optional[JobJournal] = None,
     ) -> None:
         self.cache = cache if cache is not None else ResultCache()
         self.engine_version = engine_version
         self.worker_pool = self._as_pool(workers)
+        self.journal = journal
         self._jobs: "OrderedDict[str, BatchJob]" = OrderedDict()
         self._jobs_lock = threading.Lock()
+        self._evicted_jobs = 0
 
     def _as_pool(self, workers: Optional[WorkersLike]) -> Optional[RemoteWorkerPool]:
         if workers is None:
@@ -406,6 +466,21 @@ class ScenarioScheduler:
         if not workers:
             return None
         return RemoteWorkerPool(workers, engine_version=self.engine_version)
+
+    def _journal_write(self, method: Callable, *args, **kwargs) -> None:
+        """Run one journal write, degrading to a warning on failure.
+
+        Durability is best-effort by contract: a full disk or a journal on
+        a dying filesystem must never fail a batch that can still compute.
+        """
+        try:
+            method(*args, **kwargs)
+        except Exception as error:
+            warnings.warn(
+                f"journal write failed ({method.__name__}): {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # ------------------------------------------------------------------
     def evaluate(self, spec: ScenarioSpec) -> Tuple[dict, bool]:
@@ -426,12 +501,13 @@ class ScenarioScheduler:
         workers: Optional[WorkersLike] = None,
         progress: Optional[Callable[[int, int], None]] = None,
         _keys: Optional[Sequence[str]] = None,
+        _journal_job_id: Optional[str] = None,
     ) -> BatchResult:
         """Evaluate a heterogeneous scenario list with dedup + cache + shards.
 
-        ``max_workers`` is forwarded to the local fan-out
-        (:func:`repro.analysis.sweep.map_rows`; ``1`` forces serial
-        evaluation).  ``shard_size`` is the number of specs grouped into
+        ``max_workers`` is forwarded to the local process-pool fan-out
+        (``1`` forces serial evaluation).  ``shard_size`` is the number of
+        specs grouped into
         one dispatch unit; ``None`` picks a size that gives every executor
         a few shards.  ``workers`` selects remote executors for this batch
         (defaulting to the pool given at construction).  ``progress`` is
@@ -464,14 +540,23 @@ class ScenarioScheduler:
         # Cache consultation, one lookup per unique key.
         payload_by_key: Dict[str, dict] = {}
         pending: List[Tuple[str, ScenarioSpec]] = []
+        hit_keys: List[str] = []
         cache_hits = 0
         for key, spec in zip(unique_keys, unique_specs):
             payload = self.cache.get(key)
             if payload is not None:
                 payload_by_key[key] = payload
+                hit_keys.append(key)
                 cache_hits += 1
             else:
                 pending.append((key, spec))
+
+        journal_id = _journal_job_id if self.journal is not None else None
+        if journal_id is not None and hit_keys:
+            # Cache hits are durably resolved for this job too: journaling
+            # them keeps the completion set equal to the job's key set at
+            # the end of an uninterrupted run.
+            self._journal_write(self.journal.record_completed, journal_id, hit_keys)
 
         total_unique = len(unique_keys)
         progress_lock = threading.Lock()
@@ -497,31 +582,43 @@ class ScenarioScheduler:
         shards = _split_shards(
             [spec for _key, spec in pending], shard_size, max_workers, num_executors
         )
+        # Key lists aligned shard-for-shard with ``shards`` (same slicing),
+        # so a completed shard can be cached + journaled immediately.
+        shard_keys: List[List[str]] = []
+        offset = 0
+        for shard in shards:
+            chunk = pending[offset : offset + len(shard)]
+            shard_keys.append([key for key, _spec in chunk])
+            offset += len(shard)
+
+        def record(index: int, payloads: Sequence[dict]) -> None:
+            # Called (possibly from a dispatcher thread) the moment shard
+            # ``index`` completes: its payloads become durable — cache
+            # first, then the journal row that declares them recoverable —
+            # before the progress note, so a crash can under-journal but
+            # never journal a key whose payload was not stored.
+            for key, payload in zip(shard_keys[index], payloads):
+                self.cache.put(key, payload)
+            if journal_id is not None:
+                self._journal_write(
+                    self.journal.record_completed, journal_id, shard_keys[index]
+                )
+            note(len(shards[index]))
 
         remote_evaluated = 0
         failovers = 0
         num_remote_workers = 0
         if pool is not None and shards:
             shard_payloads, dispatch = self._dispatch_remote(
-                shards, pool, max_workers, note
+                shards, pool, max_workers, record
             )
             remote_evaluated = dispatch["remote_specs"]
             failovers = dispatch["failovers"]
             num_remote_workers = dispatch["num_workers"]
         else:
-            shard_payloads = map_rows(
-                execute_shard,
-                shards,
-                max_workers,
-                progress=(
-                    None
-                    if progress is None
-                    else lambda index: note(len(shards[index]))
-                ),
-            )
+            shard_payloads = self._run_local_shards(shards, max_workers, record)
         computed = [payload for shard in shard_payloads for payload in shard]
         for (key, _spec), payload in zip(pending, computed):
-            self.cache.put(key, payload)
             payload_by_key[key] = payload
 
         return BatchResult(
@@ -542,7 +639,7 @@ class ScenarioScheduler:
         shards: List[tuple],
         pool: RemoteWorkerPool,
         max_workers: Optional[int],
-        note: Callable[[int], None],
+        record: Callable[[int, Sequence[dict]], None],
     ) -> Tuple[List[list], Dict[str, int]]:
         """Pull-based dispatch over live remote workers plus the local pool.
 
@@ -554,7 +651,9 @@ class ScenarioScheduler:
         placement follows each executor's actual throughput: a slow or
         loaded worker simply pulls less often (backpressure-aware), while
         results stay bit-identical because placement never changes what a
-        seeded spec computes.
+        seeded spec computes.  ``record(index, payloads)`` fires once per
+        completed shard, from whichever thread finished it — the caller
+        uses it for cache/journal writes and progress accounting.
 
         A worker that fails fatally is marked dead, its in-flight shard
         goes back on the queue and its dispatcher thread exits; a
@@ -631,7 +730,7 @@ class ScenarioScheduler:
                     with counters_lock:
                         batch_counters["remote_specs"] += len(shard)
                     results[shard_index] = payloads
-                    note(len(shard))
+                    record(shard_index, payloads)
             except BaseException as error:  # surfaced after the joins
                 worker_errors.append(error)
             finally:
@@ -680,7 +779,7 @@ class ScenarioScheduler:
                 if index is None:
                     return
                 results[index] = execute_shard(shards[index])
-                note(len(shards[index]))
+                record(index, results[index])
 
         def run_local(admit: bool = True) -> None:
             # The local slot keeps one shard in flight per free process
@@ -718,7 +817,7 @@ class ScenarioScheduler:
                         # fallback below still knows about this index.
                         results[inflight[future]] = future.result()
                         index = inflight.pop(future)
-                        note(len(shards[index]))
+                        record(index, results[index])
             except (
                 pickle.PicklingError,
                 AttributeError,
@@ -735,7 +834,7 @@ class ScenarioScheduler:
                 local_state["pool"] = None
                 for index in inflight.values():
                     results[index] = execute_shard(shards[index])
-                    note(len(shards[index]))
+                    record(index, results[index])
                 run_serial(admit)
 
         pool.attach_queue_probe(queue.depth)
@@ -785,6 +884,82 @@ class ScenarioScheduler:
         }
 
     # ------------------------------------------------------------------
+    def _run_local_shards(
+        self,
+        shards: List[tuple],
+        max_workers: Optional[int],
+        record: Callable[[int, Sequence[dict]], None],
+    ) -> List[list]:
+        """Process-pool fan-out with a per-shard completion callback.
+
+        Same degradation contract as :func:`repro.analysis.sweep.map_rows`
+        (unpicklable work or a broken pool falls back to serial, never an
+        infrastructure error), but ``record(index, payloads)`` fires as
+        each shard completes rather than after the whole batch — that is
+        what lets the caller persist shard results incrementally, which a
+        crash-recoverable journal needs.
+        """
+        if not shards:
+            return []
+        results: List[Optional[list]] = [None] * len(shards)
+        queue = deque(range(len(shards)))
+        pool = make_row_pool(max_workers, len(shards))
+
+        def run_serial() -> None:
+            while queue:
+                index = queue.popleft()
+                results[index] = execute_shard(shards[index])
+                record(index, results[index])
+
+        if pool is None:
+            run_serial()
+            return results  # type: ignore[return-value]
+        local_slots = max(
+            1, max_workers if max_workers is not None else (os.cpu_count() or 1)
+        )
+        inflight: Dict["Future[list]", int] = {}
+        try:
+            try:
+                while True:
+                    while queue and len(inflight) < local_slots:
+                        index = queue.popleft()
+                        try:
+                            future = pool.submit(execute_shard, shards[index])
+                        except BaseException:
+                            # Keep the popped index for the serial fallback.
+                            queue.appendleft(index)
+                            raise
+                        inflight[future] = index
+                    if not inflight:
+                        return results  # type: ignore[return-value]
+                    finished, _pending = wait(inflight, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        # Read before popping: a raising result (broken
+                        # pool) must leave its index in inflight for the
+                        # fallback below.
+                        payloads = future.result()
+                        index = inflight.pop(future)
+                        results[index] = payloads
+                        record(index, payloads)
+            except (
+                pickle.PicklingError,
+                AttributeError,
+                TypeError,
+                BrokenProcessPool,
+                OSError,
+            ):
+                # Shards the broken pool may have dropped are recomputed —
+                # deterministic specs make that at worst repeated work, and
+                # record() is idempotent (same key, same payload).
+                for index in inflight.values():
+                    results[index] = execute_shard(shards[index])
+                    record(index, results[index])
+                run_serial()
+                return results  # type: ignore[return-value]
+        finally:
+            pool.shutdown()
+
+    # ------------------------------------------------------------------
     def submit_batch(
         self,
         specs: Iterable[ScenarioSpec],
@@ -823,6 +998,8 @@ class ScenarioScheduler:
         shard_size: Optional[int] = None,
         workers: Optional[WorkersLike] = None,
         spill_results: bool = True,
+        job_id: Optional[str] = None,
+        recovered: bool = False,
     ) -> BatchJob:
         """Start a batch in the background and return a pollable job handle.
 
@@ -833,14 +1010,75 @@ class ScenarioScheduler:
         with ``spill_results`` (the default) a finished job's payloads live
         in the scheduler's content-addressed cache and the job keeps only
         their keys, rehydrating on access.
+
+        With a journal attached, the submission (keys, canonical spec
+        dicts, options) is journaled *before* the batch thread starts, so
+        a coordinator killed a millisecond after ``POST /jobs`` returns
+        still resumes the job on restart.  ``job_id``/``recovered`` are
+        for :meth:`recover_jobs`, which resubmits an interrupted job under
+        its original id — journaling is idempotent per id, and already
+        completed shards resolve as disk-cache hits.
         """
         specs = list(specs)
+        keys = [spec.cache_key(self.engine_version) for spec in specs]
         job = BatchJob(
-            job_id=uuid.uuid4().hex,
+            job_id=job_id if job_id is not None else uuid.uuid4().hex,
             num_scenarios=len(specs),
             cache=self.cache,
             spill_results=spill_results,
+            recovered=recovered,
         )
+        if self.journal is not None:
+            self._journal_write(
+                self.journal.record_submission,
+                job.job_id,
+                keys,
+                [spec.to_dict() for spec in specs],
+                options={
+                    "max_workers": max_workers,
+                    "shard_size": shard_size,
+                    "spill_results": bool(spill_results),
+                },
+                engine_version=self.engine_version,
+            )
+        self._register_job(job)
+
+        def _run() -> None:
+            try:
+                batch = self.run_batch(
+                    specs,
+                    max_workers,
+                    shard_size,
+                    workers,
+                    progress=job._on_progress,
+                    _keys=keys,
+                    _journal_job_id=job.job_id,
+                )
+                job._finish(batch, keys=keys, specs=specs)
+                if self.journal is not None:
+                    self._journal_write(
+                        self.journal.record_state,
+                        job.job_id,
+                        "done",
+                        stats=batch.to_dict(),
+                    )
+            except BaseException as error:
+                job._fail(error)
+                if self.journal is not None:
+                    self._journal_write(
+                        self.journal.record_state,
+                        job.job_id,
+                        "error",
+                        error=str(error),
+                    )
+
+        thread = threading.Thread(
+            target=_run, name=f"repro-job-{job.job_id[:8]}", daemon=True
+        )
+        thread.start()
+        return job
+
+    def _register_job(self, job: BatchJob) -> None:
         with self._jobs_lock:
             self._jobs[job.job_id] = job
             while len(self._jobs) > MAX_RETAINED_JOBS:
@@ -852,27 +1090,13 @@ class ScenarioScheduler:
                         break
                 else:
                     self._jobs.popitem(last=False)
+                self._evicted_jobs += 1
 
-        def _run() -> None:
-            try:
-                keys = [spec.cache_key(self.engine_version) for spec in specs]
-                batch = self.run_batch(
-                    specs,
-                    max_workers,
-                    shard_size,
-                    workers,
-                    progress=job._on_progress,
-                    _keys=keys,
-                )
-                job._finish(batch, keys=keys, specs=specs)
-            except BaseException as error:
-                job._fail(error)
-
-        thread = threading.Thread(
-            target=_run, name=f"repro-job-{job.job_id[:8]}", daemon=True
-        )
-        thread.start()
-        return job
+    @property
+    def evicted_jobs(self) -> int:
+        """How many retained jobs the retention cap has silently dropped."""
+        with self._jobs_lock:
+            return self._evicted_jobs
 
     def get_job(self, job_id: str) -> Optional[BatchJob]:
         """Look up a previously submitted job (``None`` when unknown)."""
@@ -883,6 +1107,107 @@ class ScenarioScheduler:
         """All retained jobs, oldest first."""
         with self._jobs_lock:
             return list(self._jobs.values())
+
+    # ------------------------------------------------------------------
+    def recover_jobs(self) -> Dict[str, int]:
+        """Rebuild the job table from the journal after a restart.
+
+        Finished jobs come back as spilled handles (keys + spec dicts;
+        payloads rehydrate from the cache, recomputing on eviction exactly
+        like a live spilled job).  Jobs journaled as ``running`` — the
+        coordinator died mid-batch — are *resumed* under their original
+        id and options: shards journaled complete resolve as disk-cache
+        hits, only the rest re-run, and embedded seeds make the final
+        payload bit-identical to an uninterrupted run.  Jobs journaled
+        under a different engine version are skipped (their keys are
+        unreachable under current hashing; recomputing under stale keys
+        would poison the shared cache).
+
+        Returns a summary: ``{"rehydrated", "resumed", "failed",
+        "skipped"}`` counts.
+        """
+        summary = {"rehydrated": 0, "resumed": 0, "failed": 0, "skipped": 0}
+        if self.journal is None:
+            return summary
+        for record in self.journal.load_jobs():
+            if record.engine_version != self.engine_version:
+                self.journal.note_skipped(
+                    f"job {record.job_id}: engine version "
+                    f"{record.engine_version!r} != {self.engine_version!r}"
+                )
+                summary["skipped"] += 1
+                continue
+            if record.state == "running":
+                try:
+                    specs = [spec_from_dict(d) for d in record.spec_dicts]
+                except Exception as error:
+                    self.journal.note_skipped(
+                        f"job {record.job_id}: undecodable spec ({error})"
+                    )
+                    summary["skipped"] += 1
+                    continue
+                options = record.options
+                max_workers = options.get("max_workers")
+                shard_size = options.get("shard_size")
+                self.submit_job(
+                    specs,
+                    max_workers=max_workers if isinstance(max_workers, int) else None,
+                    shard_size=shard_size if isinstance(shard_size, int) else None,
+                    spill_results=bool(options.get("spill_results", True)),
+                    job_id=record.job_id,
+                    recovered=True,
+                )
+                summary["resumed"] += 1
+            elif record.state == "error":
+                job = BatchJob(
+                    record.job_id,
+                    record.num_scenarios,
+                    cache=self.cache,
+                    recovered=True,
+                )
+                job._fail(
+                    InvalidProblemError(record.error or "failed before shutdown")
+                )
+                self._register_job(job)
+                summary["failed"] += 1
+            else:  # done
+                job = self._rehydrate_finished_job(record)
+                self._register_job(job)
+                summary["rehydrated"] += 1
+        return summary
+
+    def _rehydrate_finished_job(self, record: JournalJobRecord) -> BatchJob:
+        """A spilled ``done`` handle rebuilt from one journal record.
+
+        Equivalent to the state :meth:`BatchJob._finish` leaves behind
+        after spilling: ordered keys plus one canonical spec dict per
+        unique key, payloads fetched from the cache (or recomputed from
+        the spec) on access.
+        """
+        job = BatchJob(
+            record.job_id,
+            record.num_scenarios,
+            cache=self.cache,
+            spill_results=True,
+            recovered=True,
+        )
+        spec_by_key: Dict[str, dict] = {}
+        for key, spec_dict in zip(record.keys, record.spec_dicts):
+            spec_by_key.setdefault(key, spec_dict)
+        batch = BatchResult.from_stats(
+            record.stats,
+            num_scenarios=record.num_scenarios,
+            num_unique=len(spec_by_key),
+        )
+        with job._lock:
+            job._batch = batch
+            job._result_keys = tuple(record.keys)
+            job._spec_by_key = spec_by_key
+            job._completed = batch.num_unique
+            job._total = batch.num_unique
+            job._state = "done"
+        job._done.set()
+        return job
 
 
 def _split_shards(

@@ -8,9 +8,16 @@ Endpoints
 ---------
 ``GET /healthz``
     Liveness probe: version, engine version and the servable scenario
-    kinds.
+    kinds; servers started with ``--journal`` also report the journal
+    path and row counts.
 ``GET /cache/stats``
     Snapshot of the result cache counters (hits, misses, evictions, ...).
+``GET /cache/<key>``
+    The cached payload under one SHA-256 content key, or ``404``.  This
+    is the cluster-share endpoint: peers configured with
+    ``--cache-peers`` fetch misses from here instead of recomputing.
+    Only *local* tiers are consulted (never this node's own peers), so
+    two nodes peered at each other cannot recurse.
 ``POST /evaluate``
     Body: one scenario spec dict (see :mod:`repro.service.spec`).
     Response: ``{"cached": bool, "key": sha256, "result": payload}``.
@@ -24,7 +31,9 @@ Endpoints
     responds ``202`` with ``{"job_id": ..., "path": "/jobs/<id>"}``
     immediately, so long grids never block the request thread.
 ``GET /jobs``
-    Summaries of the retained jobs (id, state, progress).
+    Summaries of the retained jobs (id, state, progress, a
+    ``recovered`` flag on journal-rehydrated ones) plus the
+    ``evicted_jobs`` retention counter.
 ``GET /jobs/<id>``
     State plus partial progress counts while running; the full
     ``results``/``stats`` once done.  Unknown ids return ``404``.
@@ -44,18 +53,26 @@ as the strings ``"inf"``/``"-inf"``/``"nan"``, exactly as the CLI
 A server given ``workers=[...]`` acts as a *coordinator*: its scheduler
 round-robins batch shards across those remote ``repro serve`` instances
 and the local pool (see :mod:`repro.service.remote`).
+
+A server given ``journal_path`` journals every job to SQLite and replays
+the journal before binding: finished jobs are rehydrated, interrupted
+jobs resume (see :mod:`repro.service.journal`).  :func:`run_server`
+installs a SIGTERM handler so ``kill`` (systemd stop, container runtime)
+checkpoints the journal and stops the supervisor exactly like Ctrl-C.
 """
 
 from __future__ import annotations
 
 import json
+import signal
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from .. import __version__
 from ..exceptions import ReproError
 from ..reporting import to_jsonable
-from .cache import ResultCache
+from .cache import _KEY_CHARS, ResultCache
+from .journal import JobJournal
 from .remote import RemoteWorkerPool
 from .scheduler import ScenarioScheduler
 from .spec import ENGINE_VERSION, spec_from_dict, spec_kinds
@@ -145,17 +162,29 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         scheduler: ScenarioScheduler = self.server.scheduler
         if self.path == "/healthz":
-            self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "version": __version__,
-                    "engine_version": scheduler.engine_version,
-                    "kinds": list(spec_kinds()),
-                },
-            )
+            payload = {
+                "status": "ok",
+                "version": __version__,
+                "engine_version": scheduler.engine_version,
+                "kinds": list(spec_kinds()),
+            }
+            if scheduler.journal is not None:
+                payload["journal"] = scheduler.journal.counts()
+            self._send_json(200, payload)
         elif self.path == "/cache/stats":
             self._send_json(200, scheduler.cache.stats().to_dict())
+        elif self.path.startswith("/cache/"):
+            key = self.path[len("/cache/") :]
+            if len(key) != 64 or not set(key) <= _KEY_CHARS:
+                # Keys are SHA-256 hex digests; reject anything else before
+                # it reaches the disk tier's path construction.
+                self._send_json(404, {"error": f"malformed cache key {key!r}"})
+                return
+            payload = scheduler.cache.get_local(key)
+            if payload is None:
+                self._send_json(404, {"error": f"key {key!r} not cached here"})
+            else:
+                self._send_json(200, {"key": key, "result": payload})
         elif self.path == "/jobs":
             self._send_json(
                 200,
@@ -163,7 +192,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     "jobs": [
                         job.to_dict(include_results=False)
                         for job in scheduler.jobs()
-                    ]
+                    ],
+                    "evicted_jobs": scheduler.evicted_jobs,
                 },
             )
         elif self.path.startswith("/jobs/"):
@@ -260,6 +290,10 @@ class ScenarioServer(ThreadingHTTPServer):
         super().__init__(address, _ServiceHandler)
         self.scheduler = scheduler
         self.verbose = verbose
+        #: Summary dict from the startup journal replay (``None`` when the
+        #: server was not built with a journal); see
+        #: :meth:`ScenarioScheduler.recover_jobs`.
+        self.recovery: Optional[Dict[str, int]] = None
 
     @property
     def url(self) -> str:
@@ -281,11 +315,16 @@ class ScenarioServer(ThreadingHTTPServer):
         return f"http://{host}:{port}"
 
     def server_close(self) -> None:
-        """Close the socket and stop the worker pool's supervisor thread."""
+        """Close the socket, stop the supervisor, checkpoint the journal."""
         super().server_close()
         pool = getattr(self.scheduler, "worker_pool", None)
         if pool is not None:
             pool.stop_supervisor()
+        journal = getattr(self.scheduler, "journal", None)
+        if journal is not None:
+            # close() checkpoints the WAL first, so a clean shutdown leaves
+            # a single compact journal file behind.
+            journal.close()
 
 
 def create_server(
@@ -298,6 +337,8 @@ def create_server(
     reprobe_interval: Optional[float] = None,
     worker_timeout: Optional[float] = None,
     worker_connect_timeout: Optional[float] = None,
+    journal_path: Optional[str] = None,
+    cache_peers: Optional[Sequence[str]] = None,
 ) -> ScenarioServer:
     """Build a :class:`ScenarioServer` (``port=0`` binds an ephemeral port).
 
@@ -313,7 +354,16 @@ def create_server(
     coordinator heals restarted workers without a restart of its own; the
     supervisor also attaches to an explicitly supplied ``scheduler``'s
     pool.  It stops with :meth:`ScenarioServer.server_close`.
+
+    ``journal_path`` makes the coordinator durable: jobs are journaled to
+    that SQLite file and the journal is replayed *before* this function
+    returns (finished jobs rehydrated, interrupted jobs resumed — the
+    summary lands in :attr:`ScenarioServer.recovery`).  ``cache_peers``
+    (base URLs of other ``repro serve`` nodes) makes local cache misses
+    consult the cluster before recomputing.  Both are ignored when an
+    explicit ``scheduler`` is supplied — its own cache/journal win.
     """
+    recovery: Optional[Dict[str, int]] = None
     if scheduler is None:
         pool = None
         if workers:
@@ -323,8 +373,14 @@ def create_server(
             if worker_connect_timeout is not None:
                 pool_kwargs["connect_timeout"] = worker_connect_timeout
             pool = RemoteWorkerPool(list(workers), **pool_kwargs)
-        scheduler = ScenarioScheduler(cache=cache, workers=pool)
+        if cache is None and cache_peers:
+            cache = ResultCache(peers=list(cache_peers))
+        journal = JobJournal(journal_path) if journal_path is not None else None
+        scheduler = ScenarioScheduler(cache=cache, workers=pool, journal=journal)
+        if journal is not None:
+            recovery = scheduler.recover_jobs()
     server = ScenarioServer((host, port), scheduler, verbose=verbose)
+    server.recovery = recovery
     pool = scheduler.worker_pool
     if pool is not None and reprobe_interval is not None and reprobe_interval > 0:
         pool.start_supervisor(reprobe_interval=reprobe_interval)
@@ -332,10 +388,33 @@ def create_server(
 
 
 def run_server(server: ScenarioServer) -> None:
-    """Serve forever (until KeyboardInterrupt), then close the socket."""
+    """Serve until KeyboardInterrupt or SIGTERM, then shut down cleanly.
+
+    The SIGTERM handler (installed only when running on the main thread)
+    raises :class:`SystemExit`, which funnels ``kill``/container stops
+    through the same path as Ctrl-C: supervisor stopped, journal
+    checkpointed and closed, socket released.  The previous handler is
+    restored on the way out.
+    """
+
+    def _terminate(signum, frame):  # pragma: no cover - signal path
+        raise SystemExit(0)
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:
+        # Not the main thread (e.g. a test harness serving in a worker
+        # thread): signals stay with whoever owns the main thread.
+        previous = None
     try:
         server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+    except (KeyboardInterrupt, SystemExit):  # pragma: no cover - shutdown
         pass
     finally:
+        if previous is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous)
+            except ValueError:  # pragma: no cover - defensive
+                pass
         server.server_close()

@@ -91,7 +91,9 @@ class TestDiskBackend:
     def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
         (tmp_path / f"{KEY_A}.json").write_text("{not json")
         cache = ResultCache(disk_path=str(tmp_path))
-        assert cache.get(KEY_A) is None
+        with pytest.warns(UserWarning, match="unreadable disk cache entry"):
+            assert cache.get(KEY_A) is None
+        assert cache.stats().disk_corrupt == 1
 
     def test_malformed_key_rejected(self, tmp_path):
         cache = ResultCache(disk_path=str(tmp_path))
