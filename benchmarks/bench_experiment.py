@@ -1,0 +1,108 @@
+"""Perf — the experiment compiler and grid execution.
+
+Two measurements on a mixed-kind grid (every related workload plus the
+closed-form bounds, 48 cells):
+
+1. **Compile** — crossing generators × strategies, seed spawning and
+   content hashing must stay negligible next to evaluation (the compiler
+   runs on every `repro experiment run` and every `POST /experiments`);
+2. **Cold vs warm run** — the compiled plan through the scheduler: the
+   warm re-run of the identical plan must evaluate nothing and beat the
+   cold run by the same >= 5x floor the batch scheduler guarantees.
+
+The measured times land in ``extra_info`` so the bench JSON tracks the
+experiment layer over time (PERFORMANCE.md, "Experiment grids").
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiment import Experiment
+from repro.service.cache import ResultCache
+from repro.service.scheduler import ScenarioScheduler
+
+WORKERS = 4
+
+
+def _build_experiment() -> Experiment:
+    return (
+        Experiment("bench-grid", seed=2018)
+        .add_generator(
+            "problems",
+            [
+                {"num_rays": m, "num_robots": k, "num_faulty": 0,
+                 "num_problems": m, "num_processors": k,
+                 "num_algorithms": m + k, "num_areas": k,
+                 "fold": m + k, "eta": 1.0 + m / 2.0}
+                for m in (2, 3, 4)
+                for k in (1, 2)
+            ],
+        )
+        .add_strategy("bounds", "bounds")
+        .add_strategy("simulate", "simulate", horizon=100.0)
+        .add_strategy("contract", "contract", horizon=100.0)
+        .add_strategy("hybrid", "hybrid", horizon=100.0)
+        .add_strategy("orc", "orc", horizon=100.0)
+        .add_strategy("fractional", "fractional", horizon=100.0)
+        .add_strategy("lemmas", "lemmas", grid_points=101, mu_star_samples=5)
+        # Fixed strategy fields win over row fields, so the certificate
+        # stays in the refutable line regime (f < k <= 2f + 1) for every row.
+        .add_strategy(
+            "certificate", "certificate",
+            num_robots=3, num_faulty=1, claim_fraction=0.95, horizon=200.0,
+        )
+        .add_metric("bound", "ratio")
+        .add_metric("measured", "measured_ratio")
+        .add_metric("holds", "holds")
+    )
+
+
+def test_perf_experiment_grid(benchmark):
+    experiment = _build_experiment()
+
+    start = time.perf_counter()
+    plan = experiment.compile()
+    compile_seconds = time.perf_counter() - start
+    assert len(plan.cells) == 48
+    content_hash = plan.content_hash()
+    assert experiment.compile().content_hash() == content_hash
+
+    scheduler = ScenarioScheduler(cache=ResultCache(max_entries=4096))
+
+    start = time.perf_counter()
+    cold = plan.run(scheduler=scheduler, max_workers=WORKERS)
+    cold_seconds = time.perf_counter() - start
+    assert cold.stats["evaluated"] > 0
+
+    start = time.perf_counter()
+    warm = experiment.compile().run(scheduler=scheduler, max_workers=WORKERS)
+    warm_seconds = time.perf_counter() - start
+    assert warm.stats["evaluated"] == 0
+    assert warm.rows == cold.rows
+    warm_speedup = cold_seconds / warm_seconds
+
+    benchmark.extra_info["experiment"] = "PERF-EXPERIMENT"
+    benchmark.extra_info["num_cells"] = len(plan.cells)
+    benchmark.extra_info["num_unique"] = cold.stats["num_unique"]
+    benchmark.extra_info["compile_seconds"] = round(compile_seconds, 5)
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 4)
+    benchmark.extra_info["warm_seconds"] = round(warm_seconds, 4)
+    benchmark.extra_info["warm_speedup"] = round(warm_speedup, 1)
+    print(
+        f"\nexperiment grid @ {len(plan.cells)} cells "
+        f"({cold.stats['num_unique']} unique): "
+        f"compile {compile_seconds * 1e3:.1f} ms, "
+        f"cold {cold_seconds * 1e3:.0f} ms "
+        f"({cold.stats['evaluated']} evals), "
+        f"warm {warm_seconds * 1e3:.0f} ms, {warm_speedup:.0f}x"
+    )
+
+    benchmark.pedantic(
+        lambda: experiment.compile().run(scheduler=scheduler, max_workers=WORKERS),
+        rounds=3,
+        iterations=1,
+    )
+    assert warm_speedup >= 5.0, (
+        f"warm experiment only {warm_speedup:.1f}x faster than cold"
+    )

@@ -48,6 +48,9 @@ ENGINE_RELEVANT = (
     "src/repro/analysis/sweep.py",
     "src/repro/service/spec.py",
     "src/repro/service/execute.py",
+    # The experiment compiler derives per-cell seeds and content hashes;
+    # changing it changes which specs (and hence payloads) a grid produces.
+    "src/repro/experiment.py",
 )
 
 #: Files whose diff constitutes a version bump.

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""CI smoke test for the ``repro experiment run`` pipeline.
+
+Writes a small experiment spec (two generators' worth of cells across two
+strategy kinds), runs it twice through the CLI with a shared on-disk
+cache, and asserts
+
+* the artifact table (``table.json`` + ``table.csv``) exists and carries
+  one row per grid cell with the closed-form golden in place;
+* both runs land in the *same* content-hash-keyed artifact directory;
+* the second run evaluates nothing — the whole grid is served from the
+  disk cache (``evaluated == 0``, hit rate 1.0).
+
+Run from the repository root:  ``python scripts/experiment_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SPEC = {
+    "name": "smoke-grid",
+    "seed": 7,
+    "generators": [
+        {"name": "line", "cells": [{"num_rays": 2}, {"num_rays": 3}]},
+    ],
+    "strategies": [
+        {"name": "closed-form", "kind": "bounds"},
+        {"name": "measured", "kind": "simulate", "fields": {"horizon": 100.0}},
+    ],
+    "metrics": [
+        {"name": "ratio", "path": "ratio"},
+        {"name": "measured", "path": "measured"},
+    ],
+}
+
+
+def _run_cli(spec_path: str, output_dir: str, cache_dir: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in ("src", env.get("PYTHONPATH")) if part
+    )
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "experiment", "run", spec_path,
+            "--output-dir", output_dir, "--cache-dir", cache_dir, "--json",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    return json.loads(result.stdout)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        spec_path = os.path.join(tmp, "spec.json")
+        with open(spec_path, "w", encoding="utf-8") as handle:
+            json.dump(SPEC, handle)
+        output_dir = os.path.join(tmp, "out")
+        cache_dir = os.path.join(tmp, "cache")
+
+        first = _run_cli(spec_path, output_dir, cache_dir)
+        directory = first["artifacts"]["directory"]
+        assert os.path.isfile(os.path.join(directory, "table.json")), directory
+        assert os.path.isfile(os.path.join(directory, "table.csv")), directory
+        assert first["experiment"]["num_cells"] == 4, first["experiment"]
+        assert len(first["rows"]) == 4, first["rows"]
+        assert first["stats"]["evaluated"] == 4, first["stats"]
+
+        # The m=2 closed-form golden: competitive ratio exactly 9.
+        with open(os.path.join(directory, "table.json"), encoding="utf-8") as handle:
+            table = json.load(handle)
+        ratio_column = table["columns"].index("ratio")
+        goldens = [row[ratio_column] for row in table["rows"]
+                   if row[table["columns"].index("strategy")] == "closed-form"]
+        assert goldens[0] == 9.0, f"bounds golden broken: {goldens[0]!r} != 9.0"
+
+        second = _run_cli(spec_path, output_dir, cache_dir)
+        assert second["artifacts"]["directory"] == directory, (
+            "content hash drifted between identical runs"
+        )
+        assert second["stats"]["evaluated"] == 0, second["stats"]
+        assert second["stats"]["cache_hits"] == 4, second["stats"]
+        assert second["rows"] == first["rows"], "cached table differs"
+
+        print(
+            f"experiment smoke OK: 4 cells in {os.path.basename(directory)}, "
+            f"re-run served entirely from cache"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

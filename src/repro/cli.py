@@ -30,7 +30,12 @@ without writing any Python:
 * ``cache gc`` — drop on-disk cache entries whose engine version no
   longer matches the running ``ENGINE_VERSION``, and/or compact a job
   journal (``--journal``), dropping rows no current engine can
-  reproduce.
+  reproduce;
+* ``experiment run`` — compile a JSON experiment spec (generators ×
+  strategies × metrics, see :mod:`repro.experiment`) into one deduped
+  batch, evaluate it, and persist the artifact table (``table.json`` +
+  ``table.csv``) under a directory keyed by the experiment's content
+  hash; same ``--workers``/``--cache-peers`` fan-out flags as ``batch``.
 
 Every query subcommand accepts ``--json``, which emits exactly the payload
 the HTTP server returns for the equivalent scenario — scripts and the
@@ -253,6 +258,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="report what would be dropped without deleting anything",
     )
     add_json_flag(gc_parser)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment",
+        help="experiment grids (generators × strategies × metrics; "
+        "see repro.experiment)",
+    )
+    experiment_sub = experiment_parser.add_subparsers(
+        dest="experiment_command", required=True
+    )
+    run_parser = experiment_sub.add_parser(
+        "run",
+        help="compile a JSON experiment spec, evaluate it as one deduped "
+        "batch and persist the artifact table",
+    )
+    run_parser.add_argument(
+        "spec",
+        help="JSON experiment spec file (or '-' for stdin) with "
+        "{name, seed, generators, strategies, metrics}",
+    )
+    run_parser.add_argument(
+        "--output-dir",
+        default="experiments-out",
+        help="artifact root; the table lands in <output-dir>/<name>-<hash12>/",
+    )
+    run_parser.add_argument("--max-workers", type=int, default=None)
+    run_parser.add_argument("--shard-size", type=int, default=None)
+    run_parser.add_argument(
+        "--cache-dir", default=None, help="optional on-disk cache directory"
+    )
+    run_parser.add_argument(
+        "--workers",
+        action="append",
+        default=None,
+        metavar="URL[,URL...]",
+        help="remote `repro serve` base URLs to dispatch shards to "
+        "(repeatable, comma-separated values accepted)",
+    )
+    _add_cache_peer_flag(run_parser)
+    _add_worker_tuning_flags(run_parser)
+    add_json_flag(run_parser)
     return parser
 
 
@@ -667,6 +712,62 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_experiment(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .experiment import Experiment
+    from .service.cache import ResultCache
+    from .service.scheduler import ScenarioScheduler
+
+    # experiment_command is required=True and currently only "run"; the
+    # dispatch keeps room for future subcommands (diff, render, ...).
+    try:
+        if args.spec == "-":
+            body = _json.load(sys.stdin)
+        else:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                body = _json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read experiment spec from {args.spec!r}: {error}",
+              file=sys.stderr)
+        return 2
+    pool = _build_worker_pool(args)
+    try:
+        plan = Experiment.from_spec(body).compile()
+        scheduler = ScenarioScheduler(
+            cache=ResultCache(
+                disk_path=args.cache_dir,
+                peers=_parse_worker_urls(args.cache_peers),
+            ),
+            workers=pool,
+        )
+        if pool is not None and args.reprobe_interval > 0:
+            pool.start_supervisor(reprobe_interval=args.reprobe_interval)
+        result = plan.run(
+            scheduler=scheduler,
+            max_workers=args.max_workers,
+            shard_size=args.shard_size,
+        )
+    except ReproError as error:
+        print(f"error: invalid experiment spec: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if pool is not None:
+            pool.stop_supervisor()
+    paths = result.persist(args.output_dir)
+    if args.json:
+        print(render_json(dict(result.to_dict(), artifacts=paths)))
+        return 0
+    print(f"experiment {plan.name} ({len(plan.cells)} cells, "
+          f"hash {plan.content_hash()[:12]})")
+    print(render_table(result.plan.columns, result.rows))
+    stats = dict(result.stats)
+    stats.update(cache_hit_rate=scheduler.cache.stats().hit_rate)
+    print(render_table(["quantity", "value"], sorted(stats.items())))
+    print(f"artifacts: {paths['directory']}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -680,6 +781,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _command_serve,
         "batch": _command_batch,
         "cache": _command_cache,
+        "experiment": _command_experiment,
     }
     return handlers[args.command](args)
 

@@ -29,9 +29,10 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..exceptions import CertificateError, CoverageHoleError
+from ..reporting import decode_float, encode_float
 from .bounds import crash_line_ratio, mu_from_ratio, orc_covering_ratio
 from .covering import (
     AssignedInterval,
@@ -102,6 +103,46 @@ class Certificate:
     delta: Optional[float] = None
     max_intervals: Optional[float] = None
     trace: Optional[PotentialTrace] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Strict-JSON form of the certificate.
+
+        The potential trace is summarised as ``num_trace_steps`` rather than
+        serialised in full (it can hold thousands of steps); every float goes
+        through :func:`repro.reporting.encode_float`.
+        """
+
+        def _optional(value: Optional[float]) -> object:
+            return None if value is None else encode_float(value)
+
+        return {
+            "certificate_kind": self.kind.value,
+            "claimed_ratio": encode_float(self.claimed_ratio),
+            "tight_bound": encode_float(self.tight_bound),
+            "fold": self.fold,
+            "hole": _optional(self.hole),
+            "delta": _optional(self.delta),
+            "max_intervals": _optional(self.max_intervals),
+            "num_trace_steps": None if self.trace is None else len(self.trace.steps),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Certificate":
+        """Inverse of :meth:`to_dict` (the trace itself is not round-tripped)."""
+
+        def _optional(value: object) -> Optional[float]:
+            return None if value is None else float(decode_float(value))
+
+        return cls(
+            kind=CertificateKind(payload["certificate_kind"]),
+            claimed_ratio=float(decode_float(payload["claimed_ratio"])),
+            tight_bound=float(decode_float(payload["tight_bound"])),
+            fold=int(payload["fold"]),  # type: ignore[arg-type]
+            hole=_optional(payload["hole"]),
+            delta=_optional(payload["delta"]),
+            max_intervals=_optional(payload["max_intervals"]),
+            trace=None,
+        )
 
     def summary(self) -> str:
         """One-line human-readable summary of the certificate."""

@@ -28,11 +28,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Dict, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from ..exceptions import InvalidProblemError
+from ..reporting import decode_float, encode_float
 
 __all__ = [
     "polynomial_value",
@@ -172,6 +173,33 @@ class Lemma4Report:
     grid_maximum: float
     holds: bool
 
+    def to_dict(self) -> Dict[str, object]:
+        """Strict-JSON form (non-finite floats become ``"inf"``-style strings)."""
+        return {
+            "mu_star": encode_float(self.mu_star),
+            "k": encode_float(self.k),
+            "s": encode_float(self.s),
+            "analytic_argmax": encode_float(self.analytic_argmax),
+            "grid_argmax": encode_float(self.grid_argmax),
+            "analytic_maximum": encode_float(self.analytic_maximum),
+            "grid_maximum": encode_float(self.grid_maximum),
+            "holds": self.holds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Lemma4Report":
+        """Inverse of :meth:`to_dict`; extra payload keys are ignored."""
+        return cls(
+            mu_star=float(decode_float(payload["mu_star"])),
+            k=float(decode_float(payload["k"])),
+            s=float(decode_float(payload["s"])),
+            analytic_argmax=float(decode_float(payload["analytic_argmax"])),
+            grid_argmax=float(decode_float(payload["grid_argmax"])),
+            analytic_maximum=float(decode_float(payload["analytic_maximum"])),
+            grid_maximum=float(decode_float(payload["grid_maximum"])),
+            holds=bool(payload["holds"]),
+        )
+
 
 def verify_lemma4(
     mu_star: float,
@@ -222,6 +250,29 @@ class Lemma5Report:
     delta: float
     min_step_ratio: float
     holds: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """Strict-JSON form (non-finite floats become ``"inf"``-style strings)."""
+        return {
+            "mu": encode_float(self.mu),
+            "k": encode_float(self.k),
+            "s": encode_float(self.s),
+            "delta": encode_float(self.delta),
+            "min_step_ratio": encode_float(self.min_step_ratio),
+            "holds": self.holds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Lemma5Report":
+        """Inverse of :meth:`to_dict`; extra payload keys are ignored."""
+        return cls(
+            mu=float(decode_float(payload["mu"])),
+            k=float(decode_float(payload["k"])),
+            s=float(decode_float(payload["s"])),
+            delta=float(decode_float(payload["delta"])),
+            min_step_ratio=float(decode_float(payload["min_step_ratio"])),
+            holds=bool(payload["holds"]),
+        )
 
 
 def verify_lemma5(

@@ -11,6 +11,8 @@ errors.  The hierarchy mirrors the main subsystems:
 * simulation failures (a target is never detected by a given strategy) →
   :class:`TargetNotDetectedError`, :class:`CoverageHoleError`
 * certificate construction failures → :class:`CertificateError`
+* scenario-kind registry drift (a spec kind without an executor, or an
+  executor for an unregistered kind) → :class:`RegistryError`
 """
 
 from __future__ import annotations
@@ -63,4 +65,15 @@ class CertificateError(ReproError):
 
     This is *expected* when the claimed ratio is actually achievable: the
     potential-function argument only yields a contradiction below the bound.
+    """
+
+
+class RegistryError(ReproError):
+    """Raised when the scenario-kind registry and the executor registry drift.
+
+    Registering a spec kind without an executor (or an executor for an
+    unregistered kind) is a programming error; it is detected at import time
+    by :func:`repro.service.execute.check_registry_parity` and again when a
+    request names a registered-but-unhandled kind, so it surfaces as a
+    structured 400 instead of a background ``TypeError``.
     """

@@ -32,14 +32,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.bounds import crash_ray_ratio
 from ..exceptions import InvalidProblemError, InvalidStrategyError
+from ..reporting import decode_float, encode_float
 
 __all__ = [
     "Contract",
     "ContractSchedule",
+    "ContractWorkloadResult",
+    "evaluate_contract_workload",
     "geometric_contract_schedule",
     "optimal_acceleration_ratio",
     "search_ratio_from_acceleration",
@@ -194,6 +197,97 @@ def optimal_acceleration_ratio(num_problems: int, num_processors: int) -> float:
         raise InvalidProblemError("need at least one problem and one processor")
     log_value = (m + k) * math.log(m + k) - m * math.log(m) - k * math.log(k)
     return math.exp(log_value / k)
+
+
+@dataclass(frozen=True)
+class ContractWorkloadResult:
+    """Strict-JSON result of one contract-scheduling workload evaluation.
+
+    ``measured_acceleration`` can be ``math.inf`` (the adversary interrupts
+    before the schedule has completed anything useful, e.g. with
+    ``min_interruption=0``); the wire form therefore routes every float
+    through :func:`repro.reporting.encode_float`.
+    """
+
+    num_problems: int
+    num_processors: int
+    horizon: float
+    base: float
+    min_interruption: Optional[float]
+    measured_acceleration: float
+    optimal_acceleration: float
+    search_ratio: float
+    num_contracts: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """Strict-JSON form (non-finite floats become ``"inf"``-style strings)."""
+        return {
+            "num_problems": self.num_problems,
+            "num_processors": self.num_processors,
+            "horizon": encode_float(self.horizon),
+            "base": encode_float(self.base),
+            "min_interruption": (
+                None
+                if self.min_interruption is None
+                else encode_float(self.min_interruption)
+            ),
+            "measured_acceleration": encode_float(self.measured_acceleration),
+            "optimal_acceleration": encode_float(self.optimal_acceleration),
+            "search_ratio": encode_float(self.search_ratio),
+            "num_contracts": self.num_contracts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ContractWorkloadResult":
+        """Inverse of :meth:`to_dict`; extra payload keys are ignored."""
+        raw_min = payload["min_interruption"]
+        return cls(
+            num_problems=int(payload["num_problems"]),  # type: ignore[arg-type]
+            num_processors=int(payload["num_processors"]),  # type: ignore[arg-type]
+            horizon=float(decode_float(payload["horizon"])),
+            base=float(decode_float(payload["base"])),
+            min_interruption=None if raw_min is None else float(decode_float(raw_min)),
+            measured_acceleration=float(decode_float(payload["measured_acceleration"])),
+            optimal_acceleration=float(decode_float(payload["optimal_acceleration"])),
+            search_ratio=float(decode_float(payload["search_ratio"])),
+            num_contracts=int(payload["num_contracts"]),  # type: ignore[arg-type]
+        )
+
+
+def evaluate_contract_workload(
+    num_problems: int,
+    num_processors: int,
+    horizon: float,
+    base: Optional[float] = None,
+    min_interruption: Optional[float] = None,
+) -> ContractWorkloadResult:
+    """Build the geometric schedule, measure it, and relate it to ray search.
+
+    ``search_ratio`` is the Theorem-6 value the optimum corresponds to:
+    ``A(m + k, k, 0) = 1 + 2 * acc*(m, k)``.
+    """
+    schedule = geometric_contract_schedule(
+        num_problems, num_processors, horizon, base=base
+    )
+    if base is None:
+        base = ((num_problems + num_processors) / num_problems) ** (
+            1.0 / num_processors
+        )
+    return ContractWorkloadResult(
+        num_problems=num_problems,
+        num_processors=num_processors,
+        horizon=horizon,
+        base=base,
+        min_interruption=min_interruption,
+        measured_acceleration=schedule.acceleration_ratio(
+            min_interruption=min_interruption
+        ),
+        optimal_acceleration=optimal_acceleration_ratio(num_problems, num_processors),
+        search_ratio=search_ratio_from_acceleration(
+            num_problems + num_processors, num_processors
+        ),
+        num_contracts=sum(len(contracts) for contracts in schedule.assignments),
+    )
 
 
 def search_ratio_from_acceleration(num_rays: int, num_robots: int) -> float:

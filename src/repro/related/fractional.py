@@ -24,14 +24,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.bounds import fractional_retrieval_ratio
 from ..exceptions import InvalidProblemError, InvalidStrategyError
+from ..reporting import decode_float, encode_float
 from .orc import OrcCoveringStrategy, geometric_orc_strategy
 
 __all__ = [
     "WeightedCoveringStrategy",
+    "FractionalWorkloadResult",
+    "evaluate_fractional_workload",
     "fractional_strategy",
     "required_lambda_at",
     "measure_fractional_ratio",
@@ -114,6 +117,84 @@ def fractional_strategy(
         weights=tuple(weight for _ in range(num_robots)),
         radii=inner.radii,
         eta=fold / num_robots,
+    )
+
+
+@dataclass(frozen=True)
+class FractionalWorkloadResult:
+    """Strict-JSON result of one fractional-retrieval workload evaluation.
+
+    ``eta`` is the requested weight requirement; ``effective_eta`` the value
+    actually realised by the rational approximation (``fold / num_robots``).
+    ``theoretical_ratio`` is Eq. 11 at the *requested* ``eta``,
+    ``effective_theoretical_ratio`` Eq. 11 at the effective one.
+    """
+
+    eta: float
+    effective_eta: float
+    num_robots: int
+    fold: int
+    horizon: float
+    alpha: float
+    measured_ratio: float
+    theoretical_ratio: float
+    effective_theoretical_ratio: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """Strict-JSON form (non-finite floats become ``"inf"``-style strings)."""
+        return {
+            "eta": encode_float(self.eta),
+            "effective_eta": encode_float(self.effective_eta),
+            "num_robots": self.num_robots,
+            "fold": self.fold,
+            "horizon": encode_float(self.horizon),
+            "alpha": encode_float(self.alpha),
+            "measured_ratio": encode_float(self.measured_ratio),
+            "theoretical_ratio": encode_float(self.theoretical_ratio),
+            "effective_theoretical_ratio": encode_float(
+                self.effective_theoretical_ratio
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "FractionalWorkloadResult":
+        """Inverse of :meth:`to_dict`; extra payload keys are ignored."""
+        return cls(
+            eta=float(decode_float(payload["eta"])),
+            effective_eta=float(decode_float(payload["effective_eta"])),
+            num_robots=int(payload["num_robots"]),  # type: ignore[arg-type]
+            fold=int(payload["fold"]),  # type: ignore[arg-type]
+            horizon=float(decode_float(payload["horizon"])),
+            alpha=float(decode_float(payload["alpha"])),
+            measured_ratio=float(decode_float(payload["measured_ratio"])),
+            theoretical_ratio=float(decode_float(payload["theoretical_ratio"])),
+            effective_theoretical_ratio=float(
+                decode_float(payload["effective_theoretical_ratio"])
+            ),
+        )
+
+
+def evaluate_fractional_workload(
+    eta: float,
+    num_robots: int,
+    horizon: float,
+    alpha: Optional[float] = None,
+) -> FractionalWorkloadResult:
+    """Build the rational-approximation strategy and measure its ratio."""
+    strategy = fractional_strategy(eta, num_robots, horizon, alpha=alpha)
+    fold = int(round(strategy.eta * strategy.num_robots))
+    if alpha is None:
+        alpha = (fold / (fold - num_robots)) ** (1.0 / num_robots)
+    return FractionalWorkloadResult(
+        eta=eta,
+        effective_eta=strategy.eta,
+        num_robots=num_robots,
+        fold=fold,
+        horizon=horizon,
+        alpha=alpha,
+        measured_ratio=measure_fractional_ratio(strategy, hi=horizon),
+        theoretical_ratio=fractional_retrieval_ratio(eta),
+        effective_theoretical_ratio=strategy.theoretical_ratio(),
     )
 
 

@@ -27,14 +27,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.bounds import crash_ray_ratio
 from ..exceptions import InvalidProblemError, InvalidStrategyError
+from ..reporting import decode_float, encode_float
 
 __all__ = [
     "Run",
     "HybridSchedule",
+    "HybridWorkloadResult",
+    "evaluate_hybrid_workload",
     "geometric_hybrid_schedule",
     "hybrid_optimal_ratio",
     "measure_hybrid_ratio",
@@ -175,6 +178,73 @@ def geometric_hybrid_schedule(
     for n in range(start, end + 1):
         areas[n % k].append(Run(algorithm=n % m, amount=base**n))
     return HybridSchedule(m, areas)
+
+
+@dataclass(frozen=True)
+class HybridWorkloadResult:
+    """Strict-JSON result of one hybrid-algorithm workload evaluation."""
+
+    num_algorithms: int
+    num_areas: int
+    horizon: float
+    base: float
+    measured_ratio: float
+    optimal_ratio: float
+    search_ratio: float
+    num_runs: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """Strict-JSON form (non-finite floats become ``"inf"``-style strings)."""
+        return {
+            "num_algorithms": self.num_algorithms,
+            "num_areas": self.num_areas,
+            "horizon": encode_float(self.horizon),
+            "base": encode_float(self.base),
+            "measured_ratio": encode_float(self.measured_ratio),
+            "optimal_ratio": encode_float(self.optimal_ratio),
+            "search_ratio": encode_float(self.search_ratio),
+            "num_runs": self.num_runs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "HybridWorkloadResult":
+        """Inverse of :meth:`to_dict`; extra payload keys are ignored."""
+        return cls(
+            num_algorithms=int(payload["num_algorithms"]),  # type: ignore[arg-type]
+            num_areas=int(payload["num_areas"]),  # type: ignore[arg-type]
+            horizon=float(decode_float(payload["horizon"])),
+            base=float(decode_float(payload["base"])),
+            measured_ratio=float(decode_float(payload["measured_ratio"])),
+            optimal_ratio=float(decode_float(payload["optimal_ratio"])),
+            search_ratio=float(decode_float(payload["search_ratio"])),
+            num_runs=int(payload["num_runs"]),  # type: ignore[arg-type]
+        )
+
+
+def evaluate_hybrid_workload(
+    num_algorithms: int,
+    num_areas: int,
+    horizon: float,
+    base: Optional[float] = None,
+) -> HybridWorkloadResult:
+    """Build the geometric hybrid schedule, measure it, and pin the identity.
+
+    ``search_ratio`` is ``A(m, k, 0)``, the fault-free ray-search ratio whose
+    overhead the hybrid optimum halves: ``H(m, k) = 1 + (A(m, k, 0) - 1)/2``.
+    """
+    schedule = geometric_hybrid_schedule(num_algorithms, num_areas, horizon, base=base)
+    if base is None:
+        base = (num_algorithms / (num_algorithms - num_areas)) ** (1.0 / num_areas)
+    return HybridWorkloadResult(
+        num_algorithms=num_algorithms,
+        num_areas=num_areas,
+        horizon=horizon,
+        base=base,
+        measured_ratio=measure_hybrid_ratio(schedule, hi=horizon),
+        optimal_ratio=hybrid_optimal_ratio(num_algorithms, num_areas),
+        search_ratio=crash_ray_ratio(num_algorithms, num_areas, 0),
+        num_runs=sum(len(runs) for runs in schedule.areas),
+    )
 
 
 def hybrid_optimal_ratio(num_algorithms: int, num_areas: int) -> float:

@@ -22,15 +22,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.bounds import orc_covering_ratio
 from ..core.covering import orc_cover_intervals, find_hole
 from ..exceptions import CoverageHoleError, InvalidProblemError, InvalidStrategyError
+from ..reporting import decode_float, encode_float
 from ..strategies.base import Strategy
 
 __all__ = [
     "OrcCoveringStrategy",
+    "OrcWorkloadResult",
+    "evaluate_orc_workload",
     "geometric_orc_strategy",
     "orc_strategy_from_ray_strategy",
     "measure_orc_ratio",
@@ -109,6 +112,65 @@ def geometric_orc_strategy(
         radii[n % num_robots].append(alpha**n)
     return OrcCoveringStrategy(
         radii=tuple(tuple(robot_radii) for robot_radii in radii), fold=fold
+    )
+
+
+@dataclass(frozen=True)
+class OrcWorkloadResult:
+    """Strict-JSON result of one ORC covering workload evaluation."""
+
+    num_robots: int
+    fold: int
+    horizon: float
+    alpha: float
+    measured_ratio: float
+    theoretical_ratio: float
+    num_rounds: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """Strict-JSON form (non-finite floats become ``"inf"``-style strings)."""
+        return {
+            "num_robots": self.num_robots,
+            "fold": self.fold,
+            "horizon": encode_float(self.horizon),
+            "alpha": encode_float(self.alpha),
+            "measured_ratio": encode_float(self.measured_ratio),
+            "theoretical_ratio": encode_float(self.theoretical_ratio),
+            "num_rounds": self.num_rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "OrcWorkloadResult":
+        """Inverse of :meth:`to_dict`; extra payload keys are ignored."""
+        return cls(
+            num_robots=int(payload["num_robots"]),  # type: ignore[arg-type]
+            fold=int(payload["fold"]),  # type: ignore[arg-type]
+            horizon=float(decode_float(payload["horizon"])),
+            alpha=float(decode_float(payload["alpha"])),
+            measured_ratio=float(decode_float(payload["measured_ratio"])),
+            theoretical_ratio=float(decode_float(payload["theoretical_ratio"])),
+            num_rounds=int(payload["num_rounds"]),  # type: ignore[arg-type]
+        )
+
+
+def evaluate_orc_workload(
+    num_robots: int,
+    fold: int,
+    horizon: float,
+    alpha: Optional[float] = None,
+) -> OrcWorkloadResult:
+    """Build the geometric ORC strategy and measure its covering ratio."""
+    strategy = geometric_orc_strategy(num_robots, fold, horizon, alpha=alpha)
+    if alpha is None:
+        alpha = (fold / (fold - num_robots)) ** (1.0 / num_robots)
+    return OrcWorkloadResult(
+        num_robots=num_robots,
+        fold=fold,
+        horizon=horizon,
+        alpha=alpha,
+        measured_ratio=measure_orc_ratio(strategy, hi=horizon),
+        theoretical_ratio=strategy.theoretical_ratio(),
+        num_rounds=sum(len(robot_radii) for robot_radii in strategy.radii),
     )
 
 

@@ -14,8 +14,10 @@ they contain infinite quantiles.
 
 from __future__ import annotations
 
+import csv
 import dataclasses
 import enum
+import io
 import json
 import math
 from typing import Any, Iterable, List, Sequence
@@ -30,6 +32,7 @@ __all__ = [
     "encode_float",
     "decode_float",
     "render_json",
+    "render_csv",
 ]
 
 
@@ -135,6 +138,38 @@ def render_table(
     output = [line(list(headers)), line(["-" * width for width in widths])]
     output.extend(line(row) for row in text_rows)
     return "\n".join(output)
+
+
+def _csv_cell(value: object) -> str:
+    """One CSV cell: full-precision floats, ``inf``/``nan`` spelled out.
+
+    Unlike :func:`format_value` nothing is rounded — ``repr`` round-trips
+    every finite float exactly, so a CSV artifact carries the same numbers
+    as the JSON one.
+    """
+    if isinstance(value, np.generic):
+        value = value.item()
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return repr(value)
+    return str(value)
+
+
+def render_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a table as RFC-4180 CSV text (header line + one line per row)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow([_csv_cell(cell) for cell in row])
+    return buffer.getvalue()
 
 
 def render_experiment(table, precision: int = 4) -> str:

@@ -14,11 +14,11 @@ process-pool fan-out used by :mod:`repro.service.scheduler`.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict
+from typing import Callable, Dict, Iterable, Tuple, Type
 
 from ..core.bounds import crash_ray_ratio, optimal_geometric_base
 from ..core.problem import ray_problem
-from ..exceptions import InvalidProblemError
+from ..exceptions import RegistryError
 from ..geometry.rays import RayPoint
 from ..reporting import to_jsonable
 from ..simulation.competitive import evaluate_strategy
@@ -26,15 +26,104 @@ from ..simulation.timeline import build_timeline
 from ..strategies.optimal import optimal_strategy
 from .spec import (
     BoundsSpec,
+    CertificateSpec,
+    ContractSpec,
     FamilySpec,
+    FractionalSpec,
+    HybridSpec,
+    LemmasSpec,
     MonteCarloFaultsSpec,
     MonteCarloRandomizedSpec,
+    OrcSpec,
     ScenarioSpec,
     SimulateSpec,
     TimelineSpec,
+    spec_kinds,
 )
 
-__all__ = ["execute_spec", "execute_shard"]
+__all__ = [
+    "check_registry_parity",
+    "ensure_executable",
+    "execute_spec",
+    "execute_shard",
+    "executor_for",
+    "executor_kinds",
+]
+
+_HANDLERS: Dict[str, Callable[[ScenarioSpec], dict]] = {}
+
+
+def _executes(
+    spec_cls: Type[ScenarioSpec],
+) -> Callable[[Callable[[ScenarioSpec], dict]], Callable[[ScenarioSpec], dict]]:
+    """Bind a handler to a spec class — the executor half of kind registration.
+
+    Every ``@_register``-ed kind in :mod:`repro.service.spec` must have
+    exactly one ``@_executes(...)`` handler here;
+    :func:`check_registry_parity` enforces the contract at import time so
+    the two registries cannot silently drift.
+    """
+
+    def register(handler: Callable[[ScenarioSpec], dict]) -> Callable[[ScenarioSpec], dict]:
+        if spec_cls.kind in _HANDLERS:
+            raise RegistryError(
+                f"duplicate executor for scenario kind {spec_cls.kind!r}"
+            )
+        _HANDLERS[spec_cls.kind] = handler
+        return handler
+
+    return register
+
+
+def executor_kinds() -> Tuple[str, ...]:
+    """The scenario kinds with a registered executor, sorted."""
+    return tuple(sorted(_HANDLERS))
+
+
+def executor_for(kind: str) -> Callable[[ScenarioSpec], dict]:
+    """The executor for ``kind``; raises a structured error when missing.
+
+    Use this to pre-validate a batch *before* accepting it: a registered
+    kind without a handler fails here with :class:`RegistryError` instead
+    of a background ``TypeError`` after a 202.
+    """
+    handler = _HANDLERS.get(kind)
+    if handler is None:
+        raise RegistryError(
+            f"scenario kind {kind!r} has no registered executor; "
+            f"executable kinds: {list(executor_kinds())}"
+        )
+    return handler
+
+
+def ensure_executable(specs: Iterable[ScenarioSpec]) -> None:
+    """Raise :class:`RegistryError` unless every spec's kind has an executor."""
+    for spec in specs:
+        executor_for(spec.kind)
+
+
+def check_registry_parity() -> None:
+    """Assert the spec registry and the executor registry name the same kinds.
+
+    Called at import time (and from the parity tests): a kind registered in
+    :mod:`repro.service.spec` without an executor here — or vice versa — is
+    a programming error that must fail loudly, not a background 500 on the
+    first unlucky request.
+    """
+    registered = set(spec_kinds())
+    handled = set(_HANDLERS)
+    missing_executor = sorted(registered - handled)
+    missing_spec = sorted(handled - registered)
+    problems = []
+    if missing_executor:
+        problems.append(f"kinds without an executor: {missing_executor}")
+    if missing_spec:
+        problems.append(f"executors without a registered kind: {missing_spec}")
+    if problems:
+        raise RegistryError(
+            "scenario kind registry and executor registry drifted — "
+            + "; ".join(problems)
+        )
 
 
 def _problem_payload(problem) -> dict:
@@ -47,6 +136,7 @@ def _problem_payload(problem) -> dict:
     }
 
 
+@_executes(BoundsSpec)
 def _execute_bounds(spec: BoundsSpec) -> dict:
     problem = ray_problem(spec.num_rays, spec.num_robots, spec.num_faulty)
     ratio = crash_ray_ratio(spec.num_rays, spec.num_robots, spec.num_faulty)
@@ -94,6 +184,7 @@ def _evaluation_payload(spec, strategy, theoretical: float) -> dict:
     return payload
 
 
+@_executes(SimulateSpec)
 def _execute_simulate(spec: SimulateSpec) -> dict:
     problem = ray_problem(spec.num_rays, spec.num_robots, spec.num_faulty)
     strategy = optimal_strategy(problem)
@@ -102,6 +193,7 @@ def _execute_simulate(spec: SimulateSpec) -> dict:
     )
 
 
+@_executes(FamilySpec)
 def _execute_family(spec: FamilySpec) -> dict:
     strategy = _build_family_strategy(spec)
     theoretical = strategy.theoretical_ratio()
@@ -112,6 +204,7 @@ def _execute_family(spec: FamilySpec) -> dict:
     return payload
 
 
+@_executes(MonteCarloFaultsSpec)
 def _execute_montecarlo_faults(spec: MonteCarloFaultsSpec) -> dict:
     from ..faults.injection import simulate_random_faults
 
@@ -137,6 +230,7 @@ def _execute_montecarlo_faults(spec: MonteCarloFaultsSpec) -> dict:
     return payload
 
 
+@_executes(MonteCarloRandomizedSpec)
 def _execute_montecarlo_randomized(spec: MonteCarloRandomizedSpec) -> dict:
     from ..strategies.randomized import (
         RandomizedSingleRobotRayStrategy,
@@ -164,6 +258,7 @@ def _execute_montecarlo_randomized(spec: MonteCarloRandomizedSpec) -> dict:
     return payload
 
 
+@_executes(TimelineSpec)
 def _execute_timeline(spec: TimelineSpec) -> dict:
     problem = ray_problem(spec.num_rays, spec.num_robots, spec.num_faulty)
     strategy = optimal_strategy(problem)
@@ -182,14 +277,124 @@ def _execute_timeline(spec: TimelineSpec) -> dict:
     return payload
 
 
-_HANDLERS: Dict[str, Callable[[ScenarioSpec], dict]] = {
-    BoundsSpec.kind: _execute_bounds,
-    SimulateSpec.kind: _execute_simulate,
-    FamilySpec.kind: _execute_family,
-    MonteCarloFaultsSpec.kind: _execute_montecarlo_faults,
-    MonteCarloRandomizedSpec.kind: _execute_montecarlo_randomized,
-    TimelineSpec.kind: _execute_timeline,
-}
+@_executes(ContractSpec)
+def _execute_contract(spec: ContractSpec) -> dict:
+    from ..related.contract import evaluate_contract_workload
+
+    result = evaluate_contract_workload(
+        spec.num_problems,
+        spec.num_processors,
+        spec.horizon,
+        base=spec.base,
+        min_interruption=spec.min_interruption,
+    )
+    return result.to_dict()
+
+
+@_executes(HybridSpec)
+def _execute_hybrid(spec: HybridSpec) -> dict:
+    from ..related.hybrid import evaluate_hybrid_workload
+
+    result = evaluate_hybrid_workload(
+        spec.num_algorithms, spec.num_areas, spec.horizon, base=spec.base
+    )
+    return result.to_dict()
+
+
+@_executes(OrcSpec)
+def _execute_orc(spec: OrcSpec) -> dict:
+    from ..related.orc import evaluate_orc_workload
+
+    result = evaluate_orc_workload(
+        spec.num_robots, spec.fold, spec.horizon, alpha=spec.alpha
+    )
+    return result.to_dict()
+
+
+@_executes(FractionalSpec)
+def _execute_fractional(spec: FractionalSpec) -> dict:
+    from ..related.fractional import evaluate_fractional_workload
+
+    result = evaluate_fractional_workload(
+        spec.eta, spec.num_robots, spec.horizon, alpha=spec.alpha
+    )
+    return result.to_dict()
+
+
+@_executes(LemmasSpec)
+def _execute_lemmas(spec: LemmasSpec) -> dict:
+    from ..core.lemmas import critical_mu, delta, verify_lemma4, verify_lemma5
+
+    k, s = spec.num_robots, spec.shortfall
+    mu = spec.resolved_mu()
+    lemma4 = verify_lemma4(mu, k, s, grid_points=spec.grid_points)
+    lemma5 = verify_lemma5(
+        mu,
+        k,
+        s,
+        grid_points=spec.grid_points,
+        mu_star_samples=spec.mu_star_samples,
+    )
+    return {
+        "num_robots": k,
+        "shortfall": s,
+        "mu": mu,
+        "critical_mu": critical_mu(k, s),
+        "delta": delta(mu, k, s),
+        "lemma4": lemma4.to_dict(),
+        "lemma5": lemma5.to_dict(),
+        "holds": lemma4.holds and lemma5.holds,
+    }
+
+
+@_executes(CertificateSpec)
+def _execute_certificate(spec: CertificateSpec) -> dict:
+    from ..core.certificates import certify_line_strategy, certify_orc_strategy
+
+    claimed = spec.claimed_ratio()
+    # The strategies are built out to ``horizon`` while the certificate only
+    # has to refute the claim over ``[1, horizon/5]``: the potential-budget
+    # branch needs the cover to be locally valid well past the probed range.
+    cover_horizon = spec.horizon / 5.0
+    if spec.setting == "line":
+        from ..core.problem import line_problem
+        from ..strategies.geometric import ZigzagGeometricLineStrategy
+
+        strategy = ZigzagGeometricLineStrategy(
+            line_problem(spec.num_robots, spec.num_faulty)
+        )
+        sequences = [
+            strategy.turning_points(robot, spec.horizon)
+            for robot in range(spec.num_robots)
+        ]
+        certificate = certify_line_strategy(
+            sequences,
+            claimed_ratio=claimed,
+            num_faulty=spec.num_faulty,
+            horizon=cover_horizon,
+        )
+    else:
+        from ..related.orc import geometric_orc_strategy
+
+        orc = geometric_orc_strategy(spec.num_robots, spec.fold, spec.horizon)
+        certificate = certify_orc_strategy(
+            [list(robot_radii) for robot_radii in orc.radii],
+            claimed_ratio=claimed,
+            fold=spec.fold,
+            horizon=cover_horizon,
+        )
+    payload = certificate.to_dict()
+    payload.update(
+        {
+            "setting": spec.setting,
+            "num_robots": spec.num_robots,
+            "summary": certificate.summary(),
+        }
+    )
+    return payload
+
+
+check_registry_parity()
 
 
 def execute_spec(spec: ScenarioSpec) -> dict:
@@ -198,10 +403,7 @@ def execute_spec(spec: ScenarioSpec) -> dict:
     The payload always carries ``kind`` and the canonical ``spec`` dict, so
     a cached result is self-describing.
     """
-    handler = _HANDLERS.get(spec.kind)
-    if handler is None:
-        raise InvalidProblemError(f"no handler for scenario kind {spec.kind!r}")
-    payload = handler(spec)
+    payload = executor_for(spec.kind)(spec)
     payload["kind"] = spec.kind
     payload["spec"] = spec.to_dict()
     return to_jsonable(payload)

@@ -82,7 +82,7 @@ from ..exceptions import InvalidProblemError
 from ..simulation.engine import DEFAULT_ENGINE
 from ..simulation.monte_carlo import SeedLike, spawn_seeds
 from .cache import ResultCache
-from .execute import execute_shard, execute_spec
+from .execute import ensure_executable, execute_shard, execute_spec
 from .journal import JobJournal, JournalJobRecord
 from .remote import RemoteWorker, RemoteWorkerError, RemoteWorkerPool
 from .spec import (
@@ -518,6 +518,9 @@ class ScenarioScheduler:
         of these parameters affect the numeric results.
         """
         specs = list(specs)
+        # Fail fast on registry drift: a registered-but-unhandled kind must
+        # surface as a structured error before any shard is dispatched.
+        ensure_executable(specs)
         # ``_keys`` lets submit_job hand down the cache keys it already
         # computed for the result spill instead of hashing every spec a
         # second time; it must be spec-for-spec aligned.
@@ -1020,6 +1023,10 @@ class ScenarioScheduler:
         completed shards resolve as disk-cache hits.
         """
         specs = list(specs)
+        # Validate executability *before* the 202-style handle exists: an
+        # unhandled kind must be a submit-time error, not a background
+        # failure discovered by polling.
+        ensure_executable(specs)
         keys = [spec.cache_key(self.engine_version) for spec in specs]
         job = BatchJob(
             job_id=job_id if job_id is not None else uuid.uuid4().hex,

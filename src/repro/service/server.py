@@ -43,6 +43,13 @@ Endpoints
     completion counts, the live ``queue_depth`` of in-flight batches
     (backpressure signal) and, when a supervisor is running, its re-probe
     schedule.
+``POST /experiments``
+    Body: an experiment spec (see :class:`repro.experiment.Experiment`,
+    ``name``/``seed``/``generators``/``strategies``/``metrics``).  The
+    grid is compiled, deduped and evaluated through this server's
+    scheduler (one batch, cache-backed); the response is the full
+    artifact table — experiment metadata incl. ``content_hash``,
+    ``columns``, ``rows``, batch ``stats`` and cache counters.
 
 Malformed JSON bodies and invalid scenarios return ``400`` with
 ``{"error": message}`` (never a traceback); unknown paths and unknown job
@@ -72,6 +79,7 @@ from .. import __version__
 from ..exceptions import ReproError
 from ..reporting import to_jsonable
 from .cache import _KEY_CHARS, ResultCache
+from .execute import ensure_executable, executor_for
 from .journal import JobJournal
 from .remote import RemoteWorkerPool
 from .scheduler import ScenarioScheduler
@@ -121,6 +129,10 @@ def _parse_batch_body(body):
     if not isinstance(scenarios, list) or not scenarios:
         raise ValueError("'scenarios' must be a non-empty list")
     specs = [spec_from_dict(item) for item in scenarios]
+    # Registry-drift guard: a registered kind with no executor must 400 at
+    # parse time — for ``/jobs`` the alternative is a 202 followed by a
+    # background failure the client only discovers by polling.
+    ensure_executable(specs)
     return (
         specs,
         _optional_positive_int(body, "max_workers"),
@@ -227,6 +239,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         try:
             if self.path == "/evaluate":
                 spec = spec_from_dict(body)
+                executor_for(spec.kind)
                 payload, cached = scheduler.evaluate(spec)
                 self._send_json(
                     200,
@@ -263,6 +276,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                         "path": f"/jobs/{job.job_id}",
                     },
                 )
+            elif self.path == "/experiments":
+                # Imported lazily: repro.experiment pulls in the scheduler,
+                # which lives in this package — a module-level import here
+                # would close the cycle.
+                from ..experiment import Experiment
+
+                plan = Experiment.from_spec(body).compile()
+                result = plan.run(scheduler=scheduler)
+                self._send_json(200, result.to_dict())
             else:
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
         except (ReproError, ValueError, KeyError, TypeError) as error:

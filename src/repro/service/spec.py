@@ -11,6 +11,12 @@ workload has a spec type:
 :class:`MonteCarloFaultsSpec`   seeded random crash-fault campaign
 :class:`MonteCarloRandomizedSpec`  seeded randomized-offset ray search
 :class:`TimelineSpec`           event timeline of one execution
+:class:`ContractSpec`           contract-scheduling acceleration ratio
+:class:`HybridSpec`             hybrid-algorithm schedule measurement
+:class:`OrcSpec`                ORC covering strategy measurement
+:class:`FractionalSpec`         fractional one-ray retrieval (Eq. 11)
+:class:`LemmasSpec`             Lemma 4/5 numeric verification
+:class:`CertificateSpec`        lower-bound certificate construction
 ==============================  ==========================================
 
 Canonical serialisation
@@ -47,14 +53,22 @@ __all__ = [
     "MonteCarloFaultsSpec",
     "MonteCarloRandomizedSpec",
     "TimelineSpec",
+    "ContractSpec",
+    "HybridSpec",
+    "OrcSpec",
+    "FractionalSpec",
+    "LemmasSpec",
+    "CertificateSpec",
     "spec_from_dict",
+    "spec_class",
+    "spec_fields",
     "spec_kinds",
 ]
 
 #: Version string folded into every cache key.  Bump the suffix whenever an
 #: engine change may alter numeric results for an unchanged spec — every
 #: previously cached entry is then invalidated automatically.
-ENGINE_VERSION = f"repro/{__version__}+engine.1"
+ENGINE_VERSION = f"repro/{__version__}+engine.2"
 
 _SPEC_KINDS: Dict[str, Type["ScenarioSpec"]] = {}
 
@@ -67,6 +81,21 @@ def _register(cls: Type["ScenarioSpec"]) -> Type["ScenarioSpec"]:
 def spec_kinds() -> Tuple[str, ...]:
     """The registered scenario kinds, sorted."""
     return tuple(sorted(_SPEC_KINDS))
+
+
+def spec_class(kind: str) -> Type["ScenarioSpec"]:
+    """The registered spec class for ``kind`` (raises on unknown kinds)."""
+    try:
+        return _SPEC_KINDS[kind]
+    except KeyError:
+        raise InvalidProblemError(
+            f"unknown scenario kind {kind!r}; expected one of {list(spec_kinds())}"
+        ) from None
+
+
+def spec_fields(kind: str) -> Tuple[str, ...]:
+    """Field names accepted by a registered scenario kind."""
+    return tuple(field.name for field in fields(spec_class(kind)))
 
 
 def _require_positive_int(name: str, value: object, minimum: int = 1) -> None:
@@ -391,6 +420,265 @@ class TimelineSpec(ScenarioSpec):
             raise InvalidProblemError(
                 f"{self.kind}: all robots faulty (k == f == {self.num_robots})"
             )
+
+
+@_register
+@dataclass(frozen=True)
+class ContractSpec(ScenarioSpec):
+    """Contract scheduling: geometric schedule + exact acceleration ratio.
+
+    ``min_interruption=0.0`` lets the adversary interrupt before anything
+    has completed, so the measured acceleration ratio is ``inf`` — the
+    payload stays strict-JSON via ``encode_float``.
+    """
+
+    kind: ClassVar[str] = "contract"
+    _INT_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"num_problems", "num_processors"}
+    )
+    _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"horizon", "base", "min_interruption"}
+    )
+
+    num_problems: int = 1
+    num_processors: int = 1
+    horizon: float = 1e4
+    base: Optional[float] = None
+    min_interruption: Optional[float] = None
+
+    def validate(self) -> None:
+        _require_positive_int(f"{self.kind}.num_problems", self.num_problems, 1)
+        _require_positive_int(f"{self.kind}.num_processors", self.num_processors, 1)
+        _require_finite(f"{self.kind}.horizon", self.horizon, 1.0)
+        if self.horizon <= 1.0:
+            raise InvalidProblemError(
+                f"{self.kind}.horizon must exceed 1, got {self.horizon!r}"
+            )
+        if self.base is not None:
+            _require_finite(f"{self.kind}.base", self.base, 1.0)
+            if self.base <= 1.0:
+                raise InvalidProblemError(
+                    f"{self.kind}.base must exceed 1, got {self.base!r}"
+                )
+        if self.min_interruption is not None:
+            _require_finite(f"{self.kind}.min_interruption", self.min_interruption, 0.0)
+
+
+@_register
+@dataclass(frozen=True)
+class HybridSpec(ScenarioSpec):
+    """Hybrid on-line algorithms: geometric schedule + measured ratio."""
+
+    kind: ClassVar[str] = "hybrid"
+    _INT_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"num_algorithms", "num_areas"}
+    )
+    _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"horizon", "base"})
+
+    num_algorithms: int = 2
+    num_areas: int = 1
+    horizon: float = 1e4
+    base: Optional[float] = None
+
+    def validate(self) -> None:
+        _require_positive_int(f"{self.kind}.num_algorithms", self.num_algorithms, 1)
+        _require_positive_int(f"{self.kind}.num_areas", self.num_areas, 1)
+        if self.num_areas >= self.num_algorithms:
+            raise InvalidProblemError(
+                f"{self.kind}: needs fewer memory areas than algorithms "
+                f"(k < m), got m={self.num_algorithms}, k={self.num_areas}"
+            )
+        _require_finite(f"{self.kind}.horizon", self.horizon, 1.0)
+        if self.horizon <= 1.0:
+            raise InvalidProblemError(
+                f"{self.kind}.horizon must exceed 1, got {self.horizon!r}"
+            )
+        if self.base is not None:
+            _require_finite(f"{self.kind}.base", self.base, 1.0)
+            if self.base <= 1.0:
+                raise InvalidProblemError(
+                    f"{self.kind}.base must exceed 1, got {self.base!r}"
+                )
+
+
+@_register
+@dataclass(frozen=True)
+class OrcSpec(ScenarioSpec):
+    """ORC covering: geometric ``(k, q)`` strategy + measured covering ratio."""
+
+    kind: ClassVar[str] = "orc"
+    _INT_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"num_robots", "fold"})
+    _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"horizon", "alpha"})
+
+    num_robots: int = 1
+    fold: int = 2
+    horizon: float = 1e4
+    alpha: Optional[float] = None
+
+    def validate(self) -> None:
+        _require_positive_int(f"{self.kind}.num_robots", self.num_robots, 1)
+        _require_positive_int(f"{self.kind}.fold", self.fold, 1)
+        if self.fold <= self.num_robots:
+            raise InvalidProblemError(
+                f"{self.kind}: needs covering multiplicity q > k, got "
+                f"k={self.num_robots}, q={self.fold}"
+            )
+        _require_finite(f"{self.kind}.horizon", self.horizon, 1.0)
+        if self.alpha is not None:
+            _require_finite(f"{self.kind}.alpha", self.alpha, 1.0)
+            if self.alpha <= 1.0:
+                raise InvalidProblemError(
+                    f"{self.kind}.alpha must exceed 1, got {self.alpha!r}"
+                )
+
+
+@_register
+@dataclass(frozen=True)
+class FractionalSpec(ScenarioSpec):
+    """Fractional one-ray retrieval via the rational-approximation strategy."""
+
+    kind: ClassVar[str] = "fractional"
+    _INT_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"num_robots"})
+    _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"eta", "horizon", "alpha"})
+
+    eta: float = 2.0
+    num_robots: int = 1
+    horizon: float = 1e4
+    alpha: Optional[float] = None
+
+    def validate(self) -> None:
+        _require_finite(f"{self.kind}.eta", self.eta, 1.0)
+        if self.eta <= 1.0:
+            raise InvalidProblemError(
+                f"{self.kind}.eta must exceed 1, got {self.eta!r}"
+            )
+        _require_positive_int(f"{self.kind}.num_robots", self.num_robots, 1)
+        _require_finite(f"{self.kind}.horizon", self.horizon, 1.0)
+        if self.alpha is not None:
+            _require_finite(f"{self.kind}.alpha", self.alpha, 1.0)
+            if self.alpha <= 1.0:
+                raise InvalidProblemError(
+                    f"{self.kind}.alpha must exceed 1, got {self.alpha!r}"
+                )
+
+
+@_register
+@dataclass(frozen=True)
+class LemmasSpec(ScenarioSpec):
+    """Numeric verification of Lemmas 4 and 5 at ``(k, s, mu)``.
+
+    ``mu=None`` resolves to ``0.97 * critical_mu(k, s)`` — safely inside the
+    regime where Lemma 5 yields ``delta > 1``.
+    """
+
+    kind: ClassVar[str] = "lemmas"
+    _INT_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"num_robots", "shortfall", "grid_points", "mu_star_samples"}
+    )
+    _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"mu"})
+
+    num_robots: int = 1
+    shortfall: int = 1
+    mu: Optional[float] = None
+    grid_points: int = 2001
+    mu_star_samples: int = 25
+
+    def validate(self) -> None:
+        _require_positive_int(f"{self.kind}.num_robots", self.num_robots, 1)
+        _require_positive_int(f"{self.kind}.shortfall", self.shortfall, 1)
+        _require_positive_int(f"{self.kind}.grid_points", self.grid_points, 3)
+        _require_positive_int(f"{self.kind}.mu_star_samples", self.mu_star_samples, 1)
+        if self.mu is not None:
+            _require_finite(f"{self.kind}.mu", self.mu, 0.0)
+            if self.mu <= 0.0:
+                raise InvalidProblemError(
+                    f"{self.kind}.mu must be positive, got {self.mu!r}"
+                )
+
+    def resolved_mu(self) -> float:
+        """The explicit ``mu``, or ``0.97 * critical_mu(k, s)``."""
+        if self.mu is not None:
+            return self.mu
+        from ..core.lemmas import critical_mu
+
+        return 0.97 * critical_mu(self.num_robots, self.shortfall)
+
+
+@_register
+@dataclass(frozen=True)
+class CertificateSpec(ScenarioSpec):
+    """Construct a lower-bound certificate for a below-bound ratio claim.
+
+    ``setting="line"`` refutes ``claim_fraction * A(k, f)`` for the zigzag
+    geometric line strategy; ``setting="orc"`` refutes
+    ``claim_fraction * C(k, q)`` for the geometric ORC strategy.  The claim
+    must land strictly between 1 and the tight bound, which constrains
+    ``claim_fraction`` from below for small bounds.
+    """
+
+    kind: ClassVar[str] = "certificate"
+    _INT_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"num_robots", "num_faulty", "fold"}
+    )
+    _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"claim_fraction", "horizon"}
+    )
+
+    setting: str = "line"
+    num_robots: int = 3
+    num_faulty: int = 1
+    fold: int = 4
+    claim_fraction: float = 0.95
+    horizon: float = 2000.0
+
+    def validate(self) -> None:
+        if self.setting not in ("line", "orc"):
+            raise InvalidProblemError(
+                f"{self.kind}.setting must be 'line' or 'orc', got {self.setting!r}"
+            )
+        _require_positive_int(f"{self.kind}.num_robots", self.num_robots, 1)
+        _require_positive_int(f"{self.kind}.num_faulty", self.num_faulty, 0)
+        _require_positive_int(f"{self.kind}.fold", self.fold, 1)
+        _require_finite(f"{self.kind}.claim_fraction", self.claim_fraction, 0.0)
+        if not 0.0 < self.claim_fraction < 1.0:
+            raise InvalidProblemError(
+                f"{self.kind}.claim_fraction must lie strictly between 0 and 1, "
+                f"got {self.claim_fraction!r}"
+            )
+        _require_finite(f"{self.kind}.horizon", self.horizon, 10.0)
+        if self.tight_bound() * self.claim_fraction <= 1.0:
+            raise InvalidProblemError(
+                f"{self.kind}: claimed ratio "
+                f"{self.tight_bound() * self.claim_fraction!r} is not above 1 — "
+                "nothing to refute"
+            )
+
+    def tight_bound(self) -> float:
+        """The paper's tight bound the claim is measured against."""
+        from ..core.bounds import crash_line_ratio, orc_covering_ratio
+
+        if self.setting == "line":
+            if self.num_faulty >= self.num_robots:
+                raise InvalidProblemError(
+                    f"{self.kind}: line setting needs num_faulty < num_robots, "
+                    f"got k={self.num_robots}, f={self.num_faulty}"
+                )
+            if 2 * (self.num_faulty + 1) - self.num_robots < 1:
+                raise InvalidProblemError(
+                    f"{self.kind}: with k >= 2(f+1) the ratio 1 is achievable "
+                    f"(k={self.num_robots}, f={self.num_faulty}); nothing to refute"
+                )
+            return crash_line_ratio(self.num_robots, self.num_faulty)
+        if self.fold <= self.num_robots:
+            raise InvalidProblemError(
+                f"{self.kind}: orc setting needs fold > num_robots, got "
+                f"k={self.num_robots}, q={self.fold}"
+            )
+        return orc_covering_ratio(self.num_robots, self.fold)
+
+    def claimed_ratio(self) -> float:
+        """The concrete below-bound ratio the certificate refutes."""
+        return self.claim_fraction * self.tight_bound()
 
 
 def spec_from_dict(payload: Mapping[str, Any]) -> ScenarioSpec:

@@ -1,0 +1,336 @@
+"""Every registered scenario kind, end to end.
+
+Three layers of guarantees:
+
+* **Parity** — every kind in ``spec_kinds()`` has a registered executor, a
+  sample spec here, and round-trips spec → key → execute → payload →
+  ``from_dict`` over real HTTP, bit-identical to direct execution.
+* **Goldens** — the four related workloads pin their exact payload values
+  (they are closed-form/deterministic, so equality is exact).
+* **Registry drift** — a kind registered without an executor is a loud
+  structured error at import-check time and a 400 on every endpoint, never
+  a background ``TypeError``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+
+import pytest
+
+from repro.exceptions import RegistryError
+from repro.reporting import decode_float
+from repro.service import execute as execute_module
+from repro.service import spec as spec_module
+from repro.service.cache import ResultCache
+from repro.service.execute import (
+    check_registry_parity,
+    ensure_executable,
+    execute_spec,
+    executor_for,
+    executor_kinds,
+)
+from repro.service.server import create_server
+from repro.service.spec import (
+    ENGINE_VERSION,
+    ContractSpec,
+    ScenarioSpec,
+    spec_from_dict,
+    spec_kinds,
+)
+
+# One fast sample per kind.  The parity test *requires* an entry for every
+# registered kind, so adding a kind without extending this table fails.
+_SAMPLES = {
+    "bounds": {"kind": "bounds", "num_robots": 2, "num_faulty": 0},
+    "simulate": {"kind": "simulate", "num_robots": 1, "horizon": 50.0},
+    "family": {
+        "kind": "family",
+        "num_robots": 2,
+        "num_faulty": 1,
+        "horizon": 50.0,
+        "family": "optimal",
+    },
+    "montecarlo_faults": {
+        "kind": "montecarlo_faults",
+        "num_robots": 2,
+        "num_faulty": 1,
+        "num_trials": 20,
+        "seed": 1,
+        "horizon": 50.0,
+    },
+    "montecarlo_randomized": {
+        "kind": "montecarlo_randomized",
+        "num_rays": 2,
+        "num_samples": 50,
+        "seed": 1,
+        "horizon": 100.0,
+    },
+    "timeline": {
+        "kind": "timeline",
+        "num_robots": 1,
+        "target_ray": 0,
+        "target_distance": 5.0,
+    },
+    "contract": {
+        "kind": "contract",
+        "num_problems": 2,
+        "num_processors": 1,
+        "horizon": 100.0,
+    },
+    "hybrid": {
+        "kind": "hybrid",
+        "num_algorithms": 2,
+        "num_areas": 1,
+        "horizon": 100.0,
+    },
+    "orc": {"kind": "orc", "num_robots": 1, "fold": 2, "horizon": 100.0},
+    "fractional": {
+        "kind": "fractional",
+        "eta": 2.0,
+        "num_robots": 1,
+        "horizon": 100.0,
+    },
+    "lemmas": {
+        "kind": "lemmas",
+        "num_robots": 3,
+        "shortfall": 1,
+        "grid_points": 101,
+        "mu_star_samples": 5,
+    },
+    "certificate": {
+        "kind": "certificate",
+        "setting": "line",
+        "num_robots": 3,
+        "num_faulty": 1,
+        "claim_fraction": 0.95,
+        "horizon": 500.0,
+    },
+}
+
+# The dataclass each kind's payload rebuilds into (None: payload is a plain
+# dict with no single result dataclass).
+_RESULT_TYPES = {
+    "contract": ("repro.related.contract", "ContractWorkloadResult"),
+    "hybrid": ("repro.related.hybrid", "HybridWorkloadResult"),
+    "orc": ("repro.related.orc", "OrcWorkloadResult"),
+    "fractional": ("repro.related.fractional", "FractionalWorkloadResult"),
+    "certificate": ("repro.core.certificates", "Certificate"),
+}
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    server = create_server(host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.url
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestRegistryParity:
+    def test_every_kind_has_an_executor(self):
+        assert set(spec_kinds()) == set(executor_kinds())
+        check_registry_parity()  # must not raise on the shipped registry
+
+    def test_every_kind_has_a_sample(self):
+        assert set(_SAMPLES) == set(spec_kinds())
+
+    @pytest.mark.parametrize("kind", spec_kinds())
+    def test_kind_round_trips_over_http(self, kind, server_url):
+        """spec → key → execute → payload → from_dict, HTTP == direct."""
+        sample = _SAMPLES[kind]
+        spec = spec_from_dict(sample)
+        assert spec.kind == kind
+        direct = execute_spec(spec)
+        # Strict JSON: the payload must serialise with allow_nan=False.
+        json.dumps(direct, allow_nan=False)
+
+        status, body = _post(server_url + "/evaluate", sample)
+        assert status == 200, body
+        assert body["key"] == spec.cache_key(ENGINE_VERSION)
+        assert body["result"] == direct  # bit-identical to direct execution
+
+        # The payload's embedded spec round-trips to the very same spec.
+        assert spec_from_dict(body["result"]["spec"]) == spec
+
+        if kind in _RESULT_TYPES:
+            import importlib
+
+            module_name, type_name = _RESULT_TYPES[kind]
+            result_type = getattr(importlib.import_module(module_name), type_name)
+            rebuilt = result_type.from_dict(body["result"])
+            assert rebuilt.to_dict() == result_type.from_dict(direct).to_dict()
+
+
+class TestRelatedWorkloadGoldens:
+    """Exact payload pins, evaluated directly and over HTTP (bit-identical)."""
+
+    _GOLDENS = {
+        "contract": {
+            "base": 1.5,
+            "measured_acceleration": 6.746955122319306,
+            "optimal_acceleration": 6.750000000000001,
+            "search_ratio": 14.500000000000002,
+            "num_contracts": 19,
+        },
+        "hybrid": {
+            "base": 2.0,
+            "measured_ratio": 4.999023433500977,
+            "optimal_ratio": 5.0,
+            "search_ratio": 9.0,
+            "num_runs": 14,
+        },
+        "orc": {
+            "alpha": 2.0,
+            "measured_ratio": 8.998046867001953,
+            "theoretical_ratio": 9.0,
+            "num_rounds": 15,
+        },
+        "fractional": {
+            "alpha": 2.0,
+            "effective_eta": 2.0,
+            "fold": 2,
+            "measured_ratio": 8.998046867001953,
+            "theoretical_ratio": 9.0,
+            "effective_theoretical_ratio": 9.0,
+        },
+    }
+
+    @pytest.mark.parametrize("kind", sorted(_GOLDENS))
+    def test_golden_values_direct_and_http(self, kind, server_url):
+        direct = execute_spec(spec_from_dict(_SAMPLES[kind]))
+        for field, expected in self._GOLDENS[kind].items():
+            assert direct[field] == expected, (kind, field)
+        _status, body = _post(server_url + "/evaluate", _SAMPLES[kind])
+        assert body["result"] == direct
+
+
+class TestInfinityRoundTrip:
+    """An inf-valued result survives disk cache and peer fetch losslessly."""
+
+    @staticmethod
+    def _inf_spec():
+        # min_interruption=0.0 lets the adversary interrupt before anything
+        # completed: the measured acceleration ratio is exactly inf.
+        return ContractSpec(
+            num_problems=2, num_processors=1, horizon=50.0, min_interruption=0.0
+        )
+
+    def test_payload_encodes_inf_and_decodes_back(self):
+        from repro.related.contract import ContractWorkloadResult
+
+        payload = execute_spec(self._inf_spec())
+        assert payload["measured_acceleration"] == "inf"
+        json.dumps(payload, allow_nan=False)  # strict JSON end to end
+        rebuilt = ContractWorkloadResult.from_dict(payload)
+        assert rebuilt.measured_acceleration == math.inf
+        assert rebuilt.min_interruption == 0.0
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        spec = self._inf_spec()
+        key = spec.cache_key(ENGINE_VERSION)
+        payload = execute_spec(spec)
+        ResultCache(disk_path=str(tmp_path)).put(key, payload)
+        # A fresh cache instance reads it back from disk, bit-identical.
+        reread = ResultCache(disk_path=str(tmp_path)).get(key)
+        assert reread == payload
+        assert decode_float(reread["measured_acceleration"]) == math.inf
+
+    def test_peer_fetch_round_trip(self, server_url):
+        spec = self._inf_spec()
+        key = spec.cache_key(ENGINE_VERSION)
+        status, body = _post(server_url + "/evaluate", spec.to_dict())
+        assert status == 200
+        assert body["result"]["measured_acceleration"] == "inf"
+        peer_cache = ResultCache(peers=[server_url])
+        fetched = peer_cache.get(key)
+        assert fetched == body["result"]
+        assert decode_float(fetched["measured_acceleration"]) == math.inf
+
+
+@dataclass(frozen=True)
+class _GhostSpec(ScenarioSpec):
+    """Registered spec kind with — deliberately — no executor."""
+
+    kind = "ghost"
+
+    def validate(self) -> None:
+        pass
+
+
+@pytest.fixture
+def ghost_kind():
+    """Temporarily register a spec kind that has no executor."""
+    spec_module._SPEC_KINDS["ghost"] = _GhostSpec
+    try:
+        yield {"kind": "ghost"}
+    finally:
+        del spec_module._SPEC_KINDS["ghost"]
+
+
+class TestRegistryDrift:
+    def test_parity_check_names_the_unhandled_kind(self, ghost_kind):
+        with pytest.raises(RegistryError, match="ghost"):
+            check_registry_parity()
+
+    def test_executor_for_unhandled_kind_raises(self, ghost_kind):
+        with pytest.raises(RegistryError, match="no registered executor"):
+            executor_for("ghost")
+
+    def test_ensure_executable_rejects_unhandled_spec(self, ghost_kind):
+        with pytest.raises(RegistryError, match="ghost"):
+            ensure_executable([_GhostSpec()])
+
+    def test_execute_spec_unhandled_kind_raises(self, ghost_kind):
+        with pytest.raises(RegistryError, match="no registered executor"):
+            execute_spec(_GhostSpec())
+
+    def test_duplicate_executor_registration_raises(self):
+        with pytest.raises(RegistryError, match="duplicate executor"):
+            execute_module._executes(ContractSpec)(lambda spec: {})
+
+    def test_evaluate_unhandled_kind_is_structured_400(self, ghost_kind, server_url):
+        status, body = _post(server_url + "/evaluate", ghost_kind)
+        assert status == 400
+        assert "no registered executor" in body["error"]
+
+    def test_batch_unhandled_kind_is_structured_400(self, ghost_kind, server_url):
+        status, body = _post(
+            server_url + "/batch",
+            {"scenarios": [_SAMPLES["bounds"], ghost_kind]},
+        )
+        assert status == 400
+        assert "no registered executor" in body["error"]
+
+    def test_jobs_unhandled_kind_is_structured_400(self, ghost_kind, server_url):
+        # The bug this guards against: /jobs used to return 202 and then
+        # die with a TypeError on the background thread.
+        status, body = _post(
+            server_url + "/jobs",
+            {"scenarios": [ghost_kind]},
+        )
+        assert status == 400
+        assert "no registered executor" in body["error"]

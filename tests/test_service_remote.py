@@ -292,17 +292,46 @@ class TestAsyncJobs:
         assert scheduler.get_job("nope") is None
 
     def test_failed_job_reports_error_state(self):
-        scheduler = ScenarioScheduler()
+        # A kind that passes submit-time executability validation but whose
+        # executor explodes mid-run; the job must capture the error instead
+        # of leaving pollers hanging.  (Unregistered kinds no longer reach
+        # the background thread at all — submit_job raises RegistryError.)
+        from repro.service import execute as execute_module
+        from repro.service import spec as spec_module
 
         class _Exploding(SimulateSpec):
-            # An unregistered kind reaches execute_spec and fails there; the
-            # job must capture the error instead of leaving pollers hanging.
             kind = "exploding"
 
-        job = scheduler.submit_job([_Exploding(num_robots=1, horizon=50.0)])
-        job.wait(timeout=60)
-        assert job.state == "error"
-        payload = job.to_dict()
-        assert "no handler" in payload["error"]
-        with pytest.raises(Exception, match="failed"):
-            job.result(timeout=1)
+        def _explode(spec):
+            raise RuntimeError("executor exploded mid-run")
+
+        scheduler = ScenarioScheduler()
+        spec_module._SPEC_KINDS["exploding"] = _Exploding
+        execute_module._HANDLERS["exploding"] = _explode
+        try:
+            job = scheduler.submit_job([_Exploding(num_robots=1, horizon=50.0)])
+            job.wait(timeout=60)
+            assert job.state == "error"
+            payload = job.to_dict()
+            assert "exploded mid-run" in payload["error"]
+            with pytest.raises(Exception, match="failed"):
+                job.result(timeout=1)
+        finally:
+            del spec_module._SPEC_KINDS["exploding"]
+            del execute_module._HANDLERS["exploding"]
+
+    def test_submit_job_unexecutable_kind_fails_at_submit_time(self):
+        from repro.exceptions import RegistryError
+        from repro.service import spec as spec_module
+
+        class _Ghost(SimulateSpec):
+            kind = "ghost-job"
+
+        scheduler = ScenarioScheduler()
+        spec_module._SPEC_KINDS["ghost-job"] = _Ghost
+        try:
+            with pytest.raises(RegistryError, match="no registered executor"):
+                scheduler.submit_job([_Ghost(num_robots=1, horizon=50.0)])
+            assert scheduler.jobs() == []  # no orphan handle was created
+        finally:
+            del spec_module._SPEC_KINDS["ghost-job"]

@@ -142,9 +142,15 @@ class TestRoundTrip:
     def test_all_kinds_registered(self):
         assert spec_kinds() == (
             "bounds",
+            "certificate",
+            "contract",
             "family",
+            "fractional",
+            "hybrid",
+            "lemmas",
             "montecarlo_faults",
             "montecarlo_randomized",
+            "orc",
             "simulate",
             "timeline",
         )

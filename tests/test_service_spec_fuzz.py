@@ -1,6 +1,7 @@
 """Seeded property/fuzz tests for :mod:`repro.service.spec`.
 
-A random-spec generator over all six spec kinds asserts, for every sample:
+A random-spec generator over all registered spec kinds asserts, for every
+sample:
 
 * ``spec → to_dict → from_dict → spec`` identity (also through JSON text);
 * cache-key stability across the round trip and across re-serialisation;
@@ -21,9 +22,15 @@ import pytest
 from repro.service.spec import (
     FAMILY_NAMES,
     BoundsSpec,
+    CertificateSpec,
+    ContractSpec,
     FamilySpec,
+    FractionalSpec,
+    HybridSpec,
+    LemmasSpec,
     MonteCarloFaultsSpec,
     MonteCarloRandomizedSpec,
+    OrcSpec,
     SimulateSpec,
     TimelineSpec,
     spec_from_dict,
@@ -125,6 +132,76 @@ def _gen_timeline(rng):
     )
 
 
+def _optional_base(rng, lo=1.05, hi=4.0):
+    return None if rng.random() < 0.5 else round(rng.uniform(lo, hi), 4)
+
+
+def _gen_contract(rng):
+    return ContractSpec(
+        num_problems=rng.randint(1, 6),
+        num_processors=rng.randint(1, 6),
+        horizon=round(rng.uniform(1.5, 1e4), 3),
+        base=_optional_base(rng),
+        min_interruption=(
+            None if rng.random() < 0.5 else round(rng.uniform(0.0, 10.0), 3)
+        ),
+    )
+
+
+def _gen_hybrid(rng):
+    m = rng.randint(2, 8)
+    return HybridSpec(
+        num_algorithms=m,
+        num_areas=rng.randint(1, m - 1),
+        horizon=round(rng.uniform(1.5, 1e4), 3),
+        base=_optional_base(rng),
+    )
+
+
+def _gen_orc(rng):
+    k = rng.randint(1, 6)
+    return OrcSpec(
+        num_robots=k,
+        fold=k + rng.randint(1, 6),
+        horizon=_horizon(rng),
+        alpha=_optional_base(rng),
+    )
+
+
+def _gen_fractional(rng):
+    return FractionalSpec(
+        eta=round(rng.uniform(1.05, 6.0), 4),
+        num_robots=rng.randint(1, 6),
+        horizon=_horizon(rng),
+        alpha=_optional_base(rng),
+    )
+
+
+def _gen_lemmas(rng):
+    return LemmasSpec(
+        num_robots=rng.randint(1, 8),
+        shortfall=rng.randint(1, 8),
+        mu=None if rng.random() < 0.5 else round(rng.uniform(0.1, 5.0), 4),
+        grid_points=rng.randint(3, 5001),
+        mu_star_samples=rng.randint(1, 50),
+    )
+
+
+def _gen_certificate(rng):
+    # k in [f+1, 2f+1] keeps the line setting valid, fold > k the orc one —
+    # so the setting-swap perturbation stays inside the valid domain too.
+    f = rng.randint(1, 3)
+    k = rng.randint(f + 1, 2 * f + 1)
+    return CertificateSpec(
+        setting=rng.choice(["line", "orc"]),
+        num_robots=k,
+        num_faulty=f,
+        fold=k + rng.randint(1, 6),
+        claim_fraction=round(rng.uniform(0.5, 0.98), 4),
+        horizon=round(rng.uniform(10.0, 5000.0), 2),
+    )
+
+
 _GENERATORS = {
     "bounds": _gen_bounds,
     "simulate": _gen_simulate,
@@ -132,6 +209,12 @@ _GENERATORS = {
     "montecarlo_faults": _gen_montecarlo_faults,
     "montecarlo_randomized": _gen_montecarlo_randomized,
     "timeline": _gen_timeline,
+    "contract": _gen_contract,
+    "hybrid": _gen_hybrid,
+    "orc": _gen_orc,
+    "fractional": _gen_fractional,
+    "lemmas": _gen_lemmas,
+    "certificate": _gen_certificate,
 }
 
 
@@ -213,8 +296,16 @@ class TestFuzzPerturbation:
             if value is None:
                 return [[0, 1.5]]
             return list(value) + [[0, 97531.5]]
-        if field == "base":
+        if field == "setting":
+            return {"line": "orc", "orc": "line"}[value]
+        if field == "claim_fraction":
+            # +1.0 would leave the (0, 1) domain; shrinking keeps the claim
+            # valid whenever it stays above 1 / tight_bound.
+            return round(value * 0.9, 6)
+        if field in ("base", "alpha", "mu"):
             return 1.5 if value is None else float(value) + 0.25
+        if field == "min_interruption":
+            return 0.5 if value is None else float(value) + 1.0
         if isinstance(value, int):
             return value + 1
         if isinstance(value, float):

@@ -44,6 +44,7 @@ class TestIsEngineRelevant:
             "src/repro/analysis/sweep.py",
             "src/repro/service/spec.py",
             "src/repro/service/execute.py",
+            "src/repro/experiment.py",
         ],
     )
     def test_engine_paths_match(self, path):
