@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""CI smoke test for the telemetry endpoints of ``repro serve``.
+
+Starts ``repro serve`` on an ephemeral port as a subprocess, submits an
+asynchronous job (``POST /jobs``), and asserts
+
+* ``GET /metrics`` scraped while the job runs parses cleanly as Prometheus
+  text exposition (every line, via the strict stdlib parser) and carries
+  the ``repro_`` series;
+* ``GET /metrics.json`` exposes mergeable histogram snapshots with the
+  registry ``since`` timestamp;
+* once the job is done, ``GET /trace/<job_id>`` serves a span tree whose
+  ``shard`` span count equals the batch's shard count, with non-negative
+  durations throughout;
+* the Chrome export (``GET /trace/<job_id>/chrome``) is well-formed
+  ``trace_event`` JSON.
+
+Run from the repository root:  ``python scripts/telemetry_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.service.telemetry import BUCKET_BOUNDS, parse_prometheus  # noqa: E402
+
+SCENARIOS = [
+    {"kind": "simulate", "num_rays": 2, "num_robots": 1, "num_faulty": 0,
+     "horizon": float(horizon)}
+    for horizon in range(100, 140)
+]
+
+
+def _request(base: str, path: str, payload=None):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return json.loads(response.read())
+
+
+def _request_text(base: str, path: str) -> str:
+    with urllib.request.urlopen(base + path, timeout=120) as response:
+        return response.read().decode("utf-8")
+
+
+def _count_spans(node, name):
+    own = 1 if node["name"] == name else 0
+    assert node["duration_seconds"] >= 0.0, node
+    assert node["start_seconds"] >= 0.0, node
+    return own + sum(_count_spans(child, name) for child in node["children"])
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in ("src", env.get("PYTHONPATH")) if part
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        banner = process.stdout.readline().strip()
+        assert banner.startswith("serving on http://"), f"unexpected banner: {banner!r}"
+        base = banner.split()[-1]
+        print(f"server up at {base}")
+
+        job = _request(
+            base, "/jobs", {"scenarios": SCENARIOS, "max_workers": 1,
+                            "shard_size": 4}
+        )
+        job_path = job["path"]
+        print(f"job {job['job_id']} submitted ({len(SCENARIOS)} scenarios)")
+
+        # Scrape while the job runs: the exposition must parse strictly no
+        # matter what state the registry is in.
+        text = _request_text(base, "/metrics")
+        values = parse_prometheus(text)  # raises ValueError on any bad line
+        repro_series = [series for series in values if series.startswith("repro_")]
+        assert repro_series, f"no repro_ series in /metrics:\n{text}"
+        assert "repro_telemetry_since_seconds" in values, sorted(values)[:5]
+
+        snapshot = _request(base, "/metrics.json")
+        assert snapshot["since"] > 0, snapshot
+        for entry in snapshot["histograms"]:
+            assert len(entry["buckets"]) == len(BUCKET_BOUNDS) + 1, entry["name"]
+
+        deadline = time.monotonic() + 120
+        while True:
+            state = _request(base, job_path)
+            if state["state"] in ("done", "error"):
+                break
+            assert time.monotonic() < deadline, "job did not finish in time"
+            time.sleep(0.05)
+        assert state["state"] == "done", state
+        stats = state["stats"]
+        num_shards = stats["num_shards"]
+        assert stats["duration_seconds"] > 0.0, stats
+        assert stats["trace_id"] == job["job_id"], stats
+
+        tree = _request(base, "/trace/" + job["job_id"])
+        (root,) = tree["roots"]
+        assert root["name"] == "batch", root["name"]
+        shard_spans = sum(_count_spans(child, "shard") for child in root["children"])
+        assert shard_spans == num_shards, (
+            f"trace has {shard_spans} shard spans, batch ran {num_shards} shards"
+        )
+
+        chrome = _request(base, "/trace/" + job["job_id"] + "/chrome")
+        complete = [event for event in chrome["traceEvents"] if event["ph"] == "X"]
+        assert len(complete) == tree["num_spans"], (len(complete), tree["num_spans"])
+        assert chrome["displayTimeUnit"] == "ms", chrome.keys()
+
+        # Post-job scrape still parses and now counts the batch.
+        values = parse_prometheus(_request_text(base, "/metrics"))
+        assert values.get("repro_batches_total", 0) >= 1, "batch not counted"
+
+        print(
+            f"telemetry smoke OK: {len(repro_series)} repro_ series, "
+            f"{shard_spans}/{num_shards} shard spans, "
+            f"{len(complete)} chrome events"
+        )
+        return 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

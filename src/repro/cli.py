@@ -35,7 +35,16 @@ without writing any Python:
   strategies × metrics, see :mod:`repro.experiment`) into one deduped
   batch, evaluate it, and persist the artifact table (``table.json`` +
   ``table.csv``) under a directory keyed by the experiment's content
-  hash; same ``--workers``/``--cache-peers`` fan-out flags as ``batch``.
+  hash; same ``--workers``/``--cache-peers`` fan-out flags as ``batch``;
+* ``top`` — live telemetry summary of a running ``repro serve`` node:
+  counters, gauges and latency percentiles from ``GET /metrics.json``,
+  plus the per-worker straggler view from ``GET /workers`` on
+  coordinators; refreshes every ``--interval`` seconds (``--once`` for
+  a single frame, scriptable with ``--json``);
+* ``trace`` — fetch one job's span tree (``GET /trace/<job_id>``) from
+  a running server and render it indented, or export Chrome
+  ``trace_event`` JSON with ``--chrome`` for ``chrome://tracing`` /
+  Perfetto.
 
 Every query subcommand accepts ``--json``, which emits exactly the payload
 the HTTP server returns for the equivalent scenario — scripts and the
@@ -298,6 +307,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_peer_flag(run_parser)
     _add_worker_tuning_flags(run_parser)
     add_json_flag(run_parser)
+
+    top_parser = subparsers.add_parser(
+        "top",
+        help="live telemetry summary of a running `repro serve` node",
+    )
+    top_parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="base URL of the server to watch",
+    )
+    top_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between refreshes",
+    )
+    top_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit instead of refreshing",
+    )
+    top_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one raw {metrics, workers} JSON snapshot and exit",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="fetch a job's trace span tree from a running server",
+    )
+    trace_parser.add_argument(
+        "job_id", help="job id (or any trace id retained by the server)"
+    )
+    trace_parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="base URL of the server that ran the job",
+    )
+    trace_parser.add_argument(
+        "--chrome",
+        default=None,
+        metavar="PATH",
+        help="write Chrome trace_event JSON to PATH ('-' for stdout) "
+        "instead of the text tree; load it in chrome://tracing or "
+        "https://ui.perfetto.dev",
+    )
+    add_json_flag(trace_parser)
     return parser
 
 
@@ -768,6 +826,186 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _http_get_json(url: str, timeout: float = 10.0):
+    """GET ``url`` and decode the JSON body (stdlib only, like the service)."""
+    import json as _json
+    from urllib.request import urlopen
+
+    with urlopen(url, timeout=timeout) as response:
+        return _json.loads(response.read().decode("utf-8"))
+
+
+def _series_label(entry: dict) -> str:
+    """``name{k=v,...}`` display label for one metrics-snapshot series."""
+    name = str(entry.get("name", "?"))
+    labels = entry.get("labels") or {}
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}" for key, value in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+def render_top(snapshot: dict, workers: Optional[dict] = None) -> str:
+    """Render one ``repro top`` frame from a ``GET /metrics.json`` payload.
+
+    Pure (no I/O), so tests can feed it canned snapshots.  ``workers`` is
+    the optional ``GET /workers`` payload a coordinator serves; worker-only
+    nodes pass ``None`` and just get the counter/latency tables.
+    """
+    from .service import telemetry
+
+    lines = []
+    since = snapshot.get("since")
+    header = "repro top"
+    if isinstance(since, (int, float)) and since > 0:
+        import time as _time
+
+        header += f" — server up {max(0.0, _time.time() - since):.0f}s"
+    lines.append(header)
+
+    scalar_rows = []
+    for kind in ("counters", "gauges"):
+        entries = snapshot.get(kind)
+        if not isinstance(entries, list):
+            continue
+        for entry in entries:
+            if isinstance(entry, dict):
+                scalar_rows.append(
+                    [_series_label(entry), format_value(entry.get("value", 0))]
+                )
+    if scalar_rows:
+        lines.append("")
+        lines.append(render_table(["series", "value"], sorted(scalar_rows)))
+
+    histogram_rows = []
+    entries = snapshot.get("histograms")
+    if isinstance(entries, list):
+        for entry in entries:
+            if not isinstance(entry, dict):
+                continue
+            summary = telemetry.summarize_histogram(entry)
+            histogram_rows.append(
+                [
+                    _series_label(entry),
+                    summary["count"],
+                    format_value(summary["p50_seconds"], 6),
+                    format_value(summary["p95_seconds"], 6),
+                    format_value(summary["p99_seconds"], 6),
+                ]
+            )
+    if histogram_rows:
+        lines.append("")
+        lines.append(
+            render_table(
+                ["latency", "count", "p50 (s)", "p95 (s)", "p99 (s)"],
+                sorted(histogram_rows),
+            )
+        )
+
+    if isinstance(workers, dict):
+        entries = workers.get("workers")
+        worker_rows = [
+            [
+                entry.get("url"),
+                "up" if entry.get("alive") else "DOWN",
+                entry.get("shards_completed", 0),
+                format_value(entry.get("p50_seconds", 0.0), 6),
+                format_value(entry.get("p95_seconds", 0.0), 6),
+                "STRAGGLER" if entry.get("straggler") else "",
+            ]
+            for entry in entries or []
+            if isinstance(entry, dict)
+        ]
+        if worker_rows:
+            lines.append("")
+            lines.append(
+                f"workers: {workers.get('num_live', 0)}/"
+                f"{workers.get('num_workers', 0)} live, "
+                f"queue depth {workers.get('queue_depth', 0)}, "
+                f"failovers {workers.get('failovers', 0)}"
+            )
+            lines.append(
+                render_table(
+                    ["worker", "state", "shards", "p50 (s)", "p95 (s)", ""],
+                    worker_rows,
+                )
+            )
+    return "\n".join(lines)
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    base = args.url.rstrip("/")
+
+    def fetch():
+        snapshot = _http_get_json(f"{base}/metrics.json")
+        try:
+            workers = _http_get_json(f"{base}/workers")
+        except (OSError, ValueError):
+            workers = None  # worker-only node: /workers is a 404
+        return snapshot, workers
+
+    try:
+        snapshot, workers = fetch()
+    except (OSError, ValueError) as error:
+        print(f"error: cannot scrape {base}: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(render_json({"metrics": snapshot, "workers": workers}))
+        return 0
+    print(render_top(snapshot, workers))
+    if args.once:
+        return 0
+    import time as _time
+
+    try:
+        while True:
+            _time.sleep(max(0.1, args.interval))
+            try:
+                snapshot, workers = fetch()
+            except (OSError, ValueError) as error:
+                print(f"(scrape failed, retrying: {error})", file=sys.stderr)
+                continue
+            # Clear + home, like watch(1), so the frame repaints in place.
+            print("\x1b[2J\x1b[H", end="")
+            print(render_top(snapshot, workers), flush=True)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from .service.telemetry import render_span_tree
+
+    base = args.url.rstrip("/")
+    try:
+        if args.chrome is not None:
+            payload = _http_get_json(f"{base}/trace/{args.job_id}/chrome")
+            text = render_json(payload)
+            if args.chrome == "-":
+                print(text)
+            else:
+                with open(args.chrome, "w", encoding="utf-8") as handle:
+                    handle.write(text + "\n")
+                print(
+                    f"wrote {len(payload.get('traceEvents', []))} trace "
+                    f"events to {args.chrome} (open in chrome://tracing "
+                    "or https://ui.perfetto.dev)",
+                    file=sys.stderr,
+                )
+            return 0
+        tree = _http_get_json(f"{base}/trace/{args.job_id}")
+    except (OSError, ValueError) as error:
+        print(
+            f"error: cannot fetch trace {args.job_id!r} from {base}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(render_json(tree))
+        return 0
+    print(render_span_tree(tree))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -782,6 +1020,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "batch": _command_batch,
         "cache": _command_cache,
         "experiment": _command_experiment,
+        "top": _command_top,
+        "trace": _command_trace,
     }
     return handlers[args.command](args)
 

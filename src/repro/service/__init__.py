@@ -18,7 +18,11 @@ reusable service (see PERFORMANCE.md, "Serving layer"):
   and local failover, making the scheduler horizontally scalable;
 * :mod:`repro.service.server` — a stdlib-only JSON HTTP API
   (``repro serve``), plus ``repro batch`` for offline grids and
-  ``POST /jobs`` for asynchronous ones.
+  ``POST /jobs`` for asynchronous ones;
+* :mod:`repro.service.telemetry` — dependency-free metrics registry
+  (counters, gauges, mergeable log-bucket histograms) and trace spans,
+  exported at ``GET /metrics`` / ``GET /trace/<id>`` and rendered live
+  by ``repro top``.
 
 Quickstart
 ----------
@@ -54,6 +58,19 @@ from .spec import (
     spec_from_dict,
     spec_kinds,
 )
+from .telemetry import (
+    METRICS,
+    TRACER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    merge_histograms,
+    parse_prometheus,
+    set_enabled,
+)
 
 __all__ = [
     "ENGINE_VERSION",
@@ -83,4 +100,15 @@ __all__ = [
     "ScenarioServer",
     "create_server",
     "run_server",
+    "METRICS",
+    "TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "merge_histograms",
+    "parse_prometheus",
+    "set_enabled",
 ]

@@ -24,7 +24,14 @@ endpoint itself only consults *local* tiers (:meth:`ResultCache.get_local`)
 so two nodes peered at each other cannot recurse.
 
 :class:`CacheStats` counts hits, misses, stores and evictions; the server
-exposes a snapshot at ``GET /cache/stats``.
+exposes a snapshot at ``GET /cache/stats``.  These counters are
+**process-lifetime** (cumulative since cache construction or
+:meth:`ResultCache.clear`), unlike the per-batch dispatch counters in a
+``POST /batch`` stats block; the ``since`` timestamp in both payloads lets
+a scraper tell a counter reset (restart/clear) from a quiet interval.
+Every tier lookup is also timed into the process-wide telemetry registry
+(``repro_cache_lookup_seconds{tier=memory|disk|peer}`` plus hit/miss
+counters), so ``GET /metrics`` exposes tier hit latencies continuously.
 
 Stale entries die automatically on lookup (their key folds in the engine
 version), but old disk files would otherwise accumulate forever.
@@ -39,21 +46,56 @@ import copy
 import json
 import os
 import threading
+import time
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..exceptions import InvalidProblemError
+from .telemetry import METRICS
 
 __all__ = ["CacheStats", "ResultCache", "CacheGCReport", "gc_disk_cache"]
 
 _KEY_CHARS = frozenset("0123456789abcdef")
 
+# Bound once at import so the per-lookup cost is one dict-free attribute
+# access plus the instrument's own lock — these are on the hot path of
+# every cache consult.  They live in the process-wide registry on purpose:
+# tier latencies are a property of this process's memory/disk/network,
+# not of any one scheduler.
+_LOOKUP_SECONDS = {
+    tier: METRICS.histogram(
+        "repro_cache_lookup_seconds",
+        {"tier": tier},
+        help="Latency of result-cache lookups that hit, by tier.",
+    )
+    for tier in ("memory", "disk", "peer")
+}
+_TIER_HITS = {
+    tier: METRICS.counter(
+        "repro_cache_hits_total",
+        {"tier": tier},
+        help="Result-cache hits by serving tier.",
+    )
+    for tier in ("memory", "disk", "peer")
+}
+_CACHE_MISSES = METRICS.counter(
+    "repro_cache_misses_total",
+    help="Result-cache lookups that missed every consulted tier.",
+)
+
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Snapshot of cache counters (cumulative since construction/clear)."""
+    """Snapshot of cache counters (cumulative since construction/clear).
+
+    ``since`` is the Unix timestamp the counters last started from zero —
+    cache construction, or the most recent :meth:`ResultCache.clear`.  A
+    scraper that sees ``since`` move forward knows the counters reset
+    (process restart or explicit clear) rather than traffic going quiet;
+    per-batch stats blocks carry their own ``since`` for the same reason.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -65,6 +107,7 @@ class CacheStats:
     max_entries: int = 0
     peer_hits: int = 0
     disk_corrupt: int = 0
+    since: float = 0.0
 
     @property
     def requests(self) -> int:
@@ -93,6 +136,7 @@ class CacheStats:
             "disk_corrupt": self.disk_corrupt,
             "requests": self.requests,
             "hit_rate": self.hit_rate,
+            "since": self.since,
         }
 
 
@@ -132,6 +176,7 @@ class ResultCache:
         self._disk_path = disk_path
         self._entries: "OrderedDict[str, dict]" = OrderedDict()
         self._lock = threading.Lock()
+        self._since = time.time()
         self._hits = 0
         self._misses = 0
         self._stores = 0
@@ -182,6 +227,7 @@ class ResultCache:
             return payload
         # Peer consultation happens outside the lock: it is a network
         # round-trip, and a slow peer must never block concurrent lookups.
+        peer_start = time.monotonic()
         payload = None
         for peer in self._peers:
             payload = peer.fetch(key)
@@ -190,10 +236,13 @@ class ResultCache:
         with self._lock:
             if payload is None:
                 self._misses += 1
+                _CACHE_MISSES.inc()
                 return None
             self._hits += 1
             self._peer_hits += 1
             self._store_in_memory(key, copy.deepcopy(payload))
+        _TIER_HITS["peer"].inc()
+        _LOOKUP_SECONDS["peer"].observe(time.monotonic() - peer_start)
         # A peer hit also lands on the local disk tier, so it survives a
         # restart and this node can in turn serve it to *its* peers.
         if self._disk_path is not None and self._disk_put(key, payload):
@@ -208,24 +257,33 @@ class ResultCache:
         if payload is None:
             with self._lock:
                 self._misses += 1
+            _CACHE_MISSES.inc()
         return payload
 
     def _get_local_tiers(self, key: str):
         """Memory-then-disk lookup; returns ``(hit, payload)`` without
         counting a miss (the callers decide whether peers come next)."""
+        start = time.monotonic()
         with self._lock:
             payload = self._entries.get(key)
             if payload is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
-                return True, copy.deepcopy(payload)
+                payload = copy.deepcopy(payload)
+        if payload is not None:
+            _TIER_HITS["memory"].inc()
+            _LOOKUP_SECONDS["memory"].observe(time.monotonic() - start)
+            return True, payload
         payload = self._disk_get(key)
         if payload is not None:
             with self._lock:
                 self._hits += 1
                 self._disk_hits += 1
                 self._store_in_memory(key, payload)
-                return True, copy.deepcopy(payload)
+                payload = copy.deepcopy(payload)
+            _TIER_HITS["disk"].inc()
+            _LOOKUP_SECONDS["disk"].observe(time.monotonic() - start)
+            return True, payload
         return False, None
 
     def put(self, key: str, payload: dict) -> None:
@@ -258,12 +316,18 @@ class ResultCache:
         return True
 
     def clear(self) -> None:
-        """Drop the in-memory entries and reset the counters (disk kept)."""
+        """Drop the in-memory entries and reset the counters (disk kept).
+
+        Resets ``since`` too: the counters restart from zero, and scrapers
+        detect that through the timestamp rather than by guessing from a
+        backwards-moving hit count.
+        """
         with self._lock:
             self._entries.clear()
             self._hits = self._misses = self._stores = 0
             self._evictions = self._disk_hits = self._disk_stores = 0
             self._peer_hits = self._disk_corrupt = 0
+            self._since = time.time()
 
     def stats(self) -> CacheStats:
         """Consistent snapshot of the counters."""
@@ -279,6 +343,7 @@ class ResultCache:
                 max_entries=self._max_entries,
                 peer_hits=self._peer_hits,
                 disk_corrupt=self._disk_corrupt,
+                since=self._since,
             )
 
     # ------------------------------------------------------------------

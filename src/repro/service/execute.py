@@ -14,6 +14,7 @@ process-pool fan-out used by :mod:`repro.service.scheduler`.
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable, Dict, Iterable, Tuple, Type
 
 from ..core.bounds import crash_ray_ratio, optimal_geometric_base
@@ -396,14 +397,41 @@ def _execute_certificate(spec: CertificateSpec) -> dict:
 
 check_registry_parity()
 
+#: ``repro_execute_seconds{kind=...}`` instruments, bound on first use.
+_EXECUTE_SECONDS: dict = {}
+
 
 def execute_spec(spec: ScenarioSpec) -> dict:
     """Evaluate one scenario and return its strict-JSON-safe result payload.
 
     The payload always carries ``kind`` and the canonical ``spec`` dict, so
     a cached result is self-describing.
+
+    Each evaluation is timed into ``repro_execute_seconds{kind=...}``.
+    The observation is strictly process-local: shards dispatched through
+    the process pool execute in worker *subprocesses*, whose registries
+    are separate from the coordinator's — only specs evaluated in-process
+    (serial fallback, ``POST /evaluate``, remote workers' own serve
+    processes) appear in a given ``GET /metrics``.  Timing never touches
+    the payload, so results stay bit-identical with telemetry on or off.
     """
+    histogram = _EXECUTE_SECONDS.get(spec.kind)
+    if histogram is None:
+        # One registry lookup per kind per process: label canonicalisation
+        # under the registry lock is measurable when every spec in a shard
+        # passes through here.
+        from .telemetry import METRICS
+
+        histogram = _EXECUTE_SECONDS[spec.kind] = METRICS.histogram(
+            "repro_execute_seconds",
+            {"kind": spec.kind},
+            help="Engine-evaluation time per scenario, by spec kind "
+            "(process-local; pool shards land in worker subprocesses).",
+        )
+
+    start = time.monotonic()
     payload = executor_for(spec.kind)(spec)
+    histogram.observe(time.monotonic() - start)
     payload["kind"] = spec.kind
     payload["spec"] = spec.to_dict()
     return to_jsonable(payload)

@@ -39,10 +39,13 @@ import json
 import os
 import sqlite3
 import threading
+import time
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .telemetry import METRICS
 
 __all__ = [
     "JournalJobRecord",
@@ -54,6 +57,19 @@ __all__ = [
 #: States a journaled job can be in.  ``running`` on restart means the
 #: coordinator died mid-job and the job must be resumed.
 JOB_STATES = ("running", "done", "error")
+
+# Journal writes sit on the shard-completion path (one transaction per
+# finished shard), so their latency bounds how fast a durable batch can
+# drain; timing them per operation makes an fsync-slow disk show up in
+# ``GET /metrics`` instead of as mystery batch overhead.
+_WRITE_SECONDS = {
+    op: METRICS.histogram(
+        "repro_journal_write_seconds",
+        {"op": op},
+        help="Latency of journal write transactions, by operation.",
+    )
+    for op in ("submission", "completed", "state")
+}
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -194,6 +210,7 @@ class JobJournal:
         """
         if len(keys) != len(spec_dicts):
             raise ValueError("keys and spec_dicts must be aligned")
+        start = time.monotonic()
         with self._transaction() as conn:
             conn.execute(
                 "INSERT INTO jobs (job_id, state, num_scenarios, "
@@ -210,14 +227,17 @@ class JobJournal:
                     for position, (key, spec) in enumerate(zip(keys, spec_dicts))
                 ),
             )
+        _WRITE_SECONDS["submission"].observe(time.monotonic() - start)
 
     def record_completed(self, job_id: str, keys: Sequence[str]) -> None:
         """Journal one shard's result keys as durably computed."""
+        start = time.monotonic()
         with self._transaction() as conn:
             conn.executemany(
                 "INSERT OR IGNORE INTO completions (job_id, key) VALUES (?, ?)",
                 ((job_id, key) for key in keys),
             )
+        _WRITE_SECONDS["completed"].observe(time.monotonic() - start)
 
     def record_state(
         self,
@@ -229,6 +249,7 @@ class JobJournal:
         """Journal a job's terminal state (``done`` stores the stats block)."""
         if state not in JOB_STATES:
             raise ValueError(f"unknown job state {state!r}")
+        start = time.monotonic()
         with self._transaction() as conn:
             conn.execute(
                 "UPDATE jobs SET state = ?, error = ?, stats = ? "
@@ -240,6 +261,7 @@ class JobJournal:
                     job_id,
                 ),
             )
+        _WRITE_SECONDS["state"].observe(time.monotonic() - start)
 
     # ------------------------------------------------------------------
     def _skip(self, job_id: str, reason: str) -> None:

@@ -40,7 +40,9 @@ import urllib.parse
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..exceptions import ReproError
+from . import telemetry
 from .spec import ENGINE_VERSION
+from .telemetry import METRICS
 
 __all__ = [
     "RemoteWorkerError",
@@ -125,6 +127,24 @@ class RemoteWorker:
         self.specs_completed = 0
         self.retries = 0
         self._counter_lock = threading.Lock()
+        #: Client-observed shard round-trip latencies (dispatch to parsed
+        #: response).  A standalone histogram per worker *object* — not a
+        #: registry series keyed by URL — so two pool entries for the same
+        #: URL (tuned subclasses, test doubles on one port) keep separate
+        #: percentiles; :meth:`RemoteWorkerPool.stats` merges and compares
+        #: them for straggler detection.
+        self.latency = telemetry.Histogram()
+        self._connect_seconds = METRICS.histogram(
+            "repro_remote_connect_seconds",
+            {"worker": self.url},
+            help="TCP dial time of requests to remote workers.",
+        )
+        self._read_seconds = METRICS.histogram(
+            "repro_remote_read_seconds",
+            {"worker": self.url},
+            help="Request-to-parsed-response time against remote workers "
+            "(excludes the dial).",
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RemoteWorker({self.url!r}, alive={self.alive})"
@@ -172,10 +192,16 @@ class RemoteWorker:
             ) from error
         try:
             try:
+                # Connect and read are timed separately: the split is what
+                # tells a hung dial (network/worker down) apart from a slow
+                # evaluation when reading `repro_remote_*_seconds`.
+                dial_start = time.monotonic()
                 connection.connect()
+                self._connect_seconds.observe(time.monotonic() - dial_start)
                 if connection.sock is not None:
                     connection.sock.settimeout(read_timeout)
                 body = None if payload is None else json.dumps(payload).encode("utf-8")
+                read_start = time.monotonic()
                 connection.request(
                     "GET" if body is None else "POST",
                     (parsed.path + path) or path,
@@ -185,6 +211,7 @@ class RemoteWorker:
                 response = connection.getresponse()
                 raw = response.read()
                 status = response.status
+                self._read_seconds.observe(time.monotonic() - read_start)
             except (OSError, http.client.HTTPException, ValueError) as error:
                 # socket.timeout is an OSError: connect and read timeouts
                 # both land here, as do refused connections and protocol
@@ -267,6 +294,7 @@ class RemoteWorker:
                     time.sleep(
                         min(self.retry_backoff * (2 ** (attempt - 1)), 30.0)
                     )
+            shard_start = time.monotonic()
             try:
                 body = self._request("/batch", payload)
             except RemoteWorkerError as error:
@@ -283,6 +311,10 @@ class RemoteWorker:
             with self._counter_lock:
                 self.shards_completed += 1
                 self.specs_completed += len(results)
+            # Only successful round-trips are observed: the histogram feeds
+            # straggler detection, where a fast-failing dead worker must not
+            # read as a fast worker.
+            self.latency.observe(time.monotonic() - shard_start)
             return results
         assert last is not None
         raise last
@@ -619,19 +651,46 @@ class RemoteWorkerPool:
             self._remote_specs += num_specs
 
     def stats(self) -> Dict[str, object]:
-        """Aggregate dispatch counters plus per-worker liveness.
+        """Aggregate dispatch counters plus per-worker liveness and latency.
 
         ``queue_depth`` is the number of shards currently waiting on the
         work queues of in-flight batches (0 when idle) and
         ``active_batches`` how many batches are pulling right now — the
         backpressure signal ``GET /workers`` exposes.  ``supervisor`` is
         present once :meth:`start_supervisor` has been called.
+
+        Every worker entry carries a ``latency`` block (count + p50/p95/p99
+        of its client-observed shard round-trips) and a ``straggler`` flag:
+        true when that worker's p95 exceeds
+        :data:`~repro.service.telemetry.STRAGGLER_FACTOR` times the
+        cluster-merged median (see
+        :func:`~repro.service.telemetry.flag_stragglers`).
+        ``shard_latency.client`` is the merged view — the client-observed
+        cluster percentiles; the HTTP layer adds a ``worker_reported``
+        sibling merged from the workers' own ``/metrics.json``.
         """
         with self._lock:
             failovers = self._failovers
             remote_shards = self._remote_shards
             remote_specs = self._remote_specs
             probes = list(self._queue_probes)
+        snapshots = [worker.latency.snapshot() for worker in self.workers]
+        merged = telemetry.merge_histograms(snapshots)
+        cluster_p50 = telemetry.histogram_percentile(merged, 0.50)
+        worker_entries = []
+        for worker, snapshot in zip(self.workers, snapshots):
+            entry: Dict[str, object] = {
+                "url": worker.url,
+                "alive": worker.alive,
+                "shards_completed": worker.shards_completed,
+                "specs_completed": worker.specs_completed,
+                "retries": worker.retries,
+                "last_error": worker.last_error,
+            }
+            entry.update(telemetry.summarize_histogram(snapshot))
+            entry["latency"] = snapshot
+            worker_entries.append(entry)
+        telemetry.flag_stragglers(worker_entries, cluster_p50)
         payload: Dict[str, object] = {
             "num_workers": len(self.workers),
             "num_live": len(self.live_workers()),
@@ -640,18 +699,52 @@ class RemoteWorkerPool:
             "remote_specs": remote_specs,
             "queue_depth": sum(probe() for probe in probes),
             "active_batches": len(probes),
-            "workers": [
-                {
-                    "url": worker.url,
-                    "alive": worker.alive,
-                    "shards_completed": worker.shards_completed,
-                    "specs_completed": worker.specs_completed,
-                    "retries": worker.retries,
-                    "last_error": worker.last_error,
-                }
-                for worker in self.workers
-            ],
+            "workers": worker_entries,
+            "shard_latency": {
+                "client": dict(
+                    telemetry.summarize_histogram(merged), histogram=merged
+                ),
+            },
         }
         if self.supervisor is not None:
             payload["supervisor"] = self.supervisor.stats()
         return payload
+
+    def metrics_snapshots(
+        self, timeout: float = 2.0
+    ) -> List[Optional[dict]]:
+        """Best-effort fetch of every live worker's ``GET /metrics.json``.
+
+        Used by the coordinator's ``GET /workers`` to merge worker-side
+        histograms into cluster percentiles.  Strictly best-effort: a dead,
+        slow or pre-telemetry worker contributes ``None`` (filtered by the
+        caller) and costs at most ``timeout`` seconds; fetches run
+        concurrently so one slow worker does not serialise the rest.
+        """
+        workers = self.live_workers()
+        snapshots: List[Optional[dict]] = [None] * len(workers)
+
+        def fetch(index: int, worker: RemoteWorker) -> None:
+            try:
+                body = worker._request(
+                    "/metrics.json",
+                    timeout=timeout,
+                    connect_timeout=min(timeout, worker.connect_timeout),
+                )
+            except RemoteWorkerError:
+                return
+            if isinstance(body, dict):
+                snapshots[index] = body
+
+        if len(workers) == 1:
+            fetch(0, workers[0])
+        elif workers:
+            threads = [
+                threading.Thread(target=fetch, args=(i, w), daemon=True)
+                for i, w in enumerate(workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        return snapshots

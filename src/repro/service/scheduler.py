@@ -59,6 +59,7 @@ from __future__ import annotations
 import os
 import pickle
 import threading
+import time
 import uuid
 import warnings
 from collections import OrderedDict, deque
@@ -81,10 +82,12 @@ from ..analysis.sweep import make_row_pool, suggest_shard_size
 from ..exceptions import InvalidProblemError
 from ..simulation.engine import DEFAULT_ENGINE
 from ..simulation.monte_carlo import SeedLike, spawn_seeds
+from . import telemetry
 from .cache import ResultCache
 from .execute import ensure_executable, execute_shard, execute_spec
 from .journal import JobJournal, JournalJobRecord
 from .remote import RemoteWorker, RemoteWorkerError, RemoteWorkerPool
+from .telemetry import _NULL_SPAN, MetricsRegistry, Tracer
 from .spec import (
     ENGINE_VERSION,
     MonteCarloFaultsSpec,
@@ -103,6 +106,13 @@ __all__ = [
 
 #: How many finished jobs the scheduler remembers for ``GET /jobs/<id>``.
 MAX_RETAINED_JOBS = 256
+
+#: Batches with fewer specs than this skip the dedup / cache_consult /
+#: shard_build phase spans (the batch and shard spans are always
+#: recorded).  Remote workers serve every shard as a small ``POST
+#: /batch``, and three ~0-duration phase spans per shard would dominate
+#: that hot path's tracing cost while saying nothing useful.
+_PHASE_SPAN_MIN_SPECS = 16
 
 #: Request-level (4xx/malformed) rejections in a row after which a batch
 #: retires a worker's dispatcher thread for the rest of the batch.  The
@@ -137,6 +147,18 @@ class BatchResult:
     remote_evaluated: int = 0
     failovers: int = 0
     num_remote_workers: int = 0
+    #: Wall-clock seconds the batch took, measured on the scheduler's
+    #: monotonic clock from dedup to last shard.
+    duration_seconds: float = 0.0
+    #: Unix timestamp the batch started.  Batch counters are **per-batch**
+    #: (they restart from zero every ``run_batch``), unlike the
+    #: process-lifetime ``/cache/stats`` counters; ``since`` marks where
+    #: this batch's window began, symmetric with the cache payload's
+    #: ``since`` so scrapers can anchor both kinds of counter in time.
+    since: float = 0.0
+    #: Trace id of the batch's span tree (the job id for scheduled jobs);
+    #: feed it to ``GET /trace/<id>`` / ``repro trace``.
+    trace_id: str = ""
 
     def to_dict(self) -> dict:
         """Plain-dict form (the ``stats`` block of ``POST /batch``)."""
@@ -150,6 +172,9 @@ class BatchResult:
             "remote_evaluated": self.remote_evaluated,
             "failovers": self.failovers,
             "num_remote_workers": self.num_remote_workers,
+            "duration_seconds": self.duration_seconds,
+            "since": self.since,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -174,6 +199,13 @@ class BatchResult:
                 return default
             return int(value)
 
+        def seconds(name: str) -> float:
+            value = block.get(name, 0.0)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                return 0.0
+            return float(value)
+
+        trace_id = block.get("trace_id", "")
         return cls(
             results=(),
             num_scenarios=counter("num_scenarios", num_scenarios),
@@ -184,6 +216,9 @@ class BatchResult:
             remote_evaluated=counter("remote_evaluated"),
             failovers=counter("failovers"),
             num_remote_workers=counter("num_remote_workers"),
+            duration_seconds=seconds("duration_seconds"),
+            since=seconds("since"),
+            trace_id=trace_id if isinstance(trace_id, str) else "",
         )
 
 
@@ -393,19 +428,36 @@ class _ShardQueue:
     whole backpressure mechanism.  ``push_front`` returns the shard a
     dying worker held so the next puller takes it immediately, preserving
     approximate ordering.
+
+    Given a ``gauge`` (``repro_shard_queue_depth``), every mutation moves
+    it by the delta, so concurrent batches sharing one metrics registry
+    sum to the cluster-visible queue depth and an emptied batch nets to
+    zero.
     """
 
-    def __init__(self, indices: Iterable[int]) -> None:
+    def __init__(
+        self,
+        indices: Iterable[int],
+        gauge: Optional[telemetry.Gauge] = None,
+    ) -> None:
         self._items = deque(indices)
         self._lock = threading.Lock()
+        self._gauge = gauge
+        if gauge is not None and self._items:
+            gauge.add(len(self._items))
 
     def pop(self) -> Optional[int]:
         with self._lock:
-            return self._items.popleft() if self._items else None
+            item = self._items.popleft() if self._items else None
+        if item is not None and self._gauge is not None:
+            self._gauge.add(-1)
+        return item
 
     def push_front(self, index: int) -> None:
         with self._lock:
             self._items.appendleft(index)
+        if self._gauge is not None:
+            self._gauge.add(1)
 
     def depth(self) -> int:
         with self._lock:
@@ -415,7 +467,9 @@ class _ShardQueue:
         with self._lock:
             items = list(self._items)
             self._items.clear()
-            return items
+        if items and self._gauge is not None:
+            self._gauge.add(-len(items))
+        return items
 
 
 class ScenarioScheduler:
@@ -440,6 +494,15 @@ class ScenarioScheduler:
         terminal state is journaled (best-effort — a failing journal warns,
         it never fails a batch), and :meth:`recover_jobs` can rebuild the
         job table after a restart.
+    metrics / tracer:
+        The :class:`~repro.service.telemetry.MetricsRegistry` and
+        :class:`~repro.service.telemetry.Tracer` batch metrics and spans
+        are recorded into.  Default to the process-wide
+        :data:`~repro.service.telemetry.METRICS` /
+        :data:`~repro.service.telemetry.TRACER` (what a normal ``repro
+        serve`` process wants — one ``/metrics`` covers everything); pass
+        private instances to isolate several in-process schedulers, as the
+        telemetry tests do.
     """
 
     def __init__(
@@ -448,14 +511,56 @@ class ScenarioScheduler:
         engine_version: str = ENGINE_VERSION,
         workers: Optional[WorkersLike] = None,
         journal: Optional[JobJournal] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.cache = cache if cache is not None else ResultCache()
         self.engine_version = engine_version
         self.worker_pool = self._as_pool(workers)
         self.journal = journal
+        self.metrics = metrics if metrics is not None else telemetry.METRICS
+        self.tracer = tracer if tracer is not None else telemetry.TRACER
         self._jobs: "OrderedDict[str, BatchJob]" = OrderedDict()
         self._jobs_lock = threading.Lock()
         self._evicted_jobs = 0
+        # Instruments bound once: every registry access canonicalises the
+        # label set under the registry lock (~1.5 us), and run_batch is
+        # also the per-shard hot path of a remote worker serving
+        # ``POST /batch``, where that lookup cost is pure dispatch
+        # overhead.
+        metrics = self.metrics
+        self._batches_total = metrics.counter(
+            "repro_batches_total", help="Batches completed by this scheduler."
+        )
+        self._batch_seconds = metrics.histogram(
+            "repro_batch_seconds", help="End-to-end batch wall-clock time."
+        )
+        self._scenarios_total = {
+            outcome: metrics.counter(
+                "repro_scenarios_total",
+                {"outcome": outcome},
+                help="Unique-scenario resolutions by outcome "
+                "(duplicates count as deduped).",
+            )
+            for outcome in ("deduped", "cache_hit", "evaluated")
+        }
+        self._shard_seconds = {
+            executor: metrics.histogram(
+                "repro_shard_seconds",
+                {"executor": executor},
+                help="Per-shard execution time as seen by the scheduler "
+                "(queue pop to payloads in hand), by executor.",
+            )
+            for executor in ("local-serial", "local-pool", "remote")
+        }
+        self._failovers_total = metrics.counter(
+            "repro_failovers_total",
+            help="Shards re-dispatched after a remote "
+            "worker failure or rejection.",
+        )
+        self._jobs_running = metrics.gauge(
+            "repro_jobs_running", help="Background batch jobs currently executing."
+        )
 
     def _as_pool(self, workers: Optional[WorkersLike]) -> Optional[RemoteWorkerPool]:
         if workers is None:
@@ -516,11 +621,71 @@ class ScenarioScheduler:
         lock, so consecutive calls never report a lower count after a
         higher one — keep the callback fast and never let it raise.  None
         of these parameters affect the numeric results.
+
+        Every batch is traced (batch span → dedup / cache_consult /
+        shard_build phase spans → one span per executed shard) under the
+        job id when journaled, else a fresh ``trace_id`` reported in the
+        stats block, and timed into the scheduler's metrics registry.
+        Batches under ``_PHASE_SPAN_MIN_SPECS`` specs skip the three
+        phase spans (worker-side shard evaluations are such batches —
+        the per-shard tracing cost stays at two spans).
+        Telemetry is observation only: payloads are bit-identical with it
+        on, off or absent.
         """
         specs = list(specs)
         # Fail fast on registry drift: a registered-but-unhandled kind must
         # surface as a structured error before any shard is dispatched.
         ensure_executable(specs)
+        started_at = time.time()
+        start = time.monotonic()
+        # Jobs trace under their job id, so ``GET /trace/<job_id>`` works
+        # straight off the handle; synchronous batches get a fresh id,
+        # reported back through the stats block.
+        trace_id = _journal_job_id if _journal_job_id is not None else uuid.uuid4().hex
+        with self.tracer.span(
+            "batch", trace_id=trace_id, attrs={"num_scenarios": len(specs)}
+        ) as batch_span:
+            batch = self._run_batch_inner(
+                specs,
+                max_workers,
+                shard_size,
+                workers,
+                progress,
+                _keys,
+                _journal_job_id,
+                batch_span,
+            )
+        duration = time.monotonic() - start
+        batch = replace(
+            batch, duration_seconds=duration, since=started_at, trace_id=trace_id
+        )
+        self._batches_total.inc()
+        self._batch_seconds.observe(duration)
+        for outcome, count in (
+            ("deduped", batch.num_scenarios - batch.num_unique),
+            ("cache_hit", batch.cache_hits),
+            ("evaluated", batch.evaluated),
+        ):
+            self._scenarios_total[outcome].inc(count)
+        return batch
+
+    def _run_batch_inner(
+        self,
+        specs: List[ScenarioSpec],
+        max_workers: Optional[int],
+        shard_size: Optional[int],
+        workers: Optional[WorkersLike],
+        progress: Optional[Callable[[int, int], None]],
+        _keys: Optional[Sequence[str]],
+        _journal_job_id: Optional[str],
+        batch_span,
+    ) -> BatchResult:
+        """The body of :meth:`run_batch`, traced under ``batch_span``.
+
+        Returns the batch *without* the timing fields —
+        :meth:`run_batch` measures the full duration (including this
+        method's own bookkeeping) and grafts them on via ``replace``.
+        """
         # ``_keys`` lets submit_job hand down the cache keys it already
         # computed for the result spill instead of hashing every spec a
         # second time; it must be spec-for-spec aligned.
@@ -530,29 +695,42 @@ class ScenarioScheduler:
             else [spec.cache_key(self.engine_version) for spec in specs]
         )
 
+        # Phase spans (dedup / cache_consult / shard_build) carry signal
+        # only on batches big enough for the phases to take measurable
+        # time.  Skipping them below the threshold keeps the worker-side
+        # hot path lean: every remote shard arrives as a small
+        # ``POST /batch``, and three near-zero-duration spans per shard
+        # would be most of that batch's tracing cost (shard and batch
+        # spans are always recorded).
+        trace_phases = len(specs) >= _PHASE_SPAN_MIN_SPECS
+
         # Dedup: first occurrence of each key owns the evaluation.
         unique_keys: List[str] = []
         unique_specs: List[ScenarioSpec] = []
         seen: Dict[str, int] = {}
-        for key, spec in zip(keys, specs):
-            if key not in seen:
-                seen[key] = len(unique_keys)
-                unique_keys.append(key)
-                unique_specs.append(spec)
+        with self.tracer.span("dedup") if trace_phases else _NULL_SPAN as span:
+            for key, spec in zip(keys, specs):
+                if key not in seen:
+                    seen[key] = len(unique_keys)
+                    unique_keys.append(key)
+                    unique_specs.append(spec)
+            span.set_attr("num_unique", len(unique_keys))
 
         # Cache consultation, one lookup per unique key.
         payload_by_key: Dict[str, dict] = {}
         pending: List[Tuple[str, ScenarioSpec]] = []
         hit_keys: List[str] = []
         cache_hits = 0
-        for key, spec in zip(unique_keys, unique_specs):
-            payload = self.cache.get(key)
-            if payload is not None:
-                payload_by_key[key] = payload
-                hit_keys.append(key)
-                cache_hits += 1
-            else:
-                pending.append((key, spec))
+        with self.tracer.span("cache_consult") if trace_phases else _NULL_SPAN as span:
+            for key, spec in zip(unique_keys, unique_specs):
+                payload = self.cache.get(key)
+                if payload is not None:
+                    payload_by_key[key] = payload
+                    hit_keys.append(key)
+                    cache_hits += 1
+                else:
+                    pending.append((key, spec))
+            span.set_attr("cache_hits", cache_hits)
 
         journal_id = _journal_job_id if self.journal is not None else None
         if journal_id is not None and hit_keys:
@@ -582,17 +760,20 @@ class ScenarioScheduler:
 
         pool = self.worker_pool if workers is None else self._as_pool(workers)
         num_executors = 1 + (len(pool) if pool is not None else 0)
-        shards = _split_shards(
-            [spec for _key, spec in pending], shard_size, max_workers, num_executors
-        )
-        # Key lists aligned shard-for-shard with ``shards`` (same slicing),
-        # so a completed shard can be cached + journaled immediately.
-        shard_keys: List[List[str]] = []
-        offset = 0
-        for shard in shards:
-            chunk = pending[offset : offset + len(shard)]
-            shard_keys.append([key for key, _spec in chunk])
-            offset += len(shard)
+        with self.tracer.span("shard_build") if trace_phases else _NULL_SPAN as span:
+            shards = _split_shards(
+                [spec for _key, spec in pending], shard_size, max_workers, num_executors
+            )
+            # Key lists aligned shard-for-shard with ``shards`` (same
+            # slicing), so a completed shard can be cached + journaled
+            # immediately.
+            shard_keys: List[List[str]] = []
+            offset = 0
+            for shard in shards:
+                chunk = pending[offset : offset + len(shard)]
+                shard_keys.append([key for key, _spec in chunk])
+                offset += len(shard)
+            span.set_attr("num_shards", len(shards))
 
         def record(index: int, payloads: Sequence[dict]) -> None:
             # Called (possibly from a dispatcher thread) the moment shard
@@ -613,13 +794,15 @@ class ScenarioScheduler:
         num_remote_workers = 0
         if pool is not None and shards:
             shard_payloads, dispatch = self._dispatch_remote(
-                shards, pool, max_workers, record
+                shards, pool, max_workers, record, batch_span=batch_span
             )
             remote_evaluated = dispatch["remote_specs"]
             failovers = dispatch["failovers"]
             num_remote_workers = dispatch["num_workers"]
         else:
-            shard_payloads = self._run_local_shards(shards, max_workers, record)
+            shard_payloads = self._run_local_shards(
+                shards, max_workers, record, batch_span=batch_span
+            )
         computed = [payload for shard in shard_payloads for payload in shard]
         for (key, _spec), payload in zip(pending, computed):
             payload_by_key[key] = payload
@@ -637,12 +820,65 @@ class ScenarioScheduler:
         )
 
     # ------------------------------------------------------------------
+    def _note_shard(
+        self,
+        batch_span,
+        index: int,
+        num_specs: int,
+        executor: str,
+        start: float,
+        worker: Optional[str] = None,
+        queue_wait: Optional[float] = None,
+        serialize_seconds: Optional[float] = None,
+    ) -> None:
+        """Record one executed shard: a metric observation plus a trace span.
+
+        Shard spans parent explicitly to the batch span because they are
+        recorded from dispatcher threads (or retroactively for pool
+        futures), where the thread-local implicit-parent stack is empty.
+        Exactly one ``shard`` span is recorded per *successful* execution;
+        failed remote attempts appear as ``failover`` spans instead, so a
+        healthy batch's shard-span count equals its shard count.
+        """
+        duration = time.monotonic() - start
+        shard_seconds = self._shard_seconds.get(executor)
+        if shard_seconds is None:  # pragma: no cover - defensive (new executor)
+            shard_seconds = self.metrics.histogram(
+                "repro_shard_seconds",
+                {"executor": executor},
+                help="Per-shard execution time as seen by the scheduler "
+                "(queue pop to payloads in hand), by executor.",
+            )
+        shard_seconds.observe(duration)
+        if batch_span is None or not batch_span.trace_id:
+            return
+        attrs: Dict[str, object] = {
+            "shard": index,
+            "num_specs": num_specs,
+            "executor": executor,
+        }
+        if worker is not None:
+            attrs["worker"] = worker
+        if queue_wait is not None:
+            attrs["queue_wait_seconds"] = queue_wait
+        if serialize_seconds is not None:
+            attrs["serialize_seconds"] = serialize_seconds
+        self.tracer.record_span(
+            "shard",
+            batch_span.trace_id,
+            start,
+            duration,
+            parent=batch_span,
+            attrs=attrs,
+        )
+
     def _dispatch_remote(
         self,
         shards: List[tuple],
         pool: RemoteWorkerPool,
         max_workers: Optional[int],
         record: Callable[[int, Sequence[dict]], None],
+        batch_span=None,
     ) -> Tuple[List[list], Dict[str, int]]:
         """Pull-based dispatch over live remote workers plus the local pool.
 
@@ -669,7 +905,15 @@ class ScenarioScheduler:
         """
         live = pool.refresh()
 
-        queue = _ShardQueue(range(len(shards)))
+        dispatch_start = time.monotonic()
+        queue = _ShardQueue(
+            range(len(shards)),
+            gauge=self.metrics.gauge(
+                "repro_shard_queue_depth",
+                help="Shards waiting on the work queues of in-flight "
+                "batches (summed across concurrent batches).",
+            ),
+        )
         results: List[Optional[list]] = [None] * len(shards)
         batch_counters = {"remote_specs": 0, "failovers": 0}
         counters_lock = threading.Lock()
@@ -695,14 +939,35 @@ class ScenarioScheduler:
                     if shard_index is None:
                         return
                     shard = shards[shard_index]
+                    queue_wait = time.monotonic() - dispatch_start
+                    serialize_start = time.monotonic()
+                    shard_dicts = [spec.to_dict() for spec in shard]
+                    attempt_start = time.monotonic()
+                    serialize_seconds = attempt_start - serialize_start
                     try:
-                        payloads = worker.evaluate_shard(
-                            [spec.to_dict() for spec in shard]
-                        )
+                        payloads = worker.evaluate_shard(shard_dicts)
                     except RemoteWorkerError as error:
                         pool.note_failover()
                         with counters_lock:
                             batch_counters["failovers"] += 1
+                        self._failovers_total.inc()
+                        if batch_span is not None and batch_span.trace_id:
+                            self.tracer.record_span(
+                                "failover",
+                                batch_span.trace_id,
+                                attempt_start,
+                                time.monotonic() - attempt_start,
+                                parent=batch_span,
+                                attrs={
+                                    "shard": shard_index,
+                                    "worker": worker.url,
+                                    "error": str(error),
+                                    "worker_dead": bool(
+                                        error.worker_dead
+                                        or worker.alive is False
+                                    ),
+                                },
+                            )
                         if error.worker_dead or worker.alive is False:
                             # Fatal failure — or the worker was marked dead
                             # externally (another batch, the supervisor)
@@ -733,6 +998,16 @@ class ScenarioScheduler:
                     with counters_lock:
                         batch_counters["remote_specs"] += len(shard)
                     results[shard_index] = payloads
+                    self._note_shard(
+                        batch_span,
+                        shard_index,
+                        len(shard),
+                        "remote",
+                        attempt_start,
+                        worker=worker.url,
+                        queue_wait=queue_wait,
+                        serialize_seconds=serialize_seconds,
+                    )
                     record(shard_index, payloads)
             except BaseException as error:  # surfaced after the joins
                 worker_errors.append(error)
@@ -781,7 +1056,16 @@ class ScenarioScheduler:
                 index = queue.pop()
                 if index is None:
                     return
+                shard_start = time.monotonic()
                 results[index] = execute_shard(shards[index])
+                self._note_shard(
+                    batch_span,
+                    index,
+                    len(shards[index]),
+                    "local-serial",
+                    shard_start,
+                    queue_wait=shard_start - dispatch_start,
+                )
                 record(index, results[index])
 
         def run_local(admit: bool = True) -> None:
@@ -794,6 +1078,7 @@ class ScenarioScheduler:
                 run_serial(admit)
                 return
             inflight: Dict["Future[list]", int] = {}
+            submitted_at: Dict["Future[list]", float] = {}
             try:
                 while True:
                     if admit:
@@ -811,6 +1096,7 @@ class ScenarioScheduler:
                             queue.push_front(index)
                             raise
                         inflight[future] = index
+                        submitted_at[future] = time.monotonic()
                     if not inflight:
                         return
                     finished, _pending = wait(inflight, return_when=FIRST_COMPLETED)
@@ -820,6 +1106,15 @@ class ScenarioScheduler:
                         # fallback below still knows about this index.
                         results[inflight[future]] = future.result()
                         index = inflight.pop(future)
+                        start = submitted_at.pop(future)
+                        self._note_shard(
+                            batch_span,
+                            index,
+                            len(shards[index]),
+                            "local-pool",
+                            start,
+                            queue_wait=start - dispatch_start,
+                        )
                         record(index, results[index])
             except (
                 pickle.PicklingError,
@@ -836,7 +1131,16 @@ class ScenarioScheduler:
                 # batch.
                 local_state["pool"] = None
                 for index in inflight.values():
+                    shard_start = time.monotonic()
                     results[index] = execute_shard(shards[index])
+                    self._note_shard(
+                        batch_span,
+                        index,
+                        len(shards[index]),
+                        "local-serial",
+                        shard_start,
+                        queue_wait=shard_start - dispatch_start,
+                    )
                     record(index, results[index])
                 run_serial(admit)
 
@@ -892,6 +1196,7 @@ class ScenarioScheduler:
         shards: List[tuple],
         max_workers: Optional[int],
         record: Callable[[int, Sequence[dict]], None],
+        batch_span=None,
     ) -> List[list]:
         """Process-pool fan-out with a per-shard completion callback.
 
@@ -911,7 +1216,15 @@ class ScenarioScheduler:
         def run_serial() -> None:
             while queue:
                 index = queue.popleft()
+                shard_start = time.monotonic()
                 results[index] = execute_shard(shards[index])
+                self._note_shard(
+                    batch_span,
+                    index,
+                    len(shards[index]),
+                    "local-serial",
+                    shard_start,
+                )
                 record(index, results[index])
 
         if pool is None:
@@ -921,6 +1234,7 @@ class ScenarioScheduler:
             1, max_workers if max_workers is not None else (os.cpu_count() or 1)
         )
         inflight: Dict["Future[list]", int] = {}
+        submitted_at: Dict["Future[list]", float] = {}
         try:
             try:
                 while True:
@@ -933,6 +1247,7 @@ class ScenarioScheduler:
                             queue.appendleft(index)
                             raise
                         inflight[future] = index
+                        submitted_at[future] = time.monotonic()
                     if not inflight:
                         return results  # type: ignore[return-value]
                     finished, _pending = wait(inflight, return_when=FIRST_COMPLETED)
@@ -942,7 +1257,15 @@ class ScenarioScheduler:
                         # fallback below.
                         payloads = future.result()
                         index = inflight.pop(future)
+                        start = submitted_at.pop(future)
                         results[index] = payloads
+                        self._note_shard(
+                            batch_span,
+                            index,
+                            len(shards[index]),
+                            "local-pool",
+                            start,
+                        )
                         record(index, payloads)
             except (
                 pickle.PicklingError,
@@ -955,7 +1278,15 @@ class ScenarioScheduler:
                 # deterministic specs make that at worst repeated work, and
                 # record() is idempotent (same key, same payload).
                 for index in inflight.values():
+                    shard_start = time.monotonic()
                     results[index] = execute_shard(shards[index])
+                    self._note_shard(
+                        batch_span,
+                        index,
+                        len(shards[index]),
+                        "local-serial",
+                        shard_start,
+                    )
                     record(index, results[index])
                 run_serial()
                 return results  # type: ignore[return-value]
@@ -1050,7 +1381,10 @@ class ScenarioScheduler:
             )
         self._register_job(job)
 
+        jobs_running = self._jobs_running
+
         def _run() -> None:
+            jobs_running.add(1)
             try:
                 batch = self.run_batch(
                     specs,
@@ -1078,6 +1412,8 @@ class ScenarioScheduler:
                         "error",
                         error=str(error),
                     )
+            finally:
+                jobs_running.add(-1)
 
         thread = threading.Thread(
             target=_run, name=f"repro-job-{job.job_id[:8]}", daemon=True

@@ -42,7 +42,31 @@ Endpoints
     ``404`` when the server has no pool): per-worker liveness and
     completion counts, the live ``queue_depth`` of in-flight batches
     (backpressure signal) and, when a supervisor is running, its re-probe
-    schedule.
+    schedule.  Coordinators also merge shard-latency histograms: the
+    ``shard_latency.client`` block is measured from this node's dispatch
+    loop, ``shard_latency.worker_reported`` is bucket-summed from each
+    live worker's own ``GET /metrics.json`` (cluster p50/p95/p99), and
+    per-worker entries carry a ``straggler`` flag (p95 well above the
+    cluster median — see :mod:`repro.service.telemetry`).
+``GET /metrics``
+    This process's metrics registry in Prometheus text exposition format
+    (counters, gauges and log-bucket latency histograms — see
+    :mod:`repro.service.telemetry` for the catalogue).
+``GET /metrics.json``
+    The same registry as JSON: mergeable histogram snapshots plus a
+    ``since`` timestamp (a scraper seeing ``since`` move forward knows
+    the process restarted and its counters reset).  This is the payload
+    coordinators fetch to build the cluster-merged ``/workers`` view.
+``GET /trace``
+    Ids of the retained traces, oldest first.
+``GET /trace/<trace_id>``
+    The span tree of one trace as JSON (``404`` when unknown or already
+    evicted from the bounded ring).  Batch jobs are traced under their
+    job id, so ``GET /trace/<job_id>`` shows that job's batch span with
+    one child span per executed shard.
+``GET /trace/<trace_id>/chrome``
+    The same trace as Chrome ``trace_event`` JSON — save it to a file
+    and load it in ``chrome://tracing`` or https://ui.perfetto.dev.
 ``POST /experiments``
     Body: an experiment spec (see :class:`repro.experiment.Experiment`,
     ``name``/``seed``/``generators``/``strategies``/``metrics``).  The
@@ -72,24 +96,59 @@ from __future__ import annotations
 
 import json
 import signal
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Sequence, Tuple
 
 from .. import __version__
 from ..exceptions import ReproError
 from ..reporting import to_jsonable
+from . import telemetry
 from .cache import _KEY_CHARS, ResultCache
 from .execute import ensure_executable, executor_for
 from .journal import JobJournal
 from .remote import RemoteWorkerPool
 from .scheduler import ScenarioScheduler
 from .spec import ENGINE_VERSION, spec_from_dict, spec_kinds
+from .telemetry import MetricsRegistry, Tracer
 
 __all__ = ["ScenarioServer", "create_server", "run_server"]
 
 #: Upper bound on accepted request bodies; far above any realistic batch,
 #: mostly a guard against unbounded reads on a public port.
 MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Exact paths that may appear as a ``path`` label on
+#: ``repro_http_requests_total``.  Everything else is bucketed (ids and
+#: keys into a placeholder, unknown paths into ``/:other``) so a scanner
+#: probing random URLs cannot grow the label space without bound.
+_METRIC_PATHS = frozenset(
+    {
+        "/healthz",
+        "/cache/stats",
+        "/jobs",
+        "/workers",
+        "/metrics",
+        "/metrics.json",
+        "/trace",
+        "/evaluate",
+        "/batch",
+        "/experiments",
+    }
+)
+
+
+def _metric_path(path: str) -> str:
+    """Collapse a request path to a bounded-cardinality metric label."""
+    if path in _METRIC_PATHS:
+        return path
+    if path.startswith("/cache/"):
+        return "/cache/:key"
+    if path.startswith("/jobs/"):
+        return "/jobs/:id"
+    if path.startswith("/trace/"):
+        return "/trace/:id/chrome" if path.endswith("/chrome") else "/trace/:id"
+    return "/:other"
 
 
 def _optional_positive_int(body: dict, name: str):
@@ -161,6 +220,29 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _count_request(self, method: str) -> None:
+        key = (_metric_path(self.path), method)
+        counter = self.server.request_counters.get(key)
+        if counter is None:
+            scheduler: ScenarioScheduler = self.server.scheduler
+            counter = self.server.request_counters[key] = scheduler.metrics.counter(
+                "repro_http_requests_total",
+                {"path": key[0], "method": method},
+                help="HTTP requests served, by normalized path and method "
+                "(ids/keys collapsed, unknown paths bucketed as /:other).",
+            )
+        counter.inc()
+
     def _read_json_body(self):
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
@@ -173,6 +255,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         scheduler: ScenarioScheduler = self.server.scheduler
+        self._count_request("GET")
         if self.path == "/healthz":
             payload = {
                 "status": "ok",
@@ -221,12 +304,85 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     404, {"error": "this server has no remote worker pool"}
                 )
             else:
-                self._send_json(200, scheduler.worker_pool.stats())
+                self._send_json(200, self._workers_payload(scheduler))
+        elif self.path == "/metrics":
+            self._send_text(
+                200,
+                scheduler.metrics.render_prometheus(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif self.path == "/metrics.json":
+            self._send_json(200, scheduler.metrics.snapshot())
+        elif self.path == "/trace":
+            self._send_json(200, {"traces": scheduler.tracer.trace_ids()})
+        elif self.path.startswith("/trace/"):
+            rest = self.path[len("/trace/") :]
+            chrome = rest.endswith("/chrome")
+            trace_id = rest[: -len("/chrome")] if chrome else rest
+            payload = (
+                scheduler.tracer.chrome_trace(trace_id)
+                if chrome
+                else scheduler.tracer.span_tree(trace_id)
+            )
+            if payload is None:
+                self._send_json(
+                    404,
+                    {
+                        "error": f"no trace {trace_id!r} (unknown id, or "
+                        "evicted from the bounded trace ring)"
+                    },
+                )
+            else:
+                self._send_json(200, payload)
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
+    @staticmethod
+    def _workers_payload(scheduler: ScenarioScheduler) -> dict:
+        """Pool stats plus the cluster-merged worker-side latency view.
+
+        ``shard_latency.client`` (from :meth:`RemoteWorkerPool.stats`) is
+        what *this coordinator observed* per shard — queue, network and
+        worker time together.  ``worker_reported`` re-merges each live
+        worker's own ``repro_worker_batch_seconds`` histogram (scraped
+        from ``GET /metrics.json``, best effort), i.e. pure server-side
+        evaluation time with the network excluded; comparing the two
+        blocks separates slow workers from a slow network.
+        """
+        pool = scheduler.worker_pool
+        payload = pool.stats()
+        snapshots = pool.metrics_snapshots()
+        reported = []
+        for snapshot in snapshots:
+            if not isinstance(snapshot, dict):
+                continue
+            histograms = snapshot.get("histograms")
+            if not isinstance(histograms, list):
+                continue
+            # Histogram entries are flat: {"name", "labels", "buckets",
+            # "sum", "count"} — merge_histograms reads the bucket keys and
+            # ignores the rest.
+            matches = [
+                entry
+                for entry in histograms
+                if isinstance(entry, dict)
+                and entry.get("name") == "repro_worker_batch_seconds"
+            ]
+            if matches:
+                reported.append(telemetry.merge_histograms(matches))
+        merged = telemetry.merge_histograms(reported)
+        shard_latency = payload.setdefault("shard_latency", {})
+        shard_latency["worker_reported"] = dict(
+            telemetry.summarize_histogram(merged),
+            histogram=merged,
+            workers_reporting=len(reported),
+            workers_probed=len(snapshots),
+        )
+        return payload
+
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         scheduler: ScenarioScheduler = self.server.scheduler
+        self._count_request("POST")
         try:
             body = self._read_json_body()
         except (ValueError, UnicodeDecodeError) as error:
@@ -251,8 +407,17 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 )
             elif self.path == "/batch":
                 specs, max_workers, shard_size = _parse_batch_body(body)
+                # Server-side wall time of the whole evaluation.  On a
+                # worker node this is the per-shard latency *excluding* the
+                # network — the series a coordinator scrapes (via
+                # /metrics.json) and bucket-merges into the
+                # ``worker_reported`` block of its own GET /workers view.
+                batch_start = time.monotonic()
                 batch = scheduler.run_batch(
                     specs, max_workers=max_workers, shard_size=shard_size
+                )
+                self.server.worker_batch_seconds.observe(
+                    time.monotonic() - batch_start
                 )
                 self._send_json(
                     200,
@@ -316,6 +481,17 @@ class ScenarioServer(ThreadingHTTPServer):
         #: server was not built with a journal); see
         #: :meth:`ScenarioScheduler.recover_jobs`.
         self.recovery: Optional[Dict[str, int]] = None
+        #: Per-(path, method) request counters, bound on first use —
+        #: registry label canonicalisation is measurable at one lookup per
+        #: request when this node serves shards.  Benign race: concurrent
+        #: first requests resolve to the same registry instrument.
+        self.request_counters: Dict[Tuple[str, str], object] = {}
+        self.worker_batch_seconds = scheduler.metrics.histogram(
+            "repro_worker_batch_seconds",
+            help="Server-side wall time of POST /batch evaluations "
+            "(shard latency minus the network, when this node "
+            "serves as a remote worker).",
+        )
 
     @property
     def url(self) -> str:
@@ -361,6 +537,8 @@ def create_server(
     worker_connect_timeout: Optional[float] = None,
     journal_path: Optional[str] = None,
     cache_peers: Optional[Sequence[str]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ScenarioServer:
     """Build a :class:`ScenarioServer` (``port=0`` binds an ephemeral port).
 
@@ -384,6 +562,12 @@ def create_server(
     (base URLs of other ``repro serve`` nodes) makes local cache misses
     consult the cluster before recomputing.  Both are ignored when an
     explicit ``scheduler`` is supplied — its own cache/journal win.
+
+    ``metrics``/``tracer`` give the built scheduler private telemetry
+    sinks (test isolation); by default it shares the process-wide
+    registry/tracer from :mod:`repro.service.telemetry`, which is what
+    ``GET /metrics`` and ``GET /trace/<id>`` serve.  Also ignored when
+    an explicit ``scheduler`` is supplied.
     """
     recovery: Optional[Dict[str, int]] = None
     if scheduler is None:
@@ -398,7 +582,13 @@ def create_server(
         if cache is None and cache_peers:
             cache = ResultCache(peers=list(cache_peers))
         journal = JobJournal(journal_path) if journal_path is not None else None
-        scheduler = ScenarioScheduler(cache=cache, workers=pool, journal=journal)
+        scheduler = ScenarioScheduler(
+            cache=cache,
+            workers=pool,
+            journal=journal,
+            metrics=metrics,
+            tracer=tracer,
+        )
         if journal is not None:
             recovery = scheduler.recover_jobs()
     server = ScenarioServer((host, port), scheduler, verbose=verbose)

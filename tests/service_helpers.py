@@ -10,10 +10,12 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.service.execute import execute_shard
 from repro.service.spec import ENGINE_VERSION, spec_from_dict
+from repro.service.telemetry import MetricsRegistry
 
 
 class WorkerDoubleHandler(BaseHTTPRequestHandler):
@@ -92,3 +94,57 @@ class RejectingWorkerServer(_WorkerDoubleServer):
     def __init__(self):
         self.batches_seen = 0
         super().__init__(_RejectingHandler)
+
+
+class _SlowHandler(WorkerDoubleHandler):
+    def do_GET(self):
+        server: "SlowWorkerServer" = self.server
+        if self.path == "/metrics.json":
+            self._reply(200, server.metrics.snapshot())
+        elif self.path == "/metrics":
+            body = server.metrics.render_prometheus().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            super().do_GET()
+
+    def do_POST(self):
+        server: "SlowWorkerServer" = self.server
+        with server._lock:
+            server.batches_served += 1
+        length = int(self.headers.get("Content-Length") or 0)
+        body = json.loads(self.rfile.read(length))
+        specs = [spec_from_dict(item) for item in body["scenarios"]]
+        start = time.monotonic()
+        if server.delay > 0:
+            time.sleep(server.delay)
+        payloads = execute_shard(specs)
+        server.metrics.histogram(
+            "repro_worker_batch_seconds",
+            help="Server-side wall time of POST /batch evaluations.",
+        ).observe(time.monotonic() - start)
+        self._reply(200, {"results": payloads})
+
+
+class SlowWorkerServer(_WorkerDoubleServer):
+    """A *correct* worker that sleeps ``delay`` seconds per shard request.
+
+    The deterministic straggler stand-in: results are bit-identical to a
+    healthy worker, only slower.  It keeps its own private
+    :class:`~repro.service.telemetry.MetricsRegistry` (recording
+    ``repro_worker_batch_seconds`` per batch) and serves it at
+    ``/metrics.json`` / ``/metrics`` exactly like a real ``repro serve``
+    node, so coordinator-side cluster merging can be tested end to end
+    against two doubles with different speeds.
+    """
+
+    def __init__(self, delay: float = 0.0):
+        self.delay = float(delay)
+        self.batches_served = 0
+        self.metrics = MetricsRegistry()
+        super().__init__(_SlowHandler)
