@@ -51,6 +51,13 @@ ENGINE_RELEVANT = (
     # The experiment compiler derives per-cell seeds and content hashes;
     # changing it changes which specs (and hence payloads) a grid produces.
     "src/repro/experiment.py",
+    # The binary wire codec carries result payloads between coordinator
+    # and workers; an encoding change (float representation, column
+    # packing) could alter result bytes even though the engines did not
+    # move.  Pure transport changes (compression tuning, framing, error
+    # paths) are the textbook case for the [engine-version-unchanged]
+    # marker: decoded trees provably identical, no bump needed.
+    "src/repro/service/wire.py",
 )
 
 #: Files whose diff constitutes a version bump.

@@ -8,7 +8,10 @@ Spins up, as subprocesses on ephemeral ports:
 
 Then
 
-1. checks the coordinator's ``GET /workers`` sees both workers live;
+1. checks the coordinator's ``GET /workers`` sees both workers live, that
+   every worker's ``GET /healthz`` advertises the binary wire and that
+   the coordinator negotiated it (shard traffic rides
+   ``application/x-repro-frame`` over pooled keep-alive connections);
 2. submits a deduplicated scenario grid (with the two golden scenarios
    inside) as an **async job** (``POST /jobs``) and polls
    ``GET /jobs/<id>`` — while the job runs, ``GET /healthz`` must keep
@@ -118,6 +121,14 @@ def main() -> int:
         assert "queue_depth" in workers and "active_batches" in workers, workers
         assert workers["supervisor"]["running"] is True, workers
 
+        # Wire handshake: every worker advertises the binary frame
+        # transport on /healthz (the pool negotiates per worker at its
+        # first health check — asserted after the first job below).
+        for worker_url in (url_a, url_b):
+            advert = _request(worker_url, "/healthz").get("wire")
+            assert advert and advert.get("version") == 1, advert
+            assert advert.get("content_type") == "application/x-repro-frame"
+
         scenarios = _grid()
         submitted = _request(url_c, "/jobs", {"scenarios": scenarios,
                                               "shard_size": 4})
@@ -158,6 +169,12 @@ def main() -> int:
         assert body["spilled"] is True, body.get("spilled")
         again = _request(url_c, job_path)
         assert again["results"] == results, "spilled rehydration drifted"
+
+        # The surviving worker's shard traffic rode the negotiated binary
+        # wire over pooled connections.
+        alive_entry = _worker_stats(url_c, url_a)
+        assert alive_entry["connections"]["wire_enabled"] is True, alive_entry
+        assert alive_entry["connections"]["reuses"] > 0, alive_entry
 
         print(
             f"distributed smoke OK: {stats['num_unique']} unique of "
@@ -202,10 +219,23 @@ def main() -> int:
         assert workers["supervisor"]["recoveries"] >= 1, workers["supervisor"]
         assert workers["queue_depth"] == 0, workers  # drained after the job
 
+        # Persistent connections: across both jobs the pool must have
+        # reused far more sockets than it dialed (the revived worker's
+        # stale sockets redial transparently — never a retry).
+        connections = workers["connections"]
+        assert connections["reuses"] > connections["dials"], connections
+        assert connections["reuse_fraction"] > 0.5, connections
+        # The never-killed worker ran both jobs without a single retry:
+        # its stale sockets (if any) redialed transparently.  (The killed
+        # worker legitimately retried its in-flight shard.)
+        assert _worker_stats(url_c, url_a)["retries"] == 0
+
         print(
             f"auto-recovery OK: revived worker served "
             f"{after - before} shards of the second job; supervisor "
-            f"recoveries={workers['supervisor']['recoveries']}"
+            f"recoveries={workers['supervisor']['recoveries']}; "
+            f"connection reuse {connections['reuse_fraction']:.1%} "
+            f"({connections['redials']} redials)"
         )
         return 0
     finally:

@@ -319,10 +319,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     top_parser.add_argument(
         "--interval",
-        type=float,
+        type=_refresh_interval,
         default=2.0,
         metavar="SECONDS",
-        help="seconds between refreshes",
+        help="seconds between refreshes (at least 0.1)",
     )
     top_parser.add_argument(
         "--once",
@@ -357,6 +357,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_json_flag(trace_parser)
     return parser
+
+
+def _refresh_interval(value: str) -> float:
+    """Parse ``repro top --interval``, rejecting sub-clamp values loudly.
+
+    The refresh loop used to clamp anything below 0.1 s silently — a user
+    asking for ``--interval 0.01`` (or a negative value) got a 0.1 s loop
+    with no hint their flag was ignored.  Reject it at parse time instead.
+    """
+    try:
+        interval = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid interval {value!r}")
+    if not interval >= 0.1:  # also rejects NaN
+        raise argparse.ArgumentTypeError(
+            f"refresh interval must be at least 0.1 seconds, got {value}"
+        )
+    return interval
 
 
 def _add_cache_peer_flag(subparser: argparse.ArgumentParser) -> None:
@@ -396,6 +414,14 @@ def _add_worker_tuning_flags(subparser: argparse.ArgumentParser) -> None:
         help="budget for dialing a worker (kept far below --worker-timeout "
         "so a vanished worker fails over in seconds)",
     )
+    subparser.add_argument(
+        "--no-wire",
+        dest="worker_wire",
+        action="store_false",
+        help="pin shard dispatch to JSON instead of negotiating the binary "
+        "wire with wire-capable workers (debugging aid; results are "
+        "bit-identical either way)",
+    )
 
 
 def _build_worker_pool(args: argparse.Namespace):
@@ -409,6 +435,7 @@ def _build_worker_pool(args: argparse.Namespace):
         urls,
         timeout=args.worker_timeout,
         connect_timeout=args.worker_connect_timeout,
+        wire=getattr(args, "worker_wire", True),
     )
 
 
@@ -637,6 +664,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         reprobe_interval=args.reprobe_interval,
         worker_timeout=args.worker_timeout,
         worker_connect_timeout=args.worker_connect_timeout,
+        worker_wire=getattr(args, "worker_wire", True),
         journal_path=args.journal,
     )
     if server.recovery is not None:
@@ -718,7 +746,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         return 2
     finally:
         if pool is not None:
-            pool.stop_supervisor()
+            pool.close()
     if args.json:
         print(
             render_json(
@@ -811,7 +839,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         return 2
     finally:
         if pool is not None:
-            pool.stop_supervisor()
+            pool.close()
     paths = result.persist(args.output_dir)
     if args.json:
         print(render_json(dict(result.to_dict(), artifacts=paths)))
@@ -845,12 +873,38 @@ def _series_label(entry: dict) -> str:
     return f"{name}{{{inner}}}"
 
 
-def render_top(snapshot: dict, workers: Optional[dict] = None) -> str:
+def _scenario_count(snapshot: dict) -> Optional[float]:
+    """Sum of ``repro_scenarios_total`` across its label sets, if present."""
+    entries = snapshot.get("counters")
+    if not isinstance(entries, list):
+        return None
+    total = None
+    for entry in entries:
+        if isinstance(entry, dict) and entry.get("name") == "repro_scenarios_total":
+            value = entry.get("value")
+            if isinstance(value, (int, float)):
+                total = (total or 0.0) + value
+    return total
+
+
+def render_top(
+    snapshot: dict,
+    workers: Optional[dict] = None,
+    previous: Optional[dict] = None,
+    elapsed: Optional[float] = None,
+) -> str:
     """Render one ``repro top`` frame from a ``GET /metrics.json`` payload.
 
     Pure (no I/O), so tests can feed it canned snapshots.  ``workers`` is
     the optional ``GET /workers`` payload a coordinator serves; worker-only
     nodes pass ``None`` and just get the counter/latency tables.
+
+    ``previous``/``elapsed`` (the prior frame's snapshot and the seconds
+    between scrapes) add a scenarios-per-second throughput line from the
+    ``repro_scenarios_total`` delta.  Guarded against a zero-elapsed
+    refresh and a counter that moved backwards (server restart): either
+    way the line is simply omitted rather than printing ``inf`` or a
+    negative rate.
     """
     from .service import telemetry
 
@@ -861,6 +915,15 @@ def render_top(snapshot: dict, workers: Optional[dict] = None) -> str:
         import time as _time
 
         header += f" — server up {max(0.0, _time.time() - since):.0f}s"
+    if previous is not None and elapsed is not None and elapsed > 0:
+        now_total = _scenario_count(snapshot)
+        prev_total = _scenario_count(previous)
+        if now_total is not None and prev_total is not None:
+            delta = now_total - prev_total
+            if delta >= 0:
+                header += (
+                    f" — {delta / elapsed:.1f} scenarios/s over {elapsed:.1f}s"
+                )
     lines.append(header)
 
     scalar_rows = []
@@ -957,17 +1020,27 @@ def _command_top(args: argparse.Namespace) -> int:
         return 0
     import time as _time
 
+    # args.interval is validated at parse time (>= 0.1), so the loop
+    # sleeps exactly what was asked instead of silently clamping.
+    previous, previous_at = snapshot, _time.monotonic()
     try:
         while True:
-            _time.sleep(max(0.1, args.interval))
+            _time.sleep(args.interval)
             try:
                 snapshot, workers = fetch()
             except (OSError, ValueError) as error:
                 print(f"(scrape failed, retrying: {error})", file=sys.stderr)
                 continue
+            now = _time.monotonic()
             # Clear + home, like watch(1), so the frame repaints in place.
             print("\x1b[2J\x1b[H", end="")
-            print(render_top(snapshot, workers), flush=True)
+            print(
+                render_top(
+                    snapshot, workers, previous=previous, elapsed=now - previous_at
+                ),
+                flush=True,
+            )
+            previous, previous_at = snapshot, now
     except KeyboardInterrupt:
         return 0
 

@@ -25,6 +25,18 @@ only (:mod:`http.client`):
   mid-batch: the scheduler's dispatch loop admits revived workers while
   shards are still queued.
 
+Since PR 9 each worker holds a small pool of persistent keep-alive
+connections (HTTP/1.1) and, when the ``/healthz`` handshake advertises a
+matching wire version, exchanges shard traffic as binary frames
+(:mod:`repro.service.wire`) instead of JSON text.  Reused sockets can go
+stale between batches — the worker restarted, an idle timeout fired — so
+a *reused* connection that fails fast (reset, closed, protocol garbage;
+never a read timeout) is transparently redialed exactly once before the
+failure surfaces as a :class:`RemoteWorkerError`.  Dial/reuse/redial
+counts feed ``repro_remote_connections_total`` and the existing connect
+histogram only observes real dials, so the reuse rate is visible in
+``GET /workers`` and ``repro top``.
+
 The pool never raises for infrastructure failures: an unreachable or
 version-mismatched worker is simply excluded, and an empty pool degrades
 the scheduler to the single-machine path.
@@ -34,6 +46,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import threading
 import time
 import urllib.parse
@@ -43,6 +56,7 @@ from ..exceptions import ReproError
 from . import telemetry
 from .spec import ENGINE_VERSION
 from .telemetry import METRICS
+from .wire import WIRE_CONTENT_TYPE, WIRE_VERSION, WireError, decode_frame, encode_frame
 
 __all__ = [
     "RemoteWorkerError",
@@ -72,6 +86,11 @@ DEFAULT_REPROBE_MAX_BACKOFF = 60.0
 DEFAULT_PEER_TIMEOUT = 10.0
 #: Wall-clock budget for dialing a cache peer, seconds.
 DEFAULT_PEER_CONNECT_TIMEOUT = 2.0
+#: Idle keep-alive connections retained per worker.  One dispatcher
+#: thread drives each worker, with occasional overlap from health probes
+#: and metrics fetches — two parked sockets cover both without hoarding
+#: file descriptors across a large pool.
+DEFAULT_MAX_IDLE_CONNECTIONS = 2
 
 
 class RemoteWorkerError(ReproError):
@@ -110,6 +129,8 @@ class RemoteWorker:
         max_retries: int = 1,
         retry_backoff: float = DEFAULT_RETRY_BACKOFF,
         max_workers: Optional[int] = None,
+        wire: bool = True,
+        max_idle_connections: int = DEFAULT_MAX_IDLE_CONNECTIONS,
     ) -> None:
         self.url = url.rstrip("/")
         self.engine_version = engine_version
@@ -121,12 +142,29 @@ class RemoteWorker:
         #: Forwarded as the remote batch's ``max_workers`` when set, to
         #: bound the worker's own process fan-out per shard.
         self.max_workers = max_workers
+        #: Whether this client is *willing* to speak the binary wire.
+        self.wire = bool(wire)
+        #: Whether shard traffic actually uses frames: ``None`` until the
+        #: health handshake, then ``True`` only when both sides advertise
+        #: the same wire version.  A worker without the advert (old build,
+        #: test double) silently stays on JSON — never an error.
+        self.wire_enabled: Optional[bool] = None
         self.alive: Optional[bool] = None
         self.last_error: Optional[str] = None
         self.shards_completed = 0
         self.specs_completed = 0
         self.retries = 0
         self._counter_lock = threading.Lock()
+        # Connection pool: a LIFO stack of idle keep-alive connections
+        # (most recently used first, so extras go cold and get culled by
+        # the server side).  Guarded by its own lock — dispatch, health
+        # probes and metrics fetches touch it from different threads.
+        self._pool_lock = threading.Lock()
+        self._idle: List[http.client.HTTPConnection] = []
+        self.max_idle_connections = int(max_idle_connections)
+        self.dials = 0
+        self.reuses = 0
+        self.redials = 0
         #: Client-observed shard round-trip latencies (dispatch to parsed
         #: response).  A standalone histogram per worker *object* — not a
         #: registry series keyed by URL — so two pool entries for the same
@@ -145,36 +183,51 @@ class RemoteWorker:
             help="Request-to-parsed-response time against remote workers "
             "(excludes the dial).",
         )
+        self._conn_events = {
+            event: METRICS.counter(
+                "repro_remote_connections_total",
+                {"worker": self.url, "event": event},
+                help="Connection-pool events against remote workers: fresh "
+                "dials, keep-alive reuses, and redials after a stale "
+                "pooled socket.",
+            )
+            for event in ("dial", "reuse", "redial")
+        }
+        self._wire_bytes = {
+            direction: METRICS.counter(
+                "repro_remote_wire_bytes_total",
+                {"worker": self.url, "direction": direction},
+                help="Binary-frame payload bytes exchanged with remote "
+                "workers (JSON traffic is not counted).",
+            )
+            for direction in ("sent", "received")
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RemoteWorker({self.url!r}, alive={self.alive})"
 
     # ------------------------------------------------------------------
-    def _request(
-        self,
-        path: str,
-        payload=None,
-        timeout: Optional[float] = None,
-        connect_timeout: Optional[float] = None,
-    ):
-        """One HTTP round-trip with separate connect and read budgets.
+    # connection pool
+    def _note_conn(self, event: str) -> None:
+        with self._counter_lock:
+            if event == "dial":
+                self.dials += 1
+            elif event == "reuse":
+                self.reuses += 1
+            else:
+                self.redials += 1
+        self._conn_events[event].inc()
 
-        :mod:`urllib` applies a single socket timeout to connect *and*
-        every read, so a hung worker would cost the full shard budget just
-        to notice it never answers the dial.  Driving
-        :class:`http.client.HTTPConnection` directly lets the connect fail
-        within ``connect_timeout`` while the response read keeps the long
-        shard budget.
+    def _dial(self, dial_timeout: float) -> http.client.HTTPConnection:
+        """Open and connect a fresh socket to this worker's base URL.
+
+        Raises :class:`RemoteWorkerError` for every failure mode —
+        including a malformed URL (bad port digits, missing scheme/host),
+        which must mark the worker dead with a readable ``last_error``
+        exactly like an unreachable one, never escape as a raw
+        ``ValueError``.
         """
-        read_timeout = self.timeout if timeout is None else timeout
-        dial_timeout = (
-            self.connect_timeout if connect_timeout is None else connect_timeout
-        )
         try:
-            # Inside the conversion try: a malformed URL (bad port digits,
-            # missing scheme/host) must mark the worker dead with a
-            # readable last_error, exactly like an unreachable one — never
-            # escape as a raw ValueError.
             parsed = urllib.parse.urlsplit(self.url)
             if parsed.scheme not in ("http", "https") or not parsed.hostname:
                 raise ValueError(f"unsupported worker URL {self.url!r}")
@@ -186,54 +239,181 @@ class RemoteWorker:
             connection = connection_class(
                 parsed.hostname, parsed.port, timeout=dial_timeout
             )
+            # Connect and read are timed separately: the split is what
+            # tells a hung dial (network/worker down) apart from a slow
+            # evaluation when reading `repro_remote_*_seconds` — and only
+            # real dials are observed, so the connect histogram's count
+            # over the request count *is* the miss rate of the pool.
+            dial_start = time.monotonic()
+            connection.connect()
+            self._connect_seconds.observe(time.monotonic() - dial_start)
+            # Nagle + delayed ACK can stall multi-write requests on a
+            # reused socket by ~40 ms (the server disables it for its
+            # responses too); a pooled connection must never be slower
+            # than the dial-per-request wire it replaced.
+            connection.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
         except (OSError, http.client.HTTPException, ValueError) as error:
+            raise RemoteWorkerError(
+                f"worker {self.url} unreachable: {error}"
+            ) from error
+        return connection
+
+    def _acquire(self, dial_timeout: float):
+        """One ready connection plus whether it came from the idle pool."""
+        with self._pool_lock:
+            connection = self._idle.pop() if self._idle else None
+        if connection is not None:
+            self._note_conn("reuse")
+            return connection, True
+        connection = self._dial(dial_timeout)
+        self._note_conn("dial")
+        return connection, False
+
+    def _release(self, connection: http.client.HTTPConnection) -> None:
+        """Park a healthy connection for reuse (or close the overflow)."""
+        with self._pool_lock:
+            if len(self._idle) < self.max_idle_connections:
+                self._idle.append(connection)
+                return
+        connection.close()
+
+    def close(self) -> None:
+        """Close every idle pooled connection (in-flight ones drain on release)."""
+        with self._pool_lock:
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            connection.close()
+
+    def connection_stats(self) -> Dict[str, object]:
+        """Pool counters: dials, keep-alive reuses, stale-socket redials."""
+        with self._counter_lock:
+            dials = self.dials
+            reuses = self.reuses
+            redials = self.redials
+        total = dials + reuses
+        return {
+            "dials": dials,
+            "reuses": reuses,
+            "redials": redials,
+            "reuse_fraction": round(reuses / total, 4) if total else 0.0,
+            "idle": len(self._idle),
+            "wire_enabled": self.wire_enabled,
+        }
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        path: str,
+        payload=None,
+        timeout: Optional[float] = None,
+        connect_timeout: Optional[float] = None,
+        wire: bool = False,
+    ):
+        """One HTTP round-trip over a pooled keep-alive connection.
+
+        :mod:`urllib` applies a single socket timeout to connect *and*
+        every read, so a hung worker would cost the full shard budget just
+        to notice it never answers the dial.  Driving
+        :class:`http.client.HTTPConnection` directly lets the connect fail
+        within ``connect_timeout`` while the response read keeps the long
+        shard budget — and lets the socket outlive the exchange.
+
+        Stale-socket semantics: a connection parked between batches may
+        have been closed by the far side (worker restart, idle timeout).
+        That surfaces as a *fast* failure on a *reused* connection —
+        reset, broken pipe, empty status line — and is transparently
+        redialed exactly once.  A read timeout is never retried here: a
+        hung worker must cost one read timeout, not two, before failover.
+
+        ``wire=True`` sends the payload as a binary frame when the health
+        handshake negotiated it (``wire_enabled``); responses are decoded
+        by their ``Content-Type`` either way, so a worker may answer JSON
+        to a frame request (or vice versa) without confusing the client.
+        """
+        read_timeout = self.timeout if timeout is None else timeout
+        dial_timeout = (
+            self.connect_timeout if connect_timeout is None else connect_timeout
+        )
+        use_wire = bool(wire and self.wire and self.wire_enabled)
+        if payload is None:
+            body = None
+            content_type = "application/json"
+        elif use_wire:
+            body = encode_frame(payload)
+            content_type = WIRE_CONTENT_TYPE
+            self._wire_bytes["sent"].inc(len(body))
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+        headers = {"Content-Type": content_type}
+        if use_wire:
+            headers["Accept"] = WIRE_CONTENT_TYPE
+        try:
+            base_path = urllib.parse.urlsplit(self.url).path
+        except ValueError as error:
             raise RemoteWorkerError(
                 f"worker {self.url} unreachable on {path}: {error}"
             ) from error
-        try:
+        request_path = (base_path + path) or path
+        for retry_stale in (True, False):
+            connection, reused = self._acquire(dial_timeout)
             try:
-                # Connect and read are timed separately: the split is what
-                # tells a hung dial (network/worker down) apart from a slow
-                # evaluation when reading `repro_remote_*_seconds`.
-                dial_start = time.monotonic()
-                connection.connect()
-                self._connect_seconds.observe(time.monotonic() - dial_start)
                 if connection.sock is not None:
                     connection.sock.settimeout(read_timeout)
-                body = None if payload is None else json.dumps(payload).encode("utf-8")
                 read_start = time.monotonic()
                 connection.request(
                     "GET" if body is None else "POST",
-                    (parsed.path + path) or path,
+                    request_path or path,
                     body=body,
-                    headers={"Content-Type": "application/json"},
+                    headers=headers,
                 )
                 response = connection.getresponse()
                 raw = response.read()
                 status = response.status
+                response_type = response.getheader("Content-Type", "") or ""
+                keep = not response.will_close
                 self._read_seconds.observe(time.monotonic() - read_start)
             except (OSError, http.client.HTTPException, ValueError) as error:
                 # socket.timeout is an OSError: connect and read timeouts
                 # both land here, as do refused connections and protocol
                 # garbage.
+                connection.close()
+                if reused and retry_stale and not isinstance(error, TimeoutError):
+                    self._note_conn("redial")
+                    continue
                 raise RemoteWorkerError(
                     f"worker {self.url} unreachable on {path}: {error}"
                 ) from error
+            if keep:
+                self._release(connection)
+            else:
+                connection.close()
             if status >= 400:
                 # 4xx means the worker is up and rejected this request; 5xx
-                # means the worker itself is broken.
+                # means the worker itself is broken.  The body was read
+                # either way, so the connection stayed reusable.
                 raise RemoteWorkerError(
                     f"worker {self.url} returned HTTP {status} for {path}",
                     worker_dead=status >= 500,
                 )
+            if response_type.split(";")[0].strip().lower() == WIRE_CONTENT_TYPE:
+                self._wire_bytes["received"].inc(len(raw))
+                try:
+                    return decode_frame(raw)
+                except WireError as error:
+                    raise RemoteWorkerError(
+                        f"worker {self.url} returned a malformed frame for "
+                        f"{path}: {error}"
+                    ) from error
             try:
                 return json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, ValueError) as error:
                 raise RemoteWorkerError(
                     f"worker {self.url} returned non-JSON for {path}: {error}"
                 ) from error
-        finally:
-            connection.close()
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def check_health(self) -> bool:
         """``GET /healthz`` with the engine-version handshake.
@@ -242,6 +422,12 @@ class RemoteWorker:
         runs exactly this client's engine version — a version-skewed worker
         would compute under a different cache-key space, silently breaking
         the bit-identical-results guarantee, so it is treated as dead.
+
+        The same handshake negotiates the transport: shard traffic moves
+        to binary frames only when the worker's ``wire`` advert names
+        exactly this client's :data:`~repro.service.wire.WIRE_VERSION`
+        (and this client was built with ``wire=True``).  Any mismatch —
+        no advert, other version — silently stays on JSON.
         """
         try:
             body = self._request(
@@ -265,6 +451,12 @@ class RemoteWorker:
                 f"match local {self.engine_version!r}"
             )
             return False
+        advert = body.get("wire")
+        self.wire_enabled = bool(
+            self.wire
+            and isinstance(advert, dict)
+            and advert.get("version") == WIRE_VERSION
+        )
         self.alive = True
         self.last_error = None
         return True
@@ -282,7 +474,14 @@ class RemoteWorker:
                 f"worker {self.url} already marked dead: {self.last_error}",
                 worker_dead=False,
             )
-        payload: Dict[str, object] = {"scenarios": list(scenario_dicts)}
+        # results_only trims the stats/cache diagnostic blocks from every
+        # shard response — pure payload, measurably cheaper to encode and
+        # decode per round-trip.  Old workers ignore the key and send the
+        # full body; `results` is read either way.
+        payload: Dict[str, object] = {
+            "scenarios": list(scenario_dicts),
+            "results_only": True,
+        }
         if self.max_workers is not None:
             payload["max_workers"] = self.max_workers
         last: Optional[RemoteWorkerError] = None
@@ -296,7 +495,7 @@ class RemoteWorker:
                     )
             shard_start = time.monotonic()
             try:
-                body = self._request("/batch", payload)
+                body = self._request("/batch", payload, wire=True)
             except RemoteWorkerError as error:
                 last = error
                 if not error.worker_dead:
@@ -553,6 +752,7 @@ class RemoteWorkerPool:
         connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
         max_retries: int = 1,
         retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        wire: bool = True,
     ) -> None:
         self.workers: List[RemoteWorker] = [
             worker
@@ -565,6 +765,7 @@ class RemoteWorkerPool:
                 connect_timeout=connect_timeout,
                 max_retries=max_retries,
                 retry_backoff=retry_backoff,
+                wire=wire,
             )
             for worker in workers
         ]
@@ -624,6 +825,12 @@ class RemoteWorkerPool:
         """Stop the supervisor thread, if one is running (idempotent)."""
         if self.supervisor is not None:
             self.supervisor.stop()
+
+    def close(self) -> None:
+        """Stop the supervisor and drop every worker's idle connections."""
+        self.stop_supervisor()
+        for worker in self.workers:
+            worker.close()
 
     # ------------------------------------------------------------------
     def attach_queue_probe(self, probe: Callable[[], int]) -> None:
@@ -686,14 +893,26 @@ class RemoteWorkerPool:
                 "specs_completed": worker.specs_completed,
                 "retries": worker.retries,
                 "last_error": worker.last_error,
+                "connections": worker.connection_stats(),
             }
             entry.update(telemetry.summarize_histogram(snapshot))
             entry["latency"] = snapshot
             worker_entries.append(entry)
         telemetry.flag_stragglers(worker_entries, cluster_p50)
+        dials = sum(worker.dials for worker in self.workers)
+        reuses = sum(worker.reuses for worker in self.workers)
+        redials = sum(worker.redials for worker in self.workers)
         payload: Dict[str, object] = {
             "num_workers": len(self.workers),
             "num_live": len(self.live_workers()),
+            "connections": {
+                "dials": dials,
+                "reuses": reuses,
+                "redials": redials,
+                "reuse_fraction": round(reuses / (dials + reuses), 4)
+                if dials + reuses
+                else 0.0,
+            },
             "failovers": failovers,
             "remote_shards": remote_shards,
             "remote_specs": remote_specs,

@@ -81,6 +81,26 @@ ids ``404``.  All responses are strict JSON (non-finite floats are encoded
 as the strings ``"inf"``/``"-inf"``/``"nan"``, exactly as the CLI
 ``--json`` flags emit them).
 
+Wire negotiation: a POST whose ``Content-Type`` is
+``application/x-repro-frame`` carries its body as a binary frame
+(:mod:`repro.service.wire`) and gets its response as one — the payload
+trees are identical to the JSON wire, floats travel as raw IEEE-754
+doubles, results stay bit-identical.  Everything else stays JSON, so
+``curl`` and old workers keep working untouched; ``GET /healthz``
+advertises the supported wire version and clients downgrade silently on
+any mismatch.
+
+Keep-alive discipline (HTTP/1.1): error responses *drain* the unread
+request body first (bounded by ``MAX_BODY_BYTES``) so the next pipelined
+request on the same socket stays in sync, falling back to
+``Connection: close`` when draining is impossible (oversize or chunked
+bodies); and an unhandled exception in a handler always produces a
+structured JSON 500 with ``Connection: close`` — never a silently
+dropped request that strands the client until its read timeout.  Nagle
+is disabled on accepted sockets: the header-flush-then-body write
+pattern interacts with delayed ACKs into ~40 ms stalls per request on
+reused connections, which would erase the entire win of pooling.
+
 A server given ``workers=[...]`` acts as a *coordinator*: its scheduler
 round-robins batch shards across those remote ``repro serve`` instances
 and the local pool (see :mod:`repro.service.remote`).
@@ -111,6 +131,7 @@ from .remote import RemoteWorkerPool
 from .scheduler import ScenarioScheduler
 from .spec import ENGINE_VERSION, spec_from_dict, spec_kinds
 from .telemetry import MetricsRegistry, Tracer
+from .wire import WIRE_CONTENT_TYPE, WIRE_VERSION, WireError, decode_frame, encode_frame
 
 __all__ = ["ScenarioServer", "create_server", "run_server"]
 
@@ -202,6 +223,19 @@ def _parse_batch_body(body):
 class _ServiceHandler(BaseHTTPRequestHandler):
     server_version = f"repro-service/{__version__}"
     protocol_version = "HTTP/1.1"
+    # TCP_NODELAY: responses go out as two writes (header flush, then
+    # body).  On a *reused* keep-alive socket Nagle holds the second
+    # write until the first is ACKed, and the client's delayed ACK turns
+    # every shard round-trip into a ~40 ms stall — persistent connections
+    # made this visible.  Disabling Nagle restores sub-millisecond
+    # round-trips; see PERFORMANCE.md ("Wire protocol").
+    disable_nagle_algorithm = True
+
+    # Per-request state, reset by :meth:`_guarded`.  Class-level defaults
+    # keep direct calls (tests poking one handler method) safe.
+    _frame_response = False
+    _body_consumed = False
+    _response_started = False
 
     # ------------------------------------------------------------------
     def log_message(self, format: str, *args) -> None:  # noqa: A002
@@ -209,19 +243,23 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(
-            to_jsonable(payload), sort_keys=True, allow_nan=False
-        ).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        if self.close_connection:
-            self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(body)
+        """Send ``payload`` in the request's negotiated format.
 
-    def _send_text(self, status: int, text: str, content_type: str) -> None:
-        body = text.encode("utf-8")
+        Despite the name (kept for the dozens of call sites), a request
+        that arrived as a binary frame — or explicitly ``Accept``-ed one —
+        is answered with a frame carrying the same payload tree; everyone
+        else gets the usual strict JSON.
+        """
+        tree = to_jsonable(payload)
+        if self._frame_response:
+            body = encode_frame(tree)
+            content_type = WIRE_CONTENT_TYPE
+        else:
+            body = json.dumps(tree, sort_keys=True, allow_nan=False).encode(
+                "utf-8"
+            )
+            content_type = "application/json"
+        self._response_started = True
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -230,38 +268,154 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _count_request(self, method: str) -> None:
-        key = (_metric_path(self.path), method)
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self._response_started = True
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _count_request(self, method: str, kind: str = "requests") -> None:
+        key = (_metric_path(self.path), method, kind)
         counter = self.server.request_counters.get(key)
         if counter is None:
             scheduler: ScenarioScheduler = self.server.scheduler
+            help_text = (
+                "HTTP requests served, by normalized path and method "
+                "(ids/keys collapsed, unknown paths bucketed as /:other)."
+                if kind == "requests"
+                else "Unhandled handler exceptions turned into structured "
+                "500s, by normalized path and method."
+            )
             counter = self.server.request_counters[key] = scheduler.metrics.counter(
-                "repro_http_requests_total",
+                f"repro_http_{kind}_total",
                 {"path": key[0], "method": method},
-                help="HTTP requests served, by normalized path and method "
-                "(ids/keys collapsed, unknown paths bucketed as /:other).",
+                help=help_text,
             )
         counter.inc()
 
+    def _discard_body(self) -> None:
+        """Consume an unread request body so keep-alive stays in sync.
+
+        Under HTTP/1.1 an error response that leaves the body on the
+        socket desyncs the connection: the unread bytes get parsed as the
+        next request line.  Drain what can be drained (bounded by
+        ``MAX_BODY_BYTES``); when draining is impossible or unreasonable —
+        chunked encoding, oversize body, garbage ``Content-Length``, a
+        short read — fall back to ``Connection: close``.
+        """
+        if self._body_consumed:
+            return
+        self._body_consumed = True
+        if "chunked" in (self.headers.get("Transfer-Encoding") or "").lower():
+            self.close_connection = True
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self.close_connection = True
+            return
+        if length <= 0:
+            return
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        try:
+            remaining = length
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 1 << 16))
+                if not chunk:
+                    self.close_connection = True
+                    return
+                remaining -= len(chunk)
+        except OSError:
+            self.close_connection = True
+
     def _read_json_body(self):
+        """Read and decode the request body (JSON or a binary frame).
+
+        The request's ``Content-Type`` picks the decoder; sending a frame
+        (or an ``Accept`` for one) also flips the *response* to frames for
+        this request.  Raises ``ValueError``/:class:`WireError` on any
+        malformed body — by which point the declared ``Content-Length``
+        has been consumed, so the connection stays reusable.
+        """
+        content_type = (
+            (self.headers.get("Content-Type") or "").split(";")[0].strip().lower()
+        )
+        is_frame = content_type == WIRE_CONTENT_TYPE
+        self._frame_response = is_frame or WIRE_CONTENT_TYPE in (
+            self.headers.get("Accept") or ""
+        )
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
             raise ValueError("request body required")
         if length > MAX_BODY_BYTES:
             raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
         raw = self.rfile.read(length)
+        if len(raw) == length:
+            self._body_consumed = True
+        if is_frame:
+            return decode_frame(raw)
         return json.loads(raw.decode("utf-8"))
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._guarded("GET", self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._guarded("POST", self._handle_post)
+
+    def _guarded(self, method: str, handler) -> None:
+        """Run one handler with last-resort error and body hygiene.
+
+        An unhandled exception must never strand a keep-alive client with
+        no response at all (it would block until its full read timeout):
+        whatever escapes the handler becomes a structured JSON 500 with
+        ``Connection: close``, counted under ``repro_http_errors_total``.
+        If the response was already partially written, closing the
+        connection is the only way left to resync.  Either way, any
+        unread request body is drained (or the connection closed) before
+        the next request is parsed off the socket.
+        """
+        self._frame_response = False
+        self._body_consumed = False
+        self._response_started = False
+        self._count_request(method)
+        try:
+            handler()
+        except Exception as error:
+            self._count_request(method, kind="errors")
+            self.close_connection = True
+            if self._response_started:
+                return  # headers on the wire: closing is the only resync
+            self._discard_body()
+            try:
+                self._send_json(500, {"error": f"internal error: {error}"})
+            except OSError:  # pragma: no cover - client already gone
+                pass
+        finally:
+            self._discard_body()
+
+    def _handle_get(self) -> None:
         scheduler: ScenarioScheduler = self.server.scheduler
-        self._count_request("GET")
         if self.path == "/healthz":
             payload = {
                 "status": "ok",
                 "version": __version__,
                 "engine_version": scheduler.engine_version,
                 "kinds": list(spec_kinds()),
+                # The wire handshake: a pooled client moves POST traffic
+                # to binary frames only when this advert names exactly its
+                # own WIRE_VERSION; anyone else stays on JSON.
+                "wire": {
+                    "version": WIRE_VERSION,
+                    "content_type": WIRE_CONTENT_TYPE,
+                },
             }
             if scheduler.journal is not None:
                 payload["journal"] = scheduler.journal.counts()
@@ -380,17 +534,18 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         )
         return payload
 
-    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+    def _handle_post(self) -> None:
         scheduler: ScenarioScheduler = self.server.scheduler
-        self._count_request("POST")
         try:
             body = self._read_json_body()
-        except (ValueError, UnicodeDecodeError) as error:
-            # The body may be partially (or not at all) consumed; keeping
-            # the HTTP/1.1 connection alive would let the unread bytes be
-            # parsed as the next request line.
-            self.close_connection = True
-            self._send_json(400, {"error": f"invalid JSON body: {error}"})
+        except (ValueError, UnicodeDecodeError, WireError) as error:
+            # The body may be partially (or not at all) consumed; drain it
+            # so the keep-alive connection stays in sync for the next
+            # request (closing instead only when draining is impossible —
+            # see _discard_body).
+            self._discard_body()
+            label = "frame" if isinstance(error, WireError) else "JSON"
+            self._send_json(400, {"error": f"invalid {label} body: {error}"})
             return
         try:
             if self.path == "/evaluate":
@@ -419,6 +574,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self.server.worker_batch_seconds.observe(
                     time.monotonic() - batch_start
                 )
+                # Shard dispatchers (RemoteWorker) set results_only: the
+                # stats/cache blocks are diagnostics for humans, and
+                # encoding + decoding them on every shard round-trip is
+                # measurable against a sub-millisecond dispatch budget.
+                if isinstance(body, dict) and body.get("results_only") is True:
+                    self._send_json(200, {"results": list(batch.results)})
+                    return
                 self._send_json(
                     200,
                     {
@@ -454,8 +616,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
         except (ReproError, ValueError, KeyError, TypeError) as error:
             self._send_json(400, {"error": str(error)})
-        except Exception as error:  # pragma: no cover - defensive
-            self._send_json(500, {"error": f"internal error: {error}"})
+        # Anything else falls through to _guarded's structured 500 with
+        # Connection: close (and the repro_http_errors_total counter).
 
 
 class ScenarioServer(ThreadingHTTPServer):
@@ -517,7 +679,9 @@ class ScenarioServer(ThreadingHTTPServer):
         super().server_close()
         pool = getattr(self.scheduler, "worker_pool", None)
         if pool is not None:
-            pool.stop_supervisor()
+            # close() also drops the pool's idle keep-alive connections,
+            # so a coordinator shutdown never leaks sockets.
+            pool.close()
         journal = getattr(self.scheduler, "journal", None)
         if journal is not None:
             # close() checkpoints the WAL first, so a clean shutdown leaves
@@ -535,6 +699,7 @@ def create_server(
     reprobe_interval: Optional[float] = None,
     worker_timeout: Optional[float] = None,
     worker_connect_timeout: Optional[float] = None,
+    worker_wire: bool = True,
     journal_path: Optional[str] = None,
     cache_peers: Optional[Sequence[str]] = None,
     metrics: Optional[MetricsRegistry] = None,
@@ -548,6 +713,9 @@ def create_server(
     supplied.  ``worker_timeout``/``worker_connect_timeout`` bound one
     shard's response read and the TCP dial separately (a hung worker costs
     the connect budget, not the full read budget, before failover).
+    ``worker_wire=False`` pins the pool's shard traffic to JSON even
+    against wire-capable workers (``repro serve --no-wire``); by default
+    the transport is negotiated per worker through the health handshake.
     ``reprobe_interval`` (> 0) starts a
     :class:`~repro.service.remote.WorkerSupervisor` that re-probes dead
     workers in the background with exponential backoff, so a long-running
@@ -573,7 +741,7 @@ def create_server(
     if scheduler is None:
         pool = None
         if workers:
-            pool_kwargs = {}
+            pool_kwargs = {"wire": worker_wire}
             if worker_timeout is not None:
                 pool_kwargs["timeout"] = worker_timeout
             if worker_connect_timeout is not None:

@@ -1,0 +1,354 @@
+"""Compact binary wire format for coordinator↔worker traffic.
+
+PERFORMANCE.md pins per-shard dispatch overhead at ~2.1 ms, almost all of
+it JSON text encoding plus a fresh TCP connection per call.  This module
+supplies the encoding half of the fix: length-prefixed binary frames that
+carry exactly the same payload trees the JSON endpoints exchange, declared
+on the wire as ``Content-Type: application/x-repro-frame`` and negotiated
+per-worker through the ``/healthz`` handshake (a worker that does not
+advertise ``wire`` support silently stays on JSON — every endpoint keeps
+accepting and producing JSON for humans and old workers).
+
+Frame layout (stdlib only, :mod:`struct`-packed)::
+
+    offset  size  field
+    0       2     magic  b"RF"
+    2       1     wire version (1)
+    3       1     flags  (bit 0: payload is zlib-compressed)
+    4       4     payload length, unsigned big-endian
+    8       n     payload: one type-tagged value tree
+
+The payload encodes the same trees :func:`json.dumps` would — ``None``,
+``bool``, ``int``, ``float``, ``str``, ``list``, ``dict`` with string
+keys — with two properties JSON text cannot offer:
+
+* **Exact floats.**  Every ``float`` travels as its raw IEEE-754 double
+  (``struct`` format ``d``), which is *at least* as faithful as the JSON
+  path's ``repr`` round-trip — results through the binary wire are
+  bit-identical to the JSON wire and to a serial run.  (Payloads are
+  already ``to_jsonable``-sanitised, so non-finite floats arrive here as
+  the strings ``"inf"``/``"-inf"``/``"nan"``, never as doubles.)
+* **Column packing.**  A homogeneous list of floats of length ≥
+  :data:`COLUMN_MIN_LENGTH` — `TrialStatistics` quantiles, batch means,
+  per-target arrival rows — is packed as one contiguous ``<f8`` array
+  (the ``.npy`` element layout), one tag + count + ``8·n`` bytes instead
+  of a tag per element.  NumPy packs/unpacks the block when available;
+  a pure-:mod:`struct` fallback keeps the module stdlib-clean.
+
+Frames above :data:`COMPRESS_THRESHOLD` bytes are zlib-compressed
+(level 1 — dispatch latency matters more than ratio) and flagged, so
+million-cell experiment grids do not trade encode speed for bandwidth.
+
+Every malformed input — bad magic, unknown version, truncated payload,
+trailing garbage, unsupported type — raises :class:`WireError`, which the
+server maps to a structured 400 and the client to a dead-worker retry.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any, List, Tuple
+
+from ..exceptions import ReproError
+
+try:  # pragma: no cover - exercised via both branches in tests
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    _np = None
+
+__all__ = [
+    "WIRE_VERSION",
+    "WIRE_CONTENT_TYPE",
+    "COMPRESS_THRESHOLD",
+    "COLUMN_MIN_LENGTH",
+    "WireError",
+    "encode_frame",
+    "decode_frame",
+]
+
+#: Version byte stamped into every frame header; bumped only when the
+#: payload encoding itself changes shape (pure-transport refactors keep
+#: it — and ENGINE_VERSION — unchanged, see ``scripts/check_engine_version.py``).
+WIRE_VERSION = 1
+
+#: The negotiated content type.  Requests and responses carrying frames
+#: declare it; everything else on the service speaks JSON.
+WIRE_CONTENT_TYPE = "application/x-repro-frame"
+
+#: Payloads at or above this many bytes are zlib-compressed.  Small shard
+#: requests stay raw (compression would dominate their encode time); big
+#: result sets — the only frames that matter for bandwidth — compress.
+COMPRESS_THRESHOLD = 8192
+
+#: Minimum length for a homogeneous float list to be packed as a column.
+#: Below this the per-element tag overhead is noise and the type scan a
+#: net loss.
+COLUMN_MIN_LENGTH = 4
+
+_HEADER = struct.Struct("!2sBBI")
+_MAGIC = b"RF"
+_FLAG_ZLIB = 0x01
+
+_DOUBLE = struct.Struct("!d")
+_INT64 = struct.Struct("!q")
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+# Payload type tags.
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT64 = 0x03
+_T_BIGINT = 0x04
+_T_FLOAT64 = 0x05
+_T_STR = 0x06
+_T_LIST = 0x07
+_T_DICT = 0x08
+_T_F64_COLUMN = 0x09
+
+
+class WireError(ReproError):
+    """A frame could not be encoded or decoded."""
+
+
+# ----------------------------------------------------------------------
+# encoding
+def _write_varint(out: List[bytes], value: int) -> None:
+    """Unsigned LEB128 — lengths and counts are small far more often than not."""
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(bytes((byte | 0x80,)))
+        else:
+            out.append(bytes((byte,)))
+            return
+
+
+def _pack_column(values: list) -> bytes:
+    if _np is not None:
+        return _np.asarray(values, dtype="<f8").tobytes()
+    return struct.pack(f"<{len(values)}d", *values)
+
+
+def _unpack_column(buffer: bytes, count: int) -> list:
+    if _np is not None:
+        return _np.frombuffer(buffer, dtype="<f8", count=count).tolist()
+    return list(struct.unpack(f"<{count}d", buffer))
+
+
+def _is_float_column(value: list) -> bool:
+    if len(value) < COLUMN_MIN_LENGTH:
+        return False
+    # ``type is float`` (not isinstance): bools are ints, ints must keep
+    # their integer identity through the wire, and numpy scalars never
+    # reach here (payloads are to_jsonable-sanitised).
+    return all(type(item) is float for item in value)
+
+
+def _encode_value(out: List[bytes], value: Any) -> None:
+    if value is None:
+        out.append(bytes((_T_NONE,)))
+    elif value is True:
+        out.append(bytes((_T_TRUE,)))
+    elif value is False:
+        out.append(bytes((_T_FALSE,)))
+    elif type(value) is int:
+        if _INT64_MIN <= value <= _INT64_MAX:
+            out.append(bytes((_T_INT64,)))
+            out.append(_INT64.pack(value))
+        else:
+            # Arbitrary-precision escape hatch: JSON has no int limit, so
+            # neither does the frame.  Length-prefixed decimal text keeps
+            # the encoding obvious and the JSON equivalence exact.
+            digits = str(value).encode("ascii")
+            out.append(bytes((_T_BIGINT,)))
+            _write_varint(out, len(digits))
+            out.append(digits)
+    elif type(value) is float:
+        out.append(bytes((_T_FLOAT64,)))
+        out.append(_DOUBLE.pack(value))
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out.append(bytes((_T_STR,)))
+        _write_varint(out, len(raw))
+        out.append(raw)
+    elif isinstance(value, (list, tuple)):
+        items = value if type(value) is list else list(value)
+        if _is_float_column(items):
+            out.append(bytes((_T_F64_COLUMN,)))
+            _write_varint(out, len(items))
+            out.append(_pack_column(items))
+            return
+        out.append(bytes((_T_LIST,)))
+        _write_varint(out, len(items))
+        for item in items:
+            _encode_value(out, item)
+    elif isinstance(value, dict):
+        out.append(bytes((_T_DICT,)))
+        _write_varint(out, len(value))
+        for key, item in value.items():
+            if type(key) is not str:
+                raise WireError(
+                    f"frame dict keys must be str, got {type(key).__name__}"
+                )
+            raw = key.encode("utf-8")
+            _write_varint(out, len(raw))
+            out.append(raw)
+            _encode_value(out, item)
+    else:
+        raise WireError(
+            f"type {type(value).__name__} is not frame-encodable "
+            "(payloads must be to_jsonable trees)"
+        )
+
+
+def encode_frame(payload: Any, compress_threshold: int = COMPRESS_THRESHOLD) -> bytes:
+    """Encode one payload tree as a complete frame (header + body)."""
+    out: List[bytes] = []
+    _encode_value(out, payload)
+    body = b"".join(out)
+    flags = 0
+    if compress_threshold is not None and len(body) >= compress_threshold:
+        compressed = zlib.compress(body, 1)
+        if len(compressed) < len(body):
+            body = compressed
+            flags |= _FLAG_ZLIB
+    if len(body) > 0xFFFFFFFF:  # pragma: no cover - 4 GiB frame
+        raise WireError(f"frame payload too large: {len(body)} bytes")
+    return _HEADER.pack(_MAGIC, WIRE_VERSION, flags, len(body)) + body
+
+
+# ----------------------------------------------------------------------
+# decoding
+class _Reader:
+    """Bounds-checked cursor over one frame payload."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        end = self.pos + count
+        if end > len(self.data):
+            raise WireError(
+                f"truncated frame: wanted {count} bytes at offset {self.pos}, "
+                f"have {len(self.data) - self.pos}"
+            )
+        chunk = self.data[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def varint(self) -> int:
+        # Hot path (one varint per string/list/dict/column): indexes the
+        # buffer directly rather than paying a ``take`` call per byte —
+        # decode sits on every shard round-trip's critical path.
+        data = self.data
+        pos = self.pos
+        result = 0
+        shift = 0
+        try:
+            while True:
+                byte = data[pos]
+                pos += 1
+                result |= (byte & 0x7F) << shift
+                if not byte & 0x80:
+                    self.pos = pos
+                    return result
+                shift += 7
+                if shift > 63:
+                    raise WireError("malformed varint in frame")
+        except IndexError:
+            raise WireError(
+                f"truncated frame: varint runs past the payload at offset {pos}"
+            ) from None
+
+
+def _decode_value(reader: _Reader) -> Any:
+    # Tag read inlined (one attribute round-trip instead of a take() call);
+    # branches ordered by frequency in result payloads: floats and strings
+    # carry the numbers, dicts/lists the structure, the rest is rare.
+    data = reader.data
+    pos = reader.pos
+    if pos >= len(data):
+        raise WireError("truncated frame: missing value tag")
+    tag = data[pos]
+    reader.pos = pos + 1
+    if tag == _T_FLOAT64:
+        return _DOUBLE.unpack(reader.take(8))[0]
+    if tag == _T_STR:
+        raw = reader.take(reader.varint())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise WireError(f"malformed string in frame: {error}") from error
+    if tag == _T_INT64:
+        return _INT64.unpack(reader.take(8))[0]
+    if tag == _T_DICT:
+        count = reader.varint()
+        result = {}
+        for _ in range(count):
+            raw = reader.take(reader.varint())
+            try:
+                key = raw.decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise WireError(f"malformed dict key in frame: {error}") from error
+            result[key] = _decode_value(reader)
+        return result
+    if tag == _T_LIST:
+        count = reader.varint()
+        return [_decode_value(reader) for _ in range(count)]
+    if tag == _T_F64_COLUMN:
+        count = reader.varint()
+        return _unpack_column(reader.take(8 * count), count)
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_BIGINT:
+        digits = reader.take(reader.varint())
+        try:
+            return int(digits.decode("ascii"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise WireError(f"malformed bigint in frame: {error}") from error
+    raise WireError(f"unknown frame tag 0x{tag:02x}")
+
+
+def decode_frame(data: bytes) -> Any:
+    """Decode one complete frame back to its payload tree."""
+    if len(data) < _HEADER.size:
+        raise WireError(
+            f"frame shorter than its header: {len(data)} < {_HEADER.size} bytes"
+        )
+    magic, version, flags, length = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise WireError(f"bad frame magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {version} (this build speaks {WIRE_VERSION})"
+        )
+    if flags & ~_FLAG_ZLIB:
+        raise WireError(f"unknown frame flags 0x{flags:02x}")
+    body = data[_HEADER.size :]
+    if len(body) != length:
+        raise WireError(
+            f"frame length mismatch: header declares {length} payload bytes, "
+            f"got {len(body)}"
+        )
+    if flags & _FLAG_ZLIB:
+        try:
+            body = zlib.decompress(body)
+        except zlib.error as error:
+            raise WireError(f"corrupt compressed frame: {error}") from error
+    reader = _Reader(body)
+    payload = _decode_value(reader)
+    if reader.pos != len(body):
+        raise WireError(
+            f"trailing garbage in frame: {len(body) - reader.pos} bytes past payload"
+        )
+    return payload

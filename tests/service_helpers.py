@@ -21,6 +21,10 @@ from repro.service.telemetry import MetricsRegistry
 class WorkerDoubleHandler(BaseHTTPRequestHandler):
     """Healthy ``/healthz`` handshake; ``do_POST`` is the double's knob."""
 
+    # Match the real server: Nagle + delayed ACK would add ~40 ms stalls
+    # per request on the keep-alive doubles below.
+    disable_nagle_algorithm = True
+
     def log_message(self, format, *args):  # noqa: A002 - http.server API
         pass
 
@@ -44,9 +48,9 @@ class WorkerDoubleHandler(BaseHTTPRequestHandler):
 class _WorkerDoubleServer(ThreadingHTTPServer):
     daemon_threads = True
 
-    def __init__(self, handler_class):
+    def __init__(self, handler_class, port=0):
         self._lock = threading.Lock()
-        super().__init__(("127.0.0.1", 0), handler_class)
+        super().__init__(("127.0.0.1", port), handler_class)
 
     @property
     def url(self):
@@ -94,6 +98,52 @@ class RejectingWorkerServer(_WorkerDoubleServer):
     def __init__(self):
         self.batches_seen = 0
         super().__init__(_RejectingHandler)
+
+
+class _DroppingHandler(WorkerDoubleHandler):
+    # Keep-alive protocol: the point of this double is to park a live
+    # connection in the client's pool and then yank it.
+    protocol_version = "HTTP/1.1"
+
+    def do_POST(self):
+        server: "DroppingWorkerServer" = self.server
+        length = int(self.headers.get("Content-Length") or 0)
+        body = json.loads(self.rfile.read(length))
+        specs = [spec_from_dict(item) for item in body["scenarios"]]
+        with server._lock:
+            server.batches_served += 1
+            drop = (
+                server.drop_every > 0
+                and server.batches_served % server.drop_every == 0
+            )
+        self._reply(200, {"results": execute_shard(specs)})
+        if drop:
+            # Close the socket *after* a complete response but *without*
+            # ever advertising ``Connection: close`` — the client parks
+            # the connection believing it reusable, and its next request
+            # on it fails exactly like one against a restarted worker.
+            with server._lock:
+                server.drops += 1
+            self.close_connection = True
+
+
+class DroppingWorkerServer(_WorkerDoubleServer):
+    """A *correct* keep-alive worker that silently drops its connection
+    after every ``drop_every``-th shard response (0 never drops).
+
+    The deterministic stand-in for a worker restart between dispatches:
+    the pooled socket goes stale with no warning, so the client's next
+    request on it must transparently redial — results stay bit-identical
+    because the drop always happens after a fully served response.
+    ``port`` pins the listen port, letting a test kill this server and
+    bring up a replacement at the same address mid-batch.
+    """
+
+    def __init__(self, drop_every: int = 0, port: int = 0):
+        self.drop_every = int(drop_every)
+        self.batches_served = 0
+        self.drops = 0
+        super().__init__(_DroppingHandler, port=port)
 
 
 class _SlowHandler(WorkerDoubleHandler):

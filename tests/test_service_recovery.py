@@ -11,7 +11,10 @@ from static round-robin placement into a shared-work-queue pull loop:
   rehydrate bit-identically (including recompute after cache eviction);
 * the four service-layer bugfixes that ride along: `/jobs` vs `/batch`
   type validation, progress emission under the lock, the `0/None` async
-  poll line, and the undialable `0.0.0.0` server URL.
+  poll line, and the undialable `0.0.0.0` server URL;
+* pooled keep-alive connections gone silently stale (a worker restart
+  between dispatches) redial exactly once, transparently — no retry, no
+  failover, results bit-identical.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from http.server import ThreadingHTTPServer
 import pytest
 
 from service_helpers import (
+    DroppingWorkerServer,
     FlakyWorkerServer,
     RejectingWorkerServer,
     WorkerDoubleHandler,
@@ -308,6 +312,93 @@ class TestSeparateTimeouts:
         # Three attempts with sleeps of 0.05 and 0.10 between them.
         assert time.monotonic() - start >= 0.15
         assert remote.retries == 2
+
+
+# ----------------------------------------------------------------------
+# Tentpole: pooled connections survive silent worker-side drops
+# ----------------------------------------------------------------------
+class TestStaleConnectionRedial:
+    def _serve(self, server):
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def _stop(self, server, thread):
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    def test_stale_pooled_socket_redials_exactly_once(self):
+        # The server completes every shard response, then silently closes
+        # the parked connection — the client's next request on it must
+        # transparently dial a fresh socket and succeed, once, without
+        # burning a retry (those are for requests that *failed*).
+        dropping = DroppingWorkerServer(drop_every=1)
+        thread = self._serve(dropping)
+        try:
+            remote = RemoteWorker(dropping.url)
+            assert remote.check_health()  # dial #1; connection parked
+            shard = [
+                {"kind": "bounds", "num_rays": 2, "num_robots": 1, "num_faulty": 0}
+            ]
+            first = remote.evaluate_shard(shard)  # reuse; dropped after reply
+            second = remote.evaluate_shard(shard)  # reuse, stale -> redial
+            assert first == second  # bit-identical across the redial
+            assert dropping.drops >= 1
+            stats = remote.connection_stats()
+            assert stats["redials"] == 1
+            assert stats["dials"] == 2  # healthz + the one redial
+            assert stats["reuses"] == 2
+            assert remote.retries == 0
+            assert remote.alive is True
+            remote.close()
+        finally:
+            self._stop(dropping, thread)
+
+    def test_worker_restart_on_same_port_redials_through_scheduler(self):
+        # Full coordinator path: batch 1 parks keep-alive connections in
+        # the pool, the worker process is then replaced on the same port,
+        # and batch 2 must ride the redial — zero failovers, zero retries,
+        # results bit-identical to serial.
+        first = DroppingWorkerServer(drop_every=1)
+        thread = self._serve(first)
+        port = first.server_address[1]
+        pool = RemoteWorkerPool([first.url])
+        scheduler = ScenarioScheduler(workers=pool)
+        remote = pool.workers[0]
+        try:
+            specs = simulate_grid_specs([(2, 1, 0), (2, 3, 1)], horizon=45.0)
+            serial = ScenarioScheduler().run_batch(specs, max_workers=1)
+            batch = scheduler.run_batch(specs, max_workers=1, shard_size=1)
+            assert list(batch.results) == list(serial.results)
+            assert batch.num_remote_workers == 1
+            assert remote.connection_stats()["reuses"] >= 1  # pooling in play
+        finally:
+            self._stop(first, thread)
+
+        # Every parked socket is now genuinely dead.  Bring up the
+        # replacement worker at the same address.
+        replacement = DroppingWorkerServer(port=port)
+        thread = self._serve(replacement)
+        try:
+            redials_before = remote.redials
+            fresh = simulate_grid_specs(
+                [(2, 1, 0), (2, 3, 1), (3, 2, 0)], horizon=85.0
+            )
+            fresh_serial = ScenarioScheduler().run_batch(fresh, max_workers=1)
+            batch = scheduler.run_batch(fresh, max_workers=1, shard_size=1)
+            assert list(batch.results) == list(fresh_serial.results)
+            assert batch.num_remote_workers == 1
+            assert batch.failovers == 0  # the redial is not a failover
+            assert remote.retries == 0  # ...nor a retry
+            assert remote.redials > redials_before  # stale sockets redialed
+            stats = pool.stats()["connections"]
+            assert stats["redials"] == remote.redials
+            assert stats["reuse_fraction"] > 0
+            pool.close()
+            assert remote.connection_stats()["idle"] == 0
+        finally:
+            self._stop(replacement, thread)
 
 
 # ----------------------------------------------------------------------

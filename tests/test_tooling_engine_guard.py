@@ -45,6 +45,10 @@ class TestIsEngineRelevant:
             "src/repro/service/spec.py",
             "src/repro/service/execute.py",
             "src/repro/experiment.py",
+            # The wire codec serialises result payloads: an encoding change
+            # can alter result bytes, so it guards like an engine (with
+            # [engine-version-unchanged] as the pure-transport escape).
+            "src/repro/service/wire.py",
         ],
     )
     def test_engine_paths_match(self, path):
