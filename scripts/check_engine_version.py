@@ -45,6 +45,15 @@ ENGINE_RELEVANT = (
     "src/repro/strategies/",
     "src/repro/faults/",
     "src/repro/related/",
+    # The chunked-estimation modules fall under the directory prefixes
+    # above, but are listed explicitly because they are the most likely
+    # accidental-result-change sites: the per-chunk seed stream and the
+    # sequential stopping rule both feed the adaptive Monte-Carlo cache
+    # keys, and the adaptive branches of the two MC workloads decide how
+    # many trials a payload contains.
+    "src/repro/simulation/monte_carlo.py",
+    "src/repro/faults/injection.py",
+    "src/repro/strategies/randomized.py",
     "src/repro/analysis/sweep.py",
     "src/repro/service/spec.py",
     "src/repro/service/execute.py",

@@ -240,6 +240,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.2,
         help="seconds between progress polls with --async",
     )
+    batch_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="print each result row the moment its shard finishes (one "
+        "JSON line per row with --json), then the batch stats",
+    )
     add_json_flag(batch_parser)
 
     cache_parser = subparsers.add_parser(
@@ -306,6 +312,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_peer_flag(run_parser)
     _add_worker_tuning_flags(run_parser)
+    run_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="print table rows as their shards finish and write table.csv "
+        "incrementally (final artifacts identical to a non-streamed run)",
+    )
     add_json_flag(run_parser)
 
     top_parser = subparsers.add_parser(
@@ -718,7 +730,32 @@ def _command_batch(args: argparse.Namespace) -> int:
             # is re-probed by the supervisor and the dispatch loop admits
             # it a fresh dispatcher thread while shards remain queued.
             pool.start_supervisor(reprobe_interval=args.reprobe_interval)
-        if args.async_mode:
+        if args.stream:
+            from .reporting import to_jsonable
+
+            job = scheduler.submit_job(
+                specs, max_workers=args.max_workers, shard_size=args.shard_size
+            )
+            for index, key, payload in job.iter_rows():
+                if args.json:
+                    print(
+                        _json.dumps(
+                            to_jsonable(
+                                {"index": index, "key": key, "result": payload}
+                            ),
+                            sort_keys=True,
+                            allow_nan=False,
+                        ),
+                        flush=True,
+                    )
+                else:
+                    print(
+                        f"row {index + 1}/{len(specs)} "
+                        f"kind {specs[index].kind} key {key[:12]}",
+                        flush=True,
+                    )
+            batch = job.result()
+        elif args.async_mode:
             job = scheduler.submit_job(
                 specs, max_workers=args.max_workers, shard_size=args.shard_size
             )
@@ -748,6 +785,24 @@ def _command_batch(args: argparse.Namespace) -> int:
         if pool is not None:
             pool.close()
     if args.json:
+        if args.stream:
+            # Rows already went out as NDJSON lines; finish with one
+            # compact summary line instead of repeating the result list.
+            from .reporting import to_jsonable
+
+            print(
+                _json.dumps(
+                    to_jsonable(
+                        {
+                            "stats": batch.to_dict(),
+                            "cache": scheduler.cache.stats().to_dict(),
+                        }
+                    ),
+                    sort_keys=True,
+                    allow_nan=False,
+                )
+            )
+            return 0
         print(
             render_json(
                 {
@@ -829,24 +884,79 @@ def _command_experiment(args: argparse.Namespace) -> int:
         )
         if pool is not None and args.reprobe_interval > 0:
             pool.start_supervisor(reprobe_interval=args.reprobe_interval)
-        result = plan.run(
-            scheduler=scheduler,
-            max_workers=args.max_workers,
-            shard_size=args.shard_size,
-        )
+        if args.stream:
+            import os as _os
+
+            from .experiment import CsvRowStream
+            from .reporting import to_jsonable
+
+            directory = plan.artifact_directory(args.output_dir)
+            _os.makedirs(directory, exist_ok=True)
+            csv_path = _os.path.join(directory, "table.csv")
+
+            def on_row(row):
+                stream.write(row)
+                if args.json:
+                    print(
+                        _json.dumps(
+                            {"row": to_jsonable(row)},
+                            sort_keys=True,
+                            allow_nan=False,
+                        ),
+                        flush=True,
+                    )
+                else:
+                    print(
+                        f"cell {row[0] + 1}/{len(plan.cells)} "
+                        f"{row[1]} × {row[2]} ({row[3]})",
+                        flush=True,
+                    )
+
+            with CsvRowStream(csv_path, plan.columns) as stream:
+                result = plan.run(
+                    scheduler=scheduler,
+                    max_workers=args.max_workers,
+                    shard_size=args.shard_size,
+                    on_row=on_row,
+                )
+        else:
+            result = plan.run(
+                scheduler=scheduler,
+                max_workers=args.max_workers,
+                shard_size=args.shard_size,
+            )
     except ReproError as error:
         print(f"error: invalid experiment spec: {error}", file=sys.stderr)
         return 2
     finally:
         if pool is not None:
             pool.close()
+    # persist() rewrites table.csv with the same bytes a streamed run
+    # already wrote incrementally, plus table.json.
     paths = result.persist(args.output_dir)
     if args.json:
+        if args.stream:
+            from .reporting import to_jsonable
+
+            summary = {
+                key: value
+                for key, value in result.to_dict().items()
+                if key != "rows"
+            }
+            print(
+                _json.dumps(
+                    to_jsonable(dict(summary, artifacts=paths)),
+                    sort_keys=True,
+                    allow_nan=False,
+                )
+            )
+            return 0
         print(render_json(dict(result.to_dict(), artifacts=paths)))
         return 0
     print(f"experiment {plan.name} ({len(plan.cells)} cells, "
           f"hash {plan.content_hash()[:12]})")
-    print(render_table(result.plan.columns, result.rows))
+    if not args.stream:
+        print(render_table(result.plan.columns, result.rows))
     stats = dict(result.stats)
     stats.update(cache_hit_rate=scheduler.cache.stats().hit_rate)
     print(render_table(["quantity", "value"], sorted(stats.items())))

@@ -51,6 +51,7 @@ from .simulation.monte_carlo import spawn_seeds
 
 __all__ = [
     "Cell",
+    "CsvRowStream",
     "Experiment",
     "ExperimentPlan",
     "ExperimentResult",
@@ -419,17 +420,48 @@ class ExperimentPlan:
         )
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    def artifact_directory(self, output_dir: str) -> str:
+        """The hash-keyed directory :meth:`ExperimentResult.persist` writes to.
+
+        Exposed on the *plan* so streaming consumers can open
+        ``table.csv`` for incremental writing before the first row exists.
+        """
+        return os.path.join(output_dir, f"{self.name}-{self.content_hash()[:12]}")
+
+    def _table_row(
+        self, cell: Cell, payload: Mapping[str, Any], engine_version: str
+    ) -> List[Any]:
+        """Project one evaluated cell into its artifact-table row."""
+        row: List[Any] = [
+            cell.index,
+            cell.generator,
+            cell.strategy,
+            cell.spec.kind,
+            cell.spec.cache_key(engine_version),
+        ]
+        for _name, extractor in self.metrics:
+            row.append(extract_metric(extractor, payload))
+        return row
+
     def run(
         self,
         scheduler: Optional[ScenarioScheduler] = None,
         max_workers: Optional[int] = None,
         shard_size: Optional[int] = None,
+        on_row: Optional[Callable[[List[Any]], None]] = None,
     ) -> "ExperimentResult":
         """Evaluate the grid as one deduped batch and project the metrics.
 
         The batch goes through :meth:`ScenarioScheduler.submit_job`, so a
         journaled scheduler records the experiment like any other job and
         remote workers participate in the fan-out.
+
+        ``on_row`` switches delivery to the job's ordered row stream
+        (:meth:`~repro.service.scheduler.BatchJob.iter_rows`): each
+        finished table row is passed to the callback the moment its shard
+        lands — the first row typically long before the batch completes —
+        while the returned :class:`ExperimentResult` stays identical to
+        the non-streaming path (same rows, same order, same payloads).
         """
         if scheduler is None:
             scheduler = ScenarioScheduler()
@@ -439,26 +471,63 @@ class ExperimentPlan:
             shard_size=shard_size,
             spill_results=False,
         )
-        job.wait()
-        batch = job.result()
         rows: List[List[Any]] = []
-        for cell, payload in zip(self.cells, batch.results):
-            row: List[Any] = [
-                cell.index,
-                cell.generator,
-                cell.strategy,
-                cell.spec.kind,
-                cell.spec.cache_key(scheduler.engine_version),
-            ]
-            for _name, extractor in self.metrics:
-                row.append(extract_metric(extractor, payload))
-            rows.append(row)
+        if on_row is None:
+            job.wait()
+            batch = job.result()
+            for cell, payload in zip(self.cells, batch.results):
+                rows.append(self._table_row(cell, payload, scheduler.engine_version))
+        else:
+            for index, _key, payload in job.iter_rows():
+                row = self._table_row(
+                    self.cells[index], payload, scheduler.engine_version
+                )
+                rows.append(row)
+                on_row(row)
+            batch = job.result()
         return ExperimentResult(
             plan=self,
             rows=rows,
             stats=batch.to_dict(),
             cache=scheduler.cache.stats().to_dict(),
         )
+
+
+class CsvRowStream:
+    """Incremental ``table.csv`` writer for streamed experiment rows.
+
+    Opens the file eagerly (header line first) and appends one CSV line
+    per :meth:`write`, flushing each so a tailing reader sees rows as
+    they land.  Every line is rendered through
+    :func:`~repro.reporting.render_csv` itself, so the finished file is
+    byte-identical to the one :meth:`ExperimentResult.persist` writes —
+    re-persisting after a streamed run overwrites it with the same bytes.
+    Usable as a context manager.
+    """
+
+    def __init__(self, path: str, columns: Sequence[str]) -> None:
+        self.path = path
+        self.columns = list(columns)
+        self._handle = open(path, "w", encoding="utf-8")
+        self._handle.write(render_csv(self.columns, []))
+        self._handle.flush()
+
+    def write(self, row: Sequence[Any]) -> None:
+        """Append one table row (render_csv dialect, immediately flushed)."""
+        # Render a one-row table and drop its header: exactly the bytes
+        # render_csv would emit for this row in the full table.
+        text = render_csv(self.columns, [row])
+        self._handle.write(text.split("\n", 1)[1])
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "CsvRowStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 @dataclass(frozen=True)
@@ -494,9 +563,7 @@ class ExperimentResult:
         table contents are deterministic, only the cache counters differ).
         Returns the artifact paths.
         """
-        directory = os.path.join(
-            output_dir, f"{self.plan.name}-{self.plan.content_hash()[:12]}"
-        )
+        directory = self.plan.artifact_directory(output_dir)
         os.makedirs(directory, exist_ok=True)
         json_path = os.path.join(directory, "table.json")
         csv_path = os.path.join(directory, "table.csv")

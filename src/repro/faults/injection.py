@@ -32,7 +32,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import cached_property
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,9 +45,11 @@ from ..simulation.engine import DEFAULT_ENGINE
 from ..simulation.monte_carlo import (
     FaultTrialBatch,
     SeedLike,
+    SequentialEstimator,
     TrialStatistics,
     as_generator,
     fault_detection_times,
+    iter_chunk_seeds,
     sample_fault_trials,
     trial_detection_time,
 )
@@ -123,6 +125,9 @@ class FaultInjectionReport:
     trials: List[RandomFaultTrial]
     adversarial_ratio: float
     engine: str = DEFAULT_ENGINE
+    #: ``None`` for a fixed-count campaign; for an adaptive campaign, True
+    #: when the target standard error was reached before the trial budget.
+    converged: Optional[bool] = None
 
     @property
     def mean_ratio(self) -> float:
@@ -167,6 +172,8 @@ class FaultInjectionReport:
         statistics = self.statistics
         return {
             "num_trials": statistics.num_trials,
+            "trials_used": statistics.num_trials,
+            "converged": self.converged,
             "adversarial_ratio": self.adversarial_ratio,
             "mean_ratio": statistics.mean,
             "std_error": statistics.std_error,
@@ -214,6 +221,25 @@ def sample_spread_targets(
     return targets
 
 
+def _trials_from_batch(
+    batch: FaultTrialBatch, detection_times: np.ndarray
+) -> List[RandomFaultTrial]:
+    """Materialise per-trial records from one evaluated batch."""
+    trials: List[RandomFaultTrial] = []
+    for trial in range(batch.num_trials):
+        target = batch.target(trial)
+        detection_time = float(detection_times[trial])
+        trials.append(
+            RandomFaultTrial(
+                target=target,
+                faulty_robots=batch.faulty_robots(trial),
+                detection_time=detection_time,
+                ratio=detection_time / target.distance,
+            )
+        )
+    return trials
+
+
 def simulate_random_faults(
     strategy: Strategy,
     horizon: float,
@@ -222,6 +248,10 @@ def simulate_random_faults(
     targets: Optional[Sequence[RayPoint]] = None,
     engine: str = DEFAULT_ENGINE,
     crash_model: str = "silent",
+    target_se: Optional[float] = None,
+    max_trials: Optional[int] = None,
+    chunk_trials: Optional[int] = None,
+    on_chunk: Optional[Callable[[int, int, int, float], None]] = None,
 ) -> FaultInjectionReport:
     """Run a random fault-injection campaign against a strategy.
 
@@ -233,10 +263,25 @@ def simulate_random_faults(
     evaluation path over the *same* seeded draws; ``crash_model`` is
     ``"silent"`` (faulty robots never report) or ``"uniform"`` (faulty
     robots report visits up to a uniform random cut-off).
+
+    Setting any of ``target_se``/``max_trials``/``chunk_trials`` switches
+    to *adaptive* (sequential) estimation: trials are evaluated in seeded
+    chunks (per-chunk streams from :func:`iter_chunk_seeds`) and the run
+    stops as soon as the sample's standard error reaches ``target_se``, or
+    after ``max_trials`` (default ``num_trials``) regardless.
+    ``chunk_trials`` defaults to an eighth of the budget.  The chunk
+    schedule is a pure function of the spec, so adaptive runs are exactly
+    as reproducible as fixed-count ones; with all three unset the legacy
+    single-draw path runs unchanged, bit-identical to earlier versions.
+    ``on_chunk(index, size, trials_used, std_error)`` is invoked after
+    each evaluated chunk (telemetry hook; never affects results).
     """
     problem: SearchProblem = strategy.problem
     if num_trials < 1:
         raise InvalidProblemError("need at least one trial")
+    adaptive = (
+        target_se is not None or max_trials is not None or chunk_trials is not None
+    )
     rng = as_generator(seed)
     trajectories = strategy.materialise(horizon)
 
@@ -251,29 +296,56 @@ def simulate_random_faults(
         adversary.response_at(trajectories, target).ratio for target in targets
     )
 
-    batch: FaultTrialBatch = sample_fault_trials(
-        rng,
-        num_trials=num_trials,
-        num_robots=problem.num_robots,
-        num_faulty=problem.num_faulty,
-        targets=targets,
-        crash_model=crash_model,
-        horizon=horizon,
-    )
-    detection_times = fault_detection_times(trajectories, batch, engine=engine)
-
-    trials: List[RandomFaultTrial] = []
-    for trial in range(batch.num_trials):
-        target = batch.target(trial)
-        detection_time = float(detection_times[trial])
-        trials.append(
-            RandomFaultTrial(
-                target=target,
-                faulty_robots=batch.faulty_robots(trial),
-                detection_time=detection_time,
-                ratio=detection_time / target.distance,
-            )
+    if not adaptive:
+        batch: FaultTrialBatch = sample_fault_trials(
+            rng,
+            num_trials=num_trials,
+            num_robots=problem.num_robots,
+            num_faulty=problem.num_faulty,
+            targets=targets,
+            crash_model=crash_model,
+            horizon=horizon,
         )
+        detection_times = fault_detection_times(trajectories, batch, engine=engine)
+        return FaultInjectionReport(
+            trials=_trials_from_batch(batch, detection_times),
+            adversarial_ratio=adversarial_ratio,
+            engine=engine,
+        )
+
+    estimator = SequentialEstimator(
+        max_trials=max_trials if max_trials is not None else num_trials,
+        chunk_trials=chunk_trials,
+        target_se=target_se,
+    )
+    chunk_seeds = iter_chunk_seeds(seed)
+    distances = np.asarray([target.distance for target in targets], dtype=float)
+    trials: List[RandomFaultTrial] = []
+    chunk_index = 0
+    while True:
+        size = estimator.next_chunk()
+        if size == 0:
+            break
+        chunk_batch = sample_fault_trials(
+            as_generator(next(chunk_seeds)),
+            num_trials=size,
+            num_robots=problem.num_robots,
+            num_faulty=problem.num_faulty,
+            targets=targets,
+            crash_model=crash_model,
+            horizon=horizon,
+        )
+        chunk_times = fault_detection_times(trajectories, chunk_batch, engine=engine)
+        std_error = estimator.add_chunk(
+            chunk_times / distances[chunk_batch.target_indices]
+        )
+        trials.extend(_trials_from_batch(chunk_batch, chunk_times))
+        if on_chunk is not None:
+            on_chunk(chunk_index, size, estimator.trials_used, std_error)
+        chunk_index += 1
     return FaultInjectionReport(
-        trials=trials, adversarial_ratio=adversarial_ratio, engine=engine
+        trials=trials,
+        adversarial_ratio=adversarial_ratio,
+        engine=engine,
+        converged=estimator.converged,
     )

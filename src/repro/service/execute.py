@@ -205,6 +205,71 @@ def _execute_family(spec: FamilySpec) -> dict:
     return payload
 
 
+#: ``repro_mc_trials_total{outcome=used|saved}`` instruments, bound on first use.
+_MC_TRIALS: dict = {}
+
+
+def _count_mc_trials(trials_used: int, budget: int) -> None:
+    """Account a finished Monte-Carlo run against the trials counter.
+
+    ``used`` is what was actually evaluated; ``saved`` is the head-room an
+    adaptive run left in its budget (0 for fixed-count runs) — the two
+    series together quantify what sequential estimation buys.
+    """
+    from .telemetry import METRICS
+
+    for outcome, amount in (
+        ("used", trials_used),
+        ("saved", max(0, budget - trials_used)),
+    ):
+        counter = _MC_TRIALS.get(outcome)
+        if counter is None:
+            counter = _MC_TRIALS[outcome] = METRICS.counter(
+                "repro_mc_trials_total",
+                {"outcome": outcome},
+                help="Monte-Carlo trials evaluated (used) vs left unspent by "
+                "adaptive early stopping (saved).",
+            )
+        counter.inc(amount)
+
+
+def _chunk_span_recorder(kind: str):
+    """An ``on_chunk`` callback recording one span per estimation chunk.
+
+    Chunks are timed back to back (the engine calls the hook right after
+    each chunk completes) and attached to whatever span is open on this
+    thread — inside ``POST /evaluate`` or a serial shard that is the
+    request/shard span; in a process-pool subprocess there is none and the
+    hook degrades to a no-op.
+    """
+    from ..reporting import encode_float
+    from .telemetry import TRACER
+
+    state = {"last": time.monotonic()}
+
+    def on_chunk(index: int, size: int, trials_used: int, std_error: float) -> None:
+        now = time.monotonic()
+        parent = TRACER.current_span()
+        if parent is not None:
+            TRACER.record_span(
+                "repro.mc.chunk",
+                parent.trace_id,
+                state["last"],
+                now - state["last"],
+                parent=parent,
+                attrs={
+                    "kind": kind,
+                    "chunk": index,
+                    "chunk_trials": size,
+                    "trials_used": trials_used,
+                    "std_error": encode_float(float(std_error)),
+                },
+            )
+        state["last"] = now
+
+    return on_chunk
+
+
 @_executes(MonteCarloFaultsSpec)
 def _execute_montecarlo_faults(spec: MonteCarloFaultsSpec) -> dict:
     from ..faults.injection import simulate_random_faults
@@ -218,8 +283,16 @@ def _execute_montecarlo_faults(spec: MonteCarloFaultsSpec) -> dict:
         seed=spec.seed,
         engine=spec.engine,
         crash_model=spec.crash_model,
+        target_se=spec.target_se,
+        max_trials=spec.max_trials,
+        chunk_trials=spec.chunk_trials,
+        on_chunk=_chunk_span_recorder(spec.kind),
     )
     payload = report.to_dict()
+    _count_mc_trials(
+        payload["trials_used"],
+        spec.max_trials if spec.max_trials is not None else spec.num_trials,
+    )
     payload.update(
         {
             "problem": _problem_payload(problem),
@@ -246,8 +319,16 @@ def _execute_montecarlo_randomized(spec: MonteCarloRandomizedSpec) -> dict:
         seed=spec.seed,
         horizon=spec.horizon,
         engine=spec.engine,
+        target_se=spec.target_se,
+        max_trials=spec.max_trials,
+        chunk_trials=spec.chunk_trials,
+        on_chunk=_chunk_span_recorder(spec.kind),
     )
     payload = report.to_dict()
+    _count_mc_trials(
+        payload["trials_used"],
+        spec.max_trials if spec.max_trials is not None else spec.num_samples,
+    )
     payload.update(
         {
             "num_rays": spec.num_rays,

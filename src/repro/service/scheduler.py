@@ -252,6 +252,7 @@ class BatchJob:
         cache: Optional[ResultCache] = None,
         spill_results: bool = True,
         recovered: bool = False,
+        keys: Optional[Sequence[str]] = None,
     ) -> None:
         self.job_id = job_id
         self.num_scenarios = num_scenarios
@@ -269,6 +270,15 @@ class BatchJob:
         self._spec_by_key: Optional[Dict[str, dict]] = None
         self._error: Optional[str] = None
         self._done = threading.Event()
+        # Row streaming: per-scenario cache keys (known at submit time)
+        # plus the payloads of keys resolved so far.  The condition guards
+        # the payload map and wakes blocked iter_rows subscribers whenever
+        # new rows land or the job reaches a terminal state.
+        self._row_keys: Optional[Tuple[str, ...]] = (
+            tuple(keys) if keys is not None else None
+        )
+        self._rows_cond = threading.Condition()
+        self._row_payloads: Dict[str, dict] = {}
 
     # -- written by the batch thread -----------------------------------
     def _on_progress(self, completed: int, total: int) -> None:
@@ -276,6 +286,18 @@ class BatchJob:
             self._total = total
             if completed > self._completed:
                 self._completed = completed
+
+    def _publish_rows(self, rows: Sequence[Tuple[int, str, dict]]) -> None:
+        """Make finished rows available to :meth:`iter_rows` subscribers.
+
+        Idempotent per key: a shard re-executed after a pool or worker
+        failover republishes the same (key, payload) pairs, and the first
+        payload wins — subscribers therefore never see a duplicate row.
+        """
+        with self._rows_cond:
+            for _index, key, payload in rows:
+                self._row_payloads.setdefault(key, payload)
+            self._rows_cond.notify_all()
 
     def _finish(
         self,
@@ -321,12 +343,21 @@ class BatchJob:
             self._total = batch.num_unique
             self._state = "done"
         self._done.set()
+        with self._rows_cond:
+            if result_keys is not None:
+                # Spilled: streamed payloads now live in the cache — drop
+                # the row map so the job pins no payload copies; late
+                # subscribers rehydrate per key instead.
+                self._row_payloads.clear()
+            self._rows_cond.notify_all()
 
     def _fail(self, error: BaseException) -> None:
         with self._lock:
             self._error = str(error)
             self._state = "error"
         self._done.set()
+        with self._rows_cond:
+            self._rows_cond.notify_all()
 
     # -- read by pollers ------------------------------------------------
     @property
@@ -349,6 +380,73 @@ class BatchJob:
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job finishes; returns False on timeout."""
         return self._done.wait(timeout)
+
+    def iter_rows(self, start: int = 0):
+        """Yield ``(index, key, payload)`` per scenario row, in index order.
+
+        A row becomes available the moment the shard computing its key
+        lands (cache hits at batch start), so a subscriber sees the first
+        row long before the batch finishes.  Blocks between rows.  The
+        stream is pull-based — any number of subscribers each receive the
+        full ordered sequence independently, and ``start`` is a resume
+        cursor skipping rows below that index.  On a finished job
+        (including spilled and journal-recovered handles) rows rehydrate
+        from the cache by key, recomputing evicted entries from the
+        retained spec.  Raises :class:`InvalidProblemError` once the
+        stream reaches a row of a failed job.
+        """
+        if start < 0:
+            raise InvalidProblemError(f"row start must be >= 0, got {start}")
+        for index in range(start, self.num_scenarios):
+            key: Optional[str] = None
+            payload: Optional[dict] = None
+            with self._rows_cond:
+                while True:
+                    keys = (
+                        self._row_keys
+                        if self._row_keys is not None
+                        else self._result_keys
+                    )
+                    if keys is not None:
+                        key = keys[index]
+                        payload = self._row_payloads.get(key)
+                        if payload is not None:
+                            break
+                    if self._done.is_set():
+                        break
+                    # The timeout is pure defence in depth: _finish/_fail
+                    # notify under the condition, so a terminal state is
+                    # never silently missed.
+                    self._rows_cond.wait(1.0)
+            if payload is None:
+                payload, key = self._finished_row(index)
+            yield index, key, payload
+
+    def _finished_row(self, index: int) -> Tuple[dict, str]:
+        """One row of a terminal job: ``(payload, key)``, raising on error.
+
+        Spilled jobs fetch the payload from the cache (recomputing an
+        evicted entry from its retained canonical spec — bit-identical by
+        seeded determinism); unspilled jobs index straight into the
+        retained results tuple.
+        """
+        with self._lock:
+            error = self._error
+            batch = self._batch
+            keys = self._row_keys if self._row_keys is not None else self._result_keys
+            spilled = self._result_keys is not None
+            spec_by_key = dict(self._spec_by_key or {})
+        if batch is None:
+            raise InvalidProblemError(f"job {self.job_id} failed: {error}")
+        key = keys[index] if keys is not None else ""
+        if not spilled:
+            return batch.results[index], key
+        assert self._cache is not None
+        payload = self._cache.get(key)
+        if payload is None:
+            payload = execute_spec(spec_from_dict(spec_by_key[key]))
+            self._cache.put(key, payload)
+        return payload, key
 
     def _rehydrated_results(self) -> List[dict]:
         """Rebuild the ordered results list from the cache.
@@ -605,6 +703,7 @@ class ScenarioScheduler:
         shard_size: Optional[int] = None,
         workers: Optional[WorkersLike] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        on_rows: Optional[Callable[[Sequence[Tuple[int, str, dict]]], None]] = None,
         _keys: Optional[Sequence[str]] = None,
         _journal_job_id: Optional[str] = None,
     ) -> BatchResult:
@@ -619,7 +718,14 @@ class ScenarioScheduler:
         called as ``progress(completed_unique, total_unique)`` while the
         batch runs; invocations are serialised under the batch's progress
         lock, so consecutive calls never report a lower count after a
-        higher one — keep the callback fast and never let it raise.  None
+        higher one — keep the callback fast and never let it raise.
+        ``on_rows`` receives finished *scenario rows* as
+        ``[(index, key, payload), ...]`` — cache hits at batch start, then
+        every shard's rows the moment it completes (duplicate scenarios
+        resolve together with the first occurrence of their key); calls
+        are serialised under the same progress lock.  A shard re-executed
+        after a failover may republish rows, so the callback must be
+        idempotent per key (:meth:`BatchJob._publish_rows` is).  None
         of these parameters affect the numeric results.
 
         Every batch is traced (batch span → dedup / cache_consult /
@@ -651,6 +757,7 @@ class ScenarioScheduler:
                 shard_size,
                 workers,
                 progress,
+                on_rows,
                 _keys,
                 _journal_job_id,
                 batch_span,
@@ -676,6 +783,7 @@ class ScenarioScheduler:
         shard_size: Optional[int],
         workers: Optional[WorkersLike],
         progress: Optional[Callable[[int, int], None]],
+        on_rows: Optional[Callable[[Sequence[Tuple[int, str, dict]]], None]],
         _keys: Optional[Sequence[str]],
         _journal_job_id: Optional[str],
         batch_span,
@@ -743,20 +851,47 @@ class ScenarioScheduler:
         progress_lock = threading.Lock()
         completed = {"specs": cache_hits}
 
-        def note(num_specs: int) -> None:
-            if progress is None:
+        # Scenario indices per cache key, duplicates included: when a key
+        # resolves, *every* row sharing it becomes ready at once.
+        indices_by_key: Dict[str, List[int]] = {}
+        if on_rows is not None:
+            for index, key in enumerate(keys):
+                indices_by_key.setdefault(key, []).append(index)
+
+        def publish(resolved: Sequence[Tuple[str, dict]]) -> None:
+            # Caller holds progress_lock: row publication is serialised
+            # with progress notes, so a subscriber that already saw row N
+            # can never observe a progress count from before N resolved.
+            if on_rows is None:
                 return
-            # The callback fires while the lock is held: concurrent
+            rows = [
+                (index, key, payload)
+                for key, payload in resolved
+                for index in indices_by_key.get(key, ())
+            ]
+            if rows:
+                on_rows(rows)
+
+        def note(num_specs: int, resolved: Sequence[Tuple[str, dict]] = ()) -> None:
+            if progress is None and on_rows is None:
+                return
+            # The callbacks fire while the lock is held: concurrent
             # dispatcher threads would otherwise race between computing
             # ``done`` and reporting it, letting a lower count land after a
             # higher one.
             with progress_lock:
-                completed["specs"] = min(total_unique, completed["specs"] + num_specs)
-                progress(completed["specs"], total_unique)
+                publish(resolved)
+                if progress is not None:
+                    completed["specs"] = min(
+                        total_unique, completed["specs"] + num_specs
+                    )
+                    progress(completed["specs"], total_unique)
 
-        if progress is not None:
+        if progress is not None or on_rows is not None:
             with progress_lock:
-                progress(cache_hits, total_unique)
+                publish([(key, payload_by_key[key]) for key in hit_keys])
+                if progress is not None:
+                    progress(cache_hits, total_unique)
 
         pool = self.worker_pool if workers is None else self._as_pool(workers)
         num_executors = 1 + (len(pool) if pool is not None else 0)
@@ -787,7 +922,7 @@ class ScenarioScheduler:
                 self._journal_write(
                     self.journal.record_completed, journal_id, shard_keys[index]
                 )
-            note(len(shards[index]))
+            note(len(shards[index]), list(zip(shard_keys[index], payloads)))
 
         remote_evaluated = 0
         failovers = 0
@@ -1372,6 +1507,7 @@ class ScenarioScheduler:
             cache=self.cache,
             spill_results=spill_results,
             recovered=recovered,
+            keys=keys,
         )
         if self.journal is not None:
             self._journal_write(
@@ -1399,6 +1535,7 @@ class ScenarioScheduler:
                     shard_size,
                     workers,
                     progress=job._on_progress,
+                    on_rows=job._publish_rows,
                     _keys=keys,
                     _journal_job_id=job.job_id,
                 )

@@ -37,6 +37,15 @@ Endpoints
 ``GET /jobs/<id>``
     State plus partial progress counts while running; the full
     ``results``/``stats`` once done.  Unknown ids return ``404``.
+``GET /jobs/<id>/rows``
+    Streams the job's result rows *as they finish*, index-ordered: by
+    default Server-Sent Events (``id:`` = row index, ``event: row`` with
+    ``{"index", "key", "result"}`` JSON, then a terminal ``event:
+    done``); with ``Accept: application/x-repro-frame`` the same rows as
+    consecutive length-prefixed binary frames.  Resume a broken stream
+    with ``Last-Event-ID: <last row index>`` or ``?start=<index>`` —
+    finished rows replay from the cache, bit-identical.  The body is
+    EOF-terminated (``Connection: close``).
 ``GET /workers``
     Dispatch counters of the remote worker pool (coordinator nodes only;
     ``404`` when the server has no pool): per-worker liveness and
@@ -161,12 +170,18 @@ _METRIC_PATHS = frozenset(
 
 def _metric_path(path: str) -> str:
     """Collapse a request path to a bounded-cardinality metric label."""
+    # The query string never contributes label cardinality (and would
+    # otherwise defeat the suffix checks below, e.g. ``/rows?start=7``).
+    path = path.partition("?")[0]
     if path in _METRIC_PATHS:
         return path
     if path.startswith("/cache/"):
         return "/cache/:key"
     if path.startswith("/jobs/"):
-        return "/jobs/:id"
+        # The sub-resource must keep its own label: collapsing
+        # ``/jobs/<id>/rows`` into ``/jobs/:id`` would fold streaming
+        # traffic into the poll counter.
+        return "/jobs/:id/rows" if path.endswith("/rows") else "/jobs/:id"
     if path.startswith("/trace/"):
         return "/trace/:id/chrome" if path.endswith("/chrome") else "/trace/:id"
     return "/:other"
@@ -446,10 +461,16 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 },
             )
         elif self.path.startswith("/jobs/"):
-            job_id = self.path[len("/jobs/") :]
-            job = scheduler.get_job(job_id)
+            path, _sep, query = self.path.partition("?")
+            rest = path[len("/jobs/") :]
+            if rest.endswith("/rows"):
+                self._handle_job_rows(
+                    scheduler, rest[: -len("/rows")], query
+                )
+                return
+            job = scheduler.get_job(rest)
             if job is None:
-                self._send_json(404, {"error": f"unknown job {job_id!r}"})
+                self._send_json(404, {"error": f"unknown job {rest!r}"})
             else:
                 self._send_json(200, job.to_dict())
         elif self.path == "/workers":
@@ -490,6 +511,101 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self._send_json(200, payload)
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def _handle_job_rows(
+        self, scheduler: ScenarioScheduler, job_id: str, query: str
+    ) -> None:
+        """``GET /jobs/<id>/rows``: stream result rows as they land.
+
+        Each finished row goes out the moment its shard completes — as a
+        Server-Sent-Events stream (``id:`` = row index, ``event: row``,
+        one JSON object per ``data:`` line, a terminal ``event: done``),
+        or as a sequence of length-prefixed binary frames when the client
+        ``Accept``s :data:`~repro.service.wire.WIRE_CONTENT_TYPE` (one
+        ``{"row": ...}`` frame per row, then one ``{"done": ...}``).  The
+        body is EOF-terminated (no ``Content-Length``), so the response
+        always closes the connection.
+
+        Resume: ``Last-Event-ID: <index>`` restarts *after* that row (the
+        SSE reconnect contract), ``?start=<index>`` restarts *at* it; the
+        query parameter wins when both are present.  Rows of a finished —
+        or journal-recovered — job replay from the cache, so a resumed
+        stream is bit-identical to an uninterrupted one.
+        """
+        job = scheduler.get_job(job_id)
+        if job is None:
+            self._send_json(404, {"error": f"unknown job {job_id!r}"})
+            return
+        start = 0
+        last_event = self.headers.get("Last-Event-ID")
+        if last_event is not None:
+            try:
+                start = int(last_event) + 1
+            except ValueError:
+                self._send_json(
+                    400, {"error": f"invalid Last-Event-ID {last_event!r}"}
+                )
+                return
+        for param in query.split("&"):
+            name, _sep, value = param.partition("=")
+            if name != "start":
+                continue
+            try:
+                start = int(value)
+            except ValueError:
+                self._send_json(400, {"error": f"invalid start {value!r}"})
+                return
+        if start < 0:
+            self._send_json(400, {"error": f"start must be >= 0, got {start}"})
+            return
+        as_frames = WIRE_CONTENT_TYPE in (self.headers.get("Accept") or "")
+
+        def emit(index: Optional[int], event: str, payload: dict) -> None:
+            if as_frames:
+                self.wfile.write(encode_frame({event: to_jsonable(payload)}))
+            else:
+                data = json.dumps(
+                    to_jsonable(payload), sort_keys=True, allow_nan=False
+                )
+                head = f"id: {index}\n" if index is not None else ""
+                self.wfile.write(
+                    f"{head}event: {event}\ndata: {data}\n\n".encode("utf-8")
+                )
+            self.wfile.flush()
+
+        # No Content-Length: the stream ends at EOF, so this connection
+        # cannot be reused for a next request.
+        self.close_connection = True
+        self._response_started = True
+        self.send_response(200)
+        self.send_header(
+            "Content-Type",
+            WIRE_CONTENT_TYPE if as_frames else "text/event-stream",
+        )
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        counter = self.server.rows_streamed_total
+        try:
+            try:
+                for index, key, payload in job.iter_rows(start):
+                    emit(index, "row", {"index": index, "key": key, "result": payload})
+                    counter.inc()
+            except ReproError as error:
+                # The job failed mid-stream; headers are long gone, so the
+                # error travels in-band as the terminal event.
+                emit(None, "done", {"state": "error", "error": str(error)})
+            else:
+                emit(
+                    None,
+                    "done",
+                    {"state": job.state, "num_rows": job.num_scenarios},
+                )
+        except OSError:
+            # Client disconnected mid-stream.  The generator's subscriber
+            # state dies with this request thread; the job itself keeps
+            # running to completion.
+            pass
 
     @staticmethod
     def _workers_payload(scheduler: ScenarioScheduler) -> dict:
@@ -653,6 +769,11 @@ class ScenarioServer(ThreadingHTTPServer):
             help="Server-side wall time of POST /batch evaluations "
             "(shard latency minus the network, when this node "
             "serves as a remote worker).",
+        )
+        self.rows_streamed_total = scheduler.metrics.counter(
+            "repro_rows_streamed_total",
+            help="Result rows delivered over GET /jobs/<id>/rows streams "
+            "(summed across subscribers; resumed rows count again).",
         )
 
     @property

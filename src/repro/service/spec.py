@@ -68,7 +68,7 @@ __all__ = [
 #: Version string folded into every cache key.  Bump the suffix whenever an
 #: engine change may alter numeric results for an unchanged spec — every
 #: previously cached entry is then invalidated automatically.
-ENGINE_VERSION = f"repro/{__version__}+engine.2"
+ENGINE_VERSION = f"repro/{__version__}+engine.3"
 
 _SPEC_KINDS: Dict[str, Type["ScenarioSpec"]] = {}
 
@@ -125,6 +125,10 @@ class ScenarioSpec:
     kind: ClassVar[str] = "abstract"
     _INT_FIELDS: ClassVar[FrozenSet[str]] = frozenset()
     _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset()
+    #: Optional fields omitted from the canonical dict while unset — adding
+    #: such a field to a kind leaves every existing spec's canonical JSON
+    #: (and hence its cache key, modulo the engine-version salt) unchanged.
+    _OMIT_WHEN_NONE: ClassVar[FrozenSet[str]] = frozenset()
 
     def __post_init__(self) -> None:
         for name in self._INT_FIELDS:
@@ -162,6 +166,8 @@ class ScenarioSpec:
         payload: Dict[str, Any] = {"kind": self.kind}
         for field in fields(self):
             value = getattr(self, field.name)
+            if value is None and field.name in self._OMIT_WHEN_NONE:
+                continue
             if isinstance(value, tuple):
                 value = [list(item) if isinstance(item, tuple) else item for item in value]
             payload[field.name] = value
@@ -182,6 +188,24 @@ class ScenarioSpec:
         return digest.hexdigest()
 
     # ------------------------------------------------------------------
+    def _validate_precision(self) -> None:
+        """Shared validation of the optional adaptive-precision fields.
+
+        Each field is valid on its own: ``target_se`` alone stops at the
+        target (budget defaults to the fixed trial count), ``max_trials``
+        alone caps the run, ``chunk_trials`` alone merely chunks it.
+        """
+        if self.target_se is not None:
+            _require_finite(f"{self.kind}.target_se", self.target_se, 0.0)
+            if self.target_se <= 0.0:
+                raise InvalidProblemError(
+                    f"{self.kind}.target_se must be positive, got {self.target_se!r}"
+                )
+        if self.max_trials is not None:
+            _require_positive_int(f"{self.kind}.max_trials", self.max_trials, 1)
+        if self.chunk_trials is not None:
+            _require_positive_int(f"{self.kind}.chunk_trials", self.chunk_trials, 1)
+
     def _validate_problem(self) -> None:
         _require_positive_int(f"{self.kind}.num_rays", self.num_rays, 1)
         _require_positive_int(f"{self.kind}.num_robots", self.num_robots, 1)
@@ -274,13 +298,25 @@ class FamilySpec(_EvaluationSpec):
 @_register
 @dataclass(frozen=True)
 class MonteCarloFaultsSpec(ScenarioSpec):
-    """Seeded Monte-Carlo campaign of uniformly random crash faults."""
+    """Seeded Monte-Carlo campaign of uniformly random crash faults.
+
+    The optional adaptive-precision fields (``target_se``, ``max_trials``,
+    ``chunk_trials``) switch the campaign to sequential estimation in
+    seeded chunks; any of them set changes the cache key (they change what
+    is computed), while leaving all three unset reproduces the legacy
+    fixed-count run — and, being omitted from the canonical dict, the
+    legacy canonical JSON byte for byte.
+    """
 
     kind: ClassVar[str] = "montecarlo_faults"
     _INT_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
-        {"num_rays", "num_robots", "num_faulty", "num_trials", "seed"}
+        {"num_rays", "num_robots", "num_faulty", "num_trials", "seed",
+         "max_trials", "chunk_trials"}
     )
-    _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"horizon"})
+    _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"horizon", "target_se"})
+    _OMIT_WHEN_NONE: ClassVar[FrozenSet[str]] = frozenset(
+        {"target_se", "max_trials", "chunk_trials"}
+    )
 
     num_robots: int = 1
     num_rays: int = 2
@@ -290,12 +326,16 @@ class MonteCarloFaultsSpec(ScenarioSpec):
     horizon: float = 1e3
     engine: str = DEFAULT_ENGINE
     crash_model: str = "silent"
+    target_se: Optional[float] = None
+    max_trials: Optional[int] = None
+    chunk_trials: Optional[int] = None
 
     def validate(self) -> None:
         self._validate_problem()
         _require_positive_int(f"{self.kind}.num_trials", self.num_trials, 1)
         _require_positive_int(f"{self.kind}.seed", self.seed, 0)
         _require_finite(f"{self.kind}.horizon", self.horizon, 1.0)
+        self._validate_precision()
         object.__setattr__(self, "engine", validate_engine(self.engine))
         if self.crash_model not in ("silent", "uniform"):
             raise InvalidProblemError(
@@ -320,9 +360,14 @@ class MonteCarloRandomizedSpec(ScenarioSpec):
 
     kind: ClassVar[str] = "montecarlo_randomized"
     _INT_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
-        {"num_rays", "num_samples", "seed"}
+        {"num_rays", "num_samples", "seed", "max_trials", "chunk_trials"}
     )
-    _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"horizon", "base"})
+    _FLOAT_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"horizon", "base", "target_se"}
+    )
+    _OMIT_WHEN_NONE: ClassVar[FrozenSet[str]] = frozenset(
+        {"target_se", "max_trials", "chunk_trials"}
+    )
 
     num_rays: int = 2
     num_samples: int = 200
@@ -331,6 +376,9 @@ class MonteCarloRandomizedSpec(ScenarioSpec):
     base: Optional[float] = None
     engine: str = DEFAULT_ENGINE
     targets: Optional[Tuple[Tuple[int, float], ...]] = None
+    target_se: Optional[float] = None
+    max_trials: Optional[int] = None
+    chunk_trials: Optional[int] = None
 
     def validate(self) -> None:
         if not isinstance(self.num_rays, int) or self.num_rays < 2:
@@ -340,6 +388,7 @@ class MonteCarloRandomizedSpec(ScenarioSpec):
         _require_positive_int(f"{self.kind}.num_samples", self.num_samples, 1)
         _require_positive_int(f"{self.kind}.seed", self.seed, 0)
         _require_finite(f"{self.kind}.horizon", self.horizon, 1.0)
+        self._validate_precision()
         if self.base is not None and self.base <= 1.0:
             raise InvalidProblemError(
                 f"{self.kind}.base must exceed 1, got {self.base!r}"

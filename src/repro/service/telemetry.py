@@ -637,6 +637,17 @@ class Tracer:
             trace_id = uuid.uuid4().hex
         return Span(self, name, trace_id, self._next_span_id(), parent_id, attrs)
 
+    def current_span(self) -> Optional[Span]:
+        """The innermost span open on *this thread*, or ``None``.
+
+        Lets already-timed sub-operations (e.g. per-chunk Monte-Carlo
+        estimation inside an executor call) attach themselves to whatever
+        span happens to be open, without threading span objects through
+        telemetry-free engine code.
+        """
+        stack = self._stack()
+        return stack[-1] if stack else None
+
     def record_span(
         self,
         name: str,

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -57,6 +57,8 @@ __all__ = [
     "SeedLike",
     "as_generator",
     "spawn_seeds",
+    "iter_chunk_seeds",
+    "SequentialEstimator",
     "TrialStatistics",
     "FaultTrialBatch",
     "sample_fault_trials",
@@ -106,6 +108,28 @@ def spawn_seeds(seed: SeedLike, count: int) -> List[int]:
     else:
         root = np.random.SeedSequence(seed)
     return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in root.spawn(count)]
+
+
+def iter_chunk_seeds(seed: SeedLike) -> Iterator[int]:
+    """Endless deterministic stream of per-chunk child seeds.
+
+    ``SeedSequence.spawn`` is stateful (each call advances the spawn key),
+    so repeatedly spawning one child walks exactly the same child sequence
+    as a single bulk spawn: chunk ``i``'s seed equals
+    ``spawn_seeds(seed, n)[i]`` for every ``n > i``.  An adaptive run that
+    converges after three chunks therefore consumed precisely the seeds a
+    longer run would have — the chunk schedule is a pure function of the
+    root seed and the stopping rule, never of how far the run got.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    elif isinstance(seed, np.random.Generator):
+        root = np.random.SeedSequence(int(seed.integers(0, 2**63)))
+    else:
+        root = np.random.SeedSequence(seed)
+    while True:
+        child = root.spawn(1)[0]
+        yield int(child.generate_state(1, dtype=np.uint64)[0])
 
 
 # ----------------------------------------------------------------------
@@ -242,6 +266,172 @@ class TrialStatistics:
         if not math.isfinite(self.std_error):
             return False
         return abs(self.mean - reference) <= num_sigmas * max(self.std_error, 1e-15)
+
+
+# ----------------------------------------------------------------------
+# Sequential (adaptive-precision) estimation
+# ----------------------------------------------------------------------
+class SequentialEstimator:
+    """Accumulate seeded trial chunks until a target standard error.
+
+    The estimator owns the *stopping rule* of an adaptive Monte-Carlo run:
+    callers ask :meth:`next_chunk` how many trials to evaluate, feed the
+    resulting values back through :meth:`add_chunk`, and stop when
+    :attr:`done`.  The rule is a pure function of the accumulated values,
+    so a fixed seed (and hence fixed chunk values) always produces the
+    same chunk schedule and the same final sample — adaptive runs are as
+    bit-reproducible as fixed-count ones.
+
+    Chunks may be 1-D (one value per trial) or 2-D ``(trials, columns)``
+    (one row per trial, e.g. per-target ratios); convergence is judged on
+    the *worst* column's standard error, mirroring how the randomized
+    report quotes the worst target.  A sample containing non-finite values
+    has an undefined standard error and never converges — ``max_trials``
+    bounds the run regardless.
+
+    ``chunk_trials`` defaults to an eighth of ``max_trials`` (rounded up),
+    mirroring the eight batch-mean diagnostics of
+    :class:`TrialStatistics`: a run that sets only ``target_se`` still
+    gets eight stopping checkpoints.
+    """
+
+    def __init__(
+        self,
+        max_trials: int,
+        chunk_trials: Optional[int] = None,
+        target_se: Optional[float] = None,
+    ) -> None:
+        if isinstance(max_trials, bool) or not isinstance(max_trials, int) or max_trials < 1:
+            raise InvalidProblemError(
+                f"max_trials must be an integer >= 1, got {max_trials!r}"
+            )
+        if chunk_trials is None:
+            chunk_trials = -(-max_trials // 8)
+        elif (
+            isinstance(chunk_trials, bool)
+            or not isinstance(chunk_trials, int)
+            or chunk_trials < 1
+        ):
+            raise InvalidProblemError(
+                f"chunk_trials must be an integer >= 1, got {chunk_trials!r}"
+            )
+        if target_se is not None:
+            target_se = float(target_se)
+            if not math.isfinite(target_se) or target_se <= 0.0:
+                raise InvalidProblemError(
+                    f"target_se must be a positive finite number, got {target_se!r}"
+                )
+        self.max_trials = int(max_trials)
+        self.chunk_trials = int(chunk_trials)
+        self.target_se = target_se
+        self._chunks: List[np.ndarray] = []
+        self._trials = 0
+        self._converged = False
+
+    @property
+    def trials_used(self) -> int:
+        """Trials accumulated so far."""
+        return self._trials
+
+    @property
+    def converged(self) -> bool:
+        """True when the target standard error was reached (never without one)."""
+        return self._converged
+
+    @property
+    def done(self) -> bool:
+        """True when the run should stop (converged or budget exhausted)."""
+        return self._converged or self._trials >= self.max_trials
+
+    def next_chunk(self) -> int:
+        """Trials to evaluate next; 0 when the run is complete."""
+        if self.done:
+            return 0
+        return min(self.chunk_trials, self.max_trials - self._trials)
+
+    def add_chunk(self, values: Sequence[float]) -> float:
+        """Accumulate one chunk of trial values; returns the current SE.
+
+        The returned value is the worst-column standard error over
+        everything accumulated so far (``nan`` while any value is
+        non-finite) — the quantity the stopping rule compares against
+        ``target_se``.
+        """
+        if self.done:
+            raise InvalidProblemError("sequential run is already complete")
+        chunk = np.asarray(values, dtype=float)
+        if chunk.ndim not in (1, 2) or chunk.shape[0] == 0:
+            raise InvalidProblemError(
+                f"chunk must be a non-empty 1-D or 2-D array, got shape {chunk.shape}"
+            )
+        if self._chunks and chunk.ndim != self._chunks[0].ndim:
+            raise InvalidProblemError("chunk dimensionality changed mid-run")
+        if (
+            self._chunks
+            and chunk.ndim == 2
+            and chunk.shape[1] != self._chunks[0].shape[1]
+        ):
+            raise InvalidProblemError("chunk column count changed mid-run")
+        self._chunks.append(chunk)
+        self._trials += int(chunk.shape[0])
+        std_error = self.std_error()
+        if (
+            self.target_se is not None
+            and math.isfinite(std_error)
+            and std_error <= self.target_se
+        ):
+            self._converged = True
+        return std_error
+
+    def sample(self) -> np.ndarray:
+        """Everything accumulated so far, concatenated in chunk order.
+
+        Computing :meth:`TrialStatistics.from_sample` over this array is
+        bit-identical to a single-shot evaluation of the same draws — the
+        chunking never touches the values.
+        """
+        if not self._chunks:
+            raise InvalidProblemError("no chunks accumulated yet")
+        if len(self._chunks) == 1:
+            return self._chunks[0]
+        return np.concatenate(self._chunks, axis=0)
+
+    def std_error(self) -> float:
+        """Worst-column standard error of the accumulated sample.
+
+        Matches :meth:`TrialStatistics.from_sample` per column: the
+        unbiased sample deviation over ``sqrt(n)`` when every value is
+        finite and ``n > 1``; ``nan`` with any non-finite value; 0 for a
+        single finite trial.
+        """
+        sample = self.sample()
+        columns = sample.reshape(sample.shape[0], -1)
+        worst = 0.0
+        for j in range(columns.shape[1]):
+            column = columns[:, j]
+            if not bool(np.isfinite(column).all()):
+                return math.nan
+            if column.size > 1:
+                se = float(column.std(ddof=1) / math.sqrt(column.size))
+            else:
+                se = 0.0
+            worst = max(worst, se)
+        return worst
+
+    def statistics(self, num_batches: int = 8):
+        """The accumulated sample as :class:`TrialStatistics`.
+
+        A 1-D run yields one instance; a 2-D run yields a per-column tuple
+        (each column summarised independently, like the randomized
+        report's per-target statistics).
+        """
+        sample = self.sample()
+        if sample.ndim == 1:
+            return TrialStatistics.from_sample(sample, num_batches=num_batches)
+        return tuple(
+            TrialStatistics.from_sample(sample[:, j], num_batches=num_batches)
+            for j in range(sample.shape[1])
+        )
 
 
 # ----------------------------------------------------------------------

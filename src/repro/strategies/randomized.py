@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -55,9 +55,11 @@ from ..simulation.monte_carlo import (
     DEFAULT_TRIALS_PER_BATCH,
     CyclicOffsetSchedule,
     SeedLike,
+    SequentialEstimator,
     TrialStatistics,
     as_generator,
     cyclic_schedule_indices,
+    iter_chunk_seeds,
 )
 
 __all__ = [
@@ -251,6 +253,9 @@ class RandomizedSearchReport:
     closed_form: float
     engine: str
     seed: Optional[int]
+    #: ``None`` for a fixed-count run; for an adaptive run, True when the
+    #: worst target's standard error reached the requested ``target_se``.
+    converged: Optional[bool] = None
 
     @property
     def estimate(self) -> float:
@@ -283,11 +288,39 @@ class RandomizedSearchReport:
             "estimate": self.estimate,
             "std_error": self.std_error,
             "num_samples": self.num_samples,
+            "trials_used": self.num_samples,
+            "converged": self.converged,
             "within_3_std_errors": self.within_standard_errors(),
             "engine": self.engine,
             "seed": self.seed,
             "per_target": [stats.to_dict() for stats in self.per_target],
         }
+
+
+def _offset_ratios(
+    strategy: RandomizedSingleRobotRayStrategy,
+    offsets: np.ndarray,
+    targets: Tuple[Tuple[int, float], ...],
+    horizon: float,
+    engine: str,
+    trials_per_batch: int,
+) -> np.ndarray:
+    """The ``(offsets, targets)`` ratio matrix for one offset vector."""
+    if engine == SCALAR_ENGINE:
+        ratios = np.empty((offsets.size, len(targets)))
+        for row, offset in enumerate(offsets):
+            trajectory = strategy.sample(
+                None, horizon=horizon, offset=float(offset)
+            ).trajectory()
+            for column, (ray, distance) in enumerate(targets):
+                ratios[row, column] = (
+                    trajectory.first_arrival_time(ray, distance) / distance
+                )
+        return ratios
+    arrivals = strategy.schedule_plan(horizon).arrival_times(
+        offsets, targets, trials_per_batch=trials_per_batch
+    )
+    return arrivals / np.asarray([d for _r, d in targets])
 
 
 def monte_carlo_ratio_report(
@@ -298,6 +331,10 @@ def monte_carlo_ratio_report(
     horizon: Optional[float] = None,
     engine: str = DEFAULT_ENGINE,
     trials_per_batch: int = DEFAULT_TRIALS_PER_BATCH,
+    target_se: Optional[float] = None,
+    max_trials: Optional[int] = None,
+    chunk_trials: Optional[int] = None,
+    on_chunk: Optional[Callable[[int, int, int, float], None]] = None,
 ) -> RandomizedSearchReport:
     """Estimate the expected competitive ratio by sampling offsets.
 
@@ -307,6 +344,19 @@ def monte_carlo_ratio_report(
     schedule in ``trials_per_batch`` chunks; ``engine="scalar"``
     materialises one trajectory per offset and queries it per target.  Both
     consume the same seeded offset vector and agree to 1e-9.
+
+    Setting any of ``target_se``/``max_trials``/``chunk_trials`` switches
+    to *adaptive* (sequential) sampling: offsets are drawn in seeded chunks
+    (per-chunk streams from
+    :func:`repro.simulation.monte_carlo.iter_chunk_seeds`) and the run
+    stops once the *worst* target's standard error reaches ``target_se``,
+    or after ``max_trials`` (default ``num_samples``) offsets regardless;
+    ``chunk_trials`` defaults to an eighth of the budget.  The chunk
+    schedule is a pure function of the arguments, so adaptive runs stay
+    bit-reproducible; with all three unset the legacy single-draw path
+    runs unchanged.  ``on_chunk(index, size, trials_used, std_error)``
+    fires after each evaluated chunk (telemetry hook; never affects
+    results).
     """
     if not targets:
         raise InvalidProblemError("need at least one target")
@@ -315,33 +365,53 @@ def monte_carlo_ratio_report(
     engine = validate_engine(engine)
     if horizon is None:
         horizon = max(distance for _ray, distance in targets) * 2.0
-    offsets = strategy.sample_offsets(num_samples, seed)
+    adaptive = (
+        target_se is not None or max_trials is not None or chunk_trials is not None
+    )
     targets = tuple((int(ray), float(distance)) for ray, distance in targets)
 
-    if engine == SCALAR_ENGINE:
-        ratios = np.empty((num_samples, len(targets)))
-        for row, offset in enumerate(offsets):
-            trajectory = strategy.sample(
-                None, horizon=horizon, offset=float(offset)
-            ).trajectory()
-            for column, (ray, distance) in enumerate(targets):
-                ratios[row, column] = (
-                    trajectory.first_arrival_time(ray, distance) / distance
-                )
-    else:
-        arrivals = strategy.schedule_plan(horizon).arrival_times(
-            offsets, targets, trials_per_batch=trials_per_batch
+    if not adaptive:
+        offsets = strategy.sample_offsets(num_samples, seed)
+        ratios = _offset_ratios(
+            strategy, offsets, targets, horizon, engine, trials_per_batch
         )
-        ratios = arrivals / np.asarray([d for _r, d in targets])
+        return RandomizedSearchReport(
+            targets=targets,
+            per_target=tuple(
+                TrialStatistics.from_sample(ratios[:, j]) for j in range(len(targets))
+            ),
+            closed_form=strategy.expected_ratio(),
+            engine=engine,
+            seed=seed if isinstance(seed, int) else None,
+        )
 
+    estimator = SequentialEstimator(
+        max_trials=max_trials if max_trials is not None else num_samples,
+        chunk_trials=chunk_trials,
+        target_se=target_se,
+    )
+    chunk_seeds = iter_chunk_seeds(seed)
+    chunk_index = 0
+    while True:
+        size = estimator.next_chunk()
+        if size == 0:
+            break
+        chunk_offsets = strategy.sample_offsets(size, next(chunk_seeds))
+        std_error = estimator.add_chunk(
+            _offset_ratios(
+                strategy, chunk_offsets, targets, horizon, engine, trials_per_batch
+            )
+        )
+        if on_chunk is not None:
+            on_chunk(chunk_index, size, estimator.trials_used, std_error)
+        chunk_index += 1
     return RandomizedSearchReport(
         targets=targets,
-        per_target=tuple(
-            TrialStatistics.from_sample(ratios[:, j]) for j in range(len(targets))
-        ),
+        per_target=estimator.statistics(),
         closed_form=strategy.expected_ratio(),
         engine=engine,
         seed=seed if isinstance(seed, int) else None,
+        converged=estimator.converged,
     )
 
 

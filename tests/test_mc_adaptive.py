@@ -1,0 +1,321 @@
+"""Tests for the adaptive-precision (sequential) Monte-Carlo pipeline.
+
+Covers the engine layer (:class:`~repro.simulation.monte_carlo.SequentialEstimator`
+and the per-chunk seed stream), both adaptive workloads (fault injection and
+the randomized cyclic search) and their service-layer specs.  The invariant
+under test throughout: the chunk schedule is a pure function of the spec, so
+adaptive runs are exactly as bit-reproducible as fixed-count ones, and
+leaving every precision field unset reproduces the legacy single-draw path
+byte for byte.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.faults.injection import simulate_random_faults
+from repro.service.execute import execute_spec
+from repro.service.spec import (
+    MonteCarloFaultsSpec,
+    MonteCarloRandomizedSpec,
+    spec_from_dict,
+)
+from repro.simulation.monte_carlo import (
+    SequentialEstimator,
+    TrialStatistics,
+    iter_chunk_seeds,
+    spawn_seeds,
+)
+from repro.strategies.geometric import RoundRobinGeometricStrategy
+from repro.strategies.randomized import (
+    RandomizedSingleRobotRayStrategy,
+    monte_carlo_ratio_report,
+)
+
+
+class TestIterChunkSeeds:
+    def test_prefix_of_bulk_spawn(self):
+        # The incremental stream must walk exactly the child sequence of a
+        # single bulk spawn — chunk i's seed never depends on how far the
+        # run got.
+        stream = iter_chunk_seeds(1234)
+        incremental = [next(stream) for _ in range(10)]
+        assert incremental == spawn_seeds(1234, 10)
+        assert incremental[:4] == spawn_seeds(1234, 4)
+
+    def test_deterministic_across_streams(self):
+        a = iter_chunk_seeds(7)
+        b = iter_chunk_seeds(7)
+        assert [next(a) for _ in range(5)] == [next(b) for _ in range(5)]
+        assert next(iter_chunk_seeds(8)) != next(iter_chunk_seeds(7))
+
+
+class TestSequentialEstimator:
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidProblemError):
+            SequentialEstimator(max_trials=0)
+        with pytest.raises(InvalidProblemError):
+            SequentialEstimator(max_trials=True)
+        with pytest.raises(InvalidProblemError):
+            SequentialEstimator(max_trials=10, chunk_trials=0)
+        with pytest.raises(InvalidProblemError):
+            SequentialEstimator(max_trials=10, target_se=0.0)
+        with pytest.raises(InvalidProblemError):
+            SequentialEstimator(max_trials=10, target_se=math.nan)
+
+    def test_default_chunk_is_an_eighth_of_the_budget(self):
+        assert SequentialEstimator(max_trials=800).chunk_trials == 100
+        assert SequentialEstimator(max_trials=9).chunk_trials == 2  # ceil
+        assert SequentialEstimator(max_trials=1).chunk_trials == 1
+
+    def test_chunk_schedule_respects_the_budget(self):
+        estimator = SequentialEstimator(max_trials=10, chunk_trials=4)
+        sizes = []
+        while not estimator.done:
+            size = estimator.next_chunk()
+            sizes.append(size)
+            estimator.add_chunk(np.zeros(size) + len(sizes))
+        assert sizes == [4, 4, 2]  # the last chunk is clipped to the budget
+        assert estimator.trials_used == 10
+        assert estimator.next_chunk() == 0
+
+    def test_converges_on_target_standard_error(self):
+        estimator = SequentialEstimator(
+            max_trials=1000, chunk_trials=10, target_se=0.01
+        )
+        # Constant values: SE is exactly 0 after the first chunk.
+        estimator.add_chunk(np.full(10, 3.0))
+        assert estimator.converged is True
+        assert estimator.done is True
+        assert estimator.trials_used == 10
+
+    def test_never_converges_without_a_target(self):
+        estimator = SequentialEstimator(max_trials=8, chunk_trials=4)
+        estimator.add_chunk(np.full(4, 1.0))
+        estimator.add_chunk(np.full(4, 1.0))
+        assert estimator.done is True
+        assert estimator.converged is False
+
+    def test_two_dimensional_convergence_uses_the_worst_column(self):
+        rng = np.random.default_rng(3)
+        estimator = SequentialEstimator(
+            max_trials=1000, chunk_trials=100, target_se=1e-3
+        )
+        # Column 0 is constant (SE 0); column 1 is noisy — the run must
+        # keep going until the *noisy* column's SE clears the target.
+        chunk = np.stack([np.zeros(100), rng.normal(size=100)], axis=1)
+        se = estimator.add_chunk(chunk)
+        assert se == pytest.approx(float(chunk[:, 1].std(ddof=1)) / 10.0)
+        assert estimator.converged is False
+
+    def test_add_chunk_after_done_raises(self):
+        estimator = SequentialEstimator(max_trials=4, chunk_trials=4)
+        estimator.add_chunk(np.ones(4))
+        with pytest.raises(InvalidProblemError):
+            estimator.add_chunk(np.ones(4))
+
+    def test_shape_changes_mid_run_raise(self):
+        estimator = SequentialEstimator(max_trials=100, chunk_trials=10)
+        estimator.add_chunk(np.ones((10, 2)))
+        with pytest.raises(InvalidProblemError):
+            estimator.add_chunk(np.ones(10))
+        with pytest.raises(InvalidProblemError):
+            estimator.add_chunk(np.ones((10, 3)))
+        with pytest.raises(InvalidProblemError):
+            estimator.add_chunk(np.empty((0, 2)))
+
+    def test_non_finite_values_block_convergence(self):
+        estimator = SequentialEstimator(
+            max_trials=8, chunk_trials=4, target_se=1e9
+        )
+        se = estimator.add_chunk(np.array([1.0, 2.0, math.inf, 3.0]))
+        assert math.isnan(se)
+        assert estimator.converged is False
+        estimator.add_chunk(np.ones(4))  # the budget still bounds the run
+        assert estimator.done is True
+        assert estimator.converged is False
+
+    def test_statistics_match_single_shot_from_sample(self):
+        rng = np.random.default_rng(11)
+        chunks = [rng.normal(size=7), rng.normal(size=7), rng.normal(size=3)]
+        estimator = SequentialEstimator(max_trials=17, chunk_trials=7)
+        for chunk in chunks:
+            estimator.add_chunk(chunk)
+        # Chunking never touches the values: the accumulated statistics are
+        # bit-identical to a single-shot summary of the concatenated draws.
+        assert estimator.statistics() == TrialStatistics.from_sample(
+            np.concatenate(chunks)
+        )
+
+
+class TestFromSampleBatchClamp:
+    def test_fewer_trials_than_batches_clamps_batch_count(self):
+        # Regression: np.array_split(sample, 8) on a 3-value sample would
+        # yield empty chunks whose mean is nan — the batch count must clamp
+        # to the sample size.
+        stats = TrialStatistics.from_sample([1.0, 2.0, 3.0])
+        assert stats.batch_means == (1.0, 2.0, 3.0)
+        assert all(math.isfinite(v) for v in stats.batch_means)
+
+    def test_non_positive_batch_count_clamps_to_one(self):
+        stats = TrialStatistics.from_sample([1.0, 2.0, 3.0, 4.0], num_batches=0)
+        assert stats.batch_means == (2.5,)
+
+    def test_single_trial(self):
+        stats = TrialStatistics.from_sample([5.0])
+        assert stats.batch_means == (5.0,)
+        assert stats.std_error == 0.0
+
+
+class TestAdaptiveFaultInjection:
+    def test_adaptive_run_is_bit_reproducible(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        kwargs = dict(
+            horizon=200.0, num_trials=50, seed=42, target_se=1e-6, max_trials=64
+        )
+        first = simulate_random_faults(strategy, **kwargs)
+        second = simulate_random_faults(strategy, **kwargs)
+        assert [t.ratio for t in first.trials] == [t.ratio for t in second.trials]
+        assert first.to_dict() == second.to_dict()
+
+    def test_budget_caps_an_unreachable_target(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        report = simulate_random_faults(
+            strategy, horizon=200.0, seed=3, target_se=1e-12, max_trials=40
+        )
+        assert len(report.trials) == 40
+        assert report.converged is False
+        payload = report.to_dict()
+        assert payload["trials_used"] == 40
+        assert payload["converged"] is False
+
+    def test_generous_target_stops_early(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        report = simulate_random_faults(
+            strategy,
+            horizon=200.0,
+            seed=3,
+            target_se=10.0,
+            max_trials=4000,
+            chunk_trials=16,
+        )
+        assert report.converged is True
+        assert len(report.trials) == 16  # one chunk was enough
+        assert report.to_dict()["trials_used"] == 16
+
+    def test_fixed_count_run_reports_no_convergence_flag(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        report = simulate_random_faults(strategy, horizon=200.0, num_trials=20, seed=1)
+        assert report.converged is None
+        assert report.to_dict()["converged"] is None
+        assert report.to_dict()["trials_used"] == 20
+
+    def test_on_chunk_telemetry_hook(self, line_3_1):
+        strategy = RoundRobinGeometricStrategy(line_3_1)
+        events = []
+        simulate_random_faults(
+            strategy,
+            horizon=200.0,
+            seed=5,
+            max_trials=30,
+            chunk_trials=10,
+            on_chunk=lambda *args: events.append(args),
+        )
+        assert [(index, size, used) for index, size, used, _se in events] == [
+            (0, 10, 10),
+            (1, 10, 20),
+            (2, 10, 30),
+        ]
+        assert all(se >= 0.0 or math.isnan(se) for *_rest, se in events)
+
+
+class TestAdaptiveRandomized:
+    TARGETS = [(0, 10.0), (1, 25.0)]
+
+    def test_adaptive_report_is_bit_reproducible(self):
+        strategy = RandomizedSingleRobotRayStrategy(2)
+        kwargs = dict(
+            targets=self.TARGETS, seed=9, horizon=100.0, target_se=0.05,
+            max_trials=512, chunk_trials=64,
+        )
+        first = monte_carlo_ratio_report(strategy, **kwargs)
+        second = monte_carlo_ratio_report(strategy, **kwargs)
+        assert first.to_dict() == second.to_dict()
+
+    def test_engines_agree_on_the_same_adaptive_draws(self):
+        strategy = RandomizedSingleRobotRayStrategy(2)
+        kwargs = dict(
+            targets=self.TARGETS, seed=13, horizon=100.0, max_trials=96,
+            chunk_trials=32,
+        )
+        vectorized = monte_carlo_ratio_report(strategy, engine="vectorized", **kwargs)
+        scalar = monte_carlo_ratio_report(strategy, engine="scalar", **kwargs)
+        assert vectorized.estimate == pytest.approx(scalar.estimate, abs=1e-9)
+        assert vectorized.num_samples == scalar.num_samples == 96
+
+    def test_converged_flag_and_sample_accounting(self):
+        strategy = RandomizedSingleRobotRayStrategy(2)
+        report = monte_carlo_ratio_report(
+            strategy,
+            targets=self.TARGETS,
+            seed=21,
+            horizon=100.0,
+            target_se=10.0,
+            max_trials=4096,
+            chunk_trials=32,
+        )
+        assert report.converged is True
+        assert report.num_samples == 32
+        assert report.to_dict()["trials_used"] == 32
+        # Still a sane estimate of the closed form, just a loose one.
+        assert report.estimate > 1.0
+
+
+class TestAdaptiveSpecs:
+    def test_execute_adaptive_faults_spec(self):
+        spec = MonteCarloFaultsSpec(
+            num_rays=2, num_robots=3, num_faulty=1, num_trials=50, seed=7,
+            horizon=100.0, target_se=1e-9, max_trials=48, chunk_trials=16,
+        )
+        payload = execute_spec(spec)
+        assert payload["trials_used"] == 48
+        assert payload["converged"] is False
+        assert payload["num_trials"] == 48
+        # The adaptive request is a different computation, so a different
+        # content address.
+        assert spec.cache_key() != MonteCarloFaultsSpec(
+            num_rays=2, num_robots=3, num_faulty=1, num_trials=50, seed=7,
+            horizon=100.0,
+        ).cache_key()
+
+    def test_execute_adaptive_randomized_spec(self):
+        spec = MonteCarloRandomizedSpec(
+            num_rays=2, num_samples=200, seed=7, horizon=1000.0,
+            target_se=0.5, max_trials=4000, chunk_trials=500,
+        )
+        payload = execute_spec(spec)
+        assert payload["converged"] is True
+        assert payload["trials_used"] <= 4000
+        assert payload["trials_used"] % 500 == 0
+        assert payload["std_error"] <= 0.5
+
+    def test_default_specs_omit_precision_fields(self):
+        payload = MonteCarloFaultsSpec(num_robots=3, num_faulty=1).to_dict()
+        assert "target_se" not in payload
+        assert "max_trials" not in payload
+        assert "chunk_trials" not in payload
+        # And the omitted form round-trips to the same spec and key.
+        clone = spec_from_dict(payload)
+        assert clone == MonteCarloFaultsSpec(num_robots=3, num_faulty=1)
+
+    def test_precision_field_validation(self):
+        with pytest.raises(InvalidProblemError):
+            MonteCarloFaultsSpec(num_robots=2, num_faulty=1, target_se=-1.0)
+        with pytest.raises(InvalidProblemError):
+            MonteCarloFaultsSpec(num_robots=2, num_faulty=1, max_trials=0)
+        with pytest.raises(InvalidProblemError):
+            MonteCarloRandomizedSpec(chunk_trials=0)

@@ -87,6 +87,17 @@ def _gen_family(rng):
     )
 
 
+def _precision_fields(rng):
+    """Sometimes-set adaptive-precision fields shared by both MC kinds."""
+    return {
+        "target_se": (
+            None if rng.random() < 0.5 else round(rng.uniform(0.001, 1.0), 4)
+        ),
+        "max_trials": None if rng.random() < 0.5 else rng.randint(1, 1024),
+        "chunk_trials": None if rng.random() < 0.5 else rng.randint(1, 256),
+    }
+
+
 def _gen_montecarlo_faults(rng):
     m, k, f = _problem_triple(rng)
     return MonteCarloFaultsSpec(
@@ -98,6 +109,7 @@ def _gen_montecarlo_faults(rng):
         horizon=_horizon(rng),
         engine=_engine(rng),
         crash_model=rng.choice(["silent", "uniform"]),
+        **_precision_fields(rng),
     )
 
 
@@ -118,6 +130,7 @@ def _gen_montecarlo_randomized(rng):
         base=None if rng.random() < 0.5 else round(rng.uniform(1.01, 5.0), 4),
         engine=_engine(rng),
         targets=targets,
+        **_precision_fields(rng),
     )
 
 
@@ -306,6 +319,12 @@ class TestFuzzPerturbation:
             return 1.5 if value is None else float(value) + 0.25
         if field == "min_interruption":
             return 0.5 if value is None else float(value) + 1.0
+        if field == "target_se":
+            # Halving keeps the target positive; setting it on an unset
+            # spec exercises the omitted-field → present-field transition.
+            return 0.05 if value is None else round(float(value) * 0.5, 8)
+        if field in ("max_trials", "chunk_trials"):
+            return 64 if value is None else int(value) + 1
         if isinstance(value, int):
             return value + 1
         if isinstance(value, float):
@@ -324,7 +343,12 @@ class TestFuzzPerturbation:
             spec = _generate(rng, kind)
             payload = spec.to_dict()
             for field in fields(spec):
-                candidate = self._perturb(rng, spec, field.name, payload[field.name])
+                # Optional precision fields are *omitted* from the payload
+                # while unset — .get keeps the perturbation sweep covering
+                # them (the perturbed dict then adds the key).
+                candidate = self._perturb(
+                    rng, spec, field.name, payload.get(field.name)
+                )
                 if candidate is None:
                     continue
                 changed = dict(payload)
